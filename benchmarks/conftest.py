@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index), prints the corresponding rows/series, and
+asserts the qualitative shape the paper reports.  ``pytest-benchmark`` times
+each regeneration; run with ``-s`` to see the printed reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are far too heavy for the default calibration loop, so
+    every benchmark uses a single round / single iteration measurement.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 21 / Section 4.4: the latency breakdown."""
+
+import pytest
+
+from repro.eval import fig21_latency, format_table
+
+from conftest import run_once
+
+
+def test_fig21_latency_breakdown(benchmark):
+    """E-FIG21: detection + transfer + processing adds roughly 100 ms."""
+    results = run_once(benchmark, fig21_latency)
+    rows = []
+    for label, breakdown in results.items():
+        rows.append([
+            label,
+            f"{breakdown['air_time_s'] * 1e3:.2f}",
+            f"{breakdown['detection_s'] * 1e6:.0f}",
+            f"{breakdown['transfer_s'] * 1e3:.2f}",
+            f"{breakdown['processing_s'] * 1e3:.1f}",
+            f"{breakdown['added_after_frame_end_s'] * 1e3:.1f}",
+        ])
+    print()
+    print(format_table(
+        ["configuration", "air time (ms)", "Td (us)", "Tt (ms)", "Tp (ms)",
+         "added latency (ms)"],
+        rows, title="Figure 21 / Section 4.4: latency breakdown"))
+    paper = results["paper model"]
+    # The paper's accounting: Td + Tt + Tp - T ~= 100 ms for a fast frame.
+    assert paper["added_after_frame_end_s"] == pytest.approx(0.1, abs=0.02)
+    assert paper["transfer_s"] == pytest.approx(2.56e-3, rel=0.01)
+    assert paper["detection_s"] == pytest.approx(16e-6, rel=0.01)
+    # Our Python synthesis step is measured live and stays within the same
+    # order of magnitude as the paper's 100 ms Matlab implementation.
+    measured = results["54 Mbit/s"]
+    assert measured["processing_s"] < 1.0

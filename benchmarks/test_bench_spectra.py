@@ -1,0 +1,54 @@
+"""Benchmarks regenerating the spectrum-level figures (Figures 3, 7, 9, 17)."""
+
+import pytest
+
+from repro.eval import (
+    fig3_example_spectrum,
+    fig7_spatial_smoothing,
+    fig9_multipath_suppression,
+    fig17_pillar_blocking,
+    format_key_values,
+)
+
+from conftest import run_once
+
+
+def test_fig3_example_spectrum(benchmark):
+    """E-FIG3: a representative AoA spectrum with an identifiable direct peak."""
+    result = run_once(benchmark, fig3_example_spectrum)
+    print()
+    print(format_key_values(result.summary, title="Figure 3: example AoA spectrum"))
+    assert result.summary["num_peaks"] >= 1
+    assert result.summary["closest_peak_offset_deg"] < 10.0
+
+
+def test_fig7_spatial_smoothing(benchmark):
+    """E-FIG7: spatial smoothing with NG = 1..4 sub-array groups."""
+    result = run_once(benchmark, fig7_spatial_smoothing, (1, 2, 3, 4))
+    print()
+    print(format_key_values(result.summary,
+                            title="Figure 7: peaks vs smoothing groups"))
+    # More smoothing reduces (or keeps) the number of spurious peaks, at the
+    # cost of aperture -- the paper's reason for settling on NG = 2.
+    assert (result.summary["num_peaks_NG4"]
+            <= result.summary["num_peaks_NG1"] + 1)
+
+
+def test_fig9_multipath_suppression(benchmark):
+    """E-FIG9: the multipath suppression algorithm on grouped spectra."""
+    result = run_once(benchmark, fig9_multipath_suppression)
+    print()
+    print(format_key_values(result.summary,
+                            title="Figure 9: multipath suppression"))
+    assert result.summary["peaks_after"] <= result.summary["peaks_before"]
+    assert result.summary["peaks_after"] >= 1
+
+
+def test_fig17_pillar_blocking(benchmark):
+    """E-FIG17: the direct-path peak survives pillar blocking."""
+    result = run_once(benchmark, fig17_pillar_blocking)
+    print()
+    print(format_key_values(result.summary, title="Figure 17: pillar blocking"))
+    assert result.summary["direct_peak_rank [no blocking]"] == 1
+    for label in ("blocked by 1 pillar", "blocked by 2 pillars"):
+        assert result.summary[f"direct_peak_rank [{label}]"] >= 1

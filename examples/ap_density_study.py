@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""How many ArrayTrack APs does a deployment need?
+
+The paper's central accuracy result (Figures 13-15) is the trade-off between
+the number of cooperating APs and localization error.  This example runs a
+reduced version of that sweep -- every client localized with 2..6 APs, with
+and without ArrayTrack's optimizations -- and prints the resulting error
+statistics, the kind of table a deployment-planning engineer would want.
+
+Run with:  python examples/ap_density_study.py          (about a minute)
+"""
+
+from __future__ import annotations
+
+from repro.core import SpectrumConfig
+from repro.eval import format_error_statistics, run_localization_sweep
+from repro.testbed import ScenarioConfig
+
+
+def main() -> None:
+    num_clients = 20          # increase to 41 for the full-paper campaign
+    grid_resolution_m = 0.25  # the paper uses 0.10 m
+
+    print("Running the full ArrayTrack pipeline (weighting, symmetry removal, "
+          "multipath suppression)...")
+    arraytrack = run_localization_sweep(
+        ap_counts=(2, 3, 4, 5, 6), num_clients=num_clients,
+        max_subsets_per_count=3, grid_resolution_m=grid_resolution_m)
+    print(format_error_statistics(arraytrack.statistics, label="APs",
+                                  title="ArrayTrack location error vs AP count"))
+
+    print()
+    print("Running the unoptimized baseline (raw mirrored MUSIC spectra)...")
+    unoptimized = run_localization_sweep(
+        scenario=ScenarioConfig(frames_per_client=1, use_symmetry_antenna=False,
+                                seed=2013,
+                                spectrum=SpectrumConfig(apply_weighting=False)),
+        ap_counts=(2, 3, 4, 5, 6), num_clients=num_clients,
+        max_subsets_per_count=3, grid_resolution_m=grid_resolution_m,
+        enable_multipath_suppression=False)
+    print(format_error_statistics(unoptimized.statistics, label="APs",
+                                  title="Unoptimized location error vs AP count"))
+
+    print()
+    print("Improvement from ArrayTrack's optimizations (mean error ratio):")
+    for count in (2, 3, 4, 5, 6):
+        if count in arraytrack.statistics and count in unoptimized.statistics:
+            ratio = (unoptimized.statistics[count].mean_cm
+                     / max(arraytrack.statistics[count].mean_cm, 1e-9))
+            print(f"  {count} APs: {ratio:.1f}x")
+    print("\nThe paper reports the largest relative gain at three APs, where "
+          "mirror ghosts and reflections dominate the raw synthesis.")
+
+
+if __name__ == "__main__":
+    main()

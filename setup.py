@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The canonical project metadata lives in pyproject.toml; this file only
+exists so that `pip install -e . --no-use-pep517` (legacy editable install)
+works on machines where PEP 660 editable wheels cannot be built offline.
+"""
+from setuptools import setup
+
+setup()

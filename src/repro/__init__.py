@@ -1,0 +1,57 @@
+"""ArrayTrack reproduction: fine-grained indoor localization from AoA spectra.
+
+This package is a from-scratch Python reproduction of "ArrayTrack: A
+Fine-Grained Indoor Location System" (Xiong & Jamieson, NSDI 2013).  It
+contains the paper's core contribution -- MUSIC-based AoA pseudospectra with
+spatial smoothing, array geometry weighting, array symmetry removal,
+multipath suppression and likelihood synthesis (:mod:`repro.core`) -- plus
+every substrate the evaluation depends on: an indoor ray-tracing channel
+simulator, an 802.11 preamble / packet-detection layer, a multi-antenna AP
+model with diversity synthesis and phase calibration, the simulated 41-client
+office testbed, RSSI baselines and the experiment harness regenerating every
+table and figure of the paper.
+
+Quick start::
+
+    from repro import quickstart
+    estimate, ground_truth = quickstart.localize_one_client()
+
+or see ``examples/quickstart.py`` for the same flow spelled out step by step.
+"""
+
+from repro.constants import (
+    ANTENNA_SPACING_M,
+    CARRIER_FREQUENCY_HZ,
+    DEFAULT_NUM_SNAPSHOTS,
+    SAMPLE_RATE_HZ,
+    WAVELENGTH_M,
+)
+from repro.errors import (
+    ArrayError,
+    ArrayTrackError,
+    ChannelError,
+    ConfigurationError,
+    DetectionError,
+    EstimationError,
+    GeometryError,
+    SignalError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANTENNA_SPACING_M",
+    "CARRIER_FREQUENCY_HZ",
+    "DEFAULT_NUM_SNAPSHOTS",
+    "SAMPLE_RATE_HZ",
+    "WAVELENGTH_M",
+    "ArrayError",
+    "ArrayTrackError",
+    "ChannelError",
+    "ConfigurationError",
+    "DetectionError",
+    "EstimationError",
+    "GeometryError",
+    "SignalError",
+    "__version__",
+]

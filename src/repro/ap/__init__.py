@@ -1,0 +1,27 @@
+"""Access-point layer: detection, buffering, spectra, collisions and latency.
+
+Models the functionality Figure 1 places at each ArrayTrack AP (packet
+detection, diversity synthesis, circular buffering) plus the per-AP half of
+the server pipeline and the end-to-end latency accounting of Section 4.4.
+"""
+
+from repro.ap.buffer import BufferEntry, CircularFrameBuffer
+from repro.ap.access_point import APConfig, ArrayTrackAP
+from repro.ap.collision import (
+    CollisionResolver,
+    merge_channels,
+    preamble_collision_probability,
+)
+from repro.ap.latency import LatencyBreakdown, LatencyModel
+
+__all__ = [
+    "BufferEntry",
+    "CircularFrameBuffer",
+    "APConfig",
+    "ArrayTrackAP",
+    "CollisionResolver",
+    "merge_channels",
+    "preamble_collision_probability",
+    "LatencyBreakdown",
+    "LatencyModel",
+]

@@ -1,0 +1,105 @@
+"""Circular sample buffer at the AP (Section 2.1, Figure 1).
+
+Upon detecting a frame the AP stores the relevant preamble samples into a
+circular buffer, one logical entry per detected frame.  The buffer decouples
+the line-rate detection hardware from the (much slower) transfer to the
+ArrayTrack server: if the server falls behind, the oldest entries are
+overwritten, which is the correct behaviour for a real-time location system
+(stale frames are useless).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.array.receiver import SnapshotMatrix
+
+__all__ = ["BufferEntry", "CircularFrameBuffer"]
+
+
+@dataclass(frozen=True)
+class BufferEntry:
+    """One logical buffer entry: the samples recorded for one detected frame.
+
+    Attributes
+    ----------
+    snapshots:
+        The recorded snapshot matrix (antennas x samples).
+    client_id:
+        Transmitter identity (known in simulation; a real AP would key on
+        the transmitter MAC address after an optional partial decode).
+    timestamp_s:
+        Detection time of the frame.
+    sequence:
+        Monotonically increasing insertion counter (diagnostics only).
+    """
+
+    snapshots: SnapshotMatrix
+    client_id: str
+    timestamp_s: float
+    sequence: int
+
+
+class CircularFrameBuffer:
+    """Fixed-capacity circular buffer of detected-frame samples.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of frame entries retained; the oldest entry is
+        overwritten when the buffer is full.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[BufferEntry] = deque(maxlen=capacity)
+        self._sequence = 0
+        self._overwrites = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BufferEntry]:
+        return iter(self._entries)
+
+    @property
+    def overwrites(self) -> int:
+        """Number of entries lost to overwriting since creation."""
+        return self._overwrites
+
+    def push(self, snapshots: SnapshotMatrix, client_id: str,
+             timestamp_s: float) -> BufferEntry:
+        """Store a newly detected frame's samples and return the entry."""
+        if len(self._entries) == self.capacity:
+            self._overwrites += 1
+        entry = BufferEntry(snapshots=snapshots, client_id=client_id,
+                            timestamp_s=timestamp_s, sequence=self._sequence)
+        self._sequence += 1
+        self._entries.append(entry)
+        return entry
+
+    def entries_for_client(self, client_id: str) -> List[BufferEntry]:
+        """Return the buffered entries for one client, oldest first."""
+        return [entry for entry in self._entries if entry.client_id == client_id]
+
+    def latest(self, count: int = 1) -> List[BufferEntry]:
+        """Return the most recent ``count`` entries, oldest first."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        entries = list(self._entries)
+        return entries[-count:]
+
+    def drain(self) -> List[BufferEntry]:
+        """Return all entries and empty the buffer (the transfer to the server)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries
+
+    def clear(self) -> None:
+        """Discard every buffered entry."""
+        self._entries.clear()

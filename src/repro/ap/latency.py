@@ -1,0 +1,149 @@
+"""End-to-end latency model (Section 4.4, Figure 21).
+
+The paper breaks ArrayTrack's response time into:
+
+* ``T``  -- the air time of the frame (222 us to 12 ms depending on rate);
+* ``Td`` -- preamble detection time (16 us: ten short + two long symbols);
+* ``Tt`` -- serialization time to move the recorded samples from the WARP to
+  the PC over its ~1 Mbit/s effective link (2.56 ms for 10 samples x 8
+  radios x 32 bits);
+* ``Tl`` -- WARP-to-PC bus latency (~30 ms on the prototype);
+* ``Tp`` -- server-side processing, dominated by the synthesis / hill
+  climbing step (~100 ms measured on the paper's Xeon).
+
+Because ArrayTrack only needs the first few preamble samples, transfer and
+processing overlap with the rest of the frame still being on the air, so the
+latency *added* after the frame ends is ``Td + Tt + Tp - T`` (plus bus
+latency), which the paper rounds to roughly 100 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.constants import (
+    BITS_PER_SAMPLE,
+    DEFAULT_NUM_SNAPSHOTS,
+    PAPER_SYNTHESIS_PROCESSING_S,
+    PREAMBLE_DURATION_S,
+    WARP_PC_BUS_LATENCY_S,
+    WARP_PC_THROUGHPUT_BPS,
+)
+from repro.errors import ConfigurationError
+from repro.signal.packet import air_time_s
+
+__all__ = ["LatencyModel", "LatencyBreakdown"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Latency components of one location fix, in seconds.
+
+    Attributes mirror the paper's notation (Section 4.4).
+    """
+
+    air_time_s: float
+    detection_s: float
+    transfer_s: float
+    bus_latency_s: float
+    processing_s: float
+
+    @property
+    def total_from_preamble_start_s(self) -> float:
+        """Latency from the start of the frame preamble to the location fix."""
+        return (self.detection_s + self.transfer_s + self.bus_latency_s
+                + self.processing_s)
+
+    @property
+    def added_after_frame_end_s(self) -> float:
+        """Latency added after the frame leaves the air (the paper's ~100 ms).
+
+        ``Td + Tt + Tp - T`` (bus latency excluded, as in the paper's final
+        accounting); clipped at zero because a very long frame can absorb
+        the whole processing pipeline while still on the air.
+        """
+        added = (self.detection_s + self.transfer_s + self.processing_s
+                 - self.air_time_s)
+        return max(added, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the breakdown as a plain dictionary (for reports)."""
+        return {
+            "air_time_s": self.air_time_s,
+            "detection_s": self.detection_s,
+            "transfer_s": self.transfer_s,
+            "bus_latency_s": self.bus_latency_s,
+            "processing_s": self.processing_s,
+            "total_from_preamble_start_s": self.total_from_preamble_start_s,
+            "added_after_frame_end_s": self.added_after_frame_end_s,
+        }
+
+
+@dataclass
+class LatencyModel:
+    """Computes latency breakdowns for the prototype's hardware constants.
+
+    Attributes
+    ----------
+    num_snapshots:
+        Samples recorded per radio (10 in the paper).
+    num_radios:
+        Radios whose samples are transferred (8 for one AP).
+    link_throughput_bps:
+        Effective WARP-to-PC throughput (1 Mbit/s on the prototype).
+    bus_latency_s:
+        WARP-to-PC bus latency (~30 ms; near zero on a PCIe platform).
+    processing_s:
+        Server-side processing time.  Defaults to the paper's measured
+        100 ms Matlab figure; the benchmark harness can substitute the
+        measured Python processing time instead.
+    """
+
+    num_snapshots: int = DEFAULT_NUM_SNAPSHOTS
+    num_radios: int = 8
+    link_throughput_bps: float = WARP_PC_THROUGHPUT_BPS
+    bus_latency_s: float = WARP_PC_BUS_LATENCY_S
+    processing_s: float = PAPER_SYNTHESIS_PROCESSING_S
+    bits_per_sample: int = BITS_PER_SAMPLE
+
+    def __post_init__(self) -> None:
+        if self.num_snapshots < 1 or self.num_radios < 1:
+            raise ConfigurationError("num_snapshots and num_radios must be >= 1")
+        if self.link_throughput_bps <= 0:
+            raise ConfigurationError("link throughput must be positive")
+
+    @property
+    def detection_s(self) -> float:
+        """Preamble detection time ``Td`` (the 16 us preamble duration)."""
+        return PREAMBLE_DURATION_S
+
+    @property
+    def transfer_bits(self) -> int:
+        """Bits transferred to the server per frame."""
+        return self.num_snapshots * self.bits_per_sample * self.num_radios
+
+    @property
+    def transfer_s(self) -> float:
+        """Sample serialization time ``Tt``."""
+        return self.transfer_bits / self.link_throughput_bps
+
+    def traffic_rate_bps(self, refresh_interval_s: float = 0.1) -> float:
+        """Return the backhaul traffic rate for a given location refresh rate.
+
+        Section 4.3.3 computes 0.0256 Mbit/s for a 100 ms refresh interval.
+        """
+        if refresh_interval_s <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        return self.transfer_bits / refresh_interval_s
+
+    def breakdown(self, payload_bytes: int = 1500,
+                  bitrate_mbps: float = 54.0) -> LatencyBreakdown:
+        """Return the latency breakdown for one frame of the given size/rate."""
+        return LatencyBreakdown(
+            air_time_s=air_time_s(payload_bytes, bitrate_mbps),
+            detection_s=self.detection_s,
+            transfer_s=self.transfer_s,
+            bus_latency_s=self.bus_latency_s,
+            processing_s=self.processing_s,
+        )

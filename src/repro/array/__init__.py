@@ -1,0 +1,29 @@
+"""Antenna-array substrate: geometries, calibration, receiver and diversity.
+
+Models the multi-antenna WARP access point of the paper: element layouts and
+steering vectors, per-radio oscillator phase offsets with the two-run
+calibration procedure of Section 3, sample-level snapshot capture, and the
+diversity synthesis technique of Section 2.2.
+"""
+
+from repro.array.geometry import ArrayGeometry
+from repro.array.deployment import DeployedArray
+from repro.array.calibration import (
+    CalibrationMeasurement,
+    CalibrationResult,
+    PhaseCalibrator,
+)
+from repro.array.receiver import ArrayReceiver, SnapshotMatrix
+from repro.array.diversity import DiversitySynthesizer, usable_snapshots_per_symbol
+
+__all__ = [
+    "ArrayGeometry",
+    "DeployedArray",
+    "CalibrationMeasurement",
+    "CalibrationResult",
+    "PhaseCalibrator",
+    "ArrayReceiver",
+    "SnapshotMatrix",
+    "DiversitySynthesizer",
+    "usable_snapshots_per_symbol",
+]

@@ -1,0 +1,181 @@
+"""AP phase calibration: the two-run splitter-swap procedure of Section 3.
+
+Each radio chain downconverts with its own 2.4 GHz oscillator, adding an
+unknown phase offset to the samples it produces; uncorrected, this makes AoA
+computation impossible.  The paper calibrates the array with a USRP2
+generating a continuous-wave tone fed through splitters and cables ("external
+paths") into the radio inputs.  Because nominally-identical cables differ
+slightly, a single measurement confounds the internal radio offsets with the
+external cable imperfections; the paper therefore measures twice, swapping
+the external paths between runs, and combines (Equations 9-12):
+
+* ``(Phoff1 + Phoff2) / 2``  ->  the internal offset (what we want), and
+* ``(Phoff2 - Phoff1) / 2``  ->  the external-path imperfection.
+
+The classes below simulate exactly that procedure so that the rest of the
+system can be exercised both with ideal calibration and with residual error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ArrayError
+from repro.array.deployment import DeployedArray
+
+__all__ = ["CalibrationMeasurement", "CalibrationResult", "PhaseCalibrator"]
+
+
+def _wrap_phase(phase_rad: np.ndarray | float) -> np.ndarray | float:
+    """Wrap phases to the interval ``(-pi, pi]``."""
+    return np.angle(np.exp(1j * np.asarray(phase_rad, dtype=float)))
+
+
+@dataclass(frozen=True)
+class CalibrationMeasurement:
+    """One calibration run: measured phase of each radio relative to radio 0."""
+
+    measured_offsets_rad: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets = np.asarray(self.measured_offsets_rad, dtype=float)
+        if offsets.ndim != 1:
+            raise ArrayError("measured offsets must be a one-dimensional array")
+        object.__setattr__(self, "measured_offsets_rad", offsets)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the two-run calibration procedure.
+
+    Attributes
+    ----------
+    internal_offsets_rad:
+        Estimated per-radio internal phase offsets, relative to radio 0.
+    external_imbalance_rad:
+        Estimated cable/splitter phase imperfections (diagnostic only).
+    """
+
+    internal_offsets_rad: np.ndarray
+    external_imbalance_rad: np.ndarray
+
+    def residual_error_rad(self, true_offsets_rad: np.ndarray) -> np.ndarray:
+        """Return the wrapped estimation error against the true offsets.
+
+        Both the estimate and the truth are referenced to radio 0 before
+        comparison, because a common phase across all radios is irrelevant
+        for AoA.
+        """
+        truth = np.asarray(true_offsets_rad, dtype=float)
+        truth_rel = truth - truth[0]
+        estimate_rel = self.internal_offsets_rad - self.internal_offsets_rad[0]
+        return np.asarray(_wrap_phase(estimate_rel - truth_rel))
+
+
+class PhaseCalibrator:
+    """Simulates the USRP2 continuous-wave calibration bench of Section 3.
+
+    Parameters
+    ----------
+    external_path_imbalance_rad:
+        Phase imperfection of each external path (splitter leg + cable)
+        relative to path 0.  Drawn at random (a few degrees r.m.s.) when
+        omitted, mimicking manufacturing variation of "cables labelled the
+        same length".
+    measurement_noise_rad:
+        Standard deviation of the per-measurement phase noise.
+    """
+
+    def __init__(self, num_radios: int,
+                 external_path_imbalance_rad: Optional[np.ndarray] = None,
+                 measurement_noise_rad: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if num_radios < 2:
+            raise ArrayError("calibration needs at least two radios")
+        self.num_radios = num_radios
+        self._rng = rng if rng is not None else np.random.default_rng()
+        if external_path_imbalance_rad is None:
+            imbalance = self._rng.normal(scale=np.radians(4.0), size=num_radios)
+            imbalance[0] = 0.0
+        else:
+            imbalance = np.asarray(external_path_imbalance_rad, dtype=float)
+            if imbalance.shape != (num_radios,):
+                raise ArrayError(
+                    f"external imbalance must have shape ({num_radios},), got "
+                    f"{imbalance.shape}")
+        self.external_path_imbalance_rad = imbalance
+        self.measurement_noise_rad = measurement_noise_rad
+
+    # ------------------------------------------------------------------
+    # Single measurements
+    # ------------------------------------------------------------------
+    def measure(self, array: DeployedArray,
+                swap_external_paths: bool = False) -> CalibrationMeasurement:
+        """Run one calibration measurement against ``array``.
+
+        The continuous-wave tone reaches radio ``m`` with phase
+        ``Phex_m + Phin_m`` (external path plus internal oscillator offset);
+        the measurement reports each radio's phase relative to radio 0,
+        corresponding to Equations 9 and 10 of the paper.
+
+        Parameters
+        ----------
+        swap_external_paths:
+            When True, the external paths of each radio pair are exchanged,
+            modelled as negating the relative external imbalance (the paper
+            swaps the two cables feeding each pair of radios).
+        """
+        internal = np.asarray(array.phase_offsets_rad, dtype=float)
+        if internal.shape != (self.num_radios,):
+            raise ArrayError(
+                f"array has {internal.shape[0]} radios, calibrator expects "
+                f"{self.num_radios}")
+        external = self.external_path_imbalance_rad
+        if swap_external_paths:
+            external = -external
+        total = internal + external
+        measured = total - total[0]
+        if self.measurement_noise_rad > 0:
+            noise = self._rng.normal(scale=self.measurement_noise_rad,
+                                     size=self.num_radios)
+            noise[0] = 0.0
+            measured = measured + noise
+        return CalibrationMeasurement(np.asarray(_wrap_phase(measured)))
+
+    # ------------------------------------------------------------------
+    # Full two-run procedure
+    # ------------------------------------------------------------------
+    def calibrate(self, array: DeployedArray) -> CalibrationResult:
+        """Run the full swap-and-average procedure (Equations 9-12)."""
+        first = self.measure(array, swap_external_paths=False)
+        second = self.measure(array, swap_external_paths=True)
+        return self.combine(first, second)
+
+    @staticmethod
+    def combine(first: CalibrationMeasurement,
+                second: CalibrationMeasurement) -> CalibrationResult:
+        """Combine two swapped measurements into internal/external estimates.
+
+        ``Phoff = (Phoff2 + Phoff1) / 2`` and
+        ``Phex1 - Phex2 = (Phoff2 - Phoff1) / 2`` -- Equations 11 and 12.
+        The averaging is done on the complex unit circle so that phase
+        wrapping cannot corrupt the result.
+        """
+        a = np.asarray(first.measured_offsets_rad, dtype=float)
+        b = np.asarray(second.measured_offsets_rad, dtype=float)
+        if a.shape != b.shape:
+            raise ArrayError("the two calibration runs measured different array sizes")
+        internal = np.angle(np.exp(1j * a) * np.exp(1j * b)) / 2.0
+        # Resolve the pi ambiguity of half-angle averaging by picking, for
+        # each radio, the candidate (x or x + pi) closest to both runs.
+        candidates = np.stack([internal, internal + np.pi], axis=0)
+        errors = (np.abs(_wrap_phase(candidates - a[None, :]))
+                  + np.abs(_wrap_phase(candidates - b[None, :])))
+        choice = np.argmin(errors, axis=0)
+        internal = np.asarray(_wrap_phase(candidates[choice, np.arange(a.shape[0])]))
+        external = np.asarray(_wrap_phase((b - a) / 2.0))
+        return CalibrationResult(internal_offsets_rad=internal,
+                                 external_imbalance_rad=external)

@@ -1,0 +1,222 @@
+"""Antenna array geometries and steering vectors.
+
+The prototype AP in the paper carries up to 16 antennas spaced at half a
+wavelength (6.13 cm).  The evaluation uses linear sub-arrays of 4, 6 and 8
+antennas (Figure 16), plus a ninth antenna *not* on the same row used for
+array-symmetry removal (Section 2.3.4).  The discussion section also
+contrasts linear and circular arrangements.
+
+Conventions used throughout the library:
+
+* Antenna element positions are 2-D offsets, in metres, in the array's
+  *local* frame: the linear array lies along the local +x axis.
+* The azimuth of an arriving signal is the bearing of the source as seen
+  from the array origin, measured counter-clockwise from the local +x axis.
+  For a linear array the response depends only on ``cos(azimuth)``, which is
+  the 180-degree mirror ambiguity the paper discusses.
+* Steering-vector element ``m`` is ``exp(+j k (r_m . u(az)) cos(el))`` where
+  ``k = 2 pi / lambda``, ``r_m`` is the element offset, ``u(az)`` the unit
+  vector towards the source and ``el`` the elevation of the source above the
+  array plane.  (A global phase reference at the array origin is implied.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import ANTENNA_SPACING_M, WAVELENGTH_M
+from repro.errors import ArrayError
+
+__all__ = ["ArrayGeometry"]
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Positions of the antenna elements of an AP, in the array's local frame.
+
+    Attributes
+    ----------
+    element_positions:
+        ``(M, 2)`` array of element offsets in metres.
+    name:
+        Human-readable description ("8-element ULA", ...).
+    """
+
+    element_positions: np.ndarray
+    name: str = "array"
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.element_positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ArrayError(
+                f"element_positions must have shape (M, 2), got {positions.shape}")
+        if positions.shape[0] < 2:
+            raise ArrayError("an antenna array needs at least two elements")
+        object.__setattr__(self, "element_positions", positions)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_elements(self) -> int:
+        """Number of antenna elements."""
+        return int(self.element_positions.shape[0])
+
+    @property
+    def aperture_m(self) -> float:
+        """Largest distance between any two elements (metres)."""
+        positions = self.element_positions
+        diffs = positions[:, None, :] - positions[None, :, :]
+        return float(np.max(np.linalg.norm(diffs, axis=-1)))
+
+    def is_linear(self, tolerance_m: float = 1e-9) -> bool:
+        """Return True when all elements are collinear (mirror-ambiguous array)."""
+        positions = self.element_positions
+        if positions.shape[0] <= 2:
+            return True
+        base = positions[0]
+        direction = positions[-1] - base
+        norm = np.linalg.norm(direction)
+        if norm < tolerance_m:
+            return False
+        direction = direction / norm
+        offsets = positions - base
+        cross = offsets[:, 0] * direction[1] - offsets[:, 1] * direction[0]
+        return bool(np.all(np.abs(cross) < tolerance_m + 1e-12))
+
+    # ------------------------------------------------------------------
+    # Steering vectors
+    # ------------------------------------------------------------------
+    def steering_vector(self, azimuth_deg: float, elevation_deg: float = 0.0,
+                        wavelength_m: float = WAVELENGTH_M) -> np.ndarray:
+        """Return the ``(M,)`` complex array response for one arrival direction."""
+        return self.steering_matrix(np.array([azimuth_deg], dtype=float),
+                                    elevation_deg, wavelength_m)[:, 0]
+
+    def steering_matrix(self, azimuths_deg: Sequence[float] | np.ndarray,
+                        elevation_deg: float = 0.0,
+                        wavelength_m: float = WAVELENGTH_M) -> np.ndarray:
+        """Return the ``(M, K)`` matrix of steering vectors for K azimuths.
+
+        Parameters
+        ----------
+        azimuths_deg:
+            Arrival azimuths in the array's local frame (degrees).
+        elevation_deg:
+            Common elevation of the arrivals above the array plane; the
+            in-plane phase differences scale by ``cos(elevation)``
+            (Appendix A of the paper).
+        wavelength_m:
+            Carrier wavelength.
+        """
+        if wavelength_m <= 0:
+            raise ArrayError(f"wavelength must be positive, got {wavelength_m!r}")
+        azimuths = np.atleast_1d(np.asarray(azimuths_deg, dtype=float))
+        azimuth_rad = np.radians(azimuths)
+        direction = np.stack([np.cos(azimuth_rad), np.sin(azimuth_rad)], axis=0)
+        projections = self.element_positions @ direction  # (M, K)
+        k = 2.0 * math.pi / wavelength_m
+        scale = math.cos(math.radians(elevation_deg))
+        return np.exp(1j * k * scale * projections)
+
+    # ------------------------------------------------------------------
+    # Sub-arrays
+    # ------------------------------------------------------------------
+    def subarray(self, indices: Sequence[int], name: str = "") -> "ArrayGeometry":
+        """Return the geometry restricted to the elements in ``indices``."""
+        indices = list(indices)
+        if len(indices) < 2:
+            raise ArrayError("a subarray needs at least two elements")
+        if max(indices) >= self.num_elements or min(indices) < 0:
+            raise ArrayError(
+                f"subarray indices out of range for {self.num_elements} elements")
+        return ArrayGeometry(self.element_positions[indices],
+                             name=name or f"{self.name}[{len(indices)}]")
+
+    # ------------------------------------------------------------------
+    # Constructors for the geometries used in the paper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def uniform_linear(num_elements: int,
+                       spacing_m: float = ANTENNA_SPACING_M) -> "ArrayGeometry":
+        """Return a uniform linear array along the local +x axis.
+
+        This is the arrangement of the prototype AP's main row of antennas
+        ("Antennas are spaced at a half wavelength distance (6.13 cm)",
+        Section 3).
+        """
+        if num_elements < 2:
+            raise ArrayError("a linear array needs at least two elements")
+        if spacing_m <= 0:
+            raise ArrayError(f"spacing must be positive, got {spacing_m!r}")
+        xs = np.arange(num_elements, dtype=float) * spacing_m
+        positions = np.stack([xs, np.zeros_like(xs)], axis=1)
+        return ArrayGeometry(positions, name=f"{num_elements}-element ULA")
+
+    @staticmethod
+    def linear_with_symmetry_antenna(
+            num_elements: int = 8,
+            spacing_m: float = ANTENNA_SPACING_M,
+            offset_m: Optional[float] = None) -> "ArrayGeometry":
+        """Return a ULA plus a ninth antenna off the array's row.
+
+        Section 2.3.4: "we employ the diversity synthesis scheme ... to have
+        a ninth antenna not in the same row as the other eight included",
+        which resolves the 180-degree mirror ambiguity of the linear array.
+        The extra antenna sits ``offset_m`` perpendicular to the row, below
+        its midpoint.  The default offset is a quarter wavelength (half the
+        element spacing): that makes the front/back phase difference
+        ``pi * sin(theta)``, which never wraps past ``2 pi`` and is largest
+        exactly at broadside, where the linear row itself is most accurate.
+        """
+        base = ArrayGeometry.uniform_linear(num_elements, spacing_m)
+        offset = spacing_m / 2.0 if offset_m is None else offset_m
+        if offset == 0:
+            raise ArrayError("the symmetry antenna must be off the array row")
+        mid_x = float(np.mean(base.element_positions[:, 0]))
+        extra = np.array([[mid_x, -abs(offset)]])
+        positions = np.concatenate([base.element_positions, extra], axis=0)
+        return ArrayGeometry(
+            positions, name=f"{num_elements}-element ULA + symmetry antenna")
+
+    @staticmethod
+    def rectangular(rows: int, columns: int,
+                    spacing_m: float = ANTENNA_SPACING_M) -> "ArrayGeometry":
+        """Return a rectangular grid array (the physical 16-antenna layout).
+
+        The prototype places 16 antennas "in a rectangular geometry"
+        (Figure 11); diversity synthesis switches between its two rows.
+        """
+        if rows < 1 or columns < 1 or rows * columns < 2:
+            raise ArrayError("rectangular array needs at least two elements")
+        positions = [
+            (column * spacing_m, -row * spacing_m)
+            for row in range(rows) for column in range(columns)
+        ]
+        return ArrayGeometry(np.array(positions, dtype=float),
+                             name=f"{rows}x{columns} rectangular array")
+
+    @staticmethod
+    def circular(num_elements: int, radius_m: Optional[float] = None,
+                 spacing_m: float = ANTENNA_SPACING_M) -> "ArrayGeometry":
+        """Return a uniform circular array.
+
+        The discussion section compares linear and circular arrangements: a
+        circular array resolves the full 360 degrees without the mirror
+        ambiguity, at the price of needing more antennas for the same
+        resolution.  When ``radius_m`` is omitted the radius is chosen so
+        neighbouring elements sit ``spacing_m`` apart along the chord.
+        """
+        if num_elements < 3:
+            raise ArrayError("a circular array needs at least three elements")
+        if radius_m is None:
+            radius_m = spacing_m / (2.0 * math.sin(math.pi / num_elements))
+        if radius_m <= 0:
+            raise ArrayError(f"radius must be positive, got {radius_m!r}")
+        angles = 2.0 * math.pi * np.arange(num_elements) / num_elements
+        positions = radius_m * np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        return ArrayGeometry(positions, name=f"{num_elements}-element UCA")

@@ -1,0 +1,180 @@
+"""Sample-level receiver model: synthesize array snapshots from a channel.
+
+This is the simulated counterpart of the WARP radio front-ends: given the
+multipath channel of a client-AP link and the transmitted baseband samples,
+produce the ``(M, N)`` matrix of complex samples the M radio chains capture
+over N sample instants (Section 2.1 records ~10 such snapshots per frame).
+
+The received sample at antenna ``m`` and time ``t`` is
+
+    x_m(t) = exp(j phi_m) * sum_p  g_p * a_m(az_p, el_p) * s(t)  +  n_m(t)
+
+where ``g_p`` is the complex gain of path p, ``a_m`` the array response of
+antenna m towards the path's arrival direction, ``phi_m`` the uncalibrated
+radio phase offset, ``s(t)`` the transmitted sample and ``n_m`` AWGN.  All
+paths multiply the *same* transmit sample because the preamble's delay
+spread (tens of nanoseconds) is far below the symbol bandwidth of interest;
+this is exactly the coherent-multipath regime that makes plain MUSIC fail
+and motivates spatial smoothing (Section 2.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_NUM_SNAPSHOTS
+from repro.errors import ArrayError, ChannelError
+from repro.array.deployment import DeployedArray
+from repro.channel.paths import MultipathChannel
+from repro.signal.noise import complex_awgn, noise_power_for_snr
+
+__all__ = ["SnapshotMatrix", "ArrayReceiver"]
+
+
+@dataclass
+class SnapshotMatrix:
+    """Raw samples captured by an antenna array.
+
+    Attributes
+    ----------
+    samples:
+        ``(M, N)`` complex matrix: M antennas by N time snapshots.
+    snr_db:
+        The SNR the snapshots were generated at (NaN when unknown).
+    client_id, ap_id:
+        Identifiers carried through for bookkeeping.
+    timestamp_s:
+        Capture time of the frame the snapshots came from.
+    """
+
+    samples: np.ndarray
+    snr_db: float = float("nan")
+    client_id: str = ""
+    ap_id: str = ""
+    timestamp_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.complex128)
+        if samples.ndim != 2:
+            raise ArrayError(
+                f"snapshot matrix must be two-dimensional, got shape {samples.shape}")
+        self.samples = samples
+
+    @property
+    def num_antennas(self) -> int:
+        """Number of antennas (rows)."""
+        return int(self.samples.shape[0])
+
+    @property
+    def num_snapshots(self) -> int:
+        """Number of time snapshots (columns)."""
+        return int(self.samples.shape[1])
+
+    def select_antennas(self, indices) -> "SnapshotMatrix":
+        """Return the snapshots restricted to the antennas in ``indices``."""
+        return SnapshotMatrix(self.samples[list(indices), :].copy(),
+                              snr_db=self.snr_db, client_id=self.client_id,
+                              ap_id=self.ap_id, timestamp_s=self.timestamp_s)
+
+    def mean_power(self) -> float:
+        """Return the mean per-sample power across all antennas."""
+        return float(np.mean(np.abs(self.samples) ** 2))
+
+
+class ArrayReceiver:
+    """Synthesizes antenna-array snapshots for a deployed array.
+
+    Parameters
+    ----------
+    array:
+        The receiving AP's deployed antenna array (position, orientation,
+        phase offsets).
+    apply_phase_offsets:
+        When True (the default) the per-radio oscillator offsets corrupt
+        the samples, as in real hardware before calibration is applied.
+    """
+
+    def __init__(self, array: DeployedArray, apply_phase_offsets: bool = True) -> None:
+        self.array = array
+        self.apply_phase_offsets = apply_phase_offsets
+
+    # ------------------------------------------------------------------
+    # Noise-free response
+    # ------------------------------------------------------------------
+    def noiseless_response(self, channel: MultipathChannel) -> np.ndarray:
+        """Return the ``(M,)`` complex array response to a unit transmit sample."""
+        if len(channel) == 0:
+            raise ChannelError("cannot receive over an empty channel")
+        response = np.zeros(self.array.num_elements, dtype=np.complex128)
+        for component in channel:
+            steering = self.array.steering_vector_global(
+                component.azimuth_deg, component.elevation_deg)
+            response += component.amplitude * steering
+        if self.apply_phase_offsets:
+            response = response * self.array.phase_offset_factors
+        return response
+
+    # ------------------------------------------------------------------
+    # Snapshot synthesis
+    # ------------------------------------------------------------------
+    def capture(self, channel: MultipathChannel,
+                num_snapshots: int = DEFAULT_NUM_SNAPSHOTS,
+                snr_db: float = 25.0,
+                transmit_samples: Optional[np.ndarray] = None,
+                rng: Optional[np.random.Generator] = None,
+                timestamp_s: float = 0.0) -> SnapshotMatrix:
+        """Capture ``num_snapshots`` array snapshots of a frame.
+
+        Parameters
+        ----------
+        channel:
+            Multipath channel from the transmitting client to this AP.
+        num_snapshots:
+            Number of time samples recorded (the paper uses 10).
+        snr_db:
+            Per-antenna SNR of the capture; noise power is set relative to
+            the mean received signal power across antennas.
+        transmit_samples:
+            The transmitted baseband samples to use.  Unit-power random
+            QPSK-like samples are generated when omitted (the frame content
+            is immaterial to ArrayTrack, Section 2.1).
+        rng:
+            Random generator for the transmit samples and noise.
+        timestamp_s:
+            Frame capture time, forwarded into the snapshot metadata.
+        """
+        if num_snapshots < 1:
+            raise ArrayError(f"num_snapshots must be >= 1, got {num_snapshots}")
+        rng = rng if rng is not None else np.random.default_rng()
+        if transmit_samples is None:
+            transmit_samples = self._random_unit_power_samples(num_snapshots, rng)
+        else:
+            transmit_samples = np.asarray(transmit_samples, dtype=np.complex128)
+            if transmit_samples.ndim != 1:
+                raise ArrayError("transmit_samples must be one-dimensional")
+            if len(transmit_samples) < num_snapshots:
+                raise ArrayError(
+                    f"need at least {num_snapshots} transmit samples, got "
+                    f"{len(transmit_samples)}")
+            transmit_samples = transmit_samples[:num_snapshots]
+        response = self.noiseless_response(channel)
+        clean = np.outer(response, transmit_samples)
+        signal_power = float(np.mean(np.abs(clean) ** 2))
+        if signal_power <= 0:
+            raise ChannelError("channel delivers zero power to the array")
+        noise_power = noise_power_for_snr(signal_power, snr_db)
+        noise = complex_awgn(clean.shape, noise_power, rng)
+        return SnapshotMatrix(clean + noise, snr_db=snr_db,
+                              client_id=channel.client_id, ap_id=channel.ap_id,
+                              timestamp_s=timestamp_s)
+
+    @staticmethod
+    def _random_unit_power_samples(num_samples: int,
+                                   rng: np.random.Generator) -> np.ndarray:
+        """Return unit-power random QPSK samples standing in for frame content."""
+        constellation = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2.0)
+        return np.asarray(rng.choice(constellation, size=num_samples),
+                          dtype=np.complex128)

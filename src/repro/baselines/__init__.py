@@ -1,0 +1,22 @@
+"""Baseline localization systems ArrayTrack is compared against.
+
+RSSI fingerprinting (RADAR/Horus style), model-based RSS trilateration
+(TIX style) and a weighted-centroid heuristic, all runnable against the same
+simulated testbed as ArrayTrack itself.  Classical DoA estimators (Bartlett,
+Capon) live in :mod:`repro.core.music` and are selected through
+:class:`repro.core.SpectrumConfig`.
+"""
+
+from repro.baselines.rssi import (
+    FingerprintLocalizer,
+    ModelBasedRssLocalizer,
+    RssFingerprint,
+    WeightedCentroidLocalizer,
+)
+
+__all__ = [
+    "FingerprintLocalizer",
+    "ModelBasedRssLocalizer",
+    "RssFingerprint",
+    "WeightedCentroidLocalizer",
+]

@@ -1,0 +1,42 @@
+"""Channel substrate: multipath propagation between clients and APs.
+
+Converts the geometric ray traces of :mod:`repro.geometry` into complex
+multipath channels (per-path amplitude, phase and angle of arrival) that the
+antenna-array receiver model consumes.  Replaces the physical RF environment
+of the paper's office testbed.
+"""
+
+from repro.channel.propagation import (
+    dbm_to_watts,
+    free_space_amplitude,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    received_power_dbm,
+    watts_to_dbm,
+)
+from repro.channel.polarization import polarization_amplitude, polarization_loss_db
+from repro.channel.paths import ChannelComponent, MultipathChannel
+from repro.channel.builder import ChannelBuilder, ChannelModelConfig
+from repro.channel.mobility import (
+    movement_track,
+    perturb_position,
+    random_waypoint_track,
+)
+
+__all__ = [
+    "dbm_to_watts",
+    "free_space_amplitude",
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "received_power_dbm",
+    "watts_to_dbm",
+    "polarization_amplitude",
+    "polarization_loss_db",
+    "ChannelComponent",
+    "MultipathChannel",
+    "ChannelBuilder",
+    "ChannelModelConfig",
+    "movement_track",
+    "perturb_position",
+    "random_waypoint_track",
+]

@@ -1,0 +1,275 @@
+"""Channel builder: turn geometric ray traces into complex multipath channels.
+
+This module is the bridge between the floorplan/ray-tracing substrate and the
+sample-level receiver model.  For a given client position and AP position it
+produces a :class:`~repro.channel.paths.MultipathChannel` whose components
+carry complex amplitudes (free-space spreading x reflection loss x
+penetration loss x polarization mismatch, with the propagation phase
+``exp(-j 2 pi L / lambda)``) and arrival bearings.
+
+Two physical effects matter for reproducing the paper's behaviour and are
+modelled explicitly:
+
+* **Diffuse scattering around specular reflections.**  Real walls are rough
+  at 12 cm wavelength scale, so a "reflected path" is really a small cluster
+  of sub-paths scattered from points near the specular point.  The cluster's
+  members have slightly different arrival angles and path lengths, so a few
+  centimetres of client movement re-phases the cluster and the corresponding
+  AoA peak moves or fades -- which is precisely the peak-stability behaviour
+  Table 1 measures and the multipath suppression algorithm (Section 2.4)
+  exploits.  The direct path is a single stable component, so its peak stays
+  put.  Scatterer positions and reflectivities are derived deterministically
+  from the *environment* (wall identity), not from the client position, so
+  they behave like real fixed clutter.
+
+* **AP/client height difference.**  When the client sits ``height_offset_m``
+  below the AP's array plane, every path acquires an elevation angle; the
+  antenna-to-antenna phase differences shrink by the cosine of that
+  elevation, which is the small bearing bias Appendix A quantifies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT, WAVELENGTH_M
+from repro.errors import ChannelError
+from repro.channel.paths import ChannelComponent, MultipathChannel
+from repro.channel.polarization import polarization_amplitude
+from repro.channel.propagation import free_space_amplitude
+from repro.geometry.floorplan import Floorplan
+from repro.geometry.rays import PropagationPath, RayTracer
+from repro.geometry.vector import Point2D, bearing_deg
+
+__all__ = ["ChannelBuilder", "ChannelModelConfig"]
+
+
+@dataclass
+class ChannelModelConfig:
+    """Tunable parameters of the multipath channel model.
+
+    Attributes
+    ----------
+    wavelength_m:
+        RF wavelength (2.4 GHz WiFi by default).
+    max_reflections:
+        Specular reflection order enumerated by the ray tracer.
+    scatterers_per_reflection:
+        Number of diffuse sub-paths generated around each specular
+        reflection point (0 disables diffuse scattering).
+    scatter_spread_m:
+        Radius of the clutter disc around the specular reflection point
+        within which scatterers are placed.  A spread of a metre or two
+        models the furniture/cubicle clutter of a busy office: the wide
+        angular extent (as seen from the client) is what makes reflection
+        peaks fade and shift under centimetre-scale client movement, the
+        behaviour Table 1 measures.
+    scatter_relative_amplitude:
+        Rayleigh scale of each scatterer's reflectivity relative to the
+        specular component.
+    specular_fraction:
+        Amplitude multiplier applied to the purely specular component of a
+        reflection.  Office walls are rough and cluttered at 12 cm
+        wavelength, so most reflected energy is diffuse; values well below
+        1 make the reflection clusters (and hence the reflection peaks)
+        unstable under small movements, as observed in the paper.
+    height_offset_m:
+        Vertical distance between the AP array plane and the client antenna.
+    polarization_mismatch_deg:
+        Polarization misalignment between client and AP antennas.
+    direct_excess_loss_db:
+        Extra loss applied to the direct path only; used by NLOS-heavy
+        scenarios to emulate clutter (cubicles, furniture) not present in
+        the wall list.
+    """
+
+    wavelength_m: float = WAVELENGTH_M
+    max_reflections: int = 2
+    scatterers_per_reflection: int = 5
+    scatter_spread_m: float = 2.5
+    scatter_relative_amplitude: float = 0.5
+    specular_fraction: float = 0.35
+    height_offset_m: float = 0.0
+    polarization_mismatch_deg: float = 0.0
+    direct_excess_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wavelength_m <= 0:
+            raise ChannelError("wavelength must be positive")
+        if self.scatterers_per_reflection < 0:
+            raise ChannelError("scatterers_per_reflection must be >= 0")
+        if self.scatter_spread_m < 0:
+            raise ChannelError("scatter_spread_m must be >= 0")
+
+
+class ChannelBuilder:
+    """Builds :class:`MultipathChannel` objects for client-AP links.
+
+    Parameters
+    ----------
+    floorplan:
+        Static environment to trace rays through.
+    config:
+        Channel model parameters (a default configuration if omitted).
+    """
+
+    def __init__(self, floorplan: Floorplan,
+                 config: Optional[ChannelModelConfig] = None) -> None:
+        self.floorplan = floorplan
+        self.config = config if config is not None else ChannelModelConfig()
+        self._tracer = RayTracer(floorplan,
+                                 max_reflections=self.config.max_reflections)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def build(self, client_position: Point2D, ap_position: Point2D,
+              client_id: str = "", ap_id: str = "") -> MultipathChannel:
+        """Return the multipath channel from ``client_position`` to ``ap_position``."""
+        paths = self._tracer.trace(client_position, ap_position)
+        if not paths:
+            raise ChannelError(
+                f"no propagation paths between {client_position} and {ap_position}")
+        channel = MultipathChannel(client_id=client_id, ap_id=ap_id)
+        polarization = polarization_amplitude(self.config.polarization_mismatch_deg)
+        for path in paths:
+            if path.is_direct:
+                component = self._direct_component(path, polarization)
+                channel.add(component)
+            else:
+                for component in self._reflection_components(
+                        path, client_position, ap_position, polarization):
+                    channel.add(component)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Direct path
+    # ------------------------------------------------------------------
+    def _direct_component(self, path: PropagationPath,
+                          polarization: float) -> ChannelComponent:
+        length, elevation_deg = self._with_height(path.length)
+        amplitude = (free_space_amplitude(length, self.config.wavelength_m)
+                     * path.attenuation_amplitude
+                     * polarization
+                     * 10.0 ** (-self.config.direct_excess_loss_db / 20.0))
+        phase = -2.0 * math.pi * length / self.config.wavelength_m
+        return ChannelComponent(
+            amplitude=amplitude * np.exp(1j * phase),
+            azimuth_deg=path.arrival_bearing_deg,
+            elevation_deg=elevation_deg,
+            is_direct=True,
+            delay_s=length / SPEED_OF_LIGHT,
+            path_length_m=length,
+        )
+
+    # ------------------------------------------------------------------
+    # Reflected paths (specular component plus diffuse cluster)
+    # ------------------------------------------------------------------
+    def _reflection_components(self, path: PropagationPath,
+                               client_position: Point2D,
+                               ap_position: Point2D,
+                               polarization: float) -> List[ChannelComponent]:
+        components = [self._specular_component(path, polarization)]
+        if self.config.scatterers_per_reflection > 0:
+            components.extend(self._diffuse_components(
+                path, client_position, ap_position, polarization))
+        return components
+
+    def _specular_component(self, path: PropagationPath,
+                            polarization: float) -> ChannelComponent:
+        length, elevation_deg = self._with_height(path.length)
+        amplitude = (free_space_amplitude(length, self.config.wavelength_m)
+                     * path.attenuation_amplitude * polarization
+                     * self.config.specular_fraction)
+        phase = -2.0 * math.pi * length / self.config.wavelength_m
+        return ChannelComponent(
+            amplitude=amplitude * np.exp(1j * phase),
+            azimuth_deg=path.arrival_bearing_deg,
+            elevation_deg=elevation_deg,
+            is_direct=False,
+            delay_s=length / SPEED_OF_LIGHT,
+            path_length_m=length,
+        )
+
+    def _diffuse_components(self, path: PropagationPath,
+                            client_position: Point2D,
+                            ap_position: Point2D,
+                            polarization: float) -> List[ChannelComponent]:
+        """Generate the diffuse scatterer cluster around a specular reflection."""
+        reflection_vertex = path.vertices[-2]
+        to_reflection = reflection_vertex - ap_position
+        if to_reflection.norm() < 1e-9:
+            return []
+        rng = self._scatter_rng(path)
+        components: List[ChannelComponent] = []
+        for _ in range(self.config.scatterers_per_reflection):
+            # Clutter scatterers sit in a disc around the specular point:
+            # cabinets, cubicle walls and monitors near the reflecting wall.
+            radius = self.config.scatter_spread_m * math.sqrt(float(rng.uniform(0.0, 1.0)))
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            scatterer = reflection_vertex + Point2D(radius * math.cos(angle),
+                                                    radius * math.sin(angle))
+            if scatterer.distance_to(ap_position) < 0.5:
+                # Keep clutter out of the AP's immediate near field.
+                scatterer = reflection_vertex
+            length = (client_position.distance_to(scatterer)
+                      + scatterer.distance_to(ap_position))
+            length, elevation_deg = self._with_height(length)
+            # Random reflectivity of the scattering patch; the magnitude is a
+            # fraction of the specular component's, Rayleigh-distributed.
+            reflectivity = (float(rng.rayleigh(self.config.scatter_relative_amplitude))
+                            / math.sqrt(self.config.scatterers_per_reflection))
+            amplitude = (free_space_amplitude(length, self.config.wavelength_m)
+                         * path.attenuation_amplitude * reflectivity * polarization)
+            phase = -2.0 * math.pi * length / self.config.wavelength_m
+            phase += float(rng.uniform(0.0, 2.0 * math.pi))  # patch reflectivity phase
+            components.append(ChannelComponent(
+                amplitude=amplitude * np.exp(1j * phase),
+                azimuth_deg=bearing_deg(ap_position, scatterer),
+                elevation_deg=elevation_deg,
+                is_direct=False,
+                delay_s=length / SPEED_OF_LIGHT,
+                path_length_m=length,
+            ))
+        return components
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _with_height(self, horizontal_length_m: float) -> tuple[float, float]:
+        """Return (3-D path length, elevation in degrees) for a horizontal length."""
+        h = self.config.height_offset_m
+        if h == 0.0:
+            return horizontal_length_m, 0.0
+        length = math.hypot(horizontal_length_m, h)
+        elevation = math.degrees(math.atan2(abs(h), horizontal_length_m))
+        return length, elevation
+
+    def _scatter_rng(self, path: PropagationPath) -> np.random.Generator:
+        """Return a RNG seeded by the *environment* identity of the path.
+
+        The seed depends on which walls the path reflects off and on the AP
+        side of the geometry, but not on the client position: moving the
+        client a few centimetres therefore keeps the same scatterers (as in
+        a real building) while their relative phases change geometrically.
+        """
+        ap_vertex = path.vertices[-1]  # the AP
+        reflection_vertex = path.vertices[-2]
+        key_parts = [
+            ",".join(path.reflecting_walls),
+            f"{ap_vertex.x:.2f}",
+            f"{ap_vertex.y:.2f}",
+            # Coarse (4 m) bucketing of the reflection point: different
+            # sections of a long wall get different clutter, but a few
+            # centimetres of client movement never reshuffles it.
+            f"{round(reflection_vertex.x / 4.0)}",
+            f"{round(reflection_vertex.y / 4.0)}",
+        ]
+        digest = hashlib.sha256("|".join(key_parts).encode("utf-8")).digest()
+        seed = int.from_bytes(digest[:8], "little")
+        return np.random.default_rng(seed)

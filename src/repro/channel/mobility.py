@@ -1,0 +1,86 @@
+"""Client mobility helpers: small inadvertent movements and movement tracks.
+
+The multipath suppression algorithm (Section 2.4) relies on frames captured
+while the client (or nearby objects) moved a few centimetres: "these slight
+movements happen frequently in real life when we hold a mobile handset".
+Sections 4.2 and the Table 1 microbenchmark use movements of up to 5 cm.
+
+This module generates those perturbed positions.  It knows nothing about the
+channel: callers rebuild the channel at each perturbed position with the
+:class:`~repro.channel.builder.ChannelBuilder`, which is exactly what happens
+physically (the environment stays fixed, the client moves).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ChannelError
+from repro.geometry.vector import Point2D
+
+__all__ = ["perturb_position", "movement_track", "random_waypoint_track"]
+
+
+def perturb_position(position: Point2D, distance_m: float,
+                     rng: Optional[np.random.Generator] = None,
+                     direction_deg: Optional[float] = None) -> Point2D:
+    """Return ``position`` displaced by ``distance_m`` in a (random) direction.
+
+    Parameters
+    ----------
+    position:
+        Starting position.
+    distance_m:
+        Displacement magnitude; Section 4.2 uses "less than 5 cm".
+    rng:
+        Random generator used when ``direction_deg`` is omitted.
+    direction_deg:
+        Fixed displacement direction (degrees CCW from +x); random when None.
+    """
+    if distance_m < 0:
+        raise ChannelError(f"displacement must be non-negative, got {distance_m!r}")
+    if direction_deg is None:
+        rng = rng if rng is not None else np.random.default_rng()
+        direction_deg = float(rng.uniform(0.0, 360.0))
+    angle = math.radians(direction_deg)
+    return Point2D(position.x + distance_m * math.cos(angle),
+                   position.y + distance_m * math.sin(angle))
+
+
+def movement_track(position: Point2D, num_samples: int,
+                   max_step_m: float = 0.05,
+                   rng: Optional[np.random.Generator] = None) -> List[Point2D]:
+    """Return a short random-walk track of ``num_samples`` positions.
+
+    The first entry is ``position`` itself; each subsequent entry moves by a
+    uniformly random distance up to ``max_step_m`` in a random direction.
+    This models the "semi-static" client of Section 4.2: nominally
+    stationary, but with small inadvertent movements between frames.
+    """
+    if num_samples < 1:
+        raise ChannelError(f"num_samples must be >= 1, got {num_samples}")
+    rng = rng if rng is not None else np.random.default_rng()
+    track = [position]
+    current = position
+    for _ in range(num_samples - 1):
+        step = float(rng.uniform(0.0, max_step_m))
+        current = perturb_position(current, step, rng=rng)
+        track.append(current)
+    return track
+
+
+def random_waypoint_track(start: Point2D, end: Point2D,
+                          num_samples: int) -> List[Point2D]:
+    """Return ``num_samples`` positions interpolated from ``start`` to ``end``.
+
+    Used by the tracking example to emulate a client walking through the
+    office while ArrayTrack localizes every overheard frame.
+    """
+    if num_samples < 2:
+        raise ChannelError(f"num_samples must be >= 2, got {num_samples}")
+    xs = np.linspace(start.x, end.x, num_samples)
+    ys = np.linspace(start.y, end.y, num_samples)
+    return [Point2D(float(x), float(y)) for x, y in zip(xs, ys)]

@@ -1,0 +1,114 @@
+"""Large-scale propagation: free-space and log-distance path loss models.
+
+The channel builder uses Friis free-space spreading per path (reflection and
+penetration losses are accounted separately by the ray tracer), while the
+RSSI baselines (:mod:`repro.baselines`) use the classic log-distance model
+with shadowing, which is what RADAR/Horus-style systems assume.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import WAVELENGTH_M
+from repro.errors import ChannelError
+
+__all__ = [
+    "free_space_path_loss_db",
+    "free_space_amplitude",
+    "log_distance_path_loss_db",
+    "received_power_dbm",
+    "dbm_to_watts",
+    "watts_to_dbm",
+]
+
+
+def free_space_path_loss_db(distance_m: float,
+                            wavelength_m: float = WAVELENGTH_M) -> float:
+    """Return the Friis free-space path loss in dB over ``distance_m``.
+
+    ``FSPL = 20 log10(4 pi d / lambda)``.  Distances below 10 cm are clamped
+    to 10 cm to avoid the (unphysical) near-field singularity.
+    """
+    if distance_m <= 0:
+        raise ChannelError(f"distance must be positive, got {distance_m!r}")
+    if wavelength_m <= 0:
+        raise ChannelError(f"wavelength must be positive, got {wavelength_m!r}")
+    distance_m = max(distance_m, 0.1)
+    return 20.0 * math.log10(4.0 * math.pi * distance_m / wavelength_m)
+
+
+def free_space_amplitude(distance_m: float,
+                         wavelength_m: float = WAVELENGTH_M) -> float:
+    """Return the amplitude scale factor of free-space spreading.
+
+    This is ``lambda / (4 pi d)``: the square root of the Friis power ratio.
+    """
+    loss_db = free_space_path_loss_db(distance_m, wavelength_m)
+    return 10.0 ** (-loss_db / 20.0)
+
+
+def log_distance_path_loss_db(distance_m: float,
+                              reference_distance_m: float = 1.0,
+                              path_loss_exponent: float = 3.0,
+                              reference_loss_db: Optional[float] = None,
+                              shadowing_sigma_db: float = 0.0,
+                              rng: Optional[np.random.Generator] = None,
+                              wavelength_m: float = WAVELENGTH_M) -> float:
+    """Return log-distance path loss with optional log-normal shadowing.
+
+    ``PL(d) = PL(d0) + 10 n log10(d / d0) + X_sigma``
+
+    Parameters
+    ----------
+    distance_m:
+        Transmitter-receiver separation.
+    reference_distance_m:
+        Reference distance ``d0`` (1 m indoors by convention).
+    path_loss_exponent:
+        Environment exponent ``n``; ~3 for a cluttered office.
+    reference_loss_db:
+        Path loss at the reference distance; free-space loss at ``d0`` when
+        omitted.
+    shadowing_sigma_db:
+        Standard deviation of the log-normal shadowing term (0 disables it).
+    rng:
+        Random generator for the shadowing draw.
+    """
+    if distance_m <= 0:
+        raise ChannelError(f"distance must be positive, got {distance_m!r}")
+    if reference_distance_m <= 0:
+        raise ChannelError(
+            f"reference distance must be positive, got {reference_distance_m!r}")
+    if path_loss_exponent <= 0:
+        raise ChannelError(
+            f"path loss exponent must be positive, got {path_loss_exponent!r}")
+    distance_m = max(distance_m, reference_distance_m)
+    if reference_loss_db is None:
+        reference_loss_db = free_space_path_loss_db(reference_distance_m, wavelength_m)
+    loss = reference_loss_db + 10.0 * path_loss_exponent * math.log10(
+        distance_m / reference_distance_m)
+    if shadowing_sigma_db > 0:
+        rng = rng if rng is not None else np.random.default_rng()
+        loss += float(rng.normal(scale=shadowing_sigma_db))
+    return loss
+
+
+def received_power_dbm(transmit_power_dbm: float, path_loss_db: float) -> float:
+    """Return received power in dBm given transmit power and path loss."""
+    return transmit_power_dbm - path_loss_db
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert a power level from dBm to watts."""
+    return 10.0 ** ((power_dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(power_w: float) -> float:
+    """Convert a power level from watts to dBm."""
+    if power_w <= 0:
+        raise ChannelError(f"power must be positive, got {power_w!r}")
+    return 10.0 * math.log10(power_w) + 30.0

@@ -1,0 +1,78 @@
+"""ArrayTrack's core contribution: AoA spectra and location synthesis.
+
+This package implements Section 2 of the paper: MUSIC-based AoA
+pseudospectrum generation with spatial smoothing (2.3), array geometry
+weighting (2.3.3), array symmetry removal (2.3.4), multipath suppression
+across frames (2.4), and the likelihood synthesis / hill-climbing location
+estimator (2.5).
+"""
+
+from repro.core.covariance import forward_backward_covariance, sample_covariance
+from repro.core.subspace import (
+    SubspaceDecomposition,
+    decompose,
+    estimate_num_sources_mdl,
+)
+from repro.core.smoothing import (
+    effective_antennas,
+    smooth_snapshots,
+    smoothed_covariance,
+)
+from repro.core.music import (
+    bartlett_spectrum,
+    capon_spectrum,
+    music_spectrum,
+    spectrum_from_noise_subspace,
+)
+from repro.core.spectrum import AoASpectrum, default_angle_grid
+from repro.core.peaks import SpectrumPeak, find_peaks, match_peak, peak_regions
+from repro.core.weighting import apply_geometry_weighting, geometry_window
+from repro.core.symmetry import SymmetryResolver, resolve_symmetry
+from repro.core.suppression import (
+    MultipathSuppressor,
+    group_spectra_by_time,
+    suppress_multipath,
+)
+from repro.core.likelihood import LikelihoodMap, likelihood_at, synthesize_likelihood
+from repro.core.optimizer import HillClimbResult, hill_climb, refine_from_seeds
+from repro.core.pipeline import SpectrumComputer, SpectrumConfig
+from repro.core.localizer import LocalizerConfig, LocationEstimate, LocationEstimator
+
+__all__ = [
+    "forward_backward_covariance",
+    "sample_covariance",
+    "SubspaceDecomposition",
+    "decompose",
+    "estimate_num_sources_mdl",
+    "effective_antennas",
+    "smooth_snapshots",
+    "smoothed_covariance",
+    "bartlett_spectrum",
+    "capon_spectrum",
+    "music_spectrum",
+    "spectrum_from_noise_subspace",
+    "AoASpectrum",
+    "default_angle_grid",
+    "SpectrumPeak",
+    "find_peaks",
+    "match_peak",
+    "peak_regions",
+    "apply_geometry_weighting",
+    "geometry_window",
+    "SymmetryResolver",
+    "resolve_symmetry",
+    "MultipathSuppressor",
+    "group_spectra_by_time",
+    "suppress_multipath",
+    "LikelihoodMap",
+    "likelihood_at",
+    "synthesize_likelihood",
+    "HillClimbResult",
+    "hill_climb",
+    "refine_from_seeds",
+    "SpectrumComputer",
+    "SpectrumConfig",
+    "LocalizerConfig",
+    "LocationEstimate",
+    "LocationEstimator",
+]

@@ -1,0 +1,164 @@
+"""AoA spectra synthesis: combining per-AP spectra into a location likelihood.
+
+Section 2.5, Equation 8: given processed spectra ``P_1 .. P_N`` from N APs,
+the likelihood of the client being at position x is
+
+    L(x) = prod_i  P_i(theta_i(x))
+
+where ``theta_i(x)`` is the bearing of x as seen from AP i.  ArrayTrack
+evaluates L on a 10 cm grid (the "heatmaps" of Figure 14) and then refines
+the best grid cells by hill climbing (:mod:`repro.core.optimizer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import DEFAULT_GRID_RESOLUTION_M
+from repro.errors import EstimationError
+from repro.geometry.vector import Point2D
+from repro.core.spectrum import AoASpectrum
+
+__all__ = ["LikelihoodMap", "likelihood_at", "synthesize_likelihood"]
+
+
+@dataclass
+class LikelihoodMap:
+    """The location-likelihood heatmap of Equation 8 evaluated on a grid.
+
+    Attributes
+    ----------
+    x_coords, y_coords:
+        Grid coordinates (metres) along each axis.
+    values:
+        ``(len(y_coords), len(x_coords))`` likelihood values (row = y).
+    """
+
+    x_coords: np.ndarray
+    y_coords: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x_coords = np.asarray(self.x_coords, dtype=float)
+        self.y_coords = np.asarray(self.y_coords, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape != (self.y_coords.shape[0], self.x_coords.shape[0]):
+            raise EstimationError(
+                f"heatmap shape {self.values.shape} does not match grid "
+                f"({self.y_coords.shape[0]}, {self.x_coords.shape[0]})")
+
+    @property
+    def resolution_m(self) -> float:
+        """Grid spacing in metres (assumed equal along x and y)."""
+        return float(self.x_coords[1] - self.x_coords[0])
+
+    def peak_position(self) -> Point2D:
+        """Return the grid point with the highest likelihood."""
+        flat_index = int(np.argmax(self.values))
+        row, column = np.unravel_index(flat_index, self.values.shape)
+        return Point2D(float(self.x_coords[column]), float(self.y_coords[row]))
+
+    def top_positions(self, count: int) -> List[Tuple[Point2D, float]]:
+        """Return the ``count`` best grid points and their likelihoods.
+
+        The positions are chosen greedily with a minimum mutual separation of
+        three grid cells so that the hill-climbing seeds (Section 2.5 uses
+        the three highest positions) do not all sit on the same lobe.
+        """
+        if count < 1:
+            raise EstimationError("count must be >= 1")
+        order = np.argsort(self.values, axis=None)[::-1]
+        min_separation = 3.0 * self.resolution_m
+        results: List[Tuple[Point2D, float]] = []
+        for flat_index in order:
+            row, column = np.unravel_index(int(flat_index), self.values.shape)
+            candidate = Point2D(float(self.x_coords[column]), float(self.y_coords[row]))
+            if any(candidate.distance_to(existing) < min_separation
+                   for existing, _ in results):
+                continue
+            results.append((candidate, float(self.values[row, column])))
+            if len(results) == count:
+                break
+        return results
+
+    def normalized(self) -> "LikelihoodMap":
+        """Return a copy scaled so the maximum value is 1."""
+        peak = float(np.max(self.values))
+        if peak <= 0:
+            raise EstimationError("cannot normalize an all-zero likelihood map")
+        return LikelihoodMap(self.x_coords, self.y_coords, self.values / peak)
+
+
+def likelihood_at(spectra: Sequence[AoASpectrum], position: Point2D,
+                  floor: float = 0.0) -> float:
+    """Return ``L(position)`` (Equation 8) for a set of per-AP spectra.
+
+    Parameters
+    ----------
+    floor:
+        Minimum value (relative to each spectrum's maximum) a spectrum
+        contributes to the product.  A small positive floor keeps a single
+        AP whose spectrum happens to be blind towards the true location
+        from vetoing it outright; 0 reproduces the plain product.
+    """
+    if not spectra:
+        raise EstimationError("need at least one AoA spectrum")
+    likelihood = 1.0
+    for spectrum in spectra:
+        value = spectrum.power_towards(position)
+        if floor > 0:
+            value = max(value, floor * spectrum.max_power)
+        likelihood *= value
+    return float(likelihood)
+
+
+def synthesize_likelihood(spectra: Sequence[AoASpectrum],
+                          bounds: Tuple[float, float, float, float],
+                          resolution_m: float = DEFAULT_GRID_RESOLUTION_M,
+                          normalize_spectra: bool = True,
+                          floor: float = 0.0) -> LikelihoodMap:
+    """Evaluate Equation 8 on a regular grid covering ``bounds``.
+
+    Parameters
+    ----------
+    spectra:
+        Processed AoA spectra, one (or more) per AP; each must carry its
+        AP's position and orientation.
+    bounds:
+        ``(xmin, ymin, xmax, ymax)`` of the search area, in metres.
+    resolution_m:
+        Grid spacing; the paper uses a 10 cm grid.
+    normalize_spectra:
+        Normalize each spectrum to unit maximum before multiplying, so no
+        single AP dominates the product through its absolute scale.
+    floor:
+        Minimum relative value each spectrum contributes (see
+        :func:`likelihood_at`).
+    """
+    if not spectra:
+        raise EstimationError("need at least one AoA spectrum")
+    xmin, ymin, xmax, ymax = bounds
+    if xmax <= xmin or ymax <= ymin:
+        raise EstimationError(f"invalid bounds {bounds!r}")
+    if resolution_m <= 0:
+        raise EstimationError(f"resolution must be positive, got {resolution_m!r}")
+    x_coords = np.arange(xmin, xmax + resolution_m / 2.0, resolution_m)
+    y_coords = np.arange(ymin, ymax + resolution_m / 2.0, resolution_m)
+    grid_x, grid_y = np.meshgrid(x_coords, y_coords)
+    values = np.ones_like(grid_x, dtype=float)
+    for spectrum in spectra:
+        if spectrum.ap_position is None:
+            raise EstimationError(
+                "every spectrum must carry its AP position for synthesis")
+        usable = spectrum.normalized() if normalize_spectra else spectrum
+        dx = grid_x - usable.ap_position.x
+        dy = grid_y - usable.ap_position.y
+        bearings = np.degrees(np.arctan2(dy, dx)) % 360.0
+        power = usable.power_at_global(bearings.ravel()).reshape(bearings.shape)
+        if floor > 0:
+            power = np.maximum(power, floor * usable.max_power)
+        values *= power
+    return LikelihoodMap(x_coords, y_coords, values)

@@ -1,0 +1,108 @@
+"""Location refinement: grid search seeding plus hill climbing (Section 2.5).
+
+"We search for the most likely location of the client by forming a 10 cm by
+10 cm grid, and evaluating L(x) at each point in the grid.  We then use hill
+climbing on the three positions with highest L(x) in the grid ... to refine
+our location estimate."
+
+The hill climber below is a derivative-free pattern search: from each seed it
+repeatedly evaluates the likelihood at four compass neighbours, moves to the
+best improvement, and halves the step when no neighbour improves, until the
+step falls below a termination threshold.  This matches the paper's intent
+(gradient ascent on a smooth likelihood surface) while being robust to the
+plateaus that a coarse angle grid can create.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import EstimationError
+from repro.geometry.vector import Point2D
+
+__all__ = ["HillClimbResult", "hill_climb", "refine_from_seeds"]
+
+LikelihoodFunction = Callable[[Point2D], float]
+
+
+@dataclass(frozen=True)
+class HillClimbResult:
+    """Outcome of one hill-climbing run.
+
+    Attributes
+    ----------
+    position:
+        The refined position.
+    value:
+        Likelihood at the refined position.
+    iterations:
+        Number of candidate evaluations performed.
+    """
+
+    position: Point2D
+    value: float
+    iterations: int
+
+
+def hill_climb(likelihood: LikelihoodFunction, start: Point2D,
+               initial_step_m: float = 0.05,
+               min_step_m: float = 0.005,
+               max_evaluations: int = 400) -> HillClimbResult:
+    """Refine ``start`` by pattern-search hill climbing on ``likelihood``.
+
+    Parameters
+    ----------
+    likelihood:
+        Function returning the (non-negative) likelihood of a position.
+    start:
+        Seed position (a high-likelihood grid cell).
+    initial_step_m:
+        First step size; half a grid cell by default.
+    min_step_m:
+        Terminate once the step shrinks below this value.
+    max_evaluations:
+        Hard cap on likelihood evaluations (guards against pathological
+        surfaces).
+    """
+    if initial_step_m <= 0 or min_step_m <= 0:
+        raise EstimationError("step sizes must be positive")
+    if min_step_m > initial_step_m:
+        raise EstimationError("min_step_m must not exceed initial_step_m")
+    current = start
+    current_value = likelihood(start)
+    evaluations = 1
+    step = initial_step_m
+    while step >= min_step_m and evaluations < max_evaluations:
+        moved = False
+        for dx, dy in ((step, 0.0), (-step, 0.0), (0.0, step), (0.0, -step)):
+            candidate = Point2D(current.x + dx, current.y + dy)
+            value = likelihood(candidate)
+            evaluations += 1
+            if value > current_value:
+                current, current_value = candidate, value
+                moved = True
+                break
+            if evaluations >= max_evaluations:
+                break
+        if not moved:
+            step /= 2.0
+    return HillClimbResult(position=current, value=current_value,
+                           iterations=evaluations)
+
+
+def refine_from_seeds(likelihood: LikelihoodFunction,
+                      seeds: Sequence[Tuple[Point2D, float]],
+                      initial_step_m: float = 0.05,
+                      min_step_m: float = 0.005) -> HillClimbResult:
+    """Hill climb from each seed and return the best overall result.
+
+    ``seeds`` are ``(position, grid_likelihood)`` pairs, typically the top
+    three grid cells of the heatmap (Section 2.5).
+    """
+    if not seeds:
+        raise EstimationError("need at least one seed position")
+    results: List[HillClimbResult] = []
+    for position, _ in seeds:
+        results.append(hill_climb(likelihood, position, initial_step_m, min_step_m))
+    return max(results, key=lambda r: r.value)

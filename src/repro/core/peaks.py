@@ -1,0 +1,173 @@
+"""Peak detection and matching on AoA pseudospectra.
+
+Two parts of ArrayTrack need peak handling:
+
+* the multipath suppression algorithm (Section 2.4) matches peaks across
+  spectra of frames captured close together in time and removes peaks from
+  the primary spectrum that have no counterpart (within five degrees) in the
+  others;
+* the Table 1 microbenchmark classifies direct-path and reflection-path peaks
+  as "changed" or "unchanged" after a small client movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import PEAK_MATCH_TOLERANCE_DEG
+from repro.errors import EstimationError
+from repro.geometry.vector import angle_difference_deg
+from repro.core.spectrum import AoASpectrum
+
+__all__ = ["SpectrumPeak", "find_peaks", "match_peak", "peak_regions"]
+
+
+@dataclass(frozen=True)
+class SpectrumPeak:
+    """A local maximum of an AoA pseudospectrum.
+
+    Attributes
+    ----------
+    angle_deg:
+        Angle of the peak in the spectrum's local frame.
+    power:
+        Pseudospectrum value at the peak.
+    prominence:
+        Height of the peak above the higher of its two flanking minima.
+    index:
+        Index of the peak on the spectrum grid.
+    """
+
+    angle_deg: float
+    power: float
+    prominence: float
+    index: int
+
+
+def find_peaks(spectrum: AoASpectrum,
+               min_relative_height: float = 0.05,
+               min_relative_prominence: float = 0.02,
+               max_peaks: Optional[int] = None) -> List[SpectrumPeak]:
+    """Return the local maxima of ``spectrum``, strongest first.
+
+    Parameters
+    ----------
+    spectrum:
+        The AoA spectrum to analyze.
+    min_relative_height:
+        Peaks below this fraction of the spectrum maximum are ignored.
+    min_relative_prominence:
+        Peaks whose prominence is below this fraction of the spectrum
+        maximum are ignored (suppresses ripples on the flank of a big peak).
+    max_peaks:
+        Optional cap on the number of returned peaks.
+    """
+    if not 0.0 <= min_relative_height <= 1.0:
+        raise EstimationError("min_relative_height must be in [0, 1]")
+    power = spectrum.power
+    n = power.shape[0]
+    peak_value = float(np.max(power))
+    if peak_value <= 0:
+        return []
+    height_floor = min_relative_height * peak_value
+    prominence_floor = min_relative_prominence * peak_value
+    peaks: List[SpectrumPeak] = []
+    for i in range(n):
+        left = power[(i - 1) % n]
+        right = power[(i + 1) % n]
+        value = power[i]
+        if value < height_floor:
+            continue
+        # A circular local maximum (plateaus resolved towards the left edge).
+        if value > left and value >= right:
+            prominence = _circular_prominence(power, i)
+            if prominence < prominence_floor:
+                continue
+            peaks.append(SpectrumPeak(
+                angle_deg=float(spectrum.angles_deg[i]),
+                power=float(value),
+                prominence=float(prominence),
+                index=i,
+            ))
+    peaks.sort(key=lambda p: p.power, reverse=True)
+    if max_peaks is not None:
+        peaks = peaks[:max_peaks]
+    return peaks
+
+
+def _circular_prominence(power: np.ndarray, peak_index: int) -> float:
+    """Return the prominence of the peak at ``peak_index`` on a circular grid."""
+    n = power.shape[0]
+    peak_value = power[peak_index]
+    # Walk left and right until a value higher than the peak is met (or the
+    # whole circle has been traversed); track the minimum along the way.
+    left_min = peak_value
+    for step in range(1, n):
+        value = power[(peak_index - step) % n]
+        if value > peak_value:
+            break
+        left_min = min(left_min, value)
+    right_min = peak_value
+    for step in range(1, n):
+        value = power[(peak_index + step) % n]
+        if value > peak_value:
+            break
+        right_min = min(right_min, value)
+    return float(peak_value - max(left_min, right_min))
+
+
+def match_peak(peak: SpectrumPeak, candidates: Sequence[SpectrumPeak],
+               tolerance_deg: float = PEAK_MATCH_TOLERANCE_DEG) -> Optional[SpectrumPeak]:
+    """Return the closest candidate within ``tolerance_deg`` of ``peak``.
+
+    Section 2.4 considers a bearing "unchanged" if the corresponding peaks of
+    two spectra lie within five degrees of each other.
+    """
+    if tolerance_deg < 0:
+        raise EstimationError("tolerance must be non-negative")
+    best: Optional[SpectrumPeak] = None
+    best_distance = float("inf")
+    for candidate in candidates:
+        distance = angle_difference_deg(peak.angle_deg, candidate.angle_deg)
+        if distance <= tolerance_deg and distance < best_distance:
+            best = candidate
+            best_distance = distance
+    return best
+
+
+def peak_regions(spectrum: AoASpectrum, peak: SpectrumPeak,
+                 valley_fraction: float = 0.5) -> np.ndarray:
+    """Return a boolean mask of grid points belonging to ``peak``'s lobe.
+
+    The lobe extends from the peak outwards (circularly) in both directions
+    until the spectrum either rises again or falls below ``valley_fraction``
+    times the peak value.  Used by the multipath suppression step to remove
+    an entire unmatched lobe rather than a single grid point.
+    """
+    if not 0.0 <= valley_fraction < 1.0:
+        raise EstimationError("valley_fraction must be in [0, 1)")
+    power = spectrum.power
+    n = power.shape[0]
+    mask = np.zeros(n, dtype=bool)
+    mask[peak.index] = True
+    floor = valley_fraction * peak.power
+    previous = power[peak.index]
+    for step in range(1, n):
+        index = (peak.index + step) % n
+        value = power[index]
+        if value > previous or value < floor:
+            break
+        mask[index] = True
+        previous = value
+    previous = power[peak.index]
+    for step in range(1, n):
+        index = (peak.index - step) % n
+        value = power[index]
+        if value > previous or value < floor:
+            break
+        mask[index] = True
+        previous = value
+    return mask

@@ -1,0 +1,207 @@
+"""Per-AP AoA spectrum computation pipeline (snapshots in, spectrum out).
+
+This module wires the Section 2.3 steps together: sample covariance with
+spatial smoothing (2.3.2), the MUSIC pseudospectrum (2.3.1), mirroring of the
+linear array's 180-degree spectrum onto the full circle, array-geometry
+weighting (2.3.3), and -- when a nine-antenna capture is available --
+array-symmetry removal (2.3.4).  Multipath suppression (2.4) operates across
+frames and therefore lives one level up, in the server.
+
+The ``method`` knob also exposes the Bartlett and Capon estimators so the
+ablation benchmark can swap the spectrum estimator while keeping everything
+else fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_ANGLE_RESOLUTION_DEG,
+    DEFAULT_SMOOTHING_GROUPS,
+    WAVELENGTH_M,
+)
+from repro.errors import EstimationError
+from repro.array.deployment import DeployedArray
+from repro.array.geometry import ArrayGeometry
+from repro.array.receiver import SnapshotMatrix
+from repro.core.covariance import sample_covariance
+from repro.core.music import bartlett_spectrum, capon_spectrum, music_spectrum
+from repro.core.smoothing import effective_antennas, smoothed_covariance
+from repro.core.spectrum import AoASpectrum, default_angle_grid
+from repro.core.symmetry import SymmetryResolver
+from repro.core.weighting import apply_geometry_weighting
+
+__all__ = ["SpectrumConfig", "SpectrumComputer"]
+
+_VALID_METHODS = ("music", "bartlett", "capon")
+
+
+@dataclass
+class SpectrumConfig:
+    """Configuration of the per-AP spectrum computation.
+
+    Attributes
+    ----------
+    smoothing_groups:
+        Number of spatial-smoothing sub-arrays ``NG`` (the paper settles on
+        2; 1 disables smoothing).
+    angle_resolution_deg:
+        Angle grid step of the output spectrum.
+    apply_weighting:
+        Apply the array-geometry window W(theta) of Section 2.3.3.
+    num_sources:
+        Force the MUSIC source count; automatic thresholding when None.
+    method:
+        Spectrum estimator: "music" (the paper), "bartlett" or "capon".
+    forward_backward:
+        Also apply forward-backward averaging during smoothing (ablation).
+    elevation_deg:
+        Assumed common elevation of arrivals (0 unless a height difference
+        between AP and client is being modelled explicitly).
+    symmetry_attenuation:
+        Residual scale applied to the rejected half plane during array
+        symmetry removal.  A small non-zero value keeps an occasional wrong
+        side decision from zeroing the true bearing out of the likelihood
+        product entirely.
+    """
+
+    smoothing_groups: int = DEFAULT_SMOOTHING_GROUPS
+    angle_resolution_deg: float = DEFAULT_ANGLE_RESOLUTION_DEG
+    apply_weighting: bool = True
+    num_sources: Optional[int] = None
+    method: str = "music"
+    forward_backward: bool = False
+    elevation_deg: float = 0.0
+    symmetry_attenuation: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.smoothing_groups < 1:
+            raise EstimationError("smoothing_groups must be >= 1")
+        if self.method not in _VALID_METHODS:
+            raise EstimationError(
+                f"unknown spectrum method {self.method!r}; valid: {_VALID_METHODS}")
+
+
+class SpectrumComputer:
+    """Computes a full-circle AoA spectrum from one frame's snapshots.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; a default (paper-faithful) configuration is
+        used when omitted.
+    """
+
+    def __init__(self, config: Optional[SpectrumConfig] = None) -> None:
+        self.config = config if config is not None else SpectrumConfig()
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def compute(self, snapshots: SnapshotMatrix, array: DeployedArray,
+                linear_indices: Optional[Sequence[int]] = None) -> AoASpectrum:
+        """Return the AoA spectrum for one frame captured by ``array``.
+
+        Parameters
+        ----------
+        snapshots:
+            Calibrated snapshot matrix (per-radio phase offsets already
+            compensated by the AP).
+        array:
+            The deployed array the snapshots were captured on; its first
+            (or ``linear_indices``-selected) elements must form the uniform
+            linear row used for MUSIC.
+        linear_indices:
+            Rows of the snapshot matrix forming the uniform linear array.
+            Defaults to all rows, which is correct for a plain ULA capture;
+            pass the ULA subset explicitly when the capture includes the
+            ninth symmetry antenna.
+        """
+        samples = snapshots.samples
+        if linear_indices is None:
+            linear_indices = list(range(samples.shape[0]))
+        else:
+            linear_indices = list(linear_indices)
+        if len(linear_indices) < 2:
+            raise EstimationError("need at least two linear-array antennas")
+        linear_samples = samples[linear_indices, :]
+        linear_geometry = array.geometry.subarray(linear_indices) \
+            if len(linear_indices) != array.geometry.num_elements \
+            else array.geometry
+        if not linear_geometry.is_linear():
+            raise EstimationError(
+                "the selected antennas do not form a linear array; pass "
+                "linear_indices selecting the ULA row")
+        half_power = self._half_spectrum(linear_samples, linear_geometry,
+                                         array.wavelength_m)
+        half_angles = default_angle_grid(self.config.angle_resolution_deg,
+                                         full_circle=False)
+        spectrum = AoASpectrum.from_half_spectrum(
+            half_angles, half_power,
+            ap_position=array.position,
+            ap_orientation_deg=array.orientation_deg,
+            client_id=snapshots.client_id,
+            ap_id=snapshots.ap_id,
+            timestamp_s=snapshots.timestamp_s,
+        )
+        if self.config.apply_weighting:
+            spectrum = apply_geometry_weighting(spectrum)
+        return spectrum
+
+    def compute_with_symmetry(self, snapshots: SnapshotMatrix,
+                              array: DeployedArray,
+                              linear_indices: Sequence[int],
+                              full_indices: Optional[Sequence[int]] = None
+                              ) -> AoASpectrum:
+        """Compute a spectrum and resolve its mirror ambiguity (Section 2.3.4).
+
+        ``linear_indices`` select the ULA row used for MUSIC; the remaining
+        rows (or ``full_indices``) provide the off-row antenna(s) used by
+        the Bartlett side-power comparison.
+        """
+        spectrum = self.compute(snapshots, array, linear_indices)
+        if full_indices is None:
+            full_indices = list(range(snapshots.samples.shape[0]))
+        full_geometry = array.geometry.subarray(list(full_indices)) \
+            if len(list(full_indices)) != array.geometry.num_elements \
+            else array.geometry
+        resolver = SymmetryResolver(full_geometry, array.wavelength_m)
+        return resolver.resolve(spectrum,
+                                snapshots.samples[list(full_indices), :],
+                                attenuation=self.config.symmetry_attenuation)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _half_spectrum(self, linear_samples: np.ndarray,
+                       geometry: ArrayGeometry,
+                       wavelength_m: float) -> np.ndarray:
+        """Return the pseudospectrum on the linear array's [0, 180] range."""
+        config = self.config
+        angles = default_angle_grid(config.angle_resolution_deg, full_circle=False)
+        num_antennas = linear_samples.shape[0]
+        if config.smoothing_groups > 1:
+            sub_size = effective_antennas(num_antennas, config.smoothing_groups)
+            covariance = smoothed_covariance(
+                linear_samples, config.smoothing_groups,
+                forward_backward=config.forward_backward)
+            sub_geometry = geometry.subarray(list(range(sub_size)))
+        else:
+            covariance = sample_covariance(linear_samples)
+            sub_geometry = geometry
+        if config.method == "music":
+            power = music_spectrum(covariance, sub_geometry, angles,
+                                   num_sources=config.num_sources,
+                                   wavelength_m=wavelength_m,
+                                   elevation_deg=config.elevation_deg)
+        elif config.method == "bartlett":
+            power = bartlett_spectrum(covariance, sub_geometry, angles,
+                                      wavelength_m, config.elevation_deg)
+        else:
+            power = capon_spectrum(covariance, sub_geometry, angles,
+                                   wavelength_m, config.elevation_deg)
+        return power

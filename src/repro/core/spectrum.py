@@ -1,0 +1,229 @@
+"""AoA pseudospectrum container.
+
+An AoA spectrum (Figure 3 of the paper) is "an estimate of the incoming
+signal's power as a function of angle of arrival".  ArrayTrack computes one
+per overheard frame per AP, post-processes it (weighting, symmetry removal,
+multipath suppression) and ships it to the server for synthesis.
+
+The spectrum is stored on a uniform angle grid over the full circle in the
+*array's local frame* (0 degrees = along the array axis).  Because the AP
+knows its own position and orientation, the spectrum also carries both, so
+the server can evaluate the spectrum at the bearing of any candidate
+location expressed in building coordinates (Section 2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_ANGLE_RESOLUTION_DEG
+from repro.errors import EstimationError
+from repro.geometry.vector import Point2D, bearing_deg, normalize_angle_deg
+
+__all__ = ["AoASpectrum", "default_angle_grid"]
+
+
+def default_angle_grid(resolution_deg: float = DEFAULT_ANGLE_RESOLUTION_DEG,
+                       full_circle: bool = True) -> np.ndarray:
+    """Return a uniform angle grid in degrees.
+
+    Parameters
+    ----------
+    resolution_deg:
+        Grid step; must divide 180 evenly to keep the mirror operation exact.
+    full_circle:
+        True for ``[0, 360)``; False for ``[0, 180]`` (a linear array's
+        unambiguous range).
+    """
+    if resolution_deg <= 0:
+        raise EstimationError(
+            f"angle resolution must be positive, got {resolution_deg!r}")
+    if abs((180.0 / resolution_deg) - round(180.0 / resolution_deg)) > 1e-9:
+        raise EstimationError(
+            f"angle resolution must divide 180 evenly, got {resolution_deg!r}")
+    if full_circle:
+        return np.arange(0.0, 360.0, resolution_deg)
+    return np.arange(0.0, 180.0 + resolution_deg / 2.0, resolution_deg)
+
+
+@dataclass
+class AoASpectrum:
+    """Power versus angle-of-arrival for one frame at one AP.
+
+    Attributes
+    ----------
+    angles_deg:
+        Uniform grid of angles in the array's local frame, covering
+        ``[0, 360)`` degrees.
+    power:
+        Non-negative pseudospectrum values, one per grid angle.
+    ap_position:
+        The AP's position in building coordinates (None for synthetic
+        spectra used in unit tests).
+    ap_orientation_deg:
+        Rotation of the array's local +x axis in the building frame.
+    client_id, ap_id:
+        Identifiers of the transmitting client and receiving AP.
+    timestamp_s:
+        Capture time of the frame the spectrum came from; used to group
+        frames for multipath suppression (Section 2.4).
+    """
+
+    angles_deg: np.ndarray
+    power: np.ndarray
+    ap_position: Optional[Point2D] = None
+    ap_orientation_deg: float = 0.0
+    client_id: str = ""
+    ap_id: str = ""
+    timestamp_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        angles = np.asarray(self.angles_deg, dtype=float)
+        power = np.asarray(self.power, dtype=float)
+        if angles.ndim != 1 or power.ndim != 1 or angles.shape != power.shape:
+            raise EstimationError(
+                "angles and power must be one-dimensional arrays of equal length, "
+                f"got {angles.shape} and {power.shape}")
+        if angles.shape[0] < 4:
+            raise EstimationError("an AoA spectrum needs at least four grid points")
+        if np.any(power < 0):
+            raise EstimationError("spectrum power values must be non-negative")
+        self.angles_deg = angles
+        self.power = power
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def resolution_deg(self) -> float:
+        """Grid step in degrees."""
+        return float(self.angles_deg[1] - self.angles_deg[0])
+
+    @property
+    def max_power(self) -> float:
+        """Largest pseudospectrum value."""
+        return float(np.max(self.power))
+
+    def normalized(self) -> "AoASpectrum":
+        """Return a copy scaled so the maximum value is 1."""
+        peak = self.max_power
+        if peak <= 0:
+            raise EstimationError("cannot normalize an all-zero spectrum")
+        return replace(self, power=self.power / peak)
+
+    def copy_with_power(self, power: np.ndarray) -> "AoASpectrum":
+        """Return a copy of this spectrum carrying different power values."""
+        return replace(self, power=np.asarray(power, dtype=float))
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def power_at_local(self, local_angles_deg) -> np.ndarray:
+        """Return interpolated power at local-frame angles (degrees).
+
+        Linear interpolation on the circular grid, vectorized over the
+        input.
+        """
+        query = np.atleast_1d(np.asarray(local_angles_deg, dtype=float)) % 360.0
+        resolution = self.resolution_deg
+        positions = query / resolution
+        lower = np.floor(positions).astype(int) % len(self.angles_deg)
+        upper = (lower + 1) % len(self.angles_deg)
+        fraction = positions - np.floor(positions)
+        return (1.0 - fraction) * self.power[lower] + fraction * self.power[upper]
+
+    def power_at_global(self, global_bearings_deg) -> np.ndarray:
+        """Return interpolated power at building-frame bearings (degrees)."""
+        bearings = np.atleast_1d(np.asarray(global_bearings_deg, dtype=float))
+        return self.power_at_local(bearings - self.ap_orientation_deg)
+
+    def power_towards(self, position: Point2D) -> float:
+        """Return the spectrum value in the direction of a candidate location.
+
+        This is the ``P_i(theta_i)`` term of Equation 8: the AP evaluates
+        its spectrum at the bearing of the hypothesised client position.
+        """
+        if self.ap_position is None:
+            raise EstimationError(
+                "spectrum has no AP position; cannot evaluate towards a point")
+        if self.ap_position.distance_to(position) < 1e-9:
+            # The bearing of the AP's own location is undefined; a client is
+            # never collocated with the AP antenna array, so rate it zero.
+            return 0.0
+        bearing = bearing_deg(self.ap_position, position)
+        return float(self.power_at_global(bearing)[0])
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "AoASpectrum":
+        """Return a copy with all power values multiplied by ``factor``."""
+        if factor < 0:
+            raise EstimationError("scale factor must be non-negative")
+        return replace(self, power=self.power * factor)
+
+    def apply_window(self, window: np.ndarray) -> "AoASpectrum":
+        """Return a copy multiplied pointwise by ``window`` (same grid)."""
+        window = np.asarray(window, dtype=float)
+        if window.shape != self.power.shape:
+            raise EstimationError(
+                f"window shape {window.shape} does not match spectrum "
+                f"shape {self.power.shape}")
+        if np.any(window < 0):
+            raise EstimationError("window values must be non-negative")
+        return replace(self, power=self.power * window)
+
+    def half_plane_power(self) -> tuple[float, float]:
+        """Return total power in the upper (0-180) and lower (180-360) halves."""
+        upper_mask = self.angles_deg < 180.0
+        upper = float(np.sum(self.power[upper_mask]))
+        lower = float(np.sum(self.power[~upper_mask]))
+        return upper, lower
+
+    def suppress_half_plane(self, suppress_lower: bool,
+                            attenuation: float = 0.0) -> "AoASpectrum":
+        """Return a copy with one half plane scaled by ``attenuation``.
+
+        Used by array-symmetry removal (Section 2.3.4): the half with less
+        total power, as judged by the ninth antenna, is removed.
+        """
+        if not 0.0 <= attenuation <= 1.0:
+            raise EstimationError("attenuation must be in [0, 1]")
+        mask_lower = self.angles_deg >= 180.0
+        power = self.power.copy()
+        if suppress_lower:
+            power[mask_lower] *= attenuation
+        else:
+            power[~mask_lower] *= attenuation
+        return replace(self, power=power)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_half_spectrum(angles_deg: np.ndarray, power: np.ndarray,
+                           **metadata) -> "AoASpectrum":
+        """Mirror a ``[0, 180]`` linear-array spectrum onto the full circle.
+
+        A linear array cannot tell which side of the array a signal arrives
+        from (Section 2.3.4), so its spectrum on ``[0, 180]`` is mirrored to
+        ``(180, 360)``: ``P(360 - theta) = P(theta)``.
+        """
+        angles_deg = np.asarray(angles_deg, dtype=float)
+        power = np.asarray(power, dtype=float)
+        if angles_deg.ndim != 1 or angles_deg.shape != power.shape:
+            raise EstimationError("angles and power must be 1-D arrays of equal length")
+        if angles_deg[0] != 0.0 or abs(angles_deg[-1] - 180.0) > 1e-9:
+            raise EstimationError("half spectrum must cover exactly [0, 180] degrees")
+        resolution = float(angles_deg[1] - angles_deg[0])
+        full_angles = np.arange(0.0, 360.0, resolution)
+        full_power = np.zeros_like(full_angles)
+        half_points = angles_deg.shape[0]
+        full_power[:half_points] = power
+        # Mirror: angle 360 - theta maps to index len(full) - theta/res.
+        mirrored = power[1:-1][::-1]
+        full_power[half_points:] = mirrored
+        return AoASpectrum(full_angles, full_power, **metadata)

@@ -1,0 +1,115 @@
+"""Array symmetry removal using a ninth, off-row antenna (Section 2.3.4).
+
+A linear array only measures ``cos(theta)``, so its AoA spectrum on
+``[0, 180]`` degrees is mirrored onto ``(180, 360)``: the array cannot tell
+which side a signal arrived from.  With many cooperating APs the server's
+likelihood synthesis washes the ghost side out, but with few APs the ghost
+produces false-positive locations (Section 4.2).
+
+ArrayTrack resolves the ambiguity with a ninth antenna placed off the array's
+row (recorded through diversity synthesis): using all nine antennas it
+"calculates the total power on each side, and removes the half with less
+power".  Here the nine-antenna Bartlett beamformer provides that per-side
+power comparison -- the non-collinear geometry breaks the mirror symmetry, so
+integrating its response over each half plane reveals the true side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.array.geometry import ArrayGeometry
+from repro.core.covariance import sample_covariance
+from repro.core.music import bartlett_spectrum
+from repro.core.spectrum import AoASpectrum, default_angle_grid
+
+__all__ = ["SymmetryResolver", "resolve_symmetry"]
+
+
+@dataclass
+class SymmetryResolver:
+    """Decides which half plane of a mirrored spectrum holds the true arrivals.
+
+    Parameters
+    ----------
+    geometry:
+        The full non-collinear geometry (e.g. eight-element ULA plus the
+        ninth symmetry antenna) matching the snapshot rows it will be given.
+    wavelength_m:
+        Carrier wavelength.
+    angle_resolution_deg:
+        Resolution of the internal Bartlett scan.
+    """
+
+    geometry: ArrayGeometry
+    wavelength_m: float
+    angle_resolution_deg: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.geometry.is_linear():
+            raise EstimationError(
+                "symmetry resolution requires a non-collinear geometry; add an "
+                "off-row antenna (Section 2.3.4)")
+
+    def side_powers(self, snapshots: np.ndarray,
+                    spectrum: Optional[AoASpectrum] = None) -> Tuple[float, float]:
+        """Return total Bartlett power in the upper/lower half planes.
+
+        Parameters
+        ----------
+        snapshots:
+            ``(M, N)`` snapshot matrix captured on the resolver's geometry
+            (phase offsets already calibrated out).
+        spectrum:
+            Optional mirrored MUSIC spectrum of the same frame.  When given,
+            the Bartlett response is weighted by the spectrum before
+            integrating each half plane, so the comparison concentrates on
+            the bearings where MUSIC actually sees arrivals instead of being
+            diluted by side-lobe energy.
+        """
+        snapshots = np.asarray(snapshots, dtype=np.complex128)
+        if snapshots.shape[0] != self.geometry.num_elements:
+            raise EstimationError(
+                f"snapshots have {snapshots.shape[0]} rows but the geometry has "
+                f"{self.geometry.num_elements} elements")
+        covariance = sample_covariance(snapshots)
+        angles = default_angle_grid(self.angle_resolution_deg, full_circle=True)
+        power = bartlett_spectrum(covariance, self.geometry, angles, self.wavelength_m)
+        if spectrum is not None:
+            weights = spectrum.power_at_local(angles)
+            peak = float(np.max(weights))
+            if peak > 0:
+                power = power * (weights / peak)
+        upper = float(np.sum(power[angles < 180.0]))
+        lower = float(np.sum(power[angles >= 180.0]))
+        return upper, lower
+
+    def resolve(self, spectrum: AoASpectrum, snapshots: np.ndarray,
+                attenuation: float = 0.0) -> AoASpectrum:
+        """Return ``spectrum`` with the weaker half plane suppressed.
+
+        Parameters
+        ----------
+        spectrum:
+            The mirrored 360-degree spectrum produced by the linear array.
+        snapshots:
+            Nine-antenna snapshot matrix for the same frame.
+        attenuation:
+            Residual scale applied to the suppressed half (0 removes it
+            entirely, matching the paper).
+        """
+        upper, lower = self.side_powers(snapshots, spectrum)
+        suppress_lower = upper >= lower
+        return spectrum.suppress_half_plane(suppress_lower, attenuation)
+
+
+def resolve_symmetry(spectrum: AoASpectrum, snapshots: np.ndarray,
+                     geometry: ArrayGeometry, wavelength_m: float,
+                     attenuation: float = 0.0) -> AoASpectrum:
+    """Convenience wrapper building a throw-away :class:`SymmetryResolver`."""
+    resolver = SymmetryResolver(geometry, wavelength_m)
+    return resolver.resolve(spectrum, snapshots, attenuation)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ArrayTrack reproduction library."""
+
+from __future__ import annotations
+
+
+class ArrayTrackError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GeometryError(ArrayTrackError):
+    """Raised for invalid geometric input (degenerate walls, bad floorplans)."""
+
+
+class SignalError(ArrayTrackError):
+    """Raised for invalid waveform or sampling parameters."""
+
+
+class ChannelError(ArrayTrackError):
+    """Raised when a propagation channel cannot be constructed or applied."""
+
+
+class ArrayError(ArrayTrackError):
+    """Raised for invalid antenna-array configuration or calibration input."""
+
+
+class DetectionError(ArrayTrackError):
+    """Raised when packet detection is configured or used incorrectly."""
+
+
+class EstimationError(ArrayTrackError):
+    """Raised when an AoA spectrum or location estimate cannot be produced."""
+
+
+class ConfigurationError(ArrayTrackError):
+    """Raised for invalid system-level (AP/server/testbed) configuration."""

@@ -1,0 +1,96 @@
+"""Error metrics and CDF utilities for the evaluation experiments.
+
+All of the paper's accuracy results are reported as medians/means of the
+location error distribution and as CDF plots (Figures 13, 15, 16, 18); this
+module provides those summaries in a plotting-free, assertable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+__all__ = ["ErrorStatistics", "empirical_cdf", "summarize_errors"]
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Summary statistics of a localization-error sample, in centimetres.
+
+    Attributes
+    ----------
+    count:
+        Number of error samples.
+    median_cm, mean_cm, p90_cm, p95_cm, p98_cm, max_cm:
+        The usual summary quantiles the paper quotes (e.g. "95% of clients
+        to within 90 cm").
+    """
+
+    count: int
+    median_cm: float
+    mean_cm: float
+    p90_cm: float
+    p95_cm: float
+    p98_cm: float
+    max_cm: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary (for report tables)."""
+        return {
+            "count": self.count,
+            "median_cm": self.median_cm,
+            "mean_cm": self.mean_cm,
+            "p90_cm": self.p90_cm,
+            "p95_cm": self.p95_cm,
+            "p98_cm": self.p98_cm,
+            "max_cm": self.max_cm,
+        }
+
+
+def summarize_errors(errors_cm: Sequence[float] | np.ndarray) -> ErrorStatistics:
+    """Return :class:`ErrorStatistics` for a sample of errors in centimetres."""
+    errors = np.asarray(list(errors_cm), dtype=float)
+    if errors.size == 0:
+        raise EstimationError("cannot summarize an empty error sample")
+    if np.any(errors < 0):
+        raise EstimationError("errors must be non-negative")
+    return ErrorStatistics(
+        count=int(errors.size),
+        median_cm=float(np.median(errors)),
+        mean_cm=float(np.mean(errors)),
+        p90_cm=float(np.percentile(errors, 90)),
+        p95_cm=float(np.percentile(errors, 95)),
+        p98_cm=float(np.percentile(errors, 98)),
+        max_cm=float(np.max(errors)),
+    )
+
+
+def empirical_cdf(errors_cm: Sequence[float] | np.ndarray,
+                  grid_cm: Sequence[float] | np.ndarray | None = None
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(grid, fraction_below)`` pairs describing the error CDF.
+
+    Parameters
+    ----------
+    errors_cm:
+        Error samples in centimetres.
+    grid_cm:
+        Evaluation grid; a logarithmic grid from 1 cm to the sample maximum
+        (matching the paper's log-scaled CDF plots) is used when omitted.
+    """
+    errors = np.sort(np.asarray(list(errors_cm), dtype=float))
+    if errors.size == 0:
+        raise EstimationError("cannot compute the CDF of an empty sample")
+    if grid_cm is None:
+        # Pad the top of the grid slightly so the largest sample is always
+        # counted despite floating-point rounding of the log spacing.
+        upper = max(float(errors[-1]), 1.0) * 1.001
+        grid = np.logspace(0.0, np.log10(upper), 64)
+    else:
+        grid = np.asarray(list(grid_cm), dtype=float)
+    fractions = np.searchsorted(errors, grid, side="right") / errors.size
+    return grid, fractions

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints, for every reproduced table and figure, the
+same rows/series the paper reports, using the helpers below.  Keeping the
+rendering separate from the experiments keeps the experiment functions pure
+(data in, data out) and easily assertable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.metrics import ErrorStatistics
+
+__all__ = [
+    "format_table",
+    "format_error_statistics",
+    "format_cdf_series",
+    "format_key_values",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]] + [[_format_cell(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_error_statistics(statistics: Mapping[object, ErrorStatistics],
+                            label: str = "configuration",
+                            title: str = "") -> str:
+    """Render a mapping of configuration -> error statistics as a table."""
+    headers = [label, "median (cm)", "mean (cm)", "90% (cm)", "95% (cm)", "max (cm)", "n"]
+    rows = []
+    for key, stats in statistics.items():
+        rows.append([key, stats.median_cm, stats.mean_cm, stats.p90_cm,
+                     stats.p95_cm, stats.max_cm, stats.count])
+    return format_table(headers, rows, title=title)
+
+
+def format_cdf_series(cdfs: Mapping[object, Tuple[np.ndarray, np.ndarray]],
+                      percentiles: Sequence[float] = (0.5, 0.9, 0.95),
+                      title: str = "") -> str:
+    """Render CDF curves as the error value reached at chosen percentiles."""
+    headers = ["series"] + [f"p{int(100 * p)} (cm)" for p in percentiles]
+    rows = []
+    for key, (grid, fractions) in cdfs.items():
+        row = [key]
+        for target in percentiles:
+            index = int(np.searchsorted(fractions, target))
+            value = grid[min(index, len(grid) - 1)]
+            row.append(float(value))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_key_values(values: Mapping[object, object], title: str = "") -> str:
+    """Render a flat mapping as an aligned two-column listing."""
+    lines = [title] if title else []
+    width = max((len(str(k)) for k in values), default=0)
+    for key, value in values.items():
+        lines.append(f"  {str(key).ljust(width)} : {_format_cell(value)}")
+    return "\n".join(lines)

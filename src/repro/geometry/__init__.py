@@ -1,0 +1,37 @@
+"""Geometric substrate: 2-D vectors, walls, floorplans and ray tracing.
+
+The geometry package provides the static indoor environment that the channel
+simulator (:mod:`repro.channel`) propagates signals through.  It replaces the
+physical office building used in the paper's testbed (Figure 12).
+"""
+
+from repro.geometry.vector import (
+    Point2D,
+    angle_difference_deg,
+    bearing_deg,
+    distance,
+    normalize_angle_deg,
+)
+from repro.geometry.materials import MATERIALS, Material, get_material
+from repro.geometry.walls import Pillar, Wall, reflection_point
+from repro.geometry.floorplan import Floorplan, rectangular_room
+from repro.geometry.rays import PropagationPath, RayTracer, trace_paths
+
+__all__ = [
+    "Point2D",
+    "angle_difference_deg",
+    "bearing_deg",
+    "distance",
+    "normalize_angle_deg",
+    "MATERIALS",
+    "Material",
+    "get_material",
+    "Pillar",
+    "Wall",
+    "reflection_point",
+    "Floorplan",
+    "rectangular_room",
+    "PropagationPath",
+    "RayTracer",
+    "trace_paths",
+]

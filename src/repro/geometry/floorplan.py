@@ -1,0 +1,156 @@
+"""Floorplan container: walls, pillars and the bounding region of a building.
+
+A :class:`Floorplan` is the static environment the ray tracer runs against.
+It offers convenience constructors for simple rectangular rooms (used heavily
+by unit tests and microbenchmarks) and bookkeeping helpers used by the
+localization grid (bounding box, point-inside tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.materials import Material, get_material
+from repro.geometry.vector import Point2D
+from repro.geometry.walls import Pillar, Wall
+
+__all__ = ["Floorplan", "rectangular_room"]
+
+
+@dataclass
+class Floorplan:
+    """A static 2-D indoor environment.
+
+    Attributes
+    ----------
+    walls:
+        Straight wall segments (outer shell plus interior partitions).
+    pillars:
+        Circular obstructions (concrete pillars, lift shafts).
+    name:
+        Human-readable identifier used in reports.
+    """
+
+    walls: List[Wall] = field(default_factory=list)
+    pillars: List[Pillar] = field(default_factory=list)
+    name: str = "floorplan"
+
+    def add_wall(self, wall: Wall) -> None:
+        """Append a wall segment to the floorplan."""
+        self.walls.append(wall)
+
+    def add_pillar(self, pillar: Pillar) -> None:
+        """Append a circular pillar to the floorplan."""
+        self.pillars.append(pillar)
+
+    @property
+    def reflective_walls(self) -> List[Wall]:
+        """Walls that produce a non-negligible specular reflection."""
+        return [w for w in self.walls if w.material.reflection_coefficient > 0.05]
+
+    def bounding_box(self, margin: float = 0.0) -> Tuple[float, float, float, float]:
+        """Return ``(xmin, ymin, xmax, ymax)`` covering all walls and pillars.
+
+        Parameters
+        ----------
+        margin:
+            Extra padding, in metres, added on every side.
+        """
+        if not self.walls and not self.pillars:
+            raise GeometryError("cannot compute the bounding box of an empty floorplan")
+        xs: List[float] = []
+        ys: List[float] = []
+        for wall in self.walls:
+            xs.extend([wall.start.x, wall.end.x])
+            ys.extend([wall.start.y, wall.end.y])
+        for pillar in self.pillars:
+            xs.extend([pillar.center.x - pillar.radius, pillar.center.x + pillar.radius])
+            ys.extend([pillar.center.y - pillar.radius, pillar.center.y + pillar.radius])
+        return (min(xs) - margin, min(ys) - margin, max(xs) + margin, max(ys) + margin)
+
+    def contains(self, point: Point2D, margin: float = 0.0) -> bool:
+        """Return True if ``point`` lies within the floorplan bounding box."""
+        xmin, ymin, xmax, ymax = self.bounding_box(margin)
+        return xmin <= point.x <= xmax and ymin <= point.y <= ymax
+
+    def walls_crossed(self, a: Point2D, b: Point2D,
+                      exclude: Optional[Wall] = None) -> List[Wall]:
+        """Return the walls crossed by the straight segment from ``a`` to ``b``.
+
+        Parameters
+        ----------
+        exclude:
+            A wall to skip, typically the wall a path is reflecting off
+            (the reflection point lies on it by construction).
+        """
+        crossed = []
+        for wall in self.walls:
+            if exclude is not None and wall is exclude:
+                continue
+            if wall.blocks(a, b):
+                crossed.append(wall)
+        return crossed
+
+    def pillars_crossed(self, a: Point2D, b: Point2D) -> List[Pillar]:
+        """Return the pillars whose footprint the segment from ``a`` to ``b`` crosses."""
+        return [p for p in self.pillars if p.blocks(a, b)]
+
+    def penetration_loss_db(self, a: Point2D, b: Point2D,
+                            exclude: Optional[Wall] = None) -> float:
+        """Return the total through-material attenuation (dB) along ``a``-``b``."""
+        loss = sum(w.material.transmission_loss_db
+                   for w in self.walls_crossed(a, b, exclude=exclude))
+        loss += sum(p.material.transmission_loss_db
+                    for p in self.pillars_crossed(a, b))
+        return loss
+
+    def line_of_sight(self, a: Point2D, b: Point2D) -> bool:
+        """Return True when nothing obstructs the direct segment ``a``-``b``."""
+        if self.pillars_crossed(a, b):
+            return False
+        return not self.walls_crossed(a, b)
+
+    def summary(self) -> str:
+        """Return a one-line human readable summary of the floorplan."""
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        return (f"{self.name}: {len(self.walls)} walls, {len(self.pillars)} pillars, "
+                f"{xmax - xmin:.1f} m x {ymax - ymin:.1f} m")
+
+
+def rectangular_room(width: float, height: float,
+                     material: str | Material = "drywall",
+                     origin: Point2D = Point2D(0.0, 0.0),
+                     name: str = "room") -> Floorplan:
+    """Build a simple axis-aligned rectangular room.
+
+    Parameters
+    ----------
+    width, height:
+        Interior dimensions in metres; both must be positive.
+    material:
+        Material of all four walls (name or :class:`Material`).
+    origin:
+        Lower-left corner of the room.
+    name:
+        Floorplan name.
+    """
+    if width <= 0 or height <= 0:
+        raise GeometryError(
+            f"room dimensions must be positive, got {width} x {height}")
+    if isinstance(material, str):
+        material = get_material(material)
+    x0, y0 = origin.x, origin.y
+    corners = [
+        Point2D(x0, y0),
+        Point2D(x0 + width, y0),
+        Point2D(x0 + width, y0 + height),
+        Point2D(x0, y0 + height),
+    ]
+    sides = ["south", "east", "north", "west"]
+    walls = [
+        Wall(corners[i], corners[(i + 1) % 4], material, name=f"{name}-{sides[i]}")
+        for i in range(4)
+    ]
+    return Floorplan(walls=walls, name=name)

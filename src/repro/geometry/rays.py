@@ -1,0 +1,241 @@
+"""Image-source ray tracing: enumerate propagation paths between two points.
+
+The ray tracer produces the *geometric* description of every path from a
+transmitter (client) to a receiver (AP): path length, angle of arrival at the
+receiver, number of reflections, and the per-path amplitude attenuation that
+results from reflections and through-wall/pillar penetration.  The channel
+substrate (:mod:`repro.channel`) converts these into complex path gains.
+
+Only first- and second-order specular reflections are enumerated: in a
+cluttered office, higher-order reflections are far below the strongest
+reflected paths and do not change the behaviour of the AoA pipeline (they
+add small extra peaks that the multipath suppression step removes anyway).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.floorplan import Floorplan
+from repro.geometry.vector import Point2D, bearing_deg
+from repro.geometry.walls import Wall, reflection_point
+
+__all__ = ["PropagationPath", "RayTracer", "trace_paths"]
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """A single geometric propagation path from a source to a destination.
+
+    Attributes
+    ----------
+    vertices:
+        The polyline of the path, from source to destination (inclusive).
+    length:
+        Total path length in metres.
+    arrival_bearing_deg:
+        Bearing, in global coordinates (degrees counter-clockwise from +x),
+        of the direction *from the receiver towards the last path vertex* —
+        i.e. the direction the signal arrives from as seen at the receiver.
+    num_reflections:
+        Number of specular wall bounces along the path (0 = direct path).
+    attenuation_db:
+        Total non-free-space attenuation (reflection loss + penetration
+        loss) in dB.  Free-space spreading loss is applied by the channel
+        model from ``length``.
+    is_direct:
+        True when the path is the direct (possibly obstructed) path.
+    blocked:
+        True when the direct path crosses at least one wall or pillar; the
+        path still carries energy, attenuated by the materials crossed.
+    reflecting_walls:
+        Names of the walls the path reflects off, in order.
+    """
+
+    vertices: Tuple[Point2D, ...]
+    length: float
+    arrival_bearing_deg: float
+    num_reflections: int
+    attenuation_db: float
+    is_direct: bool
+    blocked: bool = False
+    reflecting_walls: Tuple[str, ...] = ()
+
+    @property
+    def attenuation_amplitude(self) -> float:
+        """Amplitude scale factor corresponding to ``attenuation_db``."""
+        return 10.0 ** (-self.attenuation_db / 20.0)
+
+
+class RayTracer:
+    """Enumerates direct and specular-reflection paths through a floorplan.
+
+    Parameters
+    ----------
+    floorplan:
+        The static environment.
+    max_reflections:
+        Maximum specular reflection order to enumerate (0, 1 or 2).
+    max_penetration_db:
+        Paths attenuated by more than this (excluding free-space loss) are
+        dropped: they are too weak to produce a visible AoA peak.
+    """
+
+    def __init__(self, floorplan: Floorplan, max_reflections: int = 2,
+                 max_penetration_db: float = 55.0) -> None:
+        if max_reflections < 0 or max_reflections > 2:
+            raise GeometryError(
+                f"max_reflections must be 0, 1 or 2, got {max_reflections}")
+        self.floorplan = floorplan
+        self.max_reflections = max_reflections
+        self.max_penetration_db = max_penetration_db
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def trace(self, source: Point2D, destination: Point2D) -> List[PropagationPath]:
+        """Return all propagation paths from ``source`` to ``destination``.
+
+        The direct path is always returned first (even when obstructed, it
+        is attenuated rather than removed, unless the attenuation exceeds
+        ``max_penetration_db``).  Reflected paths follow, strongest order
+        first.
+        """
+        if source.distance_to(destination) < 1e-9:
+            raise GeometryError("source and destination coincide; no paths exist")
+        paths: List[PropagationPath] = []
+        direct = self._direct_path(source, destination)
+        if direct is not None:
+            paths.append(direct)
+        if self.max_reflections >= 1:
+            paths.extend(self._first_order_paths(source, destination))
+        if self.max_reflections >= 2:
+            paths.extend(self._second_order_paths(source, destination))
+        return paths
+
+    # ------------------------------------------------------------------
+    # Direct path
+    # ------------------------------------------------------------------
+    def _direct_path(self, source: Point2D,
+                     destination: Point2D) -> Optional[PropagationPath]:
+        penetration = self.floorplan.penetration_loss_db(source, destination)
+        blocked = penetration > 0
+        if penetration > self.max_penetration_db:
+            return None
+        bearing = bearing_deg(destination, source)
+        return PropagationPath(
+            vertices=(source, destination),
+            length=source.distance_to(destination),
+            arrival_bearing_deg=bearing,
+            num_reflections=0,
+            attenuation_db=penetration,
+            is_direct=True,
+            blocked=blocked,
+        )
+
+    # ------------------------------------------------------------------
+    # First-order reflections
+    # ------------------------------------------------------------------
+    def _first_order_paths(self, source: Point2D,
+                           destination: Point2D) -> List[PropagationPath]:
+        paths = []
+        for wall in self.floorplan.reflective_walls:
+            path = self._reflect_once(source, destination, wall)
+            if path is not None:
+                paths.append(path)
+        return paths
+
+    def _reflect_once(self, source: Point2D, destination: Point2D,
+                      wall: Wall) -> Optional[PropagationPath]:
+        point = reflection_point(wall, source, destination)
+        if point is None:
+            return None
+        # Attenuation: one reflection plus penetration along both legs.
+        reflection_loss = -20.0 * math.log10(
+            max(wall.material.reflection_coefficient, 1e-6))
+        penetration = (
+            self.floorplan.penetration_loss_db(source, point, exclude=wall)
+            + self.floorplan.penetration_loss_db(point, destination, exclude=wall))
+        total = reflection_loss + penetration
+        if total > self.max_penetration_db:
+            return None
+        length = source.distance_to(point) + point.distance_to(destination)
+        bearing = bearing_deg(destination, point)
+        return PropagationPath(
+            vertices=(source, point, destination),
+            length=length,
+            arrival_bearing_deg=bearing,
+            num_reflections=1,
+            attenuation_db=total,
+            is_direct=False,
+            reflecting_walls=(wall.name,),
+        )
+
+    # ------------------------------------------------------------------
+    # Second-order reflections
+    # ------------------------------------------------------------------
+    def _second_order_paths(self, source: Point2D,
+                            destination: Point2D) -> List[PropagationPath]:
+        paths = []
+        walls = self.floorplan.reflective_walls
+        for first in walls:
+            image1 = first.mirror_point(source)
+            for second in walls:
+                if second is first:
+                    continue
+                path = self._reflect_twice(source, destination, first, second, image1)
+                if path is not None:
+                    paths.append(path)
+        # Keep only the strongest few second-order paths: they contribute
+        # minor peaks and keeping all of them is computationally wasteful.
+        paths.sort(key=lambda p: p.attenuation_db)
+        return paths[:4]
+
+    def _reflect_twice(self, source: Point2D, destination: Point2D,
+                       first: Wall, second: Wall,
+                       image1: Point2D) -> Optional[PropagationPath]:
+        image2 = second.mirror_point(image1)
+        # Specular point on the second wall, seen from the destination.
+        point2 = second.intersection_with_segment(image2, destination)
+        if point2 is None:
+            return None
+        # Specular point on the first wall, on the segment image1 -> point2.
+        point1 = first.intersection_with_segment(image1, point2)
+        if point1 is None:
+            return None
+        if point1.distance_to(point2) < 1e-6:
+            return None
+        reflection_loss = -20.0 * math.log10(
+            max(first.material.reflection_coefficient, 1e-6))
+        reflection_loss += -20.0 * math.log10(
+            max(second.material.reflection_coefficient, 1e-6))
+        penetration = (
+            self.floorplan.penetration_loss_db(source, point1, exclude=first)
+            + self.floorplan.penetration_loss_db(point1, point2, exclude=first)
+            + self.floorplan.penetration_loss_db(point2, destination, exclude=second))
+        # Avoid double-counting: the middle leg touches both walls.
+        total = reflection_loss + penetration
+        if total > self.max_penetration_db:
+            return None
+        length = (source.distance_to(point1) + point1.distance_to(point2)
+                  + point2.distance_to(destination))
+        bearing = bearing_deg(destination, point2)
+        return PropagationPath(
+            vertices=(source, point1, point2, destination),
+            length=length,
+            arrival_bearing_deg=bearing,
+            num_reflections=2,
+            attenuation_db=total,
+            is_direct=False,
+            reflecting_walls=(first.name, second.name),
+        )
+
+
+def trace_paths(floorplan: Floorplan, source: Point2D, destination: Point2D,
+                max_reflections: int = 2) -> List[PropagationPath]:
+    """Convenience wrapper: trace paths with a throw-away :class:`RayTracer`."""
+    return RayTracer(floorplan, max_reflections=max_reflections).trace(
+        source, destination)

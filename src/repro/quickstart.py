@@ -1,0 +1,59 @@
+"""One-call helpers for first-time users of the library.
+
+These wrap the full pipeline (testbed -> channels -> APs -> spectra ->
+server -> location estimate) into single functions so that the README's
+quick-start snippet and interactive exploration stay short.  Real
+applications should use the underlying classes directly; see
+``examples/`` for complete walk-throughs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core import LocalizerConfig, LocationEstimate
+from repro.geometry import Point2D
+from repro.server import ArrayTrackServer, ServerConfig
+from repro.testbed import ScenarioConfig, SimulatedDeployment, build_office_testbed
+
+__all__ = ["localize_one_client", "localize_all_clients"]
+
+
+def localize_one_client(client_id: str = "client-17",
+                        num_aps: int = 6,
+                        grid_resolution_m: float = 0.25,
+                        seed: int = 7) -> Tuple[LocationEstimate, Point2D]:
+    """Localize one client of the default office testbed.
+
+    Returns the location estimate and the ground-truth position, so the
+    caller can immediately compute the error.
+    """
+    testbed = build_office_testbed()
+    deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=seed))
+    server = ArrayTrackServer(
+        testbed.bounds,
+        ServerConfig(localizer=LocalizerConfig(grid_resolution_m=grid_resolution_m,
+                                               spectrum_floor=0.05)))
+    ap_ids = testbed.ap_ids()[:num_aps]
+    spectra = deployment.collect_client_spectra(client_id, ap_ids)
+    estimate = server.localize_spectra(spectra, client_id)
+    return estimate, testbed.client_position(client_id)
+
+
+def localize_all_clients(num_clients: int = 10,
+                         grid_resolution_m: float = 0.25,
+                         seed: int = 7) -> Dict[str, float]:
+    """Localize the first ``num_clients`` clients; return errors in centimetres."""
+    testbed = build_office_testbed()
+    deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=seed))
+    server = ArrayTrackServer(
+        testbed.bounds,
+        ServerConfig(localizer=LocalizerConfig(grid_resolution_m=grid_resolution_m,
+                                               spectrum_floor=0.05)))
+    errors: Dict[str, float] = {}
+    for client_id in testbed.client_ids()[:num_clients]:
+        deployment.clear()
+        spectra = deployment.collect_client_spectra(client_id)
+        estimate = server.localize_spectra(spectra, client_id)
+        errors[client_id] = estimate.error_to(testbed.client_position(client_id)) * 100.0
+    return errors

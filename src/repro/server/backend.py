@@ -1,0 +1,161 @@
+"""The central ArrayTrack server: spectra aggregation and location synthesis.
+
+Figure 1 splits the system into per-AP functionality (detection, diversity
+synthesis, buffering) and server functionality (AoA spectrum computation,
+multipath suppression, maximum-likelihood position estimation).  In this
+library the spectrum computation lives with the AP object for convenience;
+the :class:`ArrayTrackServer` performs the cross-frame and cross-AP steps:
+
+* group each AP's spectra of a client by capture time and run multipath
+  suppression on each group (Section 2.4);
+* synthesize the suppressed spectra of all APs into a likelihood surface and
+  extract the location estimate (Section 2.5);
+* account for the end-to-end latency of the fix (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.ap.access_point import ArrayTrackAP
+from repro.ap.latency import LatencyBreakdown, LatencyModel
+from repro.core.localizer import LocalizerConfig, LocationEstimate, LocationEstimator
+from repro.core.spectrum import AoASpectrum
+from repro.core.suppression import MultipathSuppressor
+
+__all__ = ["ServerConfig", "ArrayTrackServer"]
+
+
+@dataclass
+class ServerConfig:
+    """Configuration of the central server.
+
+    Attributes
+    ----------
+    localizer:
+        Grid/hill-climbing configuration of the position estimator.
+    enable_multipath_suppression:
+        Run the Section 2.4 algorithm on each AP's spectra when multiple
+        frames of a client are available.
+    suppressor:
+        Parameters of the multipath suppression step.
+    measure_processing_time:
+        Record wall-clock processing time of each fix (used by the latency
+        experiment to substitute the measured Python time for the paper's
+        Matlab figure).
+    """
+
+    localizer: LocalizerConfig = field(default_factory=LocalizerConfig)
+    enable_multipath_suppression: bool = True
+    suppressor: MultipathSuppressor = field(default_factory=MultipathSuppressor)
+    measure_processing_time: bool = False
+
+
+class ArrayTrackServer:
+    """Aggregates AoA spectra from many APs and produces location fixes.
+
+    Parameters
+    ----------
+    bounds:
+        ``(xmin, ymin, xmax, ymax)`` search area (the floorplan bounding box).
+    config:
+        Server configuration; the defaults follow the paper.
+    latency_model:
+        Hardware latency model used to annotate fixes; a default WARP-like
+        model is used when omitted.
+    """
+
+    def __init__(self, bounds: Tuple[float, float, float, float],
+                 config: Optional[ServerConfig] = None,
+                 latency_model: Optional[LatencyModel] = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.estimator = LocationEstimator(bounds, self.config.localizer)
+        self.latency_model = latency_model if latency_model is not None else LatencyModel()
+        self._last_processing_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Spectra-level API
+    # ------------------------------------------------------------------
+    def localize_spectra(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]],
+                         client_id: str = "") -> LocationEstimate:
+        """Localize a client from per-AP lists of AoA spectra.
+
+        Each AP contributes one processed spectrum: when multipath
+        suppression is enabled and the AP captured multiple frames close in
+        time, the suppressed primary is used; otherwise the AP's first
+        spectrum passes through unchanged (step 1 of the Figure 8
+        algorithm).
+        """
+        processed = self._process_per_ap(spectra_by_ap)
+        if not processed:
+            raise EstimationError("no AoA spectra supplied for localization")
+        start = time.perf_counter() if self.config.measure_processing_time else None
+        estimate = self.estimator.estimate(processed, client_id=client_id)
+        if start is not None:
+            self._last_processing_s = time.perf_counter() - start
+        return estimate
+
+    def _process_per_ap(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]]
+                        ) -> List[AoASpectrum]:
+        processed: List[AoASpectrum] = []
+        for ap_id, spectra in spectra_by_ap.items():
+            spectra = list(spectra)
+            if not spectra:
+                continue
+            if self.config.enable_multipath_suppression and len(spectra) >= 2:
+                outputs = self.config.suppressor.process(spectra)
+                # One output per time group; use the first group's primary,
+                # which corresponds to the most recent burst of frames.
+                processed.append(outputs[0])
+            else:
+                processed.append(spectra[0])
+        return processed
+
+    # ------------------------------------------------------------------
+    # AP-level API
+    # ------------------------------------------------------------------
+    def localize_client(self, aps: Sequence[ArrayTrackAP],
+                        client_id: str) -> LocationEstimate:
+        """Localize ``client_id`` from the frames currently buffered at ``aps``."""
+        if not aps:
+            raise ConfigurationError("need at least one AP to localize")
+        spectra_by_ap: Dict[str, List[AoASpectrum]] = {}
+        for ap in aps:
+            spectra = ap.spectra_for_client(client_id)
+            if spectra:
+                spectra_by_ap[ap.ap_id] = spectra
+        return self.localize_spectra(spectra_by_ap, client_id=client_id)
+
+    # ------------------------------------------------------------------
+    # Latency accounting (Section 4.4)
+    # ------------------------------------------------------------------
+    @property
+    def last_processing_s(self) -> Optional[float]:
+        """Wall-clock duration of the most recent synthesis step, if measured."""
+        return self._last_processing_s
+
+    def latency_breakdown(self, payload_bytes: int = 1500,
+                          bitrate_mbps: float = 54.0,
+                          use_measured_processing: bool = False) -> LatencyBreakdown:
+        """Return the latency breakdown of a fix for a given frame size/rate.
+
+        Parameters
+        ----------
+        use_measured_processing:
+            Substitute the wall-clock time of the most recent fix for the
+            paper's 100 ms Matlab processing figure.
+        """
+        model = self.latency_model
+        if use_measured_processing and self._last_processing_s is not None:
+            model = LatencyModel(
+                num_snapshots=model.num_snapshots,
+                num_radios=model.num_radios,
+                link_throughput_bps=model.link_throughput_bps,
+                bus_latency_s=model.bus_latency_s,
+                processing_s=self._last_processing_s,
+                bits_per_sample=model.bits_per_sample,
+            )
+        return model.breakdown(payload_bytes, bitrate_mbps)

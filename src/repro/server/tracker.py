@@ -1,0 +1,118 @@
+"""Client tracking: a time series of location fixes per client.
+
+The paper's motivating applications (augmented reality, retail analytics)
+track clients "in real time, as they roam about a building".  The
+:class:`ClientTracker` keeps the history of fixes produced by the server and
+offers a lightly smoothed trajectory (exponential moving average), which is
+what a consumer of a 10 Hz location feed would typically apply.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.localizer import LocationEstimate
+from repro.geometry.vector import Point2D
+
+__all__ = ["TrackPoint", "ClientTracker"]
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One entry of a client's track.
+
+    Attributes
+    ----------
+    timestamp_s:
+        Time of the fix.
+    position:
+        Raw estimated position.
+    smoothed_position:
+        Exponentially smoothed position (equals ``position`` for the first
+        fix of a client).
+    likelihood:
+        Likelihood value of the fix.
+    """
+
+    timestamp_s: float
+    position: Point2D
+    smoothed_position: Point2D
+    likelihood: float
+
+
+class ClientTracker:
+    """Maintains per-client location histories.
+
+    Parameters
+    ----------
+    smoothing_factor:
+        Exponential moving average weight of the newest fix, in ``(0, 1]``
+        (1 disables smoothing).
+    max_history:
+        Maximum number of fixes retained per client (None keeps everything).
+    """
+
+    def __init__(self, smoothing_factor: float = 0.6,
+                 max_history: Optional[int] = None) -> None:
+        if not 0.0 < smoothing_factor <= 1.0:
+            raise ConfigurationError("smoothing_factor must be in (0, 1]")
+        if max_history is not None and max_history < 1:
+            raise ConfigurationError("max_history must be >= 1 or None")
+        self.smoothing_factor = smoothing_factor
+        self.max_history = max_history
+        self._tracks: Dict[str, List[TrackPoint]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(self, client_id: str, estimate: LocationEstimate,
+               timestamp_s: float) -> TrackPoint:
+        """Append a new fix for ``client_id`` and return the track point."""
+        history = self._tracks[client_id]
+        if history:
+            previous = history[-1].smoothed_position
+            alpha = self.smoothing_factor
+            smoothed = Point2D(
+                alpha * estimate.position.x + (1.0 - alpha) * previous.x,
+                alpha * estimate.position.y + (1.0 - alpha) * previous.y,
+            )
+        else:
+            smoothed = estimate.position
+        point = TrackPoint(timestamp_s=timestamp_s, position=estimate.position,
+                           smoothed_position=smoothed,
+                           likelihood=estimate.likelihood)
+        history.append(point)
+        if self.max_history is not None and len(history) > self.max_history:
+            del history[:len(history) - self.max_history]
+        return point
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def clients(self) -> List[str]:
+        """Return the identifiers of all tracked clients."""
+        return sorted(self._tracks)
+
+    def track(self, client_id: str) -> List[TrackPoint]:
+        """Return the full track of ``client_id`` (oldest first)."""
+        return list(self._tracks.get(client_id, []))
+
+    def latest(self, client_id: str) -> Optional[TrackPoint]:
+        """Return the most recent fix for ``client_id``, or None."""
+        history = self._tracks.get(client_id)
+        return history[-1] if history else None
+
+    def path_length_m(self, client_id: str, smoothed: bool = True) -> float:
+        """Return the total length of the client's (smoothed) trajectory."""
+        history = self._tracks.get(client_id, [])
+        if len(history) < 2:
+            return 0.0
+        total = 0.0
+        for previous, current in zip(history, history[1:]):
+            a = previous.smoothed_position if smoothed else previous.position
+            b = current.smoothed_position if smoothed else current.position
+            total += a.distance_to(b)
+        return total

@@ -1,0 +1,52 @@
+"""Signal substrate: waveforms, the 802.11 OFDM preamble, noise and detection.
+
+This package models the parts of the 802.11 physical layer ArrayTrack relies
+on (Sections 2.1-2.2 of the paper): preamble structure, packet detection and
+the raw I/Q sample streams captured by the AP.
+"""
+
+from repro.signal.waveform import Waveform
+from repro.signal.ofdm import (
+    PreambleLayout,
+    generate_long_training_field,
+    generate_preamble,
+    generate_short_training_field,
+    long_training_symbol,
+    short_training_symbol,
+)
+from repro.signal.noise import (
+    add_awgn,
+    complex_awgn,
+    db_to_linear,
+    linear_to_db,
+    measure_snr_db,
+    noise_power_for_snr,
+)
+from repro.signal.packet import Frame, VALID_80211G_RATES_MBPS, air_time_s
+from repro.signal.detection import (
+    DetectionResult,
+    MatchedFilterDetector,
+    SchmidlCoxDetector,
+)
+
+__all__ = [
+    "Waveform",
+    "PreambleLayout",
+    "generate_long_training_field",
+    "generate_preamble",
+    "generate_short_training_field",
+    "long_training_symbol",
+    "short_training_symbol",
+    "add_awgn",
+    "complex_awgn",
+    "db_to_linear",
+    "linear_to_db",
+    "measure_snr_db",
+    "noise_power_for_snr",
+    "Frame",
+    "VALID_80211G_RATES_MBPS",
+    "air_time_s",
+    "DetectionResult",
+    "MatchedFilterDetector",
+    "SchmidlCoxDetector",
+]

@@ -1,0 +1,108 @@
+"""Additive white Gaussian noise and SNR bookkeeping utilities.
+
+ArrayTrack's robustness evaluation (Sections 4.3.3-4.3.4, Figures 19-20)
+sweeps the operating SNR; every receive-side component in this library uses
+the helpers below so the SNR definition is consistent everywhere: SNR is the
+ratio of the mean received *signal* power to the per-sample complex noise
+variance, expressed in dB.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.signal.waveform import Waveform
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "noise_power_for_snr",
+    "complex_awgn",
+    "add_awgn",
+    "measure_snr_db",
+]
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio in dB to a linear ratio."""
+    return float(10.0 ** (value_db / 10.0))
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises
+    ------
+    SignalError
+        If ``value`` is not strictly positive.
+    """
+    if value <= 0:
+        raise SignalError(f"cannot convert non-positive power {value!r} to dB")
+    return float(10.0 * np.log10(value))
+
+
+def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
+    """Return the complex noise variance giving ``snr_db`` for ``signal_power``."""
+    if signal_power < 0:
+        raise SignalError(f"signal power must be non-negative, got {signal_power!r}")
+    return signal_power / db_to_linear(snr_db)
+
+
+def complex_awgn(shape, noise_power: float,
+                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Return circularly-symmetric complex Gaussian noise with total power ``noise_power``.
+
+    Each complex sample has variance ``noise_power`` split equally between
+    the real and imaginary parts.
+    """
+    if noise_power < 0:
+        raise SignalError(f"noise power must be non-negative, got {noise_power!r}")
+    rng = rng if rng is not None else np.random.default_rng()
+    scale = np.sqrt(noise_power / 2.0)
+    return (rng.normal(scale=scale, size=shape)
+            + 1j * rng.normal(scale=scale, size=shape))
+
+
+def add_awgn(waveform: Waveform, snr_db: float,
+             rng: Optional[np.random.Generator] = None,
+             reference_power: Optional[float] = None) -> Waveform:
+    """Return a copy of ``waveform`` with AWGN added at ``snr_db``.
+
+    Parameters
+    ----------
+    waveform:
+        The clean signal.
+    snr_db:
+        Desired signal-to-noise ratio in dB.
+    rng:
+        Numpy random generator (a fresh default generator if omitted).
+    reference_power:
+        Signal power to define the SNR against.  Defaults to the mean power
+        of ``waveform`` itself; pass an explicit value when the waveform
+        contains leading/trailing silence that should not dilute the SNR
+        definition.
+    """
+    power = waveform.power() if reference_power is None else reference_power
+    if power <= 0:
+        raise SignalError("cannot add noise relative to a zero-power signal")
+    noise_power = noise_power_for_snr(power, snr_db)
+    noise = complex_awgn(len(waveform), noise_power, rng)
+    return Waveform(waveform.samples + noise, waveform.sample_rate_hz)
+
+
+def measure_snr_db(noisy: np.ndarray, clean: np.ndarray) -> float:
+    """Estimate the SNR in dB of ``noisy`` given the known ``clean`` signal."""
+    noisy = np.asarray(noisy, dtype=np.complex128)
+    clean = np.asarray(clean, dtype=np.complex128)
+    if noisy.shape != clean.shape:
+        raise SignalError(
+            f"shape mismatch: noisy {noisy.shape} vs clean {clean.shape}")
+    noise = noisy - clean
+    signal_power = float(np.mean(np.abs(clean) ** 2))
+    noise_power = float(np.mean(np.abs(noise) ** 2))
+    if noise_power == 0:
+        raise SignalError("noise power is zero; SNR is unbounded")
+    return linear_to_db(signal_power / noise_power)

@@ -1,0 +1,204 @@
+"""802.11a/g OFDM preamble generation (short and long training symbols).
+
+Figure 2 of the paper shows the 802.11 OFDM preamble structure ArrayTrack
+relies on: ten identical short training symbols (0.8 us each), a guard
+interval, then two identical long training symbols (3.2 us each).  The short
+symbols drive Schmidl-Cox packet detection (Section 2.1); the two long
+symbols are what diversity synthesis records on the two antenna sets
+(Section 2.2).
+
+The frequency-domain definitions follow IEEE 802.11-2012 Table 18-6 /
+Equation 18-8 (the standard L-STF and L-LTF sequences) generated at the
+nominal 20 MHz rate; :func:`generate_preamble` can oversample the result to
+the 40 Msps WARP capture rate used in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.constants import (
+    NUM_LONG_TRAINING_SYMBOLS,
+    NUM_SHORT_TRAINING_SYMBOLS,
+    OFDM_BANDWIDTH_HZ,
+    SAMPLE_RATE_HZ,
+)
+from repro.errors import SignalError
+from repro.signal.waveform import Waveform
+
+__all__ = [
+    "short_training_symbol",
+    "long_training_symbol",
+    "generate_short_training_field",
+    "generate_long_training_field",
+    "generate_preamble",
+    "PreambleLayout",
+]
+
+#: Number of OFDM subcarriers (FFT size) at 20 MHz.
+FFT_SIZE = 64
+
+#: Baseband sample period of the nominal 20 MHz OFDM signal.
+BASE_SAMPLE_RATE_HZ = OFDM_BANDWIDTH_HZ
+
+# Frequency-domain short training sequence, IEEE 802.11-2012 Eq. 18-7.
+# Non-zero values on subcarriers +/- {4, 8, 12, 16, 20, 24}.
+_STS_FREQ_VALUES = {
+    -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j, -8: -1 - 1j, -4: 1 + 1j,
+    4: -1 - 1j, 8: -1 - 1j, 12: 1 + 1j, 16: 1 + 1j, 20: 1 + 1j, 24: 1 + 1j,
+}
+_STS_SCALE = math.sqrt(13.0 / 6.0)
+
+# Frequency-domain long training sequence, IEEE 802.11-2012 Eq. 18-10,
+# covering subcarriers -26..-1 and +1..+26.
+_LTS_FREQ_LEFT = [
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+]
+_LTS_FREQ_RIGHT = [
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+]
+
+
+def _subcarrier_spectrum(values: dict[int, complex]) -> np.ndarray:
+    """Place subcarrier values into an FFT-shifted length-64 spectrum."""
+    spectrum = np.zeros(FFT_SIZE, dtype=np.complex128)
+    for subcarrier, value in values.items():
+        spectrum[subcarrier % FFT_SIZE] = value
+    return spectrum
+
+
+@lru_cache(maxsize=1)
+def _sts_time_domain() -> np.ndarray:
+    """Return one 16-sample (0.8 us at 20 MHz) short training symbol."""
+    spectrum = _subcarrier_spectrum(
+        {k: _STS_SCALE * v for k, v in _STS_FREQ_VALUES.items()})
+    time_signal = np.fft.ifft(spectrum) * FFT_SIZE / math.sqrt(FFT_SIZE)
+    # The 64-sample IFFT output is periodic with period 16; one short
+    # training symbol is the first 16 samples.
+    return time_signal[:16].copy()
+
+
+@lru_cache(maxsize=1)
+def _lts_time_domain() -> np.ndarray:
+    """Return one 64-sample (3.2 us at 20 MHz) long training symbol."""
+    values: dict[int, complex] = {}
+    for offset, value in zip(range(-26, 0), _LTS_FREQ_LEFT):
+        values[offset] = value
+    for offset, value in zip(range(1, 27), _LTS_FREQ_RIGHT):
+        values[offset] = value
+    spectrum = _subcarrier_spectrum(values)
+    time_signal = np.fft.ifft(spectrum) * FFT_SIZE / math.sqrt(FFT_SIZE)
+    return time_signal.copy()
+
+
+def short_training_symbol(sample_rate_hz: float = BASE_SAMPLE_RATE_HZ) -> Waveform:
+    """Return a single 0.8 us short training symbol.
+
+    Parameters
+    ----------
+    sample_rate_hz:
+        Output sample rate; must be an integer multiple of 20 MHz.
+    """
+    factor = _oversampling_factor(sample_rate_hz)
+    base = Waveform(_sts_time_domain(), BASE_SAMPLE_RATE_HZ)
+    return base.upsampled(factor)
+
+
+def long_training_symbol(sample_rate_hz: float = BASE_SAMPLE_RATE_HZ) -> Waveform:
+    """Return a single 3.2 us long training symbol."""
+    factor = _oversampling_factor(sample_rate_hz)
+    base = Waveform(_lts_time_domain(), BASE_SAMPLE_RATE_HZ)
+    return base.upsampled(factor)
+
+
+def generate_short_training_field(
+        sample_rate_hz: float = BASE_SAMPLE_RATE_HZ,
+        repetitions: int = NUM_SHORT_TRAINING_SYMBOLS) -> Waveform:
+    """Return the short training field: ``repetitions`` identical STS copies."""
+    if repetitions < 1:
+        raise SignalError(f"repetitions must be >= 1, got {repetitions}")
+    return short_training_symbol(sample_rate_hz).repeated(repetitions)
+
+
+def generate_long_training_field(
+        sample_rate_hz: float = BASE_SAMPLE_RATE_HZ,
+        repetitions: int = NUM_LONG_TRAINING_SYMBOLS,
+        include_guard: bool = True) -> Waveform:
+    """Return the long training field, optionally preceded by its guard interval.
+
+    The 802.11 long training field starts with a 1.6 us cyclic-prefix guard
+    (the tail half of one LTS) followed by two full 3.2 us long training
+    symbols.
+    """
+    if repetitions < 1:
+        raise SignalError(f"repetitions must be >= 1, got {repetitions}")
+    lts = long_training_symbol(sample_rate_hz)
+    field = lts.repeated(repetitions)
+    if include_guard:
+        guard_len = len(lts) // 2
+        guard = Waveform(lts.samples[-guard_len:].copy(), lts.sample_rate_hz)
+        field = guard.concatenate(field)
+    return field
+
+
+class PreambleLayout:
+    """Sample indices of preamble landmarks at a given sample rate.
+
+    The diversity synthesis logic (Section 2.2) needs to know where the two
+    long training symbols start so it can switch antenna sets between them;
+    this helper centralizes that arithmetic.
+    """
+
+    def __init__(self, sample_rate_hz: float = SAMPLE_RATE_HZ) -> None:
+        factor = _oversampling_factor(sample_rate_hz)
+        self.sample_rate_hz = sample_rate_hz
+        self.sts_length = 16 * factor
+        self.lts_length = 64 * factor
+        self.guard_length = 32 * factor
+        self.num_sts = NUM_SHORT_TRAINING_SYMBOLS
+        self.num_lts = NUM_LONG_TRAINING_SYMBOLS
+
+    @property
+    def short_field_end(self) -> int:
+        """Index of the first sample after the short training field."""
+        return self.sts_length * self.num_sts
+
+    @property
+    def first_lts_start(self) -> int:
+        """Index of the first sample of long training symbol S0."""
+        return self.short_field_end + self.guard_length
+
+    @property
+    def second_lts_start(self) -> int:
+        """Index of the first sample of long training symbol S1."""
+        return self.first_lts_start + self.lts_length
+
+    @property
+    def preamble_length(self) -> int:
+        """Total preamble length in samples."""
+        return self.first_lts_start + self.lts_length * self.num_lts
+
+
+def generate_preamble(sample_rate_hz: float = SAMPLE_RATE_HZ) -> Waveform:
+    """Return the full 16 us 802.11 OFDM preamble at ``sample_rate_hz``.
+
+    Layout (Figure 2 of the paper): ten short training symbols, the long
+    training field guard interval, then two long training symbols.
+    """
+    sts_field = generate_short_training_field(sample_rate_hz)
+    lts_field = generate_long_training_field(sample_rate_hz, include_guard=True)
+    return sts_field.concatenate(lts_field)
+
+
+def _oversampling_factor(sample_rate_hz: float) -> int:
+    """Return the integer oversampling factor relative to 20 MHz."""
+    ratio = sample_rate_hz / BASE_SAMPLE_RATE_HZ
+    factor = int(round(ratio))
+    if factor < 1 or abs(ratio - factor) > 1e-9:
+        raise SignalError(
+            "sample rate must be an integer multiple of 20 MHz, got "
+            f"{sample_rate_hz!r}")
+    return factor

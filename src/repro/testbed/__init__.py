@@ -1,0 +1,28 @@
+"""Testbed substrate: the simulated office deployment of Figure 12."""
+
+from repro.testbed.office import (
+    APSite,
+    NUM_CLIENTS,
+    OFFICE_DEPTH_M,
+    OFFICE_WIDTH_M,
+    OfficeTestbed,
+    build_office_floorplan,
+    build_office_testbed,
+    default_ap_sites,
+    default_client_positions,
+)
+from repro.testbed.deployment import ScenarioConfig, SimulatedDeployment
+
+__all__ = [
+    "APSite",
+    "NUM_CLIENTS",
+    "OFFICE_DEPTH_M",
+    "OFFICE_WIDTH_M",
+    "OfficeTestbed",
+    "build_office_floorplan",
+    "build_office_testbed",
+    "default_ap_sites",
+    "default_client_positions",
+    "ScenarioConfig",
+    "SimulatedDeployment",
+]

@@ -1,0 +1,216 @@
+"""Simulated deployment: wiring the testbed, channel model, APs and server.
+
+The :class:`SimulatedDeployment` is the experiment driver: given the static
+:class:`~repro.testbed.office.OfficeTestbed` description and a scenario
+configuration, it instantiates the six ArrayTrack APs, builds multipath
+channels for every client-AP link, has the APs overhear frames, and collects
+the per-AP AoA spectra the server needs.  Every evaluation experiment
+(Figures 13-20) is a thin loop over this class with different parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ChannelError, ConfigurationError
+from repro.ap.access_point import APConfig, ArrayTrackAP
+from repro.channel.builder import ChannelBuilder, ChannelModelConfig
+from repro.channel.mobility import movement_track
+from repro.core.pipeline import SpectrumConfig
+from repro.core.spectrum import AoASpectrum
+from repro.geometry.vector import Point2D
+from repro.testbed.office import OfficeTestbed
+
+__all__ = ["ScenarioConfig", "SimulatedDeployment"]
+
+
+@dataclass
+class ScenarioConfig:
+    """Parameters of one simulated measurement campaign.
+
+    Attributes
+    ----------
+    num_antennas:
+        Antennas in each AP's linear row (Figure 16 sweeps 4/6/8).
+    use_symmetry_antenna:
+        Give each AP the ninth off-row antenna for symmetry removal.
+    snr_db:
+        Per-antenna capture SNR.
+    snapshots_per_frame:
+        Raw samples recorded per frame (Figure 19 sweeps this).
+    frames_per_client:
+        Frames captured per client; frames beyond the first come from
+        slightly moved positions (the semi-static scenario of Section 4.2).
+    movement_max_step_m:
+        Maximum inadvertent movement between successive frames (< 5 cm).
+    frame_spacing_s:
+        Time between successive frames of a client (must stay below the
+        100 ms multipath-suppression window for grouping to apply).
+    height_offset_m:
+        AP/client height difference (Section 4.3.1).
+    polarization_mismatch_deg:
+        Client antenna polarization mismatch (Section 4.3.2).
+    max_reflections:
+        Specular reflection order of the channel model.
+    apply_phase_offsets:
+        Model per-radio phase offsets and their calibration at each AP.
+        Disabled by default for speed: calibration removes the offsets
+        almost exactly, and the calibration procedure itself has dedicated
+        tests and a robustness experiment.
+    spectrum:
+        Per-frame spectrum pipeline configuration.
+    seed:
+        Seed of the campaign's random number generator.
+    """
+
+    num_antennas: int = 8
+    use_symmetry_antenna: bool = True
+    snr_db: float = 25.0
+    snapshots_per_frame: int = 10
+    frames_per_client: int = 3
+    movement_max_step_m: float = 0.05
+    frame_spacing_s: float = 0.03
+    height_offset_m: float = 0.0
+    polarization_mismatch_deg: float = 0.0
+    max_reflections: int = 1
+    apply_phase_offsets: bool = False
+    spectrum: SpectrumConfig = field(default_factory=SpectrumConfig)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.frames_per_client < 1:
+            raise ConfigurationError("frames_per_client must be >= 1")
+        if self.frame_spacing_s < 0:
+            raise ConfigurationError("frame_spacing_s must be non-negative")
+
+    def channel_config(self) -> ChannelModelConfig:
+        """Return the channel model configuration implied by this scenario."""
+        return ChannelModelConfig(
+            max_reflections=self.max_reflections,
+            height_offset_m=self.height_offset_m,
+            polarization_mismatch_deg=self.polarization_mismatch_deg,
+        )
+
+
+class SimulatedDeployment:
+    """Instantiates APs over a testbed and simulates frame captures.
+
+    Parameters
+    ----------
+    testbed:
+        The static environment (floorplan, AP sites, client ground truth).
+    config:
+        Scenario parameters; paper-faithful defaults when omitted.
+    """
+
+    def __init__(self, testbed: OfficeTestbed,
+                 config: Optional[ScenarioConfig] = None) -> None:
+        self.testbed = testbed
+        self.config = config if config is not None else ScenarioConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.channel_builder = ChannelBuilder(testbed.floorplan,
+                                              self.config.channel_config())
+        self.aps: Dict[str, ArrayTrackAP] = {}
+        ap_config = APConfig(
+            num_antennas=self.config.num_antennas,
+            use_symmetry_antenna=self.config.use_symmetry_antenna,
+            snapshots_per_frame=self.config.snapshots_per_frame,
+            snr_db=self.config.snr_db,
+            spectrum=self.config.spectrum,
+            apply_phase_offsets=self.config.apply_phase_offsets,
+        )
+        for site in testbed.ap_sites:
+            self.aps[site.ap_id] = ArrayTrackAP(
+                ap_id=site.ap_id, position=site.position,
+                orientation_deg=site.orientation_deg,
+                config=replace(ap_config),
+                rng=np.random.default_rng(self._rng.integers(2 ** 32)))
+
+    # ------------------------------------------------------------------
+    # Frame capture
+    # ------------------------------------------------------------------
+    def client_track(self, client_id: str,
+                     num_frames: Optional[int] = None) -> List[Point2D]:
+        """Return the (possibly perturbed) positions a client transmits from.
+
+        The first position is the ground truth; subsequent positions are a
+        short random walk with steps below ``movement_max_step_m``, the
+        semi-static behaviour of Section 4.2.
+        """
+        frames = self.config.frames_per_client if num_frames is None else num_frames
+        position = self.testbed.client_position(client_id)
+        if frames == 1:
+            return [position]
+        return movement_track(position, frames,
+                              max_step_m=self.config.movement_max_step_m,
+                              rng=self._rng)
+
+    def capture_client(self, client_id: str,
+                       ap_ids: Optional[Sequence[str]] = None,
+                       positions: Optional[Sequence[Point2D]] = None,
+                       start_time_s: float = 0.0,
+                       snr_db: Optional[float] = None) -> None:
+        """Simulate the client transmitting frames overheard by the given APs.
+
+        Parameters
+        ----------
+        client_id:
+            Which client transmits.
+        ap_ids:
+            APs that overhear (all six by default).
+        positions:
+            Transmit positions, one per frame; the scenario's default track
+            is used when omitted.
+        start_time_s:
+            Timestamp of the first frame.
+        snr_db:
+            Override the capture SNR for this client.
+        """
+        ap_ids = list(ap_ids) if ap_ids is not None else self.testbed.ap_ids()
+        if positions is None:
+            positions = self.client_track(client_id)
+        for frame_index, position in enumerate(positions):
+            timestamp = start_time_s + frame_index * self.config.frame_spacing_s
+            for ap_id in ap_ids:
+                ap = self.aps[ap_id]
+                try:
+                    channel = self.channel_builder.build(
+                        position, ap.position, client_id=client_id, ap_id=ap_id)
+                except ChannelError:
+                    # Every path to this AP is attenuated below the tracing
+                    # cutoff: the AP simply does not overhear the frame,
+                    # exactly like a too-distant production AP.
+                    continue
+                ap.overhear(channel, timestamp_s=timestamp, snr_db=snr_db,
+                            rng=self._rng)
+
+    # ------------------------------------------------------------------
+    # Spectra collection
+    # ------------------------------------------------------------------
+    def spectra_for_client(self, client_id: str,
+                           ap_ids: Optional[Sequence[str]] = None
+                           ) -> Dict[str, List[AoASpectrum]]:
+        """Return the per-AP spectra computed from the buffered frames."""
+        ap_ids = list(ap_ids) if ap_ids is not None else self.testbed.ap_ids()
+        spectra: Dict[str, List[AoASpectrum]] = {}
+        for ap_id in ap_ids:
+            ap_spectra = self.aps[ap_id].spectra_for_client(client_id)
+            if ap_spectra:
+                spectra[ap_id] = ap_spectra
+        return spectra
+
+    def collect_client_spectra(self, client_id: str,
+                               ap_ids: Optional[Sequence[str]] = None,
+                               snr_db: Optional[float] = None
+                               ) -> Dict[str, List[AoASpectrum]]:
+        """Capture the scenario's frames for one client and return its spectra."""
+        self.capture_client(client_id, ap_ids, snr_db=snr_db)
+        return self.spectra_for_client(client_id, ap_ids)
+
+    def clear(self) -> None:
+        """Drop every AP's buffered frames (between clients or experiments)."""
+        for ap in self.aps.values():
+            ap.clear()

@@ -1,0 +1,250 @@
+"""The simulated office testbed (Figure 12 of the paper).
+
+The paper deploys 41 Soekris clients roughly uniformly over one floor of a
+busy office and places the prototype AP at six marked locations.  The clients
+are deliberately placed near metal, wood, glass and plastic surfaces and some
+behind concrete pillars so their direct path to an AP is blocked.
+
+This module builds a synthetic equivalent: a 40 m x 18 m floor with a brick
+shell, drywall office partitions along a central corridor, a glass meeting
+room front, a metal cabinet run, four concrete pillars, six AP sites on the
+walls facing the interior, and 41 deterministic (seeded) client positions
+spread over the floor with a handful intentionally shadowed by pillars.
+Everything is deterministic so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.floorplan import Floorplan
+from repro.geometry.materials import get_material
+from repro.geometry.vector import Point2D, bearing_deg
+from repro.geometry.walls import Pillar, Wall
+
+__all__ = ["APSite", "OfficeTestbed", "build_office_floorplan", "build_office_testbed"]
+
+#: Floor dimensions in metres.
+OFFICE_WIDTH_M = 40.0
+OFFICE_DEPTH_M = 18.0
+
+#: Number of clients the paper deploys.
+NUM_CLIENTS = 41
+
+#: Seed making the client layout deterministic across runs.
+CLIENT_LAYOUT_SEED = 2013
+
+
+@dataclass(frozen=True)
+class APSite:
+    """One of the six AP locations of Figure 12.
+
+    Attributes
+    ----------
+    ap_id:
+        Label "1" .. "6" matching the figure.
+    position:
+        AP position in metres.
+    orientation_deg:
+        Orientation of the antenna row; the broadside of the array
+        (perpendicular to the row) faces the room interior, which is how a
+        wall-mounted AP would be installed.
+    """
+
+    ap_id: str
+    position: Point2D
+    orientation_deg: float
+
+
+def build_office_floorplan() -> Floorplan:
+    """Return the synthetic office floorplan used by every experiment."""
+    plan = Floorplan(name="office-testbed")
+    brick = get_material("brick")
+    drywall = get_material("drywall")
+    glass = get_material("glass")
+    metal = get_material("metal")
+    wood = get_material("wood")
+
+    # Outer shell.
+    corners = [Point2D(0, 0), Point2D(OFFICE_WIDTH_M, 0),
+               Point2D(OFFICE_WIDTH_M, OFFICE_DEPTH_M), Point2D(0, OFFICE_DEPTH_M)]
+    shell_names = ["south", "east", "north", "west"]
+    for i in range(4):
+        plan.add_wall(Wall(corners[i], corners[(i + 1) % 4], brick,
+                           name=f"shell-{shell_names[i]}"))
+
+    # Corridor walls (with door gaps) separating the office rows from the
+    # central corridor running east-west between y = 7 and y = 11.
+    for name, y in (("corridor-south", 7.0), ("corridor-north", 11.0)):
+        plan.add_wall(Wall(Point2D(2.0, y), Point2D(12.0, y), drywall,
+                           name=f"{name}-a"))
+        plan.add_wall(Wall(Point2D(14.0, y), Point2D(26.0, y), drywall,
+                           name=f"{name}-b"))
+        plan.add_wall(Wall(Point2D(28.0, y), Point2D(38.0, y), drywall,
+                           name=f"{name}-c"))
+
+    # Office partition walls perpendicular to the corridor.
+    for x in (8.0, 16.0, 24.0, 32.0):
+        plan.add_wall(Wall(Point2D(x, 0.0), Point2D(x, 7.0), drywall,
+                           name=f"partition-south-{int(x)}"))
+        plan.add_wall(Wall(Point2D(x, 11.0), Point2D(x, 18.0), drywall,
+                           name=f"partition-north-{int(x)}"))
+
+    # Glass-fronted meeting room in the north-east corner.
+    plan.add_wall(Wall(Point2D(32.0, 13.0), Point2D(40.0, 13.0), glass,
+                       name="meeting-room-glass"))
+
+    # A run of metal cabinets along part of the south wall and a wooden
+    # bookcase near the west end, giving the strong reflectors the paper's
+    # clients are placed near.
+    plan.add_wall(Wall(Point2D(18.0, 1.2), Point2D(24.0, 1.2), metal,
+                       name="metal-cabinets"))
+    plan.add_wall(Wall(Point2D(3.0, 15.5), Point2D(7.0, 15.5), wood,
+                       name="wood-bookcase"))
+
+    # Concrete pillars down the middle of the floor (Section 4: "we also
+    # place some clients behind concrete pillars ... so that the direct path
+    # between the AP and client is blocked").
+    for index, x in enumerate((10.0, 20.0, 30.0), start=1):
+        plan.add_pillar(Pillar(Point2D(x, 9.0), radius=0.4,
+                               name=f"pillar-{index}"))
+    plan.add_pillar(Pillar(Point2D(25.0, 4.0), radius=0.35, name="pillar-4"))
+    return plan
+
+
+def default_ap_sites() -> List[APSite]:
+    """Return the six AP sites, numbered like Figure 12.
+
+    Each AP's antenna row is oriented so its broadside faces the centre of
+    the floor, which both matches how a wall-mounted AP is installed and
+    keeps most clients away from the unreliable endfire directions
+    (Section 2.3.3).
+    """
+    centre = Point2D(OFFICE_WIDTH_M / 2.0, OFFICE_DEPTH_M / 2.0)
+    raw_sites = [
+        ("1", Point2D(1.0, 1.0)),
+        ("2", Point2D(20.0, 0.6)),
+        ("3", Point2D(39.0, 1.0)),
+        ("4", Point2D(39.0, 17.0)),
+        ("5", Point2D(20.0, 17.4)),
+        ("6", Point2D(1.0, 17.0)),
+    ]
+    sites = []
+    for ap_id, position in raw_sites:
+        # Broadside towards the room centre: the array row is perpendicular
+        # to the AP->centre direction.
+        towards_centre = bearing_deg(position, centre)
+        orientation = (towards_centre + 90.0) % 360.0
+        sites.append(APSite(ap_id=ap_id, position=position,
+                            orientation_deg=orientation))
+    return sites
+
+
+def default_client_positions(num_clients: int = NUM_CLIENTS,
+                             seed: int = CLIENT_LAYOUT_SEED) -> Dict[str, Point2D]:
+    """Return the deterministic client layout ("client-01" .. "client-41").
+
+    Clients are spread roughly uniformly over a jittered grid covering the
+    floor (mirroring the paper's "roughly uniformly over the floorplan"),
+    with the last few positions placed directly behind pillars relative to
+    at least one AP so the blocked-direct-path scenarios of Sections 4.2.1
+    and 6 occur.
+    """
+    if num_clients < 1:
+        raise ConfigurationError("need at least one client")
+    rng = np.random.default_rng(seed)
+    positions: Dict[str, Point2D] = {}
+    # Reserve a handful of deliberately shadowed positions.
+    shadowed = [
+        Point2D(11.2, 9.1),   # immediately east of pillar-1
+        Point2D(21.3, 9.2),   # immediately east of pillar-2
+        Point2D(30.9, 8.8),   # immediately east of pillar-3
+        Point2D(25.8, 3.7),   # behind pillar-4 relative to AP 1
+    ]
+    num_grid = num_clients - len(shadowed)
+    columns = int(math.ceil(math.sqrt(num_grid * OFFICE_WIDTH_M / OFFICE_DEPTH_M)))
+    rows = int(math.ceil(num_grid / columns))
+    margin = 1.5
+    xs = np.linspace(margin, OFFICE_WIDTH_M - margin, columns)
+    ys = np.linspace(margin, OFFICE_DEPTH_M - margin, rows)
+    grid_points = [Point2D(float(x), float(y)) for y in ys for x in xs]
+    grid_points = grid_points[:num_grid]
+    index = 1
+    for point in grid_points:
+        jitter_x = float(rng.uniform(-0.8, 0.8))
+        jitter_y = float(rng.uniform(-0.8, 0.8))
+        x = min(max(point.x + jitter_x, 0.8), OFFICE_WIDTH_M - 0.8)
+        y = min(max(point.y + jitter_y, 0.8), OFFICE_DEPTH_M - 0.8)
+        positions[f"client-{index:02d}"] = Point2D(x, y)
+        index += 1
+    for point in shadowed:
+        if index > num_clients:
+            break
+        positions[f"client-{index:02d}"] = point
+        index += 1
+    return positions
+
+
+@dataclass
+class OfficeTestbed:
+    """The full static description of the experimental environment.
+
+    Attributes
+    ----------
+    floorplan:
+        Walls and pillars of the office floor.
+    ap_sites:
+        The six AP locations and orientations.
+    clients:
+        Ground-truth client positions keyed by client id.
+    """
+
+    floorplan: Floorplan = field(default_factory=build_office_floorplan)
+    ap_sites: List[APSite] = field(default_factory=default_ap_sites)
+    clients: Dict[str, Point2D] = field(default_factory=default_client_positions)
+
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """Search-area bounds used by the location estimator."""
+        return self.floorplan.bounding_box(margin=0.5)
+
+    def ap_site(self, ap_id: str) -> APSite:
+        """Return the AP site with identifier ``ap_id``."""
+        for site in self.ap_sites:
+            if site.ap_id == ap_id:
+                return site
+        raise ConfigurationError(f"unknown AP id {ap_id!r}")
+
+    def client_position(self, client_id: str) -> Point2D:
+        """Return the ground-truth position of ``client_id``."""
+        try:
+            return self.clients[client_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown client id {client_id!r}")
+
+    def client_ids(self) -> List[str]:
+        """Return all client identifiers in a stable order."""
+        return sorted(self.clients)
+
+    def ap_ids(self) -> List[str]:
+        """Return all AP identifiers in a stable order."""
+        return [site.ap_id for site in self.ap_sites]
+
+
+def build_office_testbed(num_clients: int = NUM_CLIENTS,
+                         seed: int = CLIENT_LAYOUT_SEED) -> OfficeTestbed:
+    """Return an :class:`OfficeTestbed` with ``num_clients`` clients.
+
+    Smaller client counts (used by the fast unit tests) keep the same
+    deterministic layout and simply truncate it.
+    """
+    return OfficeTestbed(
+        floorplan=build_office_floorplan(),
+        ap_sites=default_ap_sites(),
+        clients=default_client_positions(num_clients, seed),
+    )

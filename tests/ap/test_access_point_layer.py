@@ -1,0 +1,170 @@
+"""Tests for the AP layer: buffer, access point, collisions and latency."""
+
+import numpy as np
+import pytest
+
+from repro.ap import (
+    APConfig,
+    ArrayTrackAP,
+    CircularFrameBuffer,
+    CollisionResolver,
+    LatencyModel,
+    merge_channels,
+    preamble_collision_probability,
+)
+from repro.array import ArrayReceiver, SnapshotMatrix
+from repro.channel import ChannelBuilder, ChannelModelConfig, MultipathChannel
+from repro.core import SpectrumConfig, find_peaks
+from repro.errors import ConfigurationError
+from repro.geometry import Point2D, bearing_deg, rectangular_room
+from repro.geometry.vector import angle_difference_deg
+
+
+def _snapshot(num_antennas=8, num_samples=10):
+    return SnapshotMatrix(np.zeros((num_antennas, num_samples), dtype=complex))
+
+
+class TestCircularBuffer:
+    def test_capacity_enforced_with_overwrites(self):
+        buffer = CircularFrameBuffer(capacity=3)
+        for index in range(5):
+            buffer.push(_snapshot(), f"client-{index % 2}", float(index))
+        assert len(buffer) == 3
+        assert buffer.overwrites == 2
+        assert [entry.timestamp_s for entry in buffer] == [2.0, 3.0, 4.0]
+
+    def test_entries_for_client_and_latest(self):
+        buffer = CircularFrameBuffer(capacity=8)
+        for index in range(4):
+            buffer.push(_snapshot(), f"client-{index % 2}", float(index))
+        assert len(buffer.entries_for_client("client-0")) == 2
+        assert [e.timestamp_s for e in buffer.latest(2)] == [2.0, 3.0]
+
+    def test_drain_empties_buffer(self):
+        buffer = CircularFrameBuffer(capacity=4)
+        buffer.push(_snapshot(), "c", 0.0)
+        assert len(buffer.drain()) == 1
+        assert len(buffer) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CircularFrameBuffer(capacity=0)
+
+
+class TestArrayTrackAP:
+    @pytest.fixture
+    def room_and_channel(self):
+        room = rectangular_room(20.0, 10.0)
+        builder = ChannelBuilder(room, ChannelModelConfig(max_reflections=1))
+        return room, builder
+
+    def test_overhear_buffers_frames_and_computes_spectra(self, room_and_channel):
+        _, builder = room_and_channel
+        ap = ArrayTrackAP("1", Point2D(1.0, 1.0), orientation_deg=45.0,
+                          config=APConfig(apply_phase_offsets=False),
+                          rng=np.random.default_rng(0))
+        client = Point2D(10.0, 6.0)
+        channel = builder.build(client, ap.position, client_id="c1", ap_id="1")
+        ap.overhear(channel, timestamp_s=0.0)
+        ap.overhear(channel, timestamp_s=0.03)
+        assert len(ap.buffer) == 2
+        spectra = ap.spectra_for_client("c1")
+        assert len(spectra) == 2
+        true_local = (bearing_deg(ap.position, client) - 45.0) % 360.0
+        peaks = find_peaks(spectra[0], min_relative_height=0.2)
+        assert any(angle_difference_deg(p.angle_deg, true_local) < 6.0 for p in peaks)
+
+    def test_calibration_makes_offsets_harmless(self, room_and_channel):
+        """With random radio offsets plus calibration, the AoA peak is unchanged."""
+        _, builder = room_and_channel
+        client = Point2D(12.0, 7.0)
+        rng = np.random.default_rng(3)
+        ideal = ArrayTrackAP("1", Point2D(1.0, 1.0), orientation_deg=30.0,
+                             config=APConfig(apply_phase_offsets=False), rng=rng)
+        calibrated = ArrayTrackAP("1", Point2D(1.0, 1.0), orientation_deg=30.0,
+                                  config=APConfig(apply_phase_offsets=True),
+                                  rng=np.random.default_rng(4))
+        assert calibrated.is_calibrated
+        channel = builder.build(client, ideal.position, client_id="c", ap_id="1")
+        ideal_spectrum = ideal.compute_spectrum(ideal.overhear(channel))
+        calibrated_spectrum = calibrated.compute_spectrum(calibrated.overhear(channel))
+        ideal_peak = find_peaks(ideal_spectrum)[0].angle_deg
+        calibrated_peak = find_peaks(calibrated_spectrum)[0].angle_deg
+        assert angle_difference_deg(ideal_peak, calibrated_peak) < 5.0
+
+    def test_antenna_count_configurable(self, room_and_channel):
+        _, builder = room_and_channel
+        ap = ArrayTrackAP("1", Point2D(1.0, 1.0),
+                          config=APConfig(num_antennas=4, use_symmetry_antenna=False,
+                                          apply_phase_offsets=False),
+                          rng=np.random.default_rng(0))
+        channel = builder.build(Point2D(10.0, 5.0), ap.position, client_id="c", ap_id="1")
+        entry = ap.overhear(channel)
+        assert entry.snapshots.samples.shape[0] == 4
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            APConfig(num_antennas=1)
+        with pytest.raises(ConfigurationError):
+            APConfig(snapshots_per_frame=0)
+
+
+class TestCollisions:
+    def test_preamble_collision_probability_is_small_and_monotone(self):
+        # Section 4.3.5 quotes 0.6% for 1000-byte packets (at a low data
+        # rate); the probability must be well below a few percent at the
+        # base rate and shrink as frames get longer or slower.
+        low_rate = preamble_collision_probability(1000, 1.0)
+        assert low_rate < 0.01
+        assert (preamble_collision_probability(1000, 54.0)
+                > preamble_collision_probability(1500, 54.0))
+        assert (preamble_collision_probability(1000, 54.0)
+                > preamble_collision_probability(1000, 6.0))
+
+    def test_cancellation_recovers_second_transmitter(self):
+        room = rectangular_room(20.0, 10.0)
+        builder = ChannelBuilder(room, ChannelModelConfig(max_reflections=0,
+                                                          scatterers_per_reflection=0))
+        ap = ArrayTrackAP("1", Point2D(1.0, 5.0), orientation_deg=90.0,
+                          config=APConfig(apply_phase_offsets=False,
+                                          use_symmetry_antenna=False),
+                          rng=np.random.default_rng(0))
+        first_pos, second_pos = Point2D(15.0, 8.0), Point2D(12.0, 2.0)
+        first = builder.build(first_pos, ap.position, client_id="a", ap_id="1")
+        second = builder.build(second_pos, ap.position, client_id="b", ap_id="1")
+        spectrum_first = ap.compute_spectrum(ap.overhear(first))
+        ap.clear()
+        combined = merge_channels(first, second, ap_id="1")
+        spectrum_combined = ap.compute_spectrum(ap.overhear(combined))
+        recovered = CollisionResolver().cancel(spectrum_first, spectrum_combined)
+        local_second = (bearing_deg(ap.position, second_pos) - 90.0) % 360.0
+        peaks = find_peaks(recovered, min_relative_height=0.2)
+        assert peaks, "cancellation removed everything"
+        best = min(angle_difference_deg(p.angle_deg, local_second) for p in peaks)
+        mirror = min(angle_difference_deg(360 - p.angle_deg, local_second) for p in peaks)
+        assert min(best, mirror) < 8.0
+
+
+class TestLatencyModel:
+    def test_transfer_time_matches_paper(self):
+        # Section 4.4: 10 samples x 32 bits x 8 radios over 1 Mbit/s = 2.56 ms.
+        model = LatencyModel()
+        assert model.transfer_s == pytest.approx(2.56e-3)
+
+    def test_traffic_rate_matches_paper(self):
+        # Section 4.3.3: 0.0256 Mbit/s at a 100 ms refresh interval.
+        assert LatencyModel().traffic_rate_bps(0.1) == pytest.approx(0.0256e6)
+
+    def test_breakdown_totals_about_100ms(self):
+        breakdown = LatencyModel().breakdown(payload_bytes=1500, bitrate_mbps=54.0)
+        assert breakdown.added_after_frame_end_s == pytest.approx(0.1, abs=0.02)
+
+    def test_long_slow_frame_absorbs_processing(self):
+        breakdown = LatencyModel(processing_s=0.005).breakdown(1500, 1.0)
+        assert breakdown.added_after_frame_end_s == 0.0
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(num_snapshots=0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel().traffic_rate_bps(0.0)

@@ -1,0 +1,154 @@
+"""Tests for phase calibration, the snapshot receiver and diversity synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array import (
+    ArrayGeometry,
+    ArrayReceiver,
+    DeployedArray,
+    DiversitySynthesizer,
+    PhaseCalibrator,
+    SnapshotMatrix,
+    usable_snapshots_per_symbol,
+)
+from repro.channel import MultipathChannel
+from repro.errors import ArrayError, ChannelError
+from repro.geometry import Point2D
+
+
+class TestPhaseCalibrator:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    def test_swap_procedure_recovers_internal_offsets(self, seed):
+        """Equations 9-12: the two-run swap cancels cable imperfections."""
+        rng = np.random.default_rng(seed)
+        geometry = ArrayGeometry.uniform_linear(8)
+        true_offsets = DeployedArray.random_phase_offsets(8, rng)
+        array = DeployedArray(geometry, phase_offsets_rad=true_offsets)
+        calibrator = PhaseCalibrator(8, rng=rng)
+        result = calibrator.calibrate(array)
+        residual = result.residual_error_rad(true_offsets)
+        assert np.max(np.abs(residual)) < 1e-6
+
+    def test_single_run_is_biased_by_external_paths(self):
+        rng = np.random.default_rng(0)
+        geometry = ArrayGeometry.uniform_linear(4)
+        true_offsets = np.array([0.0, 0.3, -0.4, 1.0])
+        array = DeployedArray(geometry, phase_offsets_rad=true_offsets)
+        imbalance = np.array([0.0, 0.2, -0.1, 0.15])
+        calibrator = PhaseCalibrator(4, external_path_imbalance_rad=imbalance, rng=rng)
+        single = calibrator.measure(array).measured_offsets_rad
+        # The single measurement is off by exactly the external imbalance.
+        assert np.allclose(single, (true_offsets - true_offsets[0]) + imbalance,
+                           atol=1e-9)
+
+    def test_measurement_noise_degrades_gracefully(self):
+        rng = np.random.default_rng(1)
+        geometry = ArrayGeometry.uniform_linear(8)
+        true_offsets = DeployedArray.random_phase_offsets(8, rng)
+        array = DeployedArray(geometry, phase_offsets_rad=true_offsets)
+        calibrator = PhaseCalibrator(8, measurement_noise_rad=np.radians(2.0), rng=rng)
+        residual = calibrator.calibrate(array).residual_error_rad(true_offsets)
+        assert np.max(np.abs(residual)) < np.radians(10.0)
+
+    def test_too_few_radios_rejected(self):
+        with pytest.raises(ArrayError):
+            PhaseCalibrator(1)
+
+
+class TestArrayReceiver:
+    def test_noiseless_response_matches_manual_sum(self, deployed_ula8, two_path_channel):
+        receiver = ArrayReceiver(deployed_ula8, apply_phase_offsets=False)
+        response = receiver.noiseless_response(two_path_channel)
+        manual = sum(c.amplitude * deployed_ula8.steering_vector_global(c.azimuth_deg)
+                     for c in two_path_channel)
+        assert np.allclose(response, manual)
+
+    def test_phase_offsets_applied_when_enabled(self, ula8, two_path_channel):
+        offsets = np.linspace(0.0, 2.0, 8)
+        array = DeployedArray(ula8, phase_offsets_rad=offsets)
+        clean = ArrayReceiver(array, apply_phase_offsets=False).noiseless_response(
+            two_path_channel)
+        dirty = ArrayReceiver(array, apply_phase_offsets=True).noiseless_response(
+            two_path_channel)
+        assert np.allclose(dirty, clean * np.exp(1j * offsets))
+
+    def test_capture_shape_and_metadata(self, deployed_ula8, two_path_channel, rng):
+        receiver = ArrayReceiver(deployed_ula8, apply_phase_offsets=False)
+        snapshots = receiver.capture(two_path_channel, num_snapshots=12,
+                                     snr_db=20.0, rng=rng, timestamp_s=1.5)
+        assert snapshots.samples.shape == (8, 12)
+        assert snapshots.num_antennas == 8
+        assert snapshots.num_snapshots == 12
+        assert snapshots.timestamp_s == pytest.approx(1.5)
+        assert snapshots.client_id == "client"
+
+    def test_capture_snr_is_respected(self, deployed_ula8, two_path_channel):
+        rng = np.random.default_rng(7)
+        receiver = ArrayReceiver(deployed_ula8, apply_phase_offsets=False)
+        clean = np.outer(receiver.noiseless_response(two_path_channel), np.ones(2000))
+        snapshots = receiver.capture(two_path_channel, num_snapshots=2000,
+                                     snr_db=10.0,
+                                     transmit_samples=np.ones(2000, dtype=complex),
+                                     rng=rng)
+        noise = snapshots.samples - clean
+        measured_snr = 10 * np.log10(np.mean(np.abs(clean) ** 2)
+                                     / np.mean(np.abs(noise) ** 2))
+        assert measured_snr == pytest.approx(10.0, abs=0.5)
+
+    def test_empty_channel_rejected(self, deployed_ula8):
+        receiver = ArrayReceiver(deployed_ula8)
+        with pytest.raises(ChannelError):
+            receiver.noiseless_response(MultipathChannel())
+
+    def test_select_antennas(self, capture_snapshots):
+        subset = capture_snapshots.select_antennas([0, 3, 5])
+        assert subset.samples.shape[0] == 3
+        assert np.allclose(subset.samples[1], capture_snapshots.samples[3])
+
+
+class TestDiversitySynthesizer:
+    def test_switching_dead_time_budget(self):
+        # 3.2 us symbol minus 500 ns dead time at 40 Msps leaves >100 samples.
+        assert usable_snapshots_per_symbol() > 100
+
+    def test_overlapping_sets_rejected(self, ula8):
+        array = DeployedArray(ArrayGeometry.linear_with_symmetry_antenna(8))
+        with pytest.raises(ArrayError):
+            DiversitySynthesizer(array, [0, 1, 2], [2, 8])
+
+    def test_capture_stacks_both_sets(self, two_path_channel, rng):
+        array = DeployedArray(ArrayGeometry.linear_with_symmetry_antenna(8))
+        synthesizer = DiversitySynthesizer(array, list(range(8)), [8])
+        snapshots = synthesizer.capture(two_path_channel, num_snapshots=10,
+                                        snr_db=30.0, rng=rng)
+        assert snapshots.samples.shape == (9, 10)
+
+    def test_synthesized_rows_consistent_with_simultaneous_capture(self,
+                                                                   two_path_channel):
+        """Within the coherence time the switched capture equals a joint one."""
+        rng = np.random.default_rng(5)
+        array = DeployedArray(ArrayGeometry.linear_with_symmetry_antenna(8))
+        synthesizer = DiversitySynthesizer(array, list(range(8)), [8])
+        switched = synthesizer.capture(two_path_channel, num_snapshots=100,
+                                       snr_db=35.0, rng=rng)
+        receiver = ArrayReceiver(array, apply_phase_offsets=True)
+        joint = receiver.capture(two_path_channel, num_snapshots=100, snr_db=35.0,
+                                 rng=np.random.default_rng(6))
+        # Compare the per-antenna-pair phase differences of the two captures.
+        def pair_phase(samples):
+            return np.angle(np.mean(samples[1:, :] * np.conj(samples[:-1, :]), axis=1))
+        assert np.allclose(pair_phase(switched.samples), pair_phase(joint.samples),
+                           atol=0.1)
+
+    def test_too_many_snapshots_rejected(self, two_path_channel, rng):
+        array = DeployedArray(ArrayGeometry.linear_with_symmetry_antenna(8))
+        synthesizer = DiversitySynthesizer(array, list(range(8)), [8])
+        with pytest.raises(ArrayError):
+            synthesizer.capture(two_path_channel, num_snapshots=10_000, rng=rng)
+
+    def test_snapshot_matrix_validation(self):
+        with pytest.raises(ArrayError):
+            SnapshotMatrix(np.zeros(5))

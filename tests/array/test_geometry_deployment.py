@@ -1,0 +1,134 @@
+"""Tests for array geometries, steering vectors and deployed arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array import ArrayGeometry, DeployedArray
+from repro.constants import ANTENNA_SPACING_M, WAVELENGTH_M
+from repro.errors import ArrayError
+from repro.geometry import Point2D
+
+azimuths = st.floats(min_value=0.0, max_value=360.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestArrayGeometry:
+    def test_uniform_linear_spacing(self):
+        geometry = ArrayGeometry.uniform_linear(8)
+        positions = geometry.element_positions
+        spacings = np.diff(positions[:, 0])
+        assert np.allclose(spacings, ANTENNA_SPACING_M)
+        assert np.allclose(positions[:, 1], 0.0)
+        assert geometry.is_linear()
+
+    def test_too_few_elements_rejected(self):
+        with pytest.raises(ArrayError):
+            ArrayGeometry.uniform_linear(1)
+
+    def test_symmetry_antenna_breaks_linearity(self):
+        geometry = ArrayGeometry.linear_with_symmetry_antenna(8)
+        assert geometry.num_elements == 9
+        assert not geometry.is_linear()
+
+    def test_rectangular_and_circular_constructors(self):
+        rect = ArrayGeometry.rectangular(2, 8)
+        assert rect.num_elements == 16
+        circle = ArrayGeometry.circular(8)
+        assert circle.num_elements == 8
+        assert not circle.is_linear()
+
+    def test_steering_vector_is_unit_modulus(self, ula8):
+        vector = ula8.steering_vector(37.0)
+        assert vector.shape == (8,)
+        assert np.allclose(np.abs(vector), 1.0)
+
+    def test_steering_vector_reference_element_has_zero_phase(self, ula8):
+        vector = ula8.steering_vector(123.0)
+        assert vector[0] == pytest.approx(1.0 + 0.0j)
+
+    def test_ula_steering_matches_cos_theta_formula(self, ula8):
+        azimuth = 70.0
+        vector = ula8.steering_vector(azimuth, wavelength_m=WAVELENGTH_M)
+        expected_phase = (2 * np.pi / WAVELENGTH_M * ANTENNA_SPACING_M
+                          * np.cos(np.radians(azimuth)) * np.arange(8))
+        assert np.allclose(np.angle(vector * np.exp(-1j * expected_phase)), 0.0,
+                           atol=1e-9)
+
+    @given(azimuths)
+    def test_linear_array_mirror_ambiguity(self, azimuth):
+        """A ULA cannot distinguish theta from -theta (Section 2.3.4)."""
+        geometry = ArrayGeometry.uniform_linear(8)
+        a = geometry.steering_vector(azimuth)
+        b = geometry.steering_vector(-azimuth)
+        assert np.allclose(a, b, atol=1e-9)
+
+    @given(azimuths)
+    def test_symmetry_antenna_resolves_mirror(self, azimuth):
+        geometry = ArrayGeometry.linear_with_symmetry_antenna(8)
+        a = geometry.steering_vector(azimuth)
+        b = geometry.steering_vector(-azimuth)
+        if np.sin(np.radians(azimuth)) ** 2 < 1e-3:
+            return  # On the array axis the two directions truly coincide.
+        assert not np.allclose(a, b, atol=1e-6)
+
+    def test_elevation_shrinks_phase_progression(self, ula8):
+        flat = np.angle(ula8.steering_vector(40.0))
+        tilted = np.angle(ula8.steering_vector(40.0, elevation_deg=30.0))
+        assert abs(tilted[1]) < abs(flat[1])
+
+    def test_subarray_selects_elements(self, ula8):
+        sub = ula8.subarray([0, 1, 2])
+        assert sub.num_elements == 3
+        assert np.allclose(sub.element_positions, ula8.element_positions[:3])
+        with pytest.raises(ArrayError):
+            ula8.subarray([0])
+        with pytest.raises(ArrayError):
+            ula8.subarray([0, 99])
+
+    def test_aperture(self, ula8):
+        assert ula8.aperture_m == pytest.approx(7 * ANTENNA_SPACING_M)
+
+
+class TestDeployedArray:
+    def test_phase_offsets_default_to_zero(self, ula8):
+        array = DeployedArray(ula8)
+        assert np.allclose(array.phase_offsets_rad, 0.0)
+        assert np.allclose(array.phase_offset_factors, 1.0)
+
+    def test_phase_offsets_shape_validated(self, ula8):
+        with pytest.raises(ArrayError):
+            DeployedArray(ula8, phase_offsets_rad=np.zeros(3))
+
+    def test_local_global_azimuth_round_trip(self, ula8):
+        array = DeployedArray(ula8, orientation_deg=50.0)
+        assert array.local_azimuth_deg(70.0) == pytest.approx(20.0)
+        assert array.global_azimuth_deg(20.0) == pytest.approx(70.0)
+
+    def test_bearing_to_point(self, ula8):
+        array = DeployedArray(ula8, position=Point2D(0, 0), orientation_deg=90.0)
+        # A point due north is at 90 global, i.e. 0 in the local frame.
+        assert array.bearing_to(Point2D(0.0, 5.0)) == pytest.approx(0.0)
+
+    def test_steering_vector_global_uses_orientation(self, ula8):
+        plain = DeployedArray(ula8, orientation_deg=0.0)
+        rotated = DeployedArray(ula8, orientation_deg=30.0)
+        assert np.allclose(plain.steering_vector_global(40.0),
+                           rotated.steering_vector_global(70.0))
+
+    def test_with_subarray_keeps_offsets(self, ula8):
+        offsets = np.linspace(0, 1, 8)
+        array = DeployedArray(ula8, phase_offsets_rad=offsets)
+        sub = array.with_subarray([0, 2, 4])
+        assert np.allclose(sub.phase_offsets_rad, offsets[[0, 2, 4]])
+
+    def test_calibrated_removes_known_offsets(self, ula8):
+        offsets = np.linspace(0.1, 1.2, 8)
+        array = DeployedArray(ula8, phase_offsets_rad=offsets)
+        residual = array.calibrated(offsets)
+        assert np.allclose(residual.phase_offsets_rad, 0.0)
+
+    def test_random_phase_offsets_in_range(self):
+        offsets = DeployedArray.random_phase_offsets(16, np.random.default_rng(0))
+        assert offsets.shape == (16,)
+        assert np.all((offsets >= 0) & (offsets < 2 * np.pi))

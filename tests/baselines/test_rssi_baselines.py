@@ -1,0 +1,116 @@
+"""Tests for the RSSI localization baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FingerprintLocalizer,
+    ModelBasedRssLocalizer,
+    RssFingerprint,
+    WeightedCentroidLocalizer,
+)
+from repro.channel import log_distance_path_loss_db
+from repro.errors import EstimationError
+from repro.geometry import Point2D
+
+AP_POSITIONS = {
+    "1": Point2D(0.0, 0.0),
+    "2": Point2D(20.0, 0.0),
+    "3": Point2D(10.0, 10.0),
+    "4": Point2D(0.0, 10.0),
+}
+TX_POWER_DBM = 15.0
+EXPONENT = 3.0
+
+
+def _model_rssi(position, noise_sigma=0.0, rng=None):
+    """Generate RSSI that exactly follows the log-distance model."""
+    rng = rng or np.random.default_rng(0)
+    observation = {}
+    for ap_id, ap_position in AP_POSITIONS.items():
+        loss = log_distance_path_loss_db(position.distance_to(ap_position),
+                                         path_loss_exponent=EXPONENT)
+        value = TX_POWER_DBM - loss
+        if noise_sigma:
+            value += float(rng.normal(scale=noise_sigma))
+        observation[ap_id] = value
+    return observation
+
+
+class TestFingerprintLocalizer:
+    def _radio_map(self, spacing=2.0):
+        fingerprints = []
+        for x in np.arange(1.0, 20.0, spacing):
+            for y in np.arange(1.0, 10.0, spacing):
+                point = Point2D(float(x), float(y))
+                fingerprints.append(RssFingerprint(point, _model_rssi(point)))
+        return fingerprints
+
+    def test_requires_training(self):
+        with pytest.raises(EstimationError):
+            FingerprintLocalizer().locate({"1": -40.0})
+
+    def test_locates_near_survey_point(self):
+        localizer = FingerprintLocalizer(k=3)
+        localizer.train(self._radio_map())
+        target = Point2D(7.3, 4.2)
+        estimate = localizer.locate(_model_rssi(target))
+        assert estimate.distance_to(target) < 2.5
+
+    def test_accuracy_degrades_with_noise(self):
+        localizer = FingerprintLocalizer(k=3)
+        localizer.train(self._radio_map())
+        rng = np.random.default_rng(1)
+        target = Point2D(7.3, 4.2)
+        clean_error = localizer.locate(_model_rssi(target)).distance_to(target)
+        noisy_errors = [localizer.locate(
+            _model_rssi(target, noise_sigma=6.0, rng=rng)).distance_to(target)
+            for _ in range(10)]
+        assert np.mean(noisy_errors) >= clean_error
+
+    def test_invalid_k(self):
+        with pytest.raises(EstimationError):
+            FingerprintLocalizer(k=0)
+
+
+class TestModelBasedLocalizer:
+    def test_distance_inversion_round_trip(self):
+        localizer = ModelBasedRssLocalizer(AP_POSITIONS, TX_POWER_DBM,
+                                           path_loss_exponent=EXPONENT)
+        for distance in (2.0, 5.0, 15.0):
+            rssi = TX_POWER_DBM - log_distance_path_loss_db(
+                distance, path_loss_exponent=EXPONENT)
+            assert localizer.estimate_distance_m(rssi) == pytest.approx(distance, rel=0.01)
+
+    def test_locates_with_exact_model(self):
+        localizer = ModelBasedRssLocalizer(AP_POSITIONS, TX_POWER_DBM,
+                                           path_loss_exponent=EXPONENT,
+                                           grid_resolution_m=0.25)
+        target = Point2D(12.0, 4.0)
+        estimate = localizer.locate(_model_rssi(target), (0, 0, 20, 10))
+        assert estimate.distance_to(target) < 0.5
+
+    def test_requires_three_aps(self):
+        localizer = ModelBasedRssLocalizer(AP_POSITIONS)
+        with pytest.raises(EstimationError):
+            localizer.locate({"1": -50.0, "2": -60.0}, (0, 0, 20, 10))
+
+
+class TestWeightedCentroid:
+    def test_centroid_is_pulled_towards_strong_ap(self):
+        localizer = WeightedCentroidLocalizer(AP_POSITIONS)
+        observation = {"1": -40.0, "2": -80.0, "3": -80.0, "4": -80.0}
+        estimate = localizer.locate(observation)
+        distances = {ap: estimate.distance_to(p) for ap, p in AP_POSITIONS.items()}
+        assert distances["1"] == min(distances.values())
+
+    def test_equal_rssi_gives_geometric_centroid(self):
+        localizer = WeightedCentroidLocalizer(AP_POSITIONS)
+        estimate = localizer.locate({ap: -60.0 for ap in AP_POSITIONS})
+        assert estimate.x == pytest.approx(np.mean([p.x for p in AP_POSITIONS.values()]))
+        assert estimate.y == pytest.approx(np.mean([p.y for p in AP_POSITIONS.values()]))
+
+    def test_no_usable_aps(self):
+        localizer = WeightedCentroidLocalizer(AP_POSITIONS)
+        with pytest.raises(EstimationError):
+            localizer.locate({"unknown": -50.0})

@@ -1,0 +1,161 @@
+"""Tests for the multipath channel container, builder and mobility helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel import (
+    ChannelBuilder,
+    ChannelComponent,
+    ChannelModelConfig,
+    MultipathChannel,
+    movement_track,
+    perturb_position,
+    random_waypoint_track,
+)
+from repro.errors import ChannelError
+from repro.geometry import Point2D, bearing_deg, rectangular_room
+from repro.geometry.vector import angle_difference_deg
+
+
+class TestMultipathChannel:
+    def test_from_bearings_mismatched_lengths(self):
+        with pytest.raises(ChannelError):
+            MultipathChannel.from_bearings([10.0], [1.0, 0.5])
+
+    def test_direct_component_identified(self, two_path_channel):
+        direct = two_path_channel.direct_component
+        assert direct is not None and direct.azimuth_deg == pytest.approx(60.0)
+        assert two_path_channel.direct_bearing_deg == pytest.approx(60.0)
+
+    def test_total_power_sums_components(self):
+        channel = MultipathChannel.from_bearings([0.0, 90.0], [1.0, 0.5])
+        assert channel.total_power == pytest.approx(1.25)
+
+    def test_strongest_component_and_dominance(self):
+        channel = MultipathChannel.from_bearings([0.0, 90.0], [0.5, 1.0],
+                                                 direct_index=0)
+        assert channel.strongest_component.azimuth_deg == pytest.approx(90.0)
+        assert not channel.direct_path_is_dominant()
+
+    def test_without_direct_path(self, two_path_channel):
+        nlos = two_path_channel.without_direct_path()
+        assert nlos.direct_component is None
+        assert len(nlos) == len(two_path_channel) - 1
+
+    def test_scaled_preserves_bearings(self, two_path_channel):
+        scaled = two_path_channel.scaled(0.5)
+        assert np.allclose(scaled.bearings(), two_path_channel.bearings())
+        assert scaled.total_power == pytest.approx(two_path_channel.total_power * 0.25)
+
+    def test_rssi_is_integer_dbm(self):
+        channel = MultipathChannel.from_bearings([0.0], [1e-3])
+        rssi = channel.rssi_dbm(15.0)
+        assert rssi == round(rssi)
+
+    def test_empty_channel_strongest_raises(self):
+        with pytest.raises(ChannelError):
+            MultipathChannel().strongest_component
+
+
+class TestChannelBuilder:
+    def test_direct_component_bearing_matches_geometry(self, simple_room):
+        builder = ChannelBuilder(simple_room, ChannelModelConfig(
+            scatterers_per_reflection=0, max_reflections=1))
+        client, ap = Point2D(5.0, 5.0), Point2D(15.0, 5.0)
+        channel = builder.build(client, ap)
+        direct = channel.direct_component
+        assert direct is not None
+        assert direct.azimuth_deg == pytest.approx(bearing_deg(ap, client))
+        assert direct.elevation_deg == pytest.approx(0.0)
+
+    def test_direct_power_decreases_with_distance(self, simple_room):
+        builder = ChannelBuilder(simple_room, ChannelModelConfig(
+            scatterers_per_reflection=0, max_reflections=0))
+        ap = Point2D(1.0, 5.0)
+        near = builder.build(Point2D(4.0, 5.0), ap).total_power
+        far = builder.build(Point2D(18.0, 5.0), ap).total_power
+        assert near > far
+
+    def test_reflections_add_components(self, simple_room):
+        config = ChannelModelConfig(scatterers_per_reflection=0)
+        no_reflections = ChannelBuilder(
+            simple_room, ChannelModelConfig(max_reflections=0,
+                                            scatterers_per_reflection=0))
+        with_reflections = ChannelBuilder(simple_room, config)
+        client, ap = Point2D(5.0, 5.0), Point2D(15.0, 5.0)
+        assert len(with_reflections.build(client, ap)) > len(no_reflections.build(client, ap))
+
+    def test_height_offset_creates_elevation_and_longer_path(self, simple_room):
+        flat = ChannelBuilder(simple_room, ChannelModelConfig(
+            scatterers_per_reflection=0, max_reflections=0))
+        raised = ChannelBuilder(simple_room, ChannelModelConfig(
+            scatterers_per_reflection=0, max_reflections=0, height_offset_m=1.5))
+        client, ap = Point2D(5.0, 5.0), Point2D(10.0, 5.0)
+        flat_direct = flat.build(client, ap).direct_component
+        raised_direct = raised.build(client, ap).direct_component
+        assert raised_direct.elevation_deg > 0.0
+        assert raised_direct.path_length_m > flat_direct.path_length_m
+
+    def test_polarization_mismatch_reduces_power(self, simple_room):
+        aligned = ChannelBuilder(simple_room, ChannelModelConfig(
+            scatterers_per_reflection=0))
+        crossed = ChannelBuilder(simple_room, ChannelModelConfig(
+            scatterers_per_reflection=0, polarization_mismatch_deg=90.0))
+        client, ap = Point2D(5.0, 5.0), Point2D(15.0, 5.0)
+        ratio = (crossed.build(client, ap).total_power
+                 / aligned.build(client, ap).total_power)
+        assert ratio == pytest.approx(0.01, rel=0.05)  # 20 dB
+
+    def test_scatterers_are_deterministic_for_fixed_environment(self, simple_room):
+        config = ChannelModelConfig(scatterers_per_reflection=3)
+        builder = ChannelBuilder(simple_room, config)
+        client, ap = Point2D(5.0, 5.0), Point2D(15.0, 5.0)
+        first = builder.build(client, ap)
+        second = builder.build(client, ap)
+        assert np.allclose(first.amplitudes(), second.amplitudes())
+        assert np.allclose(first.bearings(), second.bearings())
+
+    def test_small_movement_keeps_direct_bearing_stable(self, simple_room):
+        builder = ChannelBuilder(simple_room, ChannelModelConfig())
+        ap = Point2D(15.0, 5.0)
+        before = builder.build(Point2D(5.0, 5.0), ap).direct_bearing_deg
+        after = builder.build(Point2D(5.03, 5.03), ap).direct_bearing_deg
+        assert angle_difference_deg(before, after) < 1.0
+
+    def test_coincident_client_and_ap_rejected(self, simple_room):
+        builder = ChannelBuilder(simple_room)
+        with pytest.raises(Exception):
+            builder.build(Point2D(5.0, 5.0), Point2D(5.0, 5.0))
+
+
+class TestMobility:
+    def test_perturb_distance(self, rng):
+        start = Point2D(3.0, 4.0)
+        moved = perturb_position(start, 0.05, rng=rng)
+        assert start.distance_to(moved) == pytest.approx(0.05)
+
+    def test_perturb_fixed_direction(self):
+        moved = perturb_position(Point2D(0, 0), 1.0, direction_deg=90.0)
+        assert moved.x == pytest.approx(0.0, abs=1e-12)
+        assert moved.y == pytest.approx(1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ChannelError):
+            perturb_position(Point2D(0, 0), -0.1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=20),
+           st.floats(min_value=0.001, max_value=0.2))
+    def test_movement_track_steps_bounded(self, num_samples, max_step):
+        track = movement_track(Point2D(0, 0), num_samples, max_step_m=max_step,
+                               rng=np.random.default_rng(0))
+        assert len(track) == num_samples
+        for a, b in zip(track, track[1:]):
+            assert a.distance_to(b) <= max_step + 1e-12
+
+    def test_random_waypoint_track_endpoints(self):
+        track = random_waypoint_track(Point2D(0, 0), Point2D(10, 0), 11)
+        assert track[0] == Point2D(0, 0)
+        assert track[-1] == Point2D(10, 0)
+        assert len(track) == 11

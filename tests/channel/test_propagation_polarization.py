@@ -1,0 +1,81 @@
+"""Tests for path loss models and polarization mismatch."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel import (
+    dbm_to_watts,
+    free_space_amplitude,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    polarization_amplitude,
+    polarization_loss_db,
+    received_power_dbm,
+    watts_to_dbm,
+)
+from repro.errors import ChannelError
+
+distances = st.floats(min_value=0.2, max_value=200.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+class TestPathLoss:
+    def test_free_space_loss_at_2_4ghz(self):
+        # Classic figure: ~40 dB at one metre for 2.4 GHz.
+        assert free_space_path_loss_db(1.0) == pytest.approx(40.2, abs=0.5)
+
+    def test_free_space_loss_increases_6db_per_doubling(self):
+        assert (free_space_path_loss_db(20.0) - free_space_path_loss_db(10.0)
+                == pytest.approx(6.02, abs=0.01))
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ChannelError):
+            free_space_path_loss_db(0.0)
+
+    def test_amplitude_matches_loss(self):
+        loss = free_space_path_loss_db(7.0)
+        assert free_space_amplitude(7.0) == pytest.approx(10 ** (-loss / 20))
+
+    @given(distances)
+    def test_log_distance_exceeds_free_space_indoors(self, distance):
+        if distance < 1.0:
+            return
+        indoor = log_distance_path_loss_db(distance, path_loss_exponent=3.0)
+        free = free_space_path_loss_db(distance)
+        assert indoor >= free - 1e-6
+
+    def test_log_distance_shadowing_is_reproducible(self):
+        import numpy as np
+        a = log_distance_path_loss_db(10.0, shadowing_sigma_db=4.0,
+                                      rng=np.random.default_rng(1))
+        b = log_distance_path_loss_db(10.0, shadowing_sigma_db=4.0,
+                                      rng=np.random.default_rng(1))
+        assert a == pytest.approx(b)
+
+    def test_received_power(self):
+        assert received_power_dbm(15.0, 70.0) == pytest.approx(-55.0)
+
+    def test_dbm_watt_round_trip(self):
+        assert watts_to_dbm(dbm_to_watts(-30.0)) == pytest.approx(-30.0)
+        with pytest.raises(ChannelError):
+            watts_to_dbm(0.0)
+
+
+class TestPolarization:
+    def test_paper_figures(self):
+        # Section 4.3.2: 45 degrees -> ~3 dB, 90 degrees -> 20 dB or more.
+        assert polarization_loss_db(45.0) == pytest.approx(3.0, abs=0.1)
+        assert polarization_loss_db(90.0) == pytest.approx(20.0)
+
+    def test_aligned_antennas_have_no_loss(self):
+        assert polarization_loss_db(0.0) == pytest.approx(0.0)
+        assert polarization_amplitude(0.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=180.0))
+    def test_loss_is_bounded_by_discrimination(self, mismatch):
+        loss = polarization_loss_db(mismatch)
+        assert 0.0 <= loss <= 20.0
+
+    def test_amplitude_matches_loss(self):
+        loss = polarization_loss_db(30.0)
+        assert polarization_amplitude(30.0) == pytest.approx(10 ** (-loss / 20))

@@ -1,0 +1,56 @@
+"""Shared fixtures for the ArrayTrack reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray
+from repro.channel import MultipathChannel
+from repro.geometry import Point2D, rectangular_room
+from repro.testbed import build_office_testbed
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ula8():
+    """An eight-element half-wavelength uniform linear array geometry."""
+    return ArrayGeometry.uniform_linear(8)
+
+
+@pytest.fixture
+def deployed_ula8(ula8):
+    """An eight-element ULA deployed at the origin with zero orientation."""
+    return DeployedArray(ula8, position=Point2D(0.0, 0.0), orientation_deg=0.0)
+
+
+@pytest.fixture
+def simple_room():
+    """A 20 m x 10 m drywall room used by channel/localization tests."""
+    return rectangular_room(20.0, 10.0, "drywall", name="test-room")
+
+
+@pytest.fixture
+def two_path_channel():
+    """A coherent two-path channel: direct at 60 deg, reflection at 120 deg."""
+    return MultipathChannel.from_bearings(
+        [60.0, 120.0], [1.0, 0.6 * np.exp(0.7j)], direct_index=0,
+        client_id="client", ap_id="ap")
+
+
+@pytest.fixture
+def capture_snapshots(deployed_ula8, two_path_channel, rng):
+    """Ten noisy snapshots of the two-path channel on the 8-element ULA."""
+    receiver = ArrayReceiver(deployed_ula8, apply_phase_offsets=False)
+    return receiver.capture(two_path_channel, num_snapshots=10, snr_db=25.0, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def office_testbed():
+    """The full 41-client office testbed (session-scoped: it is immutable)."""
+    return build_office_testbed()

@@ -1,0 +1,150 @@
+"""Tests for covariance estimation, subspace splitting and spatial smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray
+from repro.channel import MultipathChannel
+from repro.core import (
+    decompose,
+    effective_antennas,
+    estimate_num_sources_mdl,
+    forward_backward_covariance,
+    sample_covariance,
+    smooth_snapshots,
+    smoothed_covariance,
+)
+from repro.errors import EstimationError
+
+
+def _snapshots_for(bearings, amplitudes, num=200, snr_db=30.0, seed=0, antennas=8):
+    geometry = ArrayGeometry.uniform_linear(antennas)
+    array = DeployedArray(geometry)
+    channel = MultipathChannel.from_bearings(bearings, amplitudes)
+    receiver = ArrayReceiver(array, apply_phase_offsets=False)
+    return receiver.capture(channel, num_snapshots=num, snr_db=snr_db,
+                            rng=np.random.default_rng(seed)).samples
+
+
+class TestSampleCovariance:
+    def test_is_hermitian_and_psd(self, capture_snapshots):
+        covariance = sample_covariance(capture_snapshots.samples)
+        assert np.allclose(covariance, covariance.conj().T)
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        assert np.all(eigenvalues > -1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(EstimationError):
+            sample_covariance(np.zeros(8))
+        with pytest.raises(EstimationError):
+            sample_covariance(np.zeros((8, 4)), diagonal_loading=-1.0)
+
+    def test_diagonal_loading_raises_diagonal(self, capture_snapshots):
+        plain = sample_covariance(capture_snapshots.samples)
+        loaded = sample_covariance(capture_snapshots.samples, diagonal_loading=0.1)
+        assert np.all(np.real(np.diag(loaded)) > np.real(np.diag(plain)))
+
+    def test_forward_backward_is_persymmetric(self, capture_snapshots):
+        covariance = forward_backward_covariance(capture_snapshots.samples)
+        exchange = np.eye(covariance.shape[0])[::-1]
+        assert np.allclose(covariance, exchange @ covariance.conj() @ exchange)
+
+
+class TestSubspace:
+    def test_single_source_gives_one_signal_eigenvalue(self):
+        snapshots = _snapshots_for([50.0], [1.0])
+        decomposition = decompose(sample_covariance(snapshots))
+        assert decomposition.num_sources == 1
+        # Largest eigenvalue well above the noise floor.
+        assert decomposition.eigenvalues[0] > 10 * decomposition.eigenvalues[1]
+
+    def test_two_incoherent_sources_detected(self):
+        # Two sources with independent data: build by summing two captures.
+        a = _snapshots_for([40.0], [1.0], seed=1)
+        b = _snapshots_for([120.0], [1.0], seed=2)
+        decomposition = decompose(sample_covariance(a + b))
+        assert decomposition.num_sources == 2
+
+    def test_forced_source_count_is_respected(self, capture_snapshots):
+        decomposition = decompose(sample_covariance(capture_snapshots.samples),
+                                  num_sources=3)
+        assert decomposition.num_sources == 3
+        assert decomposition.signal_subspace.shape == (8, 3)
+        assert decomposition.noise_subspace.shape == (8, 5)
+
+    def test_subspaces_are_orthogonal(self, capture_snapshots):
+        decomposition = decompose(sample_covariance(capture_snapshots.samples))
+        product = decomposition.signal_subspace.conj().T @ decomposition.noise_subspace
+        assert np.allclose(product, 0.0, atol=1e-9)
+
+    def test_eigenvalues_sorted_non_increasing(self, capture_snapshots):
+        decomposition = decompose(sample_covariance(capture_snapshots.samples))
+        assert np.all(np.diff(decomposition.eigenvalues) <= 1e-9)
+
+    def test_at_least_one_noise_eigenvector_remains(self):
+        snapshots = _snapshots_for([10.0, 60.0, 100.0, 140.0], [1, 1, 1, 1],
+                                   antennas=4)
+        decomposition = decompose(sample_covariance(snapshots))
+        assert decomposition.num_sources <= 3
+
+    def test_noise_power_estimate_close_to_truth(self):
+        snapshots = _snapshots_for([50.0], [1.0], num=2000, snr_db=10.0)
+        covariance = sample_covariance(snapshots)
+        decomposition = decompose(covariance, num_sources=1)
+        signal_power = np.real(np.trace(covariance)) / 8
+        snr_estimate = 10 * np.log10(
+            max(signal_power - decomposition.noise_power_estimate, 1e-12)
+            / decomposition.noise_power_estimate)
+        assert snr_estimate == pytest.approx(10.0, abs=1.5)
+
+    def test_mdl_agrees_in_easy_conditions(self):
+        a = _snapshots_for([40.0], [1.0], seed=3)
+        b = _snapshots_for([120.0], [1.0], seed=4)
+        covariance = sample_covariance(a + b)
+        eigenvalues = np.linalg.eigvalsh(covariance)
+        assert estimate_num_sources_mdl(eigenvalues, 200) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EstimationError):
+            decompose(np.zeros((3, 4)))
+        with pytest.raises(EstimationError):
+            decompose(np.eye(4), threshold_fraction=1.5)
+
+
+class TestSpatialSmoothing:
+    def test_effective_antennas(self):
+        assert effective_antennas(8, 1) == 8
+        assert effective_antennas(8, 3) == 6
+        with pytest.raises(EstimationError):
+            effective_antennas(4, 4)
+
+    def test_single_group_equals_plain_covariance(self, capture_snapshots):
+        plain = sample_covariance(capture_snapshots.samples)
+        smoothed = smoothed_covariance(capture_snapshots.samples, 1)
+        assert np.allclose(plain, smoothed)
+
+    def test_smoothing_restores_rank_for_coherent_sources(self):
+        """Coherent multipath makes Rxx rank-1; smoothing recovers rank 2."""
+        snapshots = _snapshots_for([60.0, 120.0], [1.0, 0.8 * np.exp(0.5j)],
+                                   num=100, snr_db=60.0)
+        plain_eigenvalues = np.sort(np.linalg.eigvalsh(sample_covariance(snapshots)))[::-1]
+        smoothed_eigenvalues = np.sort(np.linalg.eigvalsh(
+            smoothed_covariance(snapshots, 3)))[::-1]
+        # Without smoothing the second eigenvalue is essentially noise.
+        assert plain_eigenvalues[1] / plain_eigenvalues[0] < 1e-3
+        # With smoothing it becomes a clear signal eigenvalue.
+        assert smoothed_eigenvalues[1] / smoothed_eigenvalues[0] > 1e-2
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=4))
+    def test_smoothed_covariance_shape(self, groups):
+        snapshots = _snapshots_for([45.0], [1.0], num=20)
+        expected = 8 - groups + 1
+        covariance = smoothed_covariance(snapshots, groups)
+        assert covariance.shape == (expected, expected)
+
+    def test_signal_level_smoothing_shape(self):
+        snapshots = _snapshots_for([45.0], [1.0], num=20)
+        averaged = smooth_snapshots(snapshots, 3)
+        assert averaged.shape == (6, 20)

@@ -1,0 +1,186 @@
+"""Tests for MUSIC / beamformer spectra, the spectrum container and peaks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray
+from repro.channel import MultipathChannel
+from repro.core import (
+    AoASpectrum,
+    SpectrumComputer,
+    SpectrumConfig,
+    bartlett_spectrum,
+    capon_spectrum,
+    default_angle_grid,
+    find_peaks,
+    match_peak,
+    music_spectrum,
+    peak_regions,
+    sample_covariance,
+    smoothed_covariance,
+)
+from repro.errors import EstimationError
+from repro.geometry import Point2D
+
+
+def _covariance_for(bearings, amplitudes, antennas=8, snr_db=30.0, num=200, seed=0,
+                    smoothing=1):
+    geometry = ArrayGeometry.uniform_linear(antennas)
+    array = DeployedArray(geometry)
+    channel = MultipathChannel.from_bearings(bearings, amplitudes)
+    receiver = ArrayReceiver(array, apply_phase_offsets=False)
+    snapshots = receiver.capture(channel, num_snapshots=num, snr_db=snr_db,
+                                 rng=np.random.default_rng(seed)).samples
+    if smoothing > 1:
+        return smoothed_covariance(snapshots, smoothing), geometry.subarray(
+            list(range(antennas - smoothing + 1)))
+    return sample_covariance(snapshots), geometry
+
+
+incidence = st.floats(min_value=15.0, max_value=165.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+class TestEstimators:
+    @settings(max_examples=15, deadline=None)
+    @given(incidence)
+    def test_music_peak_at_true_bearing_single_source(self, bearing):
+        covariance, geometry = _covariance_for([bearing], [1.0])
+        angles = default_angle_grid(1.0, full_circle=False)
+        power = music_spectrum(covariance, geometry, angles, num_sources=1)
+        peak_angle = angles[int(np.argmax(power))]
+        assert abs(peak_angle - bearing) <= 2.0
+
+    def test_music_resolves_coherent_sources_with_smoothing(self):
+        covariance, geometry = _covariance_for(
+            [60.0, 110.0], [1.0, 0.9 * np.exp(1.1j)], smoothing=2)
+        angles = default_angle_grid(1.0, full_circle=False)
+        power = music_spectrum(covariance, geometry, angles)
+        top_angles = angles[np.argsort(power)[-8:]]
+        assert any(abs(a - 60.0) <= 4.0 for a in top_angles)
+        assert any(abs(a - 110.0) <= 4.0 for a in top_angles)
+
+    def test_bartlett_and_capon_peak_at_true_bearing(self):
+        covariance, geometry = _covariance_for([75.0], [1.0])
+        angles = default_angle_grid(1.0, full_circle=False)
+        for estimator in (bartlett_spectrum, capon_spectrum):
+            power = estimator(covariance, geometry, angles)
+            assert abs(angles[int(np.argmax(power))] - 75.0) <= 3.0
+
+    def test_music_sharper_than_bartlett(self):
+        covariance, geometry = _covariance_for([75.0], [1.0])
+        angles = default_angle_grid(1.0, full_circle=False)
+        music = music_spectrum(covariance, geometry, angles, num_sources=1)
+        bartlett = bartlett_spectrum(covariance, geometry, angles)
+        def lobe_width(power):
+            half = np.max(power) / 2
+            return int(np.sum(power > half))
+        assert lobe_width(music) < lobe_width(bartlett)
+
+    def test_dimension_mismatch_rejected(self):
+        geometry = ArrayGeometry.uniform_linear(8)
+        with pytest.raises(EstimationError):
+            music_spectrum(np.eye(4), geometry, default_angle_grid(1.0, False))
+
+
+class TestAoASpectrum:
+    def test_grid_validation(self):
+        with pytest.raises(EstimationError):
+            default_angle_grid(7.0)
+        with pytest.raises(EstimationError):
+            AoASpectrum(np.arange(4.0), np.array([1.0, -1.0, 0.0, 0.0]))
+
+    def test_mirror_from_half_spectrum(self):
+        angles = default_angle_grid(1.0, full_circle=False)
+        power = np.exp(-0.5 * ((angles - 60.0) / 5.0) ** 2)
+        spectrum = AoASpectrum.from_half_spectrum(angles, power)
+        assert spectrum.angles_deg.shape == (360,)
+        assert spectrum.power_at_local(300.0)[0] == pytest.approx(
+            spectrum.power_at_local(60.0)[0], rel=1e-6)
+
+    def test_power_lookup_interpolates_and_wraps(self):
+        angles = default_angle_grid(1.0)
+        power = np.zeros_like(angles)
+        power[0] = 1.0
+        spectrum = AoASpectrum(angles, power)
+        assert spectrum.power_at_local(359.5)[0] == pytest.approx(0.5)
+        assert spectrum.power_at_local(0.5)[0] == pytest.approx(0.5)
+
+    def test_global_lookup_uses_orientation(self):
+        angles = default_angle_grid(1.0)
+        power = np.zeros_like(angles)
+        power[90] = 1.0  # local 90 degrees
+        spectrum = AoASpectrum(angles, power, ap_orientation_deg=30.0)
+        assert spectrum.power_at_global(120.0)[0] == pytest.approx(1.0)
+
+    def test_power_towards_position(self):
+        angles = default_angle_grid(1.0)
+        power = np.ones_like(angles)
+        power[45] = 10.0
+        spectrum = AoASpectrum(angles, power, ap_position=Point2D(0.0, 0.0))
+        towards_peak = spectrum.power_towards(Point2D(1.0, 1.0))
+        assert towards_peak == pytest.approx(10.0)
+        assert spectrum.power_towards(Point2D(0.0, 0.0)) == 0.0
+
+    def test_normalized_and_scaled(self):
+        angles = default_angle_grid(1.0)
+        spectrum = AoASpectrum(angles, np.linspace(0, 2, len(angles)))
+        assert spectrum.normalized().max_power == pytest.approx(1.0)
+        assert spectrum.scaled(2.0).max_power == pytest.approx(4.0)
+        with pytest.raises(EstimationError):
+            spectrum.scaled(-1.0)
+
+    def test_half_plane_power_and_suppression(self):
+        angles = default_angle_grid(1.0)
+        power = np.ones_like(angles)
+        spectrum = AoASpectrum(angles, power)
+        upper, lower = spectrum.half_plane_power()
+        assert upper == pytest.approx(lower)
+        suppressed = spectrum.suppress_half_plane(suppress_lower=True)
+        upper2, lower2 = suppressed.half_plane_power()
+        assert lower2 == pytest.approx(0.0)
+        assert upper2 == pytest.approx(upper)
+
+
+class TestPeaks:
+    def _gaussian_spectrum(self, centers, widths, heights):
+        angles = default_angle_grid(1.0)
+        power = np.zeros_like(angles)
+        for center, width, height in zip(centers, widths, heights):
+            distance = np.minimum(np.abs(angles - center), 360 - np.abs(angles - center))
+            power += height * np.exp(-0.5 * (distance / width) ** 2)
+        return AoASpectrum(angles, power)
+
+    def test_finds_all_major_peaks(self):
+        spectrum = self._gaussian_spectrum([50, 150, 260], [4, 5, 6], [1.0, 0.7, 0.4])
+        peaks = find_peaks(spectrum, min_relative_height=0.1)
+        found = sorted(round(p.angle_deg) for p in peaks)
+        assert found == [50, 150, 260]
+        # Strongest first.
+        assert find_peaks(spectrum)[0].angle_deg == pytest.approx(50.0)
+
+    def test_height_floor_filters_small_peaks(self):
+        spectrum = self._gaussian_spectrum([50, 200], [4, 4], [1.0, 0.05])
+        peaks = find_peaks(spectrum, min_relative_height=0.1)
+        assert len(peaks) == 1
+
+    def test_match_peak_tolerance(self):
+        spectrum = self._gaussian_spectrum([50], [4], [1.0])
+        peak = find_peaks(spectrum)[0]
+        near = self._gaussian_spectrum([53], [4], [1.0])
+        far = self._gaussian_spectrum([60], [4], [1.0])
+        assert match_peak(peak, find_peaks(near), tolerance_deg=5.0) is not None
+        assert match_peak(peak, find_peaks(far), tolerance_deg=5.0) is None
+
+    def test_peak_regions_cover_the_lobe(self):
+        spectrum = self._gaussian_spectrum([100], [8], [1.0])
+        peak = find_peaks(spectrum)[0]
+        mask = peak_regions(spectrum, peak)
+        assert mask[peak.index]
+        assert 10 < int(np.sum(mask)) < 120
+
+    def test_empty_spectrum_has_no_peaks(self):
+        angles = default_angle_grid(1.0)
+        spectrum = AoASpectrum(angles, np.zeros_like(angles))
+        assert find_peaks(spectrum) == []

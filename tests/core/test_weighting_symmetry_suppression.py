@@ -1,0 +1,143 @@
+"""Tests for geometry weighting, symmetry removal and multipath suppression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray, DiversitySynthesizer
+from repro.channel import MultipathChannel
+from repro.core import (
+    AoASpectrum,
+    MultipathSuppressor,
+    SymmetryResolver,
+    apply_geometry_weighting,
+    default_angle_grid,
+    find_peaks,
+    geometry_window,
+    group_spectra_by_time,
+    suppress_multipath,
+)
+from repro.errors import EstimationError
+
+
+def _gaussian(centers, heights, width=4.0, **metadata):
+    angles = default_angle_grid(1.0)
+    power = np.zeros_like(angles)
+    for center, height in zip(centers, heights):
+        distance = np.minimum(np.abs(angles - center), 360 - np.abs(angles - center))
+        power += height * np.exp(-0.5 * (distance / width) ** 2)
+    return AoASpectrum(angles, power, **metadata)
+
+
+class TestGeometryWeighting:
+    def test_window_matches_paper_definition(self):
+        angles = default_angle_grid(1.0)
+        window = geometry_window(angles)
+        # Reliable region: unity weight.
+        assert window[90] == pytest.approx(1.0)
+        assert window[45] == pytest.approx(1.0)
+        # Near endfire: sin(theta) weight.
+        assert window[5] == pytest.approx(abs(np.sin(np.radians(5.0))))
+        assert window[175] == pytest.approx(abs(np.sin(np.radians(175.0))))
+        # Mirror side folds onto the same endfire distance.
+        assert window[355] == pytest.approx(window[5])
+
+    def test_weighting_attenuates_endfire_peaks_only(self):
+        spectrum = _gaussian([5.0, 90.0], [1.0, 1.0])
+        weighted = apply_geometry_weighting(spectrum)
+        assert weighted.power_at_local(90.0)[0] == pytest.approx(
+            spectrum.power_at_local(90.0)[0])
+        assert weighted.power_at_local(5.0)[0] < 0.2 * spectrum.power_at_local(5.0)[0]
+
+    def test_invalid_reliable_angle(self):
+        with pytest.raises(EstimationError):
+            geometry_window(default_angle_grid(1.0), reliable_angle_deg=95.0)
+
+
+class TestSymmetryResolver:
+    def _capture(self, azimuth_deg, snr_db=30.0, seed=0):
+        array = DeployedArray(ArrayGeometry.linear_with_symmetry_antenna(8))
+        channel = MultipathChannel.from_bearings([azimuth_deg], [1.0])
+        synthesizer = DiversitySynthesizer(array, list(range(8)), [8])
+        snapshots = synthesizer.capture(channel, num_snapshots=10, snr_db=snr_db,
+                                        rng=np.random.default_rng(seed))
+        return array, snapshots
+
+    def test_linear_geometry_rejected(self):
+        with pytest.raises(EstimationError):
+            SymmetryResolver(ArrayGeometry.uniform_linear(8), 0.1249)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=25.0, max_value=155.0))
+    def test_upper_half_sources_keep_upper_half(self, azimuth):
+        array, snapshots = self._capture(azimuth)
+        resolver = SymmetryResolver(array.geometry, array.wavelength_m)
+        spectrum = _gaussian([azimuth, 360.0 - azimuth], [1.0, 1.0])
+        resolved = resolver.resolve(spectrum, snapshots.samples)
+        assert resolved.power_at_local(azimuth)[0] > resolved.power_at_local(
+            360.0 - azimuth)[0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=205.0, max_value=335.0))
+    def test_lower_half_sources_keep_lower_half(self, azimuth):
+        array, snapshots = self._capture(azimuth)
+        resolver = SymmetryResolver(array.geometry, array.wavelength_m)
+        spectrum = _gaussian([azimuth, 360.0 - azimuth], [1.0, 1.0])
+        resolved = resolver.resolve(spectrum, snapshots.samples)
+        assert resolved.power_at_local(azimuth)[0] > resolved.power_at_local(
+            360.0 - azimuth)[0]
+
+    def test_attenuation_keeps_residual(self):
+        array, snapshots = self._capture(60.0)
+        resolver = SymmetryResolver(array.geometry, array.wavelength_m)
+        spectrum = _gaussian([60.0, 300.0], [1.0, 1.0])
+        resolved = resolver.resolve(spectrum, snapshots.samples, attenuation=0.1)
+        assert resolved.power_at_local(300.0)[0] == pytest.approx(
+            0.1 * spectrum.power_at_local(300.0)[0], rel=0.05)
+
+
+class TestMultipathSuppression:
+    def test_grouping_by_time(self):
+        spectra = [_gaussian([50], [1.0], timestamp_s=t)
+                   for t in (0.0, 0.03, 0.06, 0.5, 0.52)]
+        groups = group_spectra_by_time(spectra, window_s=0.1, max_group_size=3)
+        assert [len(g) for g in groups] == [3, 2]
+
+    def test_singleton_group_passes_through(self):
+        spectrum = _gaussian([50, 120], [1.0, 0.8])
+        assert suppress_multipath([spectrum]) is spectrum
+
+    def test_unstable_peak_removed_stable_kept(self):
+        primary = _gaussian([50, 120], [1.0, 0.8])
+        companion = _gaussian([51, 150], [1.0, 0.8])  # reflection moved 30 degrees
+        suppressed = suppress_multipath([primary, companion])
+        assert suppressed.power_at_local(50.0)[0] == pytest.approx(
+            primary.power_at_local(50.0)[0])
+        assert suppressed.power_at_local(120.0)[0] < 0.1 * primary.power_at_local(120.0)[0]
+
+    def test_both_peaks_stable_nothing_removed(self):
+        primary = _gaussian([50, 120], [1.0, 0.8])
+        companion = _gaussian([52, 118], [0.9, 0.9])
+        suppressed = suppress_multipath([primary, companion])
+        assert suppressed.power_at_local(120.0)[0] == pytest.approx(
+            primary.power_at_local(120.0)[0])
+
+    def test_three_frame_group_requires_agreement_in_all(self):
+        primary = _gaussian([50, 120], [1.0, 0.8])
+        second = _gaussian([50, 121], [1.0, 0.8])
+        third = _gaussian([50, 170], [1.0, 0.8])
+        suppressed = MultipathSuppressor().suppress([primary, second, third])
+        # 120-degree peak matches the second frame but not the third: removed.
+        assert suppressed.power_at_local(120.0)[0] < 0.1 * primary.power_at_local(120.0)[0]
+
+    def test_process_returns_one_spectrum_per_group(self):
+        spectra = [_gaussian([50, 120], [1.0, 0.8], timestamp_s=t)
+                   for t in (0.0, 0.03, 1.0)]
+        outputs = MultipathSuppressor().process(spectra)
+        assert len(outputs) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            MultipathSuppressor(residual_fraction=1.5)
+        with pytest.raises(EstimationError):
+            MultipathSuppressor().suppress([])

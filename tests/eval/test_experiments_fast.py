@@ -1,0 +1,128 @@
+"""Fast (down-scaled) runs of every experiment to verify they work end to end.
+
+The benchmark harness runs the paper-sized versions; these tests exercise the
+same code paths with small parameters so the full suite stays quick.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    appendix_a_height_error,
+    baseline_comparison,
+    fig3_example_spectrum,
+    fig7_spatial_smoothing,
+    fig9_multipath_suppression,
+    fig14_heatmaps,
+    fig17_pillar_blocking,
+    fig19_sample_count,
+    fig20_snr_sweep,
+    fig21_latency,
+    run_localization_sweep,
+    sec434_detection_snr,
+    sec435_collisions,
+    table1_peak_stability,
+)
+from repro.testbed import ScenarioConfig
+
+
+class TestSpectrumExperiments:
+    def test_fig3_example_spectrum_has_peaks_near_truth(self):
+        result = fig3_example_spectrum()
+        assert result.summary["num_peaks"] >= 1
+        assert result.summary["closest_peak_offset_deg"] < 10.0
+
+    def test_fig7_smoothing_reduces_or_keeps_peak_count(self):
+        result = fig7_spatial_smoothing(group_counts=(1, 2, 3))
+        assert set(result.spectra) == {"NG=1", "NG=2", "NG=3"}
+        assert result.summary["num_peaks_NG3"] <= result.summary["num_peaks_NG1"] + 1
+
+    def test_table1_direct_path_more_stable_than_reflections(self):
+        result = table1_peak_stability(num_positions=20, seed=5)
+        assert result.total_positions == 20
+        fractions = result.as_dict()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        # The headline qualitative claim of Table 1: the direct-path peak is
+        # usually stable under small movements.
+        assert result.fraction_direct_same > 0.5
+
+    def test_fig9_suppression_does_not_add_peaks(self):
+        result = fig9_multipath_suppression()
+        assert result.summary["peaks_after"] <= result.summary["peaks_before"]
+
+    def test_fig17_direct_peak_survives_pillar_blocking(self):
+        result = fig17_pillar_blocking()
+        assert result.summary["pillars_crossed [no blocking]"] == 0
+        assert result.summary["pillars_crossed [blocked by 1 pillar]"] >= 1
+        # Even when blocked, the direct path produces an identifiable peak
+        # among the strongest few.  (The paper finds it within the top three;
+        # our synthetic clutter is somewhat harsher, see EXPERIMENTS.md.)
+        assert result.summary["direct_peak_rank [no blocking]"] == 1
+        for label in ("blocked by 1 pillar", "blocked by 2 pillars"):
+            assert 1 <= result.summary[f"direct_peak_rank [{label}]"] <= 8
+
+
+class TestLocalizationExperiments:
+    def test_sweep_errors_shrink_with_more_aps(self):
+        sweep = run_localization_sweep(num_clients=8, ap_counts=(3, 6),
+                                       max_subsets_per_count=2,
+                                       grid_resolution_m=0.4)
+        assert set(sweep.statistics) == {3, 6}
+        assert sweep.statistics[6].median_cm <= sweep.statistics[3].median_cm * 1.5
+        for count, (grid, fractions) in sweep.cdfs.items():
+            assert fractions[-1] == pytest.approx(1.0)
+
+    def test_fig14_error_improves_from_one_to_six_aps(self):
+        errors = fig14_heatmaps(grid_resolution_m=0.4)
+        assert set(errors) == {1, 2, 3, 4, 5, 6}
+        assert errors[6] <= errors[1]
+
+
+class TestRobustnessExperiments:
+    def test_fig19_more_samples_do_not_hurt_stability(self):
+        result = fig19_sample_count(sample_counts=(1, 10), num_packets=8)
+        assert result[10]["bearing_std_deg"] <= result[1]["bearing_std_deg"] + 2.0
+
+    def test_fig20_low_snr_blurs_the_spectrum(self):
+        result = fig20_snr_sweep(snrs_db=(15.0, -5.0))
+        assert (result[15.0]["power_near_true_bearing"]
+                > result[-5.0]["power_near_true_bearing"])
+        assert (result[15.0]["strongest_peak_error_deg"]
+                < result[-5.0]["strongest_peak_error_deg"])
+
+    def test_sec434_matched_filter_detects_below_0db(self):
+        result = sec434_detection_snr(snrs_db=(10.0, -10.0), num_trials=6)
+        assert result[10.0]["matched_filter_rate"] == 1.0
+        assert result[-10.0]["matched_filter_rate"] >= 0.5
+
+    def test_sec435_collision_recovery(self):
+        result = sec435_collisions(num_trials=10)
+        assert 0.0 <= result["success_rate"] <= 1.0
+        # The second transmitter's bearing is recovered in a substantial
+        # fraction of collisions (the paper's claim is qualitative; our
+        # synthetic clutter is harsher, see EXPERIMENTS.md).
+        assert result["success_rate"] >= 0.3
+
+    def test_appendix_a_matches_paper_numbers(self):
+        errors = appendix_a_height_error()
+        assert errors[5.0] == pytest.approx(0.04, abs=0.01)
+        assert errors[10.0] == pytest.approx(0.01, abs=0.005)
+
+
+class TestSystemExperiments:
+    def test_fig21_latency_breakdown(self):
+        result = fig21_latency(grid_resolution_m=0.5)
+        paper = result["paper model"]
+        assert paper["added_after_frame_end_s"] == pytest.approx(0.1, abs=0.02)
+        fast_frame = result["54 Mbit/s"]
+        assert fast_frame["transfer_s"] == pytest.approx(2.56e-3)
+        assert fast_frame["processing_s"] > 0.0
+
+    def test_baselines_are_coarser_than_arraytrack(self):
+        result = baseline_comparison(num_clients=6, survey_grid_m=3.0,
+                                     grid_resolution_m=0.4)
+        assert result["arraytrack"].median_cm < result["rss fingerprinting"].median_cm
+        assert result["arraytrack"].median_cm < result["rss model"].median_cm
+        assert result["arraytrack"].median_cm < result["weighted centroid"].median_cm

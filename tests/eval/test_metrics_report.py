@@ -1,0 +1,84 @@
+"""Tests for the evaluation metrics and the text report renderer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EstimationError
+from repro.eval import (
+    ErrorStatistics,
+    empirical_cdf,
+    format_cdf_series,
+    format_error_statistics,
+    format_key_values,
+    format_table,
+    summarize_errors,
+)
+
+error_samples = st.lists(st.floats(min_value=0.0, max_value=5000.0,
+                                   allow_nan=False, allow_infinity=False),
+                         min_size=1, max_size=200)
+
+
+class TestMetrics:
+    def test_summary_of_known_sample(self):
+        stats = summarize_errors([10.0, 20.0, 30.0, 40.0, 100.0])
+        assert stats.count == 5
+        assert stats.median_cm == pytest.approx(30.0)
+        assert stats.mean_cm == pytest.approx(40.0)
+        assert stats.max_cm == pytest.approx(100.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(EstimationError):
+            summarize_errors([])
+        with pytest.raises(EstimationError):
+            summarize_errors([-1.0])
+
+    @given(error_samples)
+    def test_summary_invariants(self, sample):
+        stats = summarize_errors(sample)
+        assert stats.median_cm <= stats.p90_cm + 1e-9
+        assert stats.p90_cm <= stats.p95_cm + 1e-9
+        assert stats.p95_cm <= stats.max_cm + 1e-9
+        assert 0.0 <= stats.mean_cm <= stats.max_cm + 1e-9
+
+    @given(error_samples)
+    def test_cdf_is_monotone_and_reaches_one(self, sample):
+        grid, fractions = empirical_cdf(sample)
+        assert np.all(np.diff(fractions) >= -1e-12)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_cdf_custom_grid(self):
+        grid, fractions = empirical_cdf([10.0, 20.0, 30.0], grid_cm=[15.0, 25.0, 35.0])
+        assert np.allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+    def test_as_dict_round_trip(self):
+        stats = summarize_errors([1.0, 2.0, 3.0])
+        payload = stats.as_dict()
+        assert payload["count"] == 3
+        assert payload["median_cm"] == pytest.approx(2.0)
+
+
+class TestReport:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_error_statistics(self):
+        stats = {3: summarize_errors([10, 20, 30]), 6: summarize_errors([5, 6, 7])}
+        text = format_error_statistics(stats, label="APs", title="accuracy")
+        assert "APs" in text and "median (cm)" in text
+        assert "accuracy" in text
+
+    def test_format_cdf_series(self):
+        cdfs = {"series-a": empirical_cdf([10.0, 20.0, 100.0])}
+        text = format_cdf_series(cdfs)
+        assert "series-a" in text and "p90 (cm)" in text
+
+    def test_format_key_values(self):
+        text = format_key_values({"median": 23.0, "mean": 31.0}, title="headline")
+        assert "headline" in text and "median" in text

@@ -1,0 +1,143 @@
+"""Tests for floorplans and the image-source ray tracer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Floorplan,
+    Pillar,
+    Point2D,
+    RayTracer,
+    Wall,
+    bearing_deg,
+    rectangular_room,
+    trace_paths,
+)
+
+inner_coords = st.floats(min_value=1.0, max_value=19.0,
+                         allow_nan=False, allow_infinity=False)
+inner_y = st.floats(min_value=1.0, max_value=9.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+class TestFloorplan:
+    def test_rectangular_room_has_four_walls(self):
+        room = rectangular_room(20.0, 10.0)
+        assert len(room.walls) == 4
+        assert room.bounding_box() == (0.0, 0.0, 20.0, 10.0)
+
+    def test_rectangular_room_rejects_bad_dimensions(self):
+        with pytest.raises(GeometryError):
+            rectangular_room(-1.0, 5.0)
+
+    def test_empty_floorplan_bounding_box_raises(self):
+        with pytest.raises(GeometryError):
+            Floorplan().bounding_box()
+
+    def test_line_of_sight_inside_empty_room(self):
+        room = rectangular_room(20.0, 10.0)
+        assert room.line_of_sight(Point2D(1, 1), Point2D(19, 9))
+
+    def test_interior_wall_blocks_line_of_sight(self):
+        room = rectangular_room(20.0, 10.0)
+        room.add_wall(Wall(Point2D(10, 0), Point2D(10, 10), "concrete", name="divider"))
+        assert not room.line_of_sight(Point2D(5, 5), Point2D(15, 5))
+        assert room.penetration_loss_db(Point2D(5, 5), Point2D(15, 5)) == pytest.approx(18.0)
+
+    def test_pillar_blocks_line_of_sight(self):
+        room = rectangular_room(20.0, 10.0)
+        room.add_pillar(Pillar(Point2D(10, 5), 0.5))
+        assert not room.line_of_sight(Point2D(5, 5), Point2D(15, 5))
+        assert room.line_of_sight(Point2D(5, 2), Point2D(15, 2))
+
+    def test_contains_uses_bounding_box(self):
+        room = rectangular_room(20.0, 10.0)
+        assert room.contains(Point2D(10, 5))
+        assert not room.contains(Point2D(25, 5))
+
+    def test_summary_mentions_counts(self):
+        room = rectangular_room(20.0, 10.0, name="lab")
+        assert "4 walls" in room.summary()
+
+
+class TestRayTracer:
+    def test_direct_path_is_first_and_unblocked(self, simple_room):
+        paths = trace_paths(simple_room, Point2D(5, 5), Point2D(15, 5))
+        assert paths[0].is_direct
+        assert not paths[0].blocked
+        assert paths[0].length == pytest.approx(10.0)
+        assert paths[0].num_reflections == 0
+
+    def test_direct_path_bearing_points_from_receiver_to_source(self, simple_room):
+        source, destination = Point2D(5, 5), Point2D(15, 5)
+        paths = trace_paths(simple_room, source, destination)
+        assert paths[0].arrival_bearing_deg == pytest.approx(
+            bearing_deg(destination, source))
+
+    def test_first_order_reflections_present(self, simple_room):
+        paths = trace_paths(simple_room, Point2D(5, 5), Point2D(15, 5),
+                            max_reflections=1)
+        reflections = [p for p in paths if p.num_reflections == 1]
+        # Floor and ceiling walls both give a specular reflection; the side
+        # walls may or may not depending on the geometry.
+        assert len(reflections) >= 2
+        for path in reflections:
+            assert path.length > 10.0
+            assert path.attenuation_db > 0.0
+
+    def test_second_order_reflections_are_longer(self, simple_room):
+        paths = trace_paths(simple_room, Point2D(5, 5), Point2D(15, 5),
+                            max_reflections=2)
+        second = [p for p in paths if p.num_reflections == 2]
+        first = [p for p in paths if p.num_reflections == 1]
+        assert second, "expected at least one second-order path"
+        assert min(p.length for p in second) >= min(p.length for p in first)
+
+    def test_blocked_direct_path_is_attenuated_not_dropped(self, simple_room):
+        simple_room.add_wall(Wall(Point2D(10, 0), Point2D(10, 10), "drywall",
+                                  name="divider"))
+        paths = trace_paths(simple_room, Point2D(5, 5), Point2D(15, 5))
+        direct = paths[0]
+        assert direct.is_direct and direct.blocked
+        assert direct.attenuation_db == pytest.approx(3.0)
+
+    def test_heavily_obstructed_direct_path_is_dropped(self, simple_room):
+        for offset in (8.0, 9.0, 10.0, 11.0, 12.0):
+            simple_room.add_wall(Wall(Point2D(offset, 0), Point2D(offset, 10),
+                                      "concrete", name=f"c{offset}"))
+        tracer = RayTracer(simple_room, max_reflections=0, max_penetration_db=40.0)
+        paths = tracer.trace(Point2D(5, 5), Point2D(15, 5))
+        assert all(not p.is_direct for p in paths)
+
+    def test_coincident_endpoints_rejected(self, simple_room):
+        with pytest.raises(GeometryError):
+            trace_paths(simple_room, Point2D(5, 5), Point2D(5, 5))
+
+    def test_invalid_reflection_order_rejected(self, simple_room):
+        with pytest.raises(GeometryError):
+            RayTracer(simple_room, max_reflections=3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(inner_coords, inner_y, inner_coords, inner_y)
+    def test_reflected_paths_always_longer_than_direct(self, x1, y1, x2, y2):
+        room = rectangular_room(20.0, 10.0)
+        source, destination = Point2D(x1, y1), Point2D(x2, y2)
+        if source.distance_to(destination) < 0.1:
+            return
+        paths = trace_paths(room, source, destination, max_reflections=1)
+        direct_length = paths[0].length
+        for path in paths[1:]:
+            assert path.length >= direct_length - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(inner_coords, inner_y, inner_coords, inner_y)
+    def test_path_lengths_match_vertex_polyline(self, x1, y1, x2, y2):
+        room = rectangular_room(20.0, 10.0)
+        source, destination = Point2D(x1, y1), Point2D(x2, y2)
+        if source.distance_to(destination) < 0.1:
+            return
+        for path in trace_paths(room, source, destination, max_reflections=2):
+            polyline = sum(a.distance_to(b)
+                           for a, b in zip(path.vertices, path.vertices[1:]))
+            assert polyline == pytest.approx(path.length, rel=1e-9)

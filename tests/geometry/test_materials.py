@@ -1,0 +1,36 @@
+"""Tests for the building-material registry."""
+
+import pytest
+
+from repro.geometry import MATERIALS, Material, get_material
+
+
+class TestMaterials:
+    def test_registry_contains_expected_materials(self):
+        for name in ("drywall", "concrete", "glass", "metal", "wood"):
+            assert name in MATERIALS
+
+    def test_get_material_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_material("unobtanium")
+
+    def test_metal_reflects_more_than_glass(self):
+        assert (get_material("metal").reflection_coefficient
+                > get_material("glass").reflection_coefficient)
+
+    def test_concrete_attenuates_more_than_drywall(self):
+        assert (get_material("concrete").transmission_loss_db
+                > get_material("drywall").transmission_loss_db)
+
+    def test_transmission_amplitude_matches_db(self):
+        material = get_material("drywall")
+        expected = 10.0 ** (-material.transmission_loss_db / 20.0)
+        assert material.transmission_amplitude == pytest.approx(expected)
+
+    def test_invalid_reflection_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", reflection_coefficient=1.5, transmission_loss_db=1.0)
+
+    def test_negative_transmission_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bad", reflection_coefficient=0.5, transmission_loss_db=-1.0)

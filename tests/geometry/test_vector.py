@@ -1,0 +1,131 @@
+"""Unit and property tests for 2-D vector/angle utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Point2D,
+    angle_difference_deg,
+    bearing_deg,
+    distance,
+    normalize_angle_deg,
+)
+
+finite_coords = st.floats(min_value=-1e4, max_value=1e4,
+                          allow_nan=False, allow_infinity=False)
+angles = st.floats(min_value=-720.0, max_value=720.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestPoint2D:
+    def test_addition_and_subtraction(self):
+        a = Point2D(1.0, 2.0)
+        b = Point2D(3.0, -1.0)
+        assert (a + b) == Point2D(4.0, 1.0)
+        assert (b - a) == Point2D(2.0, -3.0)
+
+    def test_scalar_multiplication_is_commutative(self):
+        p = Point2D(1.5, -2.0)
+        assert 2.0 * p == p * 2.0 == Point2D(3.0, -4.0)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(GeometryError):
+            Point2D(1.0, 1.0) / 0.0
+
+    def test_norm_and_normalized(self):
+        p = Point2D(3.0, 4.0)
+        assert p.norm() == pytest.approx(5.0)
+        unit = p.normalized()
+        assert unit.norm() == pytest.approx(1.0)
+        assert unit.x == pytest.approx(0.6)
+
+    def test_normalize_zero_vector_raises(self):
+        with pytest.raises(GeometryError):
+            Point2D(0.0, 0.0).normalized()
+
+    def test_dot_and_cross(self):
+        a = Point2D(1.0, 0.0)
+        b = Point2D(0.0, 2.0)
+        assert a.dot(b) == pytest.approx(0.0)
+        assert a.cross(b) == pytest.approx(2.0)
+
+    def test_perpendicular_is_rotation_by_90(self):
+        p = Point2D(1.0, 0.0)
+        assert p.perpendicular() == Point2D(0.0, 1.0)
+        assert p.rotated(90.0).y == pytest.approx(1.0)
+
+    def test_rotation_preserves_length(self):
+        p = Point2D(2.0, 3.0)
+        rotated = p.rotated(37.0)
+        assert rotated.norm() == pytest.approx(p.norm())
+
+    def test_distance_to(self):
+        assert Point2D(0.0, 0.0).distance_to(Point2D(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_iteration_and_tuple(self):
+        p = Point2D(1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+        assert p.as_tuple() == (1.0, 2.0)
+
+    def test_from_iterable_requires_two_values(self):
+        assert Point2D.from_iterable([1, 2]) == Point2D(1.0, 2.0)
+        with pytest.raises(GeometryError):
+            Point2D.from_iterable([1, 2, 3])
+
+
+class TestBearings:
+    def test_bearing_cardinal_directions(self):
+        origin = Point2D(0.0, 0.0)
+        assert bearing_deg(origin, Point2D(1.0, 0.0)) == pytest.approx(0.0)
+        assert bearing_deg(origin, Point2D(0.0, 1.0)) == pytest.approx(90.0)
+        assert bearing_deg(origin, Point2D(-1.0, 0.0)) == pytest.approx(180.0)
+        assert bearing_deg(origin, Point2D(0.0, -1.0)) == pytest.approx(270.0)
+
+    def test_bearing_of_coincident_points_raises(self):
+        with pytest.raises(GeometryError):
+            bearing_deg(Point2D(1.0, 1.0), Point2D(1.0, 1.0))
+
+    def test_distance_helper_matches_method(self):
+        a, b = Point2D(1.0, 2.0), Point2D(4.0, 6.0)
+        assert distance(a, b) == pytest.approx(a.distance_to(b)) == pytest.approx(5.0)
+
+    @given(finite_coords, finite_coords, finite_coords, finite_coords)
+    def test_bearing_is_always_in_range(self, x1, y1, x2, y2):
+        a, b = Point2D(x1, y1), Point2D(x2, y2)
+        if a.distance_to(b) < 1e-9:
+            return
+        bearing = bearing_deg(a, b)
+        assert 0.0 <= bearing < 360.0
+
+    @given(finite_coords, finite_coords, finite_coords, finite_coords)
+    def test_reverse_bearing_differs_by_180(self, x1, y1, x2, y2):
+        a, b = Point2D(x1, y1), Point2D(x2, y2)
+        if a.distance_to(b) < 1e-6:
+            return
+        forward = bearing_deg(a, b)
+        backward = bearing_deg(b, a)
+        assert angle_difference_deg(forward, backward) == pytest.approx(180.0, abs=1e-6)
+
+
+class TestAngles:
+    @given(angles)
+    def test_normalize_angle_range(self, angle):
+        normalized = normalize_angle_deg(angle)
+        assert 0.0 <= normalized < 360.0
+
+    @given(angles, angles)
+    def test_angle_difference_is_symmetric_and_bounded(self, a, b):
+        diff = angle_difference_deg(a, b)
+        assert 0.0 <= diff <= 180.0
+        assert diff == pytest.approx(angle_difference_deg(b, a))
+
+    def test_angle_difference_wraps(self):
+        assert angle_difference_deg(359.0, 1.0) == pytest.approx(2.0)
+        assert angle_difference_deg(0.0, 180.0) == pytest.approx(180.0)
+
+    @given(angles)
+    def test_angle_difference_to_self_is_zero(self, a):
+        assert angle_difference_deg(a, a) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,110 @@
+"""Tests for walls, pillars and the geometric predicates the ray tracer uses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point2D, Wall, Pillar, get_material, reflection_point
+from repro.geometry.walls import point_segment_distance, segment_circle_intersects
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+class TestWall:
+    def test_degenerate_wall_rejected(self):
+        with pytest.raises(GeometryError):
+            Wall(Point2D(1.0, 1.0), Point2D(1.0, 1.0))
+
+    def test_material_accepts_name(self):
+        wall = Wall(Point2D(0, 0), Point2D(1, 0), "glass")
+        assert wall.material is get_material("glass")
+
+    def test_length_direction_normal(self):
+        wall = Wall(Point2D(0, 0), Point2D(4, 0))
+        assert wall.length == pytest.approx(4.0)
+        assert wall.direction == Point2D(1.0, 0.0)
+        assert wall.normal == Point2D(0.0, 1.0)
+        assert wall.midpoint == Point2D(2.0, 0.0)
+
+    def test_mirror_point_across_horizontal_wall(self):
+        wall = Wall(Point2D(0, 0), Point2D(10, 0))
+        assert wall.mirror_point(Point2D(3.0, 2.0)) == Point2D(3.0, -2.0)
+
+    def test_mirror_point_is_involution(self):
+        wall = Wall(Point2D(0, 0), Point2D(3, 4))
+        point = Point2D(1.0, 5.0)
+        double_mirror = wall.mirror_point(wall.mirror_point(point))
+        assert double_mirror.distance_to(point) < 1e-9
+
+    def test_intersection_with_crossing_segment(self):
+        wall = Wall(Point2D(0, 0), Point2D(10, 0))
+        hit = wall.intersection_with_segment(Point2D(5, -1), Point2D(5, 1))
+        assert hit is not None
+        assert hit.distance_to(Point2D(5, 0)) < 1e-9
+
+    def test_no_intersection_for_parallel_segment(self):
+        wall = Wall(Point2D(0, 0), Point2D(10, 0))
+        assert wall.intersection_with_segment(Point2D(0, 1), Point2D(10, 1)) is None
+
+    def test_blocks_ignores_grazing_endpoints(self):
+        wall = Wall(Point2D(0, 0), Point2D(10, 0))
+        # A path that terminates exactly on the wall does not count as blocked.
+        assert not wall.blocks(Point2D(5, 0), Point2D(5, 5))
+        assert wall.blocks(Point2D(5, -2), Point2D(5, 2))
+
+
+class TestPillar:
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Pillar(Point2D(0, 0), radius=0.0)
+
+    def test_blocks_segment_through_center(self):
+        pillar = Pillar(Point2D(5, 5), radius=0.5)
+        assert pillar.blocks(Point2D(0, 5), Point2D(10, 5))
+        assert not pillar.blocks(Point2D(0, 0), Point2D(10, 0))
+
+    def test_blocks_endpoint_inside_pillar(self):
+        pillar = Pillar(Point2D(5, 5), radius=0.5)
+        assert pillar.blocks(Point2D(5.2, 5.0), Point2D(10, 5))
+
+
+class TestReflectionPoint:
+    def test_specular_point_for_symmetric_geometry(self):
+        wall = Wall(Point2D(0, 0), Point2D(10, 0))
+        point = reflection_point(wall, Point2D(2, 2), Point2D(8, 2))
+        assert point is not None
+        assert point.distance_to(Point2D(5.0, 0.0)) < 1e-9
+
+    def test_no_specular_point_outside_segment(self):
+        wall = Wall(Point2D(0, 0), Point2D(1, 0))
+        # Both endpoints far to the right: the specular point would lie
+        # beyond the end of the finite wall segment.
+        assert reflection_point(wall, Point2D(20, 2), Point2D(25, 2)) is None
+
+    def test_reflection_path_lengths_match_image_distance(self):
+        wall = Wall(Point2D(0, 0), Point2D(10, 0))
+        source, destination = Point2D(2, 3), Point2D(7, 1)
+        point = reflection_point(wall, source, destination)
+        assert point is not None
+        via_wall = source.distance_to(point) + point.distance_to(destination)
+        image = wall.mirror_point(source)
+        assert via_wall == pytest.approx(image.distance_to(destination))
+
+
+class TestSegmentCircle:
+    @given(coords, coords, coords, coords)
+    def test_endpoint_inside_circle_always_intersects(self, x1, y1, x2, y2):
+        center = Point2D(x1, y1)
+        inside = Point2D(x1 + 0.1, y1)
+        other = Point2D(x2, y2)
+        assert segment_circle_intersects(inside, other, center, 0.5)
+
+    def test_distant_segment_does_not_intersect(self):
+        assert not segment_circle_intersects(
+            Point2D(0, 10), Point2D(10, 10), Point2D(5, 0), 1.0)
+
+    def test_point_segment_distance(self):
+        assert point_segment_distance(Point2D(5, 3), Point2D(0, 0),
+                                      Point2D(10, 0)) == pytest.approx(3.0)
+        assert point_segment_distance(Point2D(-2, 0), Point2D(0, 0),
+                                      Point2D(10, 0)) == pytest.approx(2.0)

@@ -1,0 +1,127 @@
+"""Tests for the ArrayTrack server backend and the client tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core import AoASpectrum, LocalizerConfig, LocationEstimate, default_angle_grid
+from repro.errors import ConfigurationError, EstimationError
+from repro.geometry import Point2D, bearing_deg
+from repro.server import ArrayTrackServer, ClientTracker, ServerConfig
+
+
+def _spectrum_towards(ap_position, target, width=3.0, timestamp_s=0.0,
+                      extra_peak=None):
+    angles = default_angle_grid(1.0)
+    bearing = bearing_deg(ap_position, target)
+    distance = np.minimum(np.abs(angles - bearing), 360 - np.abs(angles - bearing))
+    power = np.exp(-0.5 * (distance / width) ** 2) + 1e-4
+    if extra_peak is not None:
+        extra_distance = np.minimum(np.abs(angles - extra_peak),
+                                    360 - np.abs(angles - extra_peak))
+        power += 0.9 * np.exp(-0.5 * (extra_distance / width) ** 2)
+    return AoASpectrum(angles, power, ap_position=ap_position,
+                       ap_id=f"ap@{ap_position.x:.0f},{ap_position.y:.0f}",
+                       timestamp_s=timestamp_s)
+
+
+BOUNDS = (0.0, 0.0, 20.0, 10.0)
+TARGET = Point2D(12.0, 6.0)
+AP_POSITIONS = [Point2D(1.0, 1.0), Point2D(19.0, 1.0), Point2D(10.0, 9.5)]
+
+
+class TestArrayTrackServer:
+    def _server(self, **config_kwargs):
+        config = ServerConfig(localizer=LocalizerConfig(grid_resolution_m=0.2),
+                              **config_kwargs)
+        return ArrayTrackServer(BOUNDS, config)
+
+    def test_localize_spectra_finds_target(self):
+        server = self._server()
+        spectra = {f"ap{i}": [_spectrum_towards(p, TARGET)]
+                   for i, p in enumerate(AP_POSITIONS)}
+        estimate = server.localize_spectra(spectra, client_id="c")
+        assert isinstance(estimate, LocationEstimate)
+        assert estimate.position.distance_to(TARGET) < 0.3
+        assert estimate.client_id == "c"
+
+    def test_multipath_suppression_removes_unstable_ghost(self):
+        """A reflection peak present in only one frame should be suppressed."""
+        ghost_bearing = 200.0
+        spectra = {
+            "ap0": [
+                _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.0,
+                                  extra_peak=ghost_bearing),
+                _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.03),
+            ],
+            "ap1": [_spectrum_towards(AP_POSITIONS[1], TARGET, timestamp_s=0.0)],
+            "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET, timestamp_s=0.0)],
+        }
+        with_suppression = self._server(enable_multipath_suppression=True)
+        estimate = with_suppression.localize_spectra(spectra)
+        assert estimate.position.distance_to(TARGET) < 0.3
+
+    def test_no_spectra_raises(self):
+        with pytest.raises(EstimationError):
+            self._server().localize_spectra({})
+
+    def test_localize_client_requires_aps(self):
+        with pytest.raises(ConfigurationError):
+            self._server().localize_client([], "c")
+
+    def test_latency_breakdown_uses_measured_processing(self):
+        server = self._server(measure_processing_time=True)
+        spectra = {f"ap{i}": [_spectrum_towards(p, TARGET)]
+                   for i, p in enumerate(AP_POSITIONS)}
+        server.localize_spectra(spectra)
+        assert server.last_processing_s is not None
+        breakdown = server.latency_breakdown(use_measured_processing=True)
+        assert breakdown.processing_s == pytest.approx(server.last_processing_s)
+        paper = server.latency_breakdown(use_measured_processing=False)
+        assert paper.processing_s == pytest.approx(0.1)
+
+
+class TestClientTracker:
+    def _estimate(self, x, y):
+        return LocationEstimate(position=Point2D(x, y), likelihood=1.0, num_aps=3)
+
+    def test_first_fix_is_not_smoothed(self):
+        tracker = ClientTracker(smoothing_factor=0.5)
+        point = tracker.update("c", self._estimate(1.0, 1.0), 0.0)
+        assert point.smoothed_position == Point2D(1.0, 1.0)
+
+    def test_smoothing_blends_consecutive_fixes(self):
+        tracker = ClientTracker(smoothing_factor=0.5)
+        tracker.update("c", self._estimate(0.0, 0.0), 0.0)
+        point = tracker.update("c", self._estimate(2.0, 0.0), 0.1)
+        assert point.smoothed_position.x == pytest.approx(1.0)
+
+    def test_track_history_and_clients(self):
+        tracker = ClientTracker()
+        for index in range(5):
+            tracker.update("a", self._estimate(float(index), 0.0), float(index))
+        tracker.update("b", self._estimate(0.0, 0.0), 0.0)
+        assert tracker.clients() == ["a", "b"]
+        assert len(tracker.track("a")) == 5
+        assert tracker.latest("a").position.x == pytest.approx(4.0)
+        assert tracker.latest("missing") is None
+
+    def test_max_history_trims_old_fixes(self):
+        tracker = ClientTracker(max_history=3)
+        for index in range(6):
+            tracker.update("a", self._estimate(float(index), 0.0), float(index))
+        track = tracker.track("a")
+        assert len(track) == 3
+        assert track[0].position.x == pytest.approx(3.0)
+
+    def test_path_length(self):
+        tracker = ClientTracker(smoothing_factor=1.0)
+        for index in range(4):
+            tracker.update("a", self._estimate(float(index), 0.0), float(index))
+        assert tracker.path_length_m("a") == pytest.approx(3.0)
+        assert tracker.path_length_m("unknown") == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ClientTracker(smoothing_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            ClientTracker(max_history=0)

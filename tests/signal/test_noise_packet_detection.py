@@ -1,0 +1,113 @@
+"""Tests for SNR utilities, the frame model and packet detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DetectionError, SignalError
+from repro.signal import (
+    Frame,
+    MatchedFilterDetector,
+    SchmidlCoxDetector,
+    Waveform,
+    add_awgn,
+    air_time_s,
+    db_to_linear,
+    generate_preamble,
+    linear_to_db,
+    measure_snr_db,
+    noise_power_for_snr,
+)
+
+
+class TestNoise:
+    def test_db_round_trip(self):
+        for value in (0.1, 1.0, 3.0, 100.0):
+            assert db_to_linear(linear_to_db(value)) == pytest.approx(value)
+
+    def test_linear_to_db_rejects_non_positive(self):
+        with pytest.raises(SignalError):
+            linear_to_db(0.0)
+
+    def test_noise_power_for_snr(self):
+        assert noise_power_for_snr(1.0, 10.0) == pytest.approx(0.1)
+        assert noise_power_for_snr(2.0, 0.0) == pytest.approx(2.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=-5.0, max_value=30.0))
+    def test_add_awgn_achieves_requested_snr(self, snr_db):
+        rng = np.random.default_rng(3)
+        clean = Waveform(np.exp(1j * rng.uniform(0, 2 * np.pi, size=20000)))
+        noisy = add_awgn(clean, snr_db, rng=rng)
+        measured = measure_snr_db(noisy.samples, clean.samples)
+        assert measured == pytest.approx(snr_db, abs=0.5)
+
+    def test_measure_snr_requires_matching_shapes(self):
+        with pytest.raises(SignalError):
+            measure_snr_db(np.zeros(4), np.zeros(5))
+
+
+class TestFrame:
+    def test_air_time_matches_paper_examples(self):
+        # Section 4.4: ~222 us at 54 Mbit/s, ~12 ms at 1 Mbit/s for 1500 bytes.
+        assert air_time_s(1500, 54.0) == pytest.approx(238e-6, rel=0.1)
+        assert air_time_s(1500, 1.0) == pytest.approx(12e-3, rel=0.05)
+
+    def test_invalid_frame_parameters_rejected(self):
+        with pytest.raises(SignalError):
+            Frame("c", payload_bytes=0)
+        with pytest.raises(SignalError):
+            Frame("c", bitrate_mbps=-1)
+
+    def test_baseband_waveform_starts_with_preamble(self):
+        frame = Frame("client-1")
+        waveform = frame.baseband_waveform(include_payload=True, payload_samples=64)
+        preamble = generate_preamble()
+        assert len(waveform) == len(preamble) + 64
+        assert np.allclose(waveform.samples[:len(preamble)], preamble.samples)
+
+
+class TestDetectors:
+    def test_schmidl_cox_detects_clean_preamble(self):
+        preamble = generate_preamble().delayed(500)
+        result = SchmidlCoxDetector().detect(preamble)
+        assert result.detected
+        assert result.metric_peak > 0.9
+
+    def test_schmidl_cox_ignores_noise_only_input(self):
+        rng = np.random.default_rng(0)
+        noise = Waveform(rng.normal(size=4000) + 1j * rng.normal(size=4000))
+        assert not SchmidlCoxDetector().detect(noise).detected
+
+    def test_matched_filter_detects_at_low_snr(self):
+        rng = np.random.default_rng(1)
+        preamble = generate_preamble()
+        noisy = add_awgn(preamble.delayed(2000), -10.0, rng=rng,
+                         reference_power=preamble.power())
+        assert MatchedFilterDetector().detect(noisy).detected
+
+    def test_matched_filter_rejects_pure_noise(self):
+        rng = np.random.default_rng(2)
+        noise = Waveform(0.5 * (rng.normal(size=6000) + 1j * rng.normal(size=6000)))
+        result = MatchedFilterDetector(threshold=8.0).detect(noise)
+        assert not result.detected
+
+    def test_matched_filter_finds_two_separated_preambles(self):
+        preamble = generate_preamble()
+        gap = Waveform.zeros(4000)
+        stream = preamble.concatenate(gap).concatenate(preamble)
+        rng = np.random.default_rng(3)
+        noisy = add_awgn(stream, 10.0, rng=rng, reference_power=preamble.power())
+        result = MatchedFilterDetector().detect(noisy)
+        assert result.detected
+        assert len(result.all_starts) >= 2
+
+    def test_detector_threshold_validation(self):
+        with pytest.raises(DetectionError):
+            SchmidlCoxDetector(threshold=0.0)
+        with pytest.raises(DetectionError):
+            MatchedFilterDetector(threshold=-1.0)
+
+    def test_detection_result_is_truthy_when_detected(self):
+        preamble = generate_preamble().delayed(100)
+        assert bool(MatchedFilterDetector().detect(preamble))

@@ -1,0 +1,116 @@
+"""Tests for the waveform container and 802.11 OFDM preamble generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import PREAMBLE_DURATION_S, SAMPLE_RATE_HZ
+from repro.errors import SignalError
+from repro.signal import (
+    PreambleLayout,
+    Waveform,
+    generate_long_training_field,
+    generate_preamble,
+    generate_short_training_field,
+    long_training_symbol,
+    short_training_symbol,
+)
+
+
+class TestWaveform:
+    def test_requires_one_dimensional_samples(self):
+        with pytest.raises(SignalError):
+            Waveform(np.zeros((2, 2)))
+
+    def test_power_and_energy(self):
+        w = Waveform(np.array([1.0, 1j, -1.0, -1j]))
+        assert w.power() == pytest.approx(1.0)
+        assert w.energy() == pytest.approx(4.0)
+        assert w.rms() == pytest.approx(1.0)
+
+    def test_empty_waveform_power_is_zero(self):
+        assert Waveform.zeros(0).power() == 0.0
+
+    def test_duration(self):
+        w = Waveform.zeros(400, sample_rate_hz=40e6)
+        assert w.duration_s == pytest.approx(1e-5)
+
+    def test_delay_pads_front_with_zeros(self):
+        w = Waveform(np.ones(4))
+        delayed = w.delayed(3)
+        assert len(delayed) == 7
+        assert np.all(delayed.samples[:3] == 0)
+
+    def test_concatenate_requires_matching_rates(self):
+        a = Waveform.zeros(4, 20e6)
+        b = Waveform.zeros(4, 40e6)
+        with pytest.raises(SignalError):
+            a.concatenate(b)
+
+    def test_repeated_tiles_samples(self):
+        w = Waveform(np.array([1.0, 2.0]))
+        assert np.allclose(w.repeated(3).samples, [1, 2, 1, 2, 1, 2])
+
+    def test_upsampled_holds_samples_and_scales_rate(self):
+        w = Waveform(np.array([1.0, 2.0]), 20e6)
+        up = w.upsampled(2)
+        assert np.allclose(up.samples, [1, 1, 2, 2])
+        assert up.sample_rate_hz == pytest.approx(40e6)
+
+    def test_slice_time(self):
+        w = Waveform(np.arange(10, dtype=complex), sample_rate_hz=10.0)
+        sliced = w.slice_time(0.2, 0.5)
+        assert np.allclose(sliced.samples, [2, 3, 4])
+
+    def test_continuous_wave_has_unit_amplitude(self):
+        tone = Waveform.continuous_wave(1e6, duration_s=1e-5)
+        assert np.allclose(np.abs(tone.samples), 1.0)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_zeros_length(self, n):
+        assert len(Waveform.zeros(n)) == n
+
+
+class TestPreamble:
+    def test_short_symbol_duration(self):
+        sts = short_training_symbol(SAMPLE_RATE_HZ)
+        assert sts.duration_s == pytest.approx(0.8e-6)
+
+    def test_long_symbol_duration(self):
+        lts = long_training_symbol(SAMPLE_RATE_HZ)
+        assert lts.duration_s == pytest.approx(3.2e-6)
+
+    def test_short_training_field_is_periodic(self):
+        field = generate_short_training_field(SAMPLE_RATE_HZ)
+        symbol_len = len(short_training_symbol(SAMPLE_RATE_HZ))
+        first = field.samples[:symbol_len]
+        for repetition in range(1, 10):
+            segment = field.samples[repetition * symbol_len:(repetition + 1) * symbol_len]
+            assert np.allclose(segment, first)
+
+    def test_long_training_field_guard_is_cyclic_prefix(self):
+        field = generate_long_training_field(SAMPLE_RATE_HZ, include_guard=True)
+        lts = long_training_symbol(SAMPLE_RATE_HZ)
+        guard_len = len(lts) // 2
+        assert np.allclose(field.samples[:guard_len], lts.samples[-guard_len:])
+
+    def test_preamble_duration_is_16_microseconds(self):
+        preamble = generate_preamble(SAMPLE_RATE_HZ)
+        assert preamble.duration_s == pytest.approx(PREAMBLE_DURATION_S)
+
+    def test_preamble_layout_landmarks(self):
+        layout = PreambleLayout(SAMPLE_RATE_HZ)
+        preamble = generate_preamble(SAMPLE_RATE_HZ)
+        assert layout.preamble_length == len(preamble)
+        # The two long training symbols are identical copies.
+        lts_len = layout.lts_length
+        first = preamble.samples[layout.first_lts_start:layout.first_lts_start + lts_len]
+        second = preamble.samples[layout.second_lts_start:layout.second_lts_start + lts_len]
+        assert np.allclose(first, second)
+
+    def test_non_integer_oversampling_rejected(self):
+        with pytest.raises(SignalError):
+            generate_preamble(30e6)
+
+    def test_preamble_has_nonzero_power(self):
+        assert generate_preamble().power() > 0.0

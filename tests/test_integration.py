@@ -1,0 +1,66 @@
+"""End-to-end integration tests spanning every layer of the system."""
+
+import numpy as np
+import pytest
+
+from repro import quickstart
+from repro.core import LocalizerConfig
+from repro.geometry import Point2D
+from repro.channel import random_waypoint_track
+from repro.server import ArrayTrackServer, ClientTracker, ServerConfig
+from repro.testbed import ScenarioConfig, SimulatedDeployment, build_office_testbed
+
+
+class TestFullPipeline:
+    def test_quickstart_localizes_within_two_metres(self):
+        estimate, ground_truth = quickstart.localize_one_client(
+            grid_resolution_m=0.3)
+        assert estimate.error_to(ground_truth) < 2.0
+        assert estimate.num_aps == 6
+
+    def test_quickstart_batch_helper(self):
+        errors = quickstart.localize_all_clients(num_clients=3, grid_resolution_m=0.5)
+        assert len(errors) == 3
+        assert all(value >= 0.0 for value in errors.values())
+
+    def test_more_aps_never_catastrophically_worse(self):
+        """Median error over a handful of clients should not grow with APs."""
+        testbed = build_office_testbed()
+        deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=11))
+        server = ArrayTrackServer(
+            testbed.bounds,
+            ServerConfig(localizer=LocalizerConfig(grid_resolution_m=0.4,
+                                                   spectrum_floor=0.05)))
+        errors = {3: [], 6: []}
+        for client_id in testbed.client_ids()[:6]:
+            deployment.clear()
+            spectra = deployment.collect_client_spectra(client_id)
+            truth = testbed.client_position(client_id)
+            subset = {ap: spectra[ap] for ap in ["1", "3", "5"] if ap in spectra}
+            errors[3].append(server.localize_spectra(subset, client_id).error_to(truth))
+            errors[6].append(server.localize_spectra(spectra, client_id).error_to(truth))
+        assert np.median(errors[6]) <= np.median(errors[3]) * 1.5
+
+    def test_tracking_a_walking_client(self):
+        """Localize a client at several waypoints and track the trajectory."""
+        testbed = build_office_testbed()
+        deployment = SimulatedDeployment(testbed,
+                                         ScenarioConfig(frames_per_client=1, seed=5))
+        server = ArrayTrackServer(
+            testbed.bounds,
+            ServerConfig(localizer=LocalizerConfig(grid_resolution_m=0.4,
+                                                   spectrum_floor=0.05)))
+        tracker = ClientTracker(smoothing_factor=0.7)
+        waypoints = random_waypoint_track(Point2D(6.0, 4.0), Point2D(14.0, 4.0), 4)
+        errors = []
+        for index, waypoint in enumerate(waypoints):
+            deployment.clear()
+            deployment.capture_client("walker", positions=[waypoint],
+                                      start_time_s=index * 0.5)
+            spectra = deployment.spectra_for_client("walker")
+            estimate = server.localize_spectra(spectra, "walker")
+            point = tracker.update("walker", estimate, index * 0.5)
+            errors.append(point.position.distance_to(waypoint))
+        assert len(tracker.track("walker")) == len(waypoints)
+        assert float(np.median(errors)) < 2.0
+        assert tracker.path_length_m("walker") > 0.0

@@ -1,0 +1,105 @@
+"""Tests for the office testbed description and the simulated deployment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Point2D
+from repro.testbed import (
+    NUM_CLIENTS,
+    OFFICE_DEPTH_M,
+    OFFICE_WIDTH_M,
+    ScenarioConfig,
+    SimulatedDeployment,
+    build_office_floorplan,
+    build_office_testbed,
+    default_ap_sites,
+    default_client_positions,
+)
+
+
+class TestOfficeTestbed:
+    def test_floorplan_dimensions_and_contents(self):
+        plan = build_office_floorplan()
+        xmin, ymin, xmax, ymax = plan.bounding_box()
+        assert (xmax - xmin) == pytest.approx(OFFICE_WIDTH_M)
+        assert (ymax - ymin) == pytest.approx(OFFICE_DEPTH_M)
+        assert len(plan.pillars) == 4
+        assert len(plan.walls) > 15
+
+    def test_six_ap_sites_like_figure_12(self, office_testbed):
+        sites = default_ap_sites()
+        assert [s.ap_id for s in sites] == ["1", "2", "3", "4", "5", "6"]
+        for site in sites:
+            assert office_testbed.floorplan.contains(site.position, margin=0.1)
+
+    def test_41_clients_inside_the_floor(self, office_testbed):
+        assert len(office_testbed.clients) == NUM_CLIENTS
+        for position in office_testbed.clients.values():
+            assert 0.0 < position.x < OFFICE_WIDTH_M
+            assert 0.0 < position.y < OFFICE_DEPTH_M
+
+    def test_client_layout_is_deterministic(self):
+        assert default_client_positions() == default_client_positions()
+
+    def test_some_clients_are_behind_pillars(self, office_testbed):
+        """At least one client has its direct path to some AP blocked by a pillar."""
+        plan = office_testbed.floorplan
+        blocked_pairs = 0
+        for client in office_testbed.clients.values():
+            for site in office_testbed.ap_sites:
+                if plan.pillars_crossed(client, site.position):
+                    blocked_pairs += 1
+        assert blocked_pairs >= 1
+
+    def test_lookup_helpers(self, office_testbed):
+        assert office_testbed.ap_site("3").ap_id == "3"
+        with pytest.raises(ConfigurationError):
+            office_testbed.ap_site("9")
+        with pytest.raises(ConfigurationError):
+            office_testbed.client_position("client-99")
+
+    def test_truncated_testbed(self):
+        small = build_office_testbed(num_clients=5)
+        assert len(small.clients) == 5
+
+
+class TestSimulatedDeployment:
+    @pytest.fixture
+    def small_deployment(self, office_testbed):
+        return SimulatedDeployment(office_testbed,
+                                   ScenarioConfig(frames_per_client=2, seed=1))
+
+    def test_aps_are_instantiated_per_site(self, small_deployment):
+        assert sorted(small_deployment.aps) == ["1", "2", "3", "4", "5", "6"]
+
+    def test_client_track_starts_at_ground_truth_and_moves_little(
+            self, small_deployment, office_testbed):
+        track = small_deployment.client_track("client-03", num_frames=3)
+        assert track[0] == office_testbed.client_position("client-03")
+        for a, b in zip(track, track[1:]):
+            assert a.distance_to(b) <= 0.05 + 1e-9
+
+    def test_capture_and_collect_spectra(self, small_deployment):
+        spectra = small_deployment.collect_client_spectra("client-01",
+                                                          ap_ids=["1", "2"])
+        assert set(spectra) == {"1", "2"}
+        assert all(len(s) == 2 for s in spectra.values())
+        for ap_spectra in spectra.values():
+            for spectrum in ap_spectra:
+                assert spectrum.client_id == "client-01"
+                assert spectrum.max_power > 0
+        small_deployment.clear()
+        assert small_deployment.spectra_for_client("client-01") == {}
+
+    def test_scenario_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(frames_per_client=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(frame_spacing_s=-1.0)
+
+    def test_scenario_channel_config_propagates_height_and_polarization(self):
+        scenario = ScenarioConfig(height_offset_m=1.5, polarization_mismatch_deg=90.0)
+        channel_config = scenario.channel_config()
+        assert channel_config.height_offset_m == pytest.approx(1.5)
+        assert channel_config.polarization_mismatch_deg == pytest.approx(90.0)
