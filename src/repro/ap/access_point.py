@@ -118,6 +118,7 @@ class ArrayTrackAP:
         self._calibrated = not self.config.apply_phase_offsets
         if self.config.apply_phase_offsets:
             self.calibrate()
+        self.warm_spectrum_caches()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -207,6 +208,21 @@ class ArrayTrackAP:
     # ------------------------------------------------------------------
     # Spectrum computation (Section 2.3)
     # ------------------------------------------------------------------
+    def warm_spectrum_caches(self) -> None:
+        """Precompute the steering matrices this AP's spectra will use.
+
+        The Equation 6 steering continuum depends only on the (static)
+        antenna geometry, angle grid and carrier, so it is computed once and
+        served from the shared :class:`~repro.core.cache.SteeringCache` for
+        every subsequent frame.  Called at construction; a fleet of APs with
+        identical :class:`APConfig` shares the same cache entries, so the
+        per-AP cost after the first AP is a dictionary lookup.
+        """
+        full_indices = list(range(self.array.num_elements)) \
+            if self.config.use_symmetry_antenna else None
+        self._spectrum_computer.warm_caches(self.array, self.linear_indices,
+                                            full_indices)
+
     def compute_spectrum(self, entry: BufferEntry) -> AoASpectrum:
         """Return the AoA spectrum for one buffered frame."""
         snapshots = self._compensate(entry.snapshots)

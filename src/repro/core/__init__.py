@@ -5,8 +5,23 @@ pseudospectrum generation with spatial smoothing (2.3), array geometry
 weighting (2.3.3), array symmetry removal (2.3.4), multipath suppression
 across frames (2.4), and the likelihood synthesis / hill-climbing location
 estimator (2.5).
+
+Beyond the paper, :mod:`repro.core.cache` memoizes the geometry-derived
+tables (Equation 6 steering matrices, Equation 8 bearing grids) and
+:mod:`repro.core.batch` evaluates the Equation 8 synthesis for many clients
+in one vectorized pass; the single-client estimator is a batch of one.
 """
 
+from repro.core.cache import (
+    BearingGrid,
+    BearingGridCache,
+    CacheStats,
+    SteeringCache,
+    clear_default_caches,
+    default_bearing_cache,
+    default_steering_cache,
+    grid_axes,
+)
 from repro.core.covariance import forward_backward_covariance, sample_covariance
 from repro.core.subspace import (
     SubspaceDecomposition,
@@ -33,12 +48,29 @@ from repro.core.suppression import (
     group_spectra_by_time,
     suppress_multipath,
 )
-from repro.core.likelihood import LikelihoodMap, likelihood_at, synthesize_likelihood
+from repro.core.likelihood import (
+    LikelihoodMap,
+    likelihood_at,
+    spectrum_grid_powers,
+    synthesize_likelihood,
+)
 from repro.core.optimizer import HillClimbResult, hill_climb, refine_from_seeds
 from repro.core.pipeline import SpectrumComputer, SpectrumConfig
 from repro.core.localizer import LocalizerConfig, LocationEstimate, LocationEstimator
+from repro.core.batch import BatchLocalizer, count_distinct_sources
 
 __all__ = [
+    "BatchLocalizer",
+    "BearingGrid",
+    "BearingGridCache",
+    "CacheStats",
+    "SteeringCache",
+    "clear_default_caches",
+    "count_distinct_sources",
+    "default_bearing_cache",
+    "default_steering_cache",
+    "grid_axes",
+    "spectrum_grid_powers",
     "forward_backward_covariance",
     "sample_covariance",
     "SubspaceDecomposition",

@@ -1,0 +1,502 @@
+"""Batched multi-client location synthesis (Equation 8 across many clients).
+
+The seed implementation localized one client per call: for every fix it
+re-derived each AP's bearing table, re-built each spectrum's interpolation
+indices, and folded the Equation 8 product in per-client Python loops.  All
+of that work except the final product depends only on the *deployment* (AP
+positions/orientations, angle grid, search grid), not on the client, so a
+server localizing hundreds of clients against the same six APs repeats it
+hundreds of times.
+
+:class:`BatchLocalizer` restructures the computation around that
+observation:
+
+1. bearing tables come from the shared
+   :class:`~repro.core.cache.BearingGridCache` (one ``arctan2`` sweep per AP
+   per deployment);
+2. spectra are grouped by AP "placement" (position, orientation, angle
+   grid), the circular-interpolation table is built once per group, and the
+   power planes of *all* clients heard by that AP are gathered in one stacked
+   NumPy fancy-indexing pass;
+3. the Equation 8 product is folded per client, in each client's own
+   spectrum order, so a batched fix is bit-for-bit identical to the same
+   client localized alone;
+4. hill-climbing refinement (Section 2.5) stays per client, seeded from each
+   client's own likelihood plane.
+
+:class:`~repro.core.localizer.LocationEstimator` is a thin wrapper running
+this engine with a batch of one, so there is exactly one synthesis code
+path to test and optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # SciPy is optional: it accelerates the fold but never changes results.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - exercised via the forced fallback test
+    _sparse = None
+
+from repro.errors import EstimationError
+from repro.geometry.vector import Point2D
+from repro.core.cache import (
+    BearingGridCache,
+    default_bearing_cache,
+    grid_axes,
+)
+from repro.core.likelihood import LikelihoodMap, likelihood_at
+from repro.core.localizer import (
+    LocalizerConfig,
+    LocationEstimate,
+)
+from repro.core.optimizer import HillClimbResult, refine_from_seeds
+from repro.core.spectrum import AoASpectrum
+
+__all__ = ["BatchLocalizer", "count_distinct_sources"]
+
+
+def count_distinct_sources(spectra: Sequence[AoASpectrum]) -> int:
+    """Return the number of distinct APs contributing to ``spectra``.
+
+    Spectra carrying an ``ap_id`` are counted once per distinct id; spectra
+    without one (synthetic test spectra, mostly) are each counted as their
+    own source.  The seed expression ``{ap ids} or {object ids}`` collapsed
+    to *only* the named ids as soon as a single spectrum carried one,
+    undercounting mixed batches.
+    """
+    named = {spectrum.ap_id for spectrum in spectra if spectrum.ap_id}
+    anonymous = sum(1 for spectrum in spectra if not spectrum.ap_id)
+    return len(named) + anonymous
+
+
+@dataclass
+class _PlacementGroup:
+    """All (client, spectrum) jobs sharing one AP placement and angle grid."""
+
+    ap_position: Point2D
+    # Power rows to evaluate, one per job, all on the same angle grid.
+    powers: List[np.ndarray]
+    # (client key, slot in that client's spectrum list) per job.
+    jobs: List[Tuple[str, int]]
+    # Representative spectrum (supplies orientation + angle grid).
+    exemplar: AoASpectrum
+
+
+class _FoldedBatch:
+    """Per-client Equation 8 products, stored row-wise or cell-major.
+
+    The rectangular sparse path produces one ``(cells, clients)`` matrix;
+    the fallback paths produce one flat ``(cells,)`` row per client.  This
+    wrapper gives the estimation stage a uniform view of both, including a
+    vectorized batch argmax for grid-only fixes.
+    """
+
+    def __init__(self, order: Sequence[str],
+                 rows: Optional[Mapping[str, np.ndarray]] = None,
+                 cell_major: Optional[np.ndarray] = None) -> None:
+        self._index = {key: index for index, key in enumerate(order)}
+        self._rows = rows
+        self._cell_major = cell_major
+        self._argmax: Optional[np.ndarray] = None
+
+    def flat_values(self, key: str) -> np.ndarray:
+        """Return the client's flat likelihood plane, C-contiguous."""
+        if self._rows is not None:
+            return self._rows[key]
+        assert self._cell_major is not None
+        return np.ascontiguousarray(self._cell_major[:, self._index[key]])
+
+    def peak(self, key: str) -> Tuple[int, float]:
+        """Return ``(flat cell index, likelihood)`` of the client's maximum."""
+        if self._cell_major is not None:
+            if self._argmax is None:
+                # One streaming pass over the whole batch; NumPy's reduction
+                # keeps first-maximum semantics, matching 1-D argmax.
+                self._argmax = np.argmax(self._cell_major, axis=0)
+            column = self._index[key]
+            flat_index = int(self._argmax[column])
+            return flat_index, float(self._cell_major[flat_index, column])
+        assert self._rows is not None
+        values = self._rows[key]
+        flat_index = int(np.argmax(values))
+        return flat_index, float(values[flat_index])
+
+
+class BatchLocalizer:
+    """Vectorized Equation 8 synthesis for many clients in one pass.
+
+    Parameters
+    ----------
+    bounds:
+        ``(xmin, ymin, xmax, ymax)`` search area in metres.
+    config:
+        Estimator configuration shared by every client in a batch.
+    bearing_cache:
+        Cache of per-AP bearing tables; the process-wide default is used
+        when omitted.
+    """
+
+    def __init__(self, bounds: Tuple[float, float, float, float],
+                 config: Optional[LocalizerConfig] = None,
+                 bearing_cache: Optional[BearingGridCache] = None) -> None:
+        xmin, ymin, xmax, ymax = bounds
+        if xmax <= xmin or ymax <= ymin:
+            raise EstimationError(f"invalid bounds {bounds!r}")
+        self.bounds = (float(xmin), float(ymin), float(xmax), float(ymax))
+        self.config = config if config is not None else LocalizerConfig()
+        self._bearing_cache = bearing_cache if bearing_cache is not None \
+            else default_bearing_cache()
+        # Sparse interpolation operators, one per (AP placement, resolution);
+        # built lazily and kept for the localizer's lifetime because they
+        # depend only on static deployment geometry.
+        self._plan_cache: Dict[Tuple, "_sparse.csr_matrix"] = {}
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def estimate_batch(self,
+                       spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
+                       ) -> Dict[str, LocationEstimate]:
+        """Localize every client of the batch from its per-AP spectra.
+
+        Parameters
+        ----------
+        spectra_by_client:
+            Processed spectra per client key (suppression, weighting and
+            symmetry removal already applied).  Every spectrum must carry
+            its AP position.
+
+        Returns
+        -------
+        dict
+            One :class:`~repro.core.localizer.LocationEstimate` per client
+            key, identical (bit for bit) to localizing each client alone.
+
+        Raises
+        ------
+        EstimationError
+            If the batch is empty, any client has no spectra, or a spectrum
+            lacks its AP position.
+        """
+        if not spectra_by_client:
+            raise EstimationError("cannot localize an empty client batch")
+        prepared = self._prepare(spectra_by_client)
+        folded = self._fold_batch(prepared)
+        estimates: Dict[str, LocationEstimate] = {}
+        for key, spectra in prepared.items():
+            estimates[key] = self._estimate_client(key, spectra, folded)
+        return estimates
+
+    # ------------------------------------------------------------------
+    # Stage 1: validation and normalization
+    # ------------------------------------------------------------------
+    def _prepare(self, spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
+                 ) -> Dict[str, List[AoASpectrum]]:
+        """Validate the batch; normalization happens later, in stacked form."""
+        prepared: Dict[str, List[AoASpectrum]] = {}
+        for key, spectra in spectra_by_client.items():
+            spectra = list(spectra)
+            if not spectra:
+                raise EstimationError(
+                    f"cannot localize client {key!r} without any AoA spectra")
+            for spectrum in spectra:
+                if spectrum.ap_position is None:
+                    raise EstimationError(
+                        "every spectrum must carry its AP position for synthesis")
+            prepared[key] = spectra
+        return prepared
+
+    def _normalize_stack(self, stacked: np.ndarray) -> np.ndarray:
+        """Scale each stacked power row to unit maximum (Equation 8 prep).
+
+        Row-wise equivalent of :meth:`AoASpectrum.normalized` -- the same
+        single division per element -- but performed on the already-stacked
+        batch so no per-spectrum dataclass copies are made on the hot path.
+        """
+        maxima = np.max(stacked, axis=1)
+        if np.any(maxima <= 0):
+            raise EstimationError("cannot normalize an all-zero spectrum")
+        stacked /= maxima[:, None]
+        return stacked
+
+    # ------------------------------------------------------------------
+    # Stage 2: stacked per-AP grid evaluation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _placement_key(spectrum: AoASpectrum) -> Tuple:
+        return (
+            float(spectrum.ap_position.x),
+            float(spectrum.ap_position.y),
+            float(spectrum.ap_orientation_deg),
+            int(spectrum.angles_deg.shape[0]),
+            float(spectrum.resolution_deg),
+        )
+
+    def _interpolation_table(self, exemplar: AoASpectrum
+                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the grid-to-spectrum interpolation table for one placement."""
+        bearing_grid = self._bearing_cache.get(
+            self.bounds, self.config.grid_resolution_m, exemplar.ap_position)
+        return exemplar.interpolation_table(
+            bearing_grid.bearings_deg - exemplar.ap_orientation_deg)
+
+    def _interpolation_plan(self, exemplar: AoASpectrum) -> "_sparse.csr_matrix":
+        """Return the cached ``(cells, angles)`` sparse interpolation operator.
+
+        Row ``g`` holds ``1 - fraction`` at column ``lower[g]`` and
+        ``fraction`` at column ``upper[g]``, so ``plan @ powers`` evaluates
+        the circular interpolation for every grid cell with two multiplies
+        and one (commutative, hence bit-exact) addition per cell -- the same
+        arithmetic as :meth:`_gather_chunk`, at a fraction of the memory
+        traffic.  Depends only on deployment geometry, so it is built once
+        per (AP placement, grid resolution) and reused for every batch.
+        """
+        key = self._placement_key(exemplar) \
+            + (float(self.config.grid_resolution_m),)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            lower, upper, fraction = self._interpolation_table(exemplar)
+            cells = np.arange(lower.shape[0])
+            plan = _sparse.csr_matrix(
+                (np.concatenate([1.0 - fraction, fraction]),
+                 (np.concatenate([cells, cells]),
+                  np.concatenate([lower, upper]))),
+                shape=(lower.shape[0], int(exemplar.angles_deg.shape[0])))
+            self._plan_cache[key] = plan
+        return plan
+
+    @staticmethod
+    def _gather_chunk(rows: np.ndarray, lower: np.ndarray, upper: np.ndarray,
+                      fraction: np.ndarray, floor: float,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Evaluate a chunk of stacked power rows over the grid, in place.
+
+        Computes ``power[lower] * (1 - fraction) + power[upper] * fraction``
+        for every row -- elementwise identical to
+        :func:`repro.core.likelihood.spectrum_grid_powers` (multiplication
+        commutes exactly in IEEE arithmetic) -- while keeping every
+        temporary at chunk size so the hot loop stays cache resident.
+        ``out``, when given, receives the result without an extra copy.
+        """
+        if out is None:
+            gathered = rows[:, lower]
+        else:
+            gathered = np.take(rows, lower, axis=1, out=out)
+        gathered *= 1.0 - fraction
+        upper_part = rows[:, upper]
+        upper_part *= fraction
+        gathered += upper_part
+        if floor > 0:
+            maxima = np.max(rows, axis=1)
+            np.maximum(gathered, floor * maxima[:, None], out=gathered)
+        return gathered
+
+    def _fold_batch(self, prepared: Mapping[str, List[AoASpectrum]]
+                    ) -> _FoldedBatch:
+        """Fold each client's Equation 8 product over the flat grid.
+
+        When every client carries the same sequence of AP placements (the
+        common server workload: each client heard once by each deployed AP)
+        the evaluation runs down the rectangular fast path: the power rows
+        of all clients are stacked per AP and evaluated in one pass -- via
+        the cached sparse interpolation operator when SciPy is available,
+        or chunked in-place gathers otherwise.  Ragged batches (clients
+        heard by different AP subsets) fall back to a per-placement
+        grouping that evaluates each group in one stacked pass and folds
+        per client.  All paths perform the same elementwise operations in
+        each client's own spectrum order, so every client's plane is
+        bit-for-bit the one a single-client fix computes.
+        """
+        keys = list(prepared.keys())
+        sequences = {key: [self._placement_key(s) for s in prepared[key]]
+                     for key in keys}
+        first = sequences[keys[0]]
+        rectangular = len(set(first)) == len(first) and all(
+            sequences[key] == first for key in keys)
+        if rectangular and _sparse is not None:
+            return self._fold_rectangular_sparse(keys, prepared)
+        if rectangular:
+            return self._fold_rectangular_gather(keys, prepared)
+        return self._fold_ragged(keys, prepared, sequences)
+
+    def _stack_slot(self, keys: List[str],
+                    prepared: Mapping[str, List[AoASpectrum]],
+                    slot: int) -> np.ndarray:
+        """Stack (and normalize) every client's power row for one AP slot."""
+        stacked = np.stack([prepared[key][slot].power for key in keys])
+        if self.config.normalize_spectra:
+            stacked = self._normalize_stack(stacked)
+        return stacked
+
+    def _fold_rectangular_sparse(self, keys: List[str],
+                                 prepared: Mapping[str, List[AoASpectrum]]
+                                 ) -> _FoldedBatch:
+        """Fold via cached sparse operators, chunked to stay cache resident.
+
+        Clients are processed in column chunks sized so every per-slot
+        ``(cells, chunk)`` plane and the running product fit in the CPU
+        cache; only the finished product of each chunk streams out to the
+        full ``(cells, clients)`` matrix.
+        """
+        floor = self.config.spectrum_floor
+        slots = []
+        for slot in range(len(prepared[keys[0]])):
+            exemplar = prepared[keys[0]][slot]
+            plan = self._interpolation_plan(exemplar)
+            stacked = self._stack_slot(keys, prepared, slot)
+            maxima = np.max(stacked, axis=1) if floor > 0 else None
+            slots.append((plan, stacked, maxima))
+        num_cells = slots[0][0].shape[0]
+        num_clients = len(keys)
+        chunk = max(1, 524288 // num_cells)
+        accumulator = np.empty((num_cells, num_clients))
+        for start in range(0, num_clients, chunk):
+            stop = min(start + chunk, num_clients)
+            chunk_product: Optional[np.ndarray] = None
+            for plan, stacked, maxima in slots:
+                planes = plan @ stacked[start:stop].T     # (cells, chunk)
+                if floor > 0:
+                    assert maxima is not None
+                    np.maximum(planes, floor * maxima[start:stop][None, :],
+                               out=planes)
+                if chunk_product is None:
+                    chunk_product = planes
+                else:
+                    chunk_product *= planes
+            assert chunk_product is not None
+            accumulator[:, start:stop] = chunk_product
+        return _FoldedBatch(keys, cell_major=accumulator)
+
+    def _fold_rectangular_gather(self, keys: List[str],
+                                 prepared: Mapping[str, List[AoASpectrum]]
+                                 ) -> _FoldedBatch:
+        """SciPy-free fold: chunked in-place gathers sized for the cache."""
+        floor = self.config.spectrum_floor
+        tables = []
+        for slot in range(len(prepared[keys[0]])):
+            exemplar = prepared[keys[0]][slot]
+            lower, upper, fraction = self._interpolation_table(exemplar)
+            stacked = self._stack_slot(keys, prepared, slot)
+            tables.append((lower, upper, fraction, stacked))
+        num_cells = tables[0][0].shape[0]
+        num_clients = len(keys)
+        # Chunk rows so each (chunk, cells) temporary stays near the CPU
+        # cache; the fold then touches main memory once per output row.
+        chunk = max(1, 524288 // num_cells)
+        folded = np.empty((num_clients, num_cells))
+        scratch = np.empty((min(chunk, num_clients), num_cells))
+        for start in range(0, num_clients, chunk):
+            stop = min(start + chunk, num_clients)
+            accumulator: Optional[np.ndarray] = None
+            for lower, upper, fraction, stacked in tables:
+                if accumulator is None:
+                    # The first plane lands straight in the output rows;
+                    # later planes reuse one scratch buffer per chunk.
+                    accumulator = self._gather_chunk(
+                        stacked[start:stop], lower, upper, fraction, floor,
+                        out=folded[start:stop])
+                else:
+                    gathered = self._gather_chunk(
+                        stacked[start:stop], lower, upper, fraction, floor,
+                        out=scratch[:stop - start])
+                    accumulator *= gathered
+            assert accumulator is not None
+        return _FoldedBatch(
+            keys, rows={key: folded[index] for index, key in enumerate(keys)})
+
+    def _fold_ragged(self, keys: List[str],
+                     prepared: Mapping[str, List[AoASpectrum]],
+                     sequences: Mapping[str, List[Tuple]]
+                     ) -> _FoldedBatch:
+        groups: Dict[Tuple, _PlacementGroup] = {}
+        for key in keys:
+            for slot, spectrum in enumerate(prepared[key]):
+                placement = sequences[key][slot]
+                group = groups.get(placement)
+                if group is None:
+                    group = _PlacementGroup(ap_position=spectrum.ap_position,
+                                            powers=[], jobs=[],
+                                            exemplar=spectrum)
+                    groups[placement] = group
+                group.powers.append(spectrum.power)
+                group.jobs.append((key, slot))
+        floor = self.config.spectrum_floor
+        planes: Dict[str, List[Optional[np.ndarray]]] = {
+            key: [None] * len(prepared[key]) for key in keys}
+        for group in groups.values():
+            lower, upper, fraction = self._interpolation_table(group.exemplar)
+            stacked = np.stack(group.powers, axis=0)      # (jobs, angles)
+            if self.config.normalize_spectra:
+                stacked = self._normalize_stack(stacked)
+            gathered = self._gather_chunk(stacked, lower, upper, fraction,
+                                          floor)          # (jobs, cells)
+            for row, (key, slot) in enumerate(group.jobs):
+                planes[key][slot] = gathered[row]
+        folded: Dict[str, np.ndarray] = {}
+        for key in keys:
+            values: Optional[np.ndarray] = None
+            for plane in planes[key]:
+                assert plane is not None
+                values = plane if values is None else values * plane
+            assert values is not None
+            folded[key] = values
+        return _FoldedBatch(keys, rows=folded)
+
+    # ------------------------------------------------------------------
+    # Stage 3/4: per-client seeding and refinement
+    # ------------------------------------------------------------------
+    def _estimate_client(self, key: str, spectra: List[AoASpectrum],
+                         folded: _FoldedBatch) -> LocationEstimate:
+        x_coords, y_coords = grid_axes(self.bounds,
+                                       self.config.grid_resolution_m)
+        shape = (y_coords.shape[0], x_coords.shape[0])
+        needs_map = self.config.refine_with_hill_climbing \
+            or self.config.keep_heatmap
+        heatmap: Optional[LikelihoodMap] = None
+        if needs_map:
+            values = folded.flat_values(key)
+            heatmap = LikelihoodMap(x_coords, y_coords, values.reshape(shape))
+        if self.config.refine_with_hill_climbing:
+            assert heatmap is not None
+            seeds = heatmap.top_positions(self.config.num_seeds)
+            normalized = [s.normalized() for s in spectra] \
+                if self.config.normalize_spectra else spectra
+            result = self._refine(normalized, seeds)
+            position, value = result.position, result.value
+        else:
+            # Grid-only estimates only need the peak cell, so skip the full
+            # seed ranking and take the (batch-vectorized) argmax directly.
+            flat_index, value = folded.peak(key)
+            row, column = divmod(flat_index, shape[1])
+            position = Point2D(float(x_coords[column]), float(y_coords[row]))
+        client = key or (spectra[0].client_id if spectra else "")
+        return LocationEstimate(
+            position=position,
+            likelihood=float(value),
+            num_aps=count_distinct_sources(spectra),
+            client_id=client,
+            heatmap=heatmap if self.config.keep_heatmap else None,
+        )
+
+    def _refine(self, spectra: Sequence[AoASpectrum],
+                seeds: Sequence[Tuple[Point2D, float]]) -> HillClimbResult:
+        """Run the Section 2.5 hill climbing for one client of the batch."""
+
+        def objective(position: Point2D) -> float:
+            if not self._within_bounds(position):
+                return 0.0
+            return likelihood_at(spectra, position,
+                                 floor=self.config.spectrum_floor)
+
+        return refine_from_seeds(
+            objective, seeds,
+            initial_step_m=self.config.grid_resolution_m / 2.0,
+            min_step_m=self.config.grid_resolution_m / 20.0)
+
+    def _within_bounds(self, position: Point2D) -> bool:
+        xmin, ymin, xmax, ymax = self.bounds
+        return xmin <= position.x <= xmax and ymin <= position.y <= ymax

@@ -1,0 +1,287 @@
+"""Precomputed-geometry caches shared by the spectrum and synthesis stages.
+
+Two of ArrayTrack's hot-path quantities are pure functions of the *static*
+deployment geometry and therefore need to be computed exactly once per
+deployment rather than once per frame or per fix:
+
+* the MUSIC/Bartlett/Capon **steering matrix** of Equation 6 -- the array
+  response ``a(theta)`` evaluated over the angle grid -- depends only on the
+  element positions, the angle grid, the carrier wavelength and the assumed
+  elevation (Section 2.3.1);
+* the **bearing grid** of Equation 8 -- the bearing ``theta_i(x)`` of every
+  candidate grid cell ``x`` as seen from AP ``i`` -- depends only on the
+  search bounds, the grid resolution and the AP position (Section 2.5).
+
+The seed implementation recomputed both on every call, which is fine for a
+single experiment but dominates the per-fix cost once a server handles many
+clients against a fixed set of APs.  :class:`SteeringCache` and
+:class:`BearingGridCache` memoize them behind content-derived keys; module
+level default instances are shared by :mod:`repro.core.music`,
+:mod:`repro.core.likelihood` and :mod:`repro.core.batch` so that every AP
+with the same geometry (and every fix against the same floorplan) reuses one
+table.
+
+Cached arrays are returned with ``writeable=False``: callers treat them as
+immutable lookup tables, never as scratch space.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.geometry.vector import Point2D
+
+__all__ = [
+    "BearingGrid",
+    "BearingGridCache",
+    "CacheStats",
+    "SteeringCache",
+    "clear_default_caches",
+    "default_bearing_cache",
+    "default_steering_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+class SteeringCache:
+    """LRU cache of steering matrices keyed on geometry, grid and carrier.
+
+    The key is content-derived -- element positions and angle grid enter via
+    their raw bytes -- so two :class:`~repro.array.geometry.ArrayGeometry`
+    instances with identical element layouts (every AP built from the same
+    :class:`~repro.ap.access_point.APConfig`) share one entry.
+
+    Parameters
+    ----------
+    max_entries:
+        Number of distinct steering matrices retained; least recently used
+        entries are evicted beyond that.  A deployment needs one entry per
+        distinct (geometry, angle grid, wavelength, elevation) combination,
+        so the default is generous.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise EstimationError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, element_positions: np.ndarray, angles_deg: np.ndarray,
+             wavelength_m: float, elevation_deg: float) -> Tuple:
+        return (
+            element_positions.shape,
+            element_positions.tobytes(),
+            angles_deg.shape,
+            angles_deg.tobytes(),
+            float(wavelength_m),
+            float(elevation_deg),
+        )
+
+    def get(self, geometry, angles_deg: np.ndarray,
+            wavelength_m: float, elevation_deg: float = 0.0) -> np.ndarray:
+        """Return the ``(M, K)`` steering matrix, computing it on first use.
+
+        Parameters
+        ----------
+        geometry:
+            An :class:`~repro.array.geometry.ArrayGeometry`.
+        angles_deg:
+            1-D azimuth grid in the array's local frame.
+        wavelength_m, elevation_deg:
+            Carrier wavelength and common arrival elevation (Equation 6 /
+            Appendix A).
+
+        Returns
+        -------
+        numpy.ndarray
+            Read-only complex steering matrix; do not mutate.
+        """
+        angles = np.ascontiguousarray(np.asarray(angles_deg, dtype=float))
+        positions = np.ascontiguousarray(geometry.element_positions)
+        key = self._key(positions, angles, wavelength_m, elevation_deg)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        steering = geometry.steering_matrix(angles, elevation_deg, wavelength_m)
+        entry = _readonly(np.ascontiguousarray(steering))
+        self._entries[key] = entry
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use ``stats.reset()``)."""
+        self._entries.clear()
+
+
+@dataclass(frozen=True)
+class BearingGrid:
+    """Bearing of every search-grid cell as seen from one AP (Equation 8).
+
+    Attributes
+    ----------
+    x_coords, y_coords:
+        Grid coordinates (metres) along each axis, identical to the axes of
+        the :class:`~repro.core.likelihood.LikelihoodMap` built on them.
+    bearings_deg:
+        Read-only ``(len(y_coords) * len(x_coords),)`` flat array of
+        building-frame bearings in ``[0, 360)`` degrees, row-major (y rows).
+    """
+
+    x_coords: np.ndarray
+    y_coords: np.ndarray
+    bearings_deg: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """``(rows, columns)`` of the search grid."""
+        return (int(self.y_coords.shape[0]), int(self.x_coords.shape[0]))
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of grid cells."""
+        return int(self.bearings_deg.shape[0])
+
+
+def grid_axes(bounds: Tuple[float, float, float, float],
+              resolution_m: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the ``(x_coords, y_coords)`` search-grid axes for ``bounds``.
+
+    This is the single definition of the Section 2.5 grid layout; the
+    likelihood synthesis and the bearing cache both build on it so their
+    grids can never drift apart.
+    """
+    xmin, ymin, xmax, ymax = bounds
+    if xmax <= xmin or ymax <= ymin:
+        raise EstimationError(f"invalid bounds {bounds!r}")
+    if resolution_m <= 0:
+        raise EstimationError(f"resolution must be positive, got {resolution_m!r}")
+    x_coords = np.arange(xmin, xmax + resolution_m / 2.0, resolution_m)
+    y_coords = np.arange(ymin, ymax + resolution_m / 2.0, resolution_m)
+    return x_coords, y_coords
+
+
+class BearingGridCache:
+    """Cache of per-AP bearing tables over a fixed search grid.
+
+    One entry exists per ``(bounds, resolution, AP position)``: for a static
+    deployment that is one ``arctan2`` sweep per AP for the lifetime of the
+    server, instead of one per AP *per fix* as in the seed implementation.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise EstimationError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple, BearingGrid]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, bounds: Tuple[float, float, float, float],
+            resolution_m: float, ap_position: Point2D) -> BearingGrid:
+        """Return the bearing grid for ``ap_position`` over ``bounds``.
+
+        The bearings are computed exactly like the seed's inline synthesis
+        (``degrees(arctan2(dy, dx)) % 360``) so cached and uncached fixes
+        agree bit for bit.
+        """
+        key = (
+            tuple(float(value) for value in bounds),
+            float(resolution_m),
+            float(ap_position.x),
+            float(ap_position.y),
+        )
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        x_coords, y_coords = grid_axes(bounds, resolution_m)
+        grid_x, grid_y = np.meshgrid(x_coords, y_coords)
+        dx = grid_x - float(ap_position.x)
+        dy = grid_y - float(ap_position.y)
+        bearings = np.degrees(np.arctan2(dy, dx)) % 360.0
+        entry = BearingGrid(
+            x_coords=_readonly(x_coords),
+            y_coords=_readonly(y_coords),
+            bearings_deg=_readonly(np.ascontiguousarray(bearings.ravel())),
+        )
+        self._entries[key] = entry
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use ``stats.reset()``)."""
+        self._entries.clear()
+
+
+# ----------------------------------------------------------------------
+# Shared default instances
+# ----------------------------------------------------------------------
+_DEFAULT_STEERING_CACHE = SteeringCache()
+_DEFAULT_BEARING_CACHE = BearingGridCache()
+
+
+def default_steering_cache() -> SteeringCache:
+    """Return the process-wide steering cache used by :mod:`repro.core.music`."""
+    return _DEFAULT_STEERING_CACHE
+
+
+def default_bearing_cache() -> BearingGridCache:
+    """Return the process-wide bearing cache used by the likelihood synthesis."""
+    return _DEFAULT_BEARING_CACHE
+
+
+def clear_default_caches() -> None:
+    """Empty both shared caches (useful between benchmark configurations)."""
+    _DEFAULT_STEERING_CACHE.clear()
+    _DEFAULT_BEARING_CACHE.clear()

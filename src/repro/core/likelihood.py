@@ -20,9 +20,20 @@ import numpy as np
 from repro.constants import DEFAULT_GRID_RESOLUTION_M
 from repro.errors import EstimationError
 from repro.geometry.vector import Point2D
+from repro.core.cache import (
+    BearingGrid,
+    BearingGridCache,
+    default_bearing_cache,
+    grid_axes,
+)
 from repro.core.spectrum import AoASpectrum
 
-__all__ = ["LikelihoodMap", "likelihood_at", "synthesize_likelihood"]
+__all__ = [
+    "LikelihoodMap",
+    "likelihood_at",
+    "spectrum_grid_powers",
+    "synthesize_likelihood",
+]
 
 
 @dataclass
@@ -115,11 +126,33 @@ def likelihood_at(spectra: Sequence[AoASpectrum], position: Point2D,
     return float(likelihood)
 
 
+def spectrum_grid_powers(spectrum: AoASpectrum,
+                         bearing_grid: BearingGrid,
+                         floor: float = 0.0) -> np.ndarray:
+    """Evaluate one spectrum's ``P_i(theta_i(x))`` over a cached bearing grid.
+
+    Returns the flat ``(num_cells,)`` power plane this spectrum contributes
+    to the Equation 8 product.  Both the single-client synthesis below and
+    the stacked evaluation in :mod:`repro.core.batch` reduce to this same
+    arithmetic, which is what guarantees batched and sequential fixes agree
+    bit for bit.
+    """
+    lower, upper, fraction = spectrum.interpolation_table(
+        bearing_grid.bearings_deg - spectrum.ap_orientation_deg)
+    power = (1.0 - fraction) * spectrum.power[lower] \
+        + fraction * spectrum.power[upper]
+    if floor > 0:
+        power = np.maximum(power, floor * spectrum.max_power)
+    return power
+
+
 def synthesize_likelihood(spectra: Sequence[AoASpectrum],
                           bounds: Tuple[float, float, float, float],
                           resolution_m: float = DEFAULT_GRID_RESOLUTION_M,
                           normalize_spectra: bool = True,
-                          floor: float = 0.0) -> LikelihoodMap:
+                          floor: float = 0.0,
+                          bearing_cache: Optional[BearingGridCache] = None
+                          ) -> LikelihoodMap:
     """Evaluate Equation 8 on a regular grid covering ``bounds``.
 
     Parameters
@@ -137,28 +170,24 @@ def synthesize_likelihood(spectra: Sequence[AoASpectrum],
     floor:
         Minimum relative value each spectrum contributes (see
         :func:`likelihood_at`).
+    bearing_cache:
+        Cache of per-AP bearing tables; the shared default cache is used
+        when omitted, so repeated fixes against a static deployment reuse
+        the same ``arctan2`` sweep per AP.
     """
     if not spectra:
         raise EstimationError("need at least one AoA spectrum")
-    xmin, ymin, xmax, ymax = bounds
-    if xmax <= xmin or ymax <= ymin:
-        raise EstimationError(f"invalid bounds {bounds!r}")
-    if resolution_m <= 0:
-        raise EstimationError(f"resolution must be positive, got {resolution_m!r}")
-    x_coords = np.arange(xmin, xmax + resolution_m / 2.0, resolution_m)
-    y_coords = np.arange(ymin, ymax + resolution_m / 2.0, resolution_m)
-    grid_x, grid_y = np.meshgrid(x_coords, y_coords)
-    values = np.ones_like(grid_x, dtype=float)
+    cache = bearing_cache if bearing_cache is not None else default_bearing_cache()
+    x_coords, y_coords = grid_axes(bounds, resolution_m)
+    shape = (y_coords.shape[0], x_coords.shape[0])
+    values: Optional[np.ndarray] = None
     for spectrum in spectra:
         if spectrum.ap_position is None:
             raise EstimationError(
                 "every spectrum must carry its AP position for synthesis")
         usable = spectrum.normalized() if normalize_spectra else spectrum
-        dx = grid_x - usable.ap_position.x
-        dy = grid_y - usable.ap_position.y
-        bearings = np.degrees(np.arctan2(dy, dx)) % 360.0
-        power = usable.power_at_global(bearings.ravel()).reshape(bearings.shape)
-        if floor > 0:
-            power = np.maximum(power, floor * usable.max_power)
-        values *= power
-    return LikelihoodMap(x_coords, y_coords, values)
+        bearing_grid = cache.get(bounds, resolution_m, usable.ap_position)
+        power = spectrum_grid_powers(usable, bearing_grid, floor=floor)
+        values = power if values is None else values * power
+    assert values is not None
+    return LikelihoodMap(x_coords, y_coords, values.reshape(shape))

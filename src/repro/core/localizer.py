@@ -11,16 +11,13 @@ full ArrayTrack pipeline of Figure 15.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.constants import DEFAULT_GRID_RESOLUTION_M
 from repro.errors import EstimationError
 from repro.geometry.vector import Point2D
-from repro.core.likelihood import LikelihoodMap, likelihood_at, synthesize_likelihood
-from repro.core.optimizer import HillClimbResult, refine_from_seeds
+from repro.core.likelihood import LikelihoodMap
 from repro.core.spectrum import AoASpectrum
 
 __all__ = ["LocationEstimate", "LocalizerConfig", "LocationEstimator"]
@@ -99,6 +96,11 @@ class LocalizerConfig:
 class LocationEstimator:
     """Estimates client positions from per-AP AoA spectra.
 
+    Since the batched-engine refactor this class is a thin facade over
+    :class:`~repro.core.batch.BatchLocalizer`: a single-client estimate is a
+    batch of one, so the vectorized synthesis path is the *only* synthesis
+    path and single/batch fixes can never diverge.
+
     Parameters
     ----------
     bounds:
@@ -110,14 +112,24 @@ class LocationEstimator:
 
     def __init__(self, bounds: Tuple[float, float, float, float],
                  config: Optional[LocalizerConfig] = None) -> None:
-        xmin, ymin, xmax, ymax = bounds
-        if xmax <= xmin or ymax <= ymin:
-            raise EstimationError(f"invalid bounds {bounds!r}")
-        self.bounds = (float(xmin), float(ymin), float(xmax), float(ymax))
-        self.config = config if config is not None else LocalizerConfig()
+        # Imported here because batch.py needs LocationEstimate from this
+        # module at import time.
+        from repro.core.batch import BatchLocalizer
+
+        self._batch = BatchLocalizer(bounds, config)
+
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """Search-area bounds in metres."""
+        return self._batch.bounds
+
+    @property
+    def config(self) -> LocalizerConfig:
+        """The estimator configuration shared by single and batched fixes."""
+        return self._batch.config
 
     # ------------------------------------------------------------------
-    # Main entry point
+    # Main entry points
     # ------------------------------------------------------------------
     def estimate(self, spectra: Sequence[AoASpectrum],
                  client_id: str = "") -> LocationEstimate:
@@ -131,40 +143,14 @@ class LocationEstimator:
         spectra = list(spectra)
         if not spectra:
             raise EstimationError("cannot localize without any AoA spectra")
-        heatmap = synthesize_likelihood(
-            spectra, self.bounds, self.config.grid_resolution_m,
-            normalize_spectra=self.config.normalize_spectra,
-            floor=self.config.spectrum_floor)
-        seeds = heatmap.top_positions(self.config.num_seeds)
-        if self.config.refine_with_hill_climbing:
-            normalized = [s.normalized() for s in spectra] \
-                if self.config.normalize_spectra else spectra
+        return self._batch.estimate_batch({client_id: spectra})[client_id]
 
-            def objective(position: Point2D) -> float:
-                if not self._within_bounds(position):
-                    return 0.0
-                return likelihood_at(normalized, position,
-                                     floor=self.config.spectrum_floor)
+    def estimate_batch(self,
+                       spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
+                       ) -> Dict[str, LocationEstimate]:
+        """Localize many clients in one vectorized pass.
 
-            result: HillClimbResult = refine_from_seeds(
-                objective, seeds,
-                initial_step_m=self.config.grid_resolution_m / 2.0,
-                min_step_m=self.config.grid_resolution_m / 20.0)
-            position, value = result.position, result.value
-        else:
-            position, value = seeds[0]
-        client = client_id or (spectra[0].client_id if spectra else "")
-        return LocationEstimate(
-            position=position,
-            likelihood=float(value),
-            num_aps=len({s.ap_id for s in spectra if s.ap_id} or {id(s) for s in spectra}),
-            client_id=client,
-            heatmap=heatmap if self.config.keep_heatmap else None,
-        )
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _within_bounds(self, position: Point2D) -> bool:
-        xmin, ymin, xmax, ymax = self.bounds
-        return xmin <= position.x <= xmax and ymin <= position.y <= ymax
+        See :meth:`repro.core.batch.BatchLocalizer.estimate_batch`; results
+        are bit-for-bit identical to calling :meth:`estimate` per client.
+        """
+        return self._batch.estimate_batch(spectra_by_client)

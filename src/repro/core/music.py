@@ -20,6 +20,7 @@ import numpy as np
 from repro.constants import WAVELENGTH_M
 from repro.errors import EstimationError
 from repro.array.geometry import ArrayGeometry
+from repro.core.cache import default_steering_cache
 from repro.core.subspace import SubspaceDecomposition, decompose
 
 __all__ = [
@@ -32,10 +33,19 @@ __all__ = [
 
 def _steering_matrix(geometry: ArrayGeometry, angles_deg: np.ndarray,
                      wavelength_m: float, elevation_deg: float) -> np.ndarray:
+    """Return the (cached) steering matrix for ``geometry`` over ``angles_deg``.
+
+    The steering continuum of Equation 6 is a pure function of the static
+    array geometry, so it is served from the shared
+    :class:`~repro.core.cache.SteeringCache`: every AP with the same antenna
+    layout computes it once per (grid, wavelength, elevation) and reuses it
+    for every subsequent frame.  The returned matrix is read-only.
+    """
     angles = np.asarray(angles_deg, dtype=float)
     if angles.ndim != 1 or angles.shape[0] < 2:
         raise EstimationError("angle grid must be a 1-D array with >= 2 entries")
-    return geometry.steering_matrix(angles, elevation_deg, wavelength_m)
+    return default_steering_cache().get(geometry, angles, wavelength_m,
+                                        elevation_deg)
 
 
 def spectrum_from_noise_subspace(noise_subspace: np.ndarray,

@@ -175,6 +175,48 @@ class SpectrumComputer:
                                 attenuation=self.config.symmetry_attenuation)
 
     # ------------------------------------------------------------------
+    # Cache warm-up
+    # ------------------------------------------------------------------
+    def warm_caches(self, array: DeployedArray,
+                    linear_indices: Optional[Sequence[int]] = None,
+                    full_indices: Optional[Sequence[int]] = None) -> None:
+        """Precompute the steering matrices this pipeline will look up.
+
+        Populates the shared :class:`~repro.core.cache.SteeringCache` with
+        the Equation 6 steering continuum of the (smoothed) MUSIC sub-array
+        and, when ``full_indices`` are given, the full-geometry grid the
+        symmetry resolver's Bartlett scan uses (Section 2.3.4).  Safe to
+        call any number of times; identical geometries share one entry, so
+        warming a fleet of identical APs costs one computation total.
+        """
+        from repro.core.cache import default_steering_cache
+
+        cache = default_steering_cache()
+        num_elements = array.geometry.num_elements
+        if linear_indices is None:
+            linear_indices = list(range(num_elements))
+        else:
+            linear_indices = list(linear_indices)
+        linear_geometry = array.geometry.subarray(linear_indices) \
+            if len(linear_indices) != num_elements else array.geometry
+        if self.config.smoothing_groups > 1:
+            sub_size = effective_antennas(len(linear_indices),
+                                          self.config.smoothing_groups)
+            linear_geometry = linear_geometry.subarray(list(range(sub_size)))
+        half_angles = default_angle_grid(self.config.angle_resolution_deg,
+                                         full_circle=False)
+        cache.get(linear_geometry, half_angles, array.wavelength_m,
+                  self.config.elevation_deg)
+        if full_indices is not None:
+            full_indices = list(full_indices)
+            full_geometry = array.geometry.subarray(full_indices) \
+                if len(full_indices) != num_elements else array.geometry
+            resolver = SymmetryResolver(full_geometry, array.wavelength_m)
+            full_angles = default_angle_grid(resolver.angle_resolution_deg,
+                                             full_circle=True)
+            cache.get(full_geometry, full_angles, array.wavelength_m, 0.0)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _half_spectrum(self, linear_samples: np.ndarray,

@@ -121,18 +121,33 @@ class AoASpectrum:
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
+    def interpolation_table(self, local_angles_deg
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return circular-interpolation indices for local-frame angles.
+
+        Returns ``(lower, upper, fraction)`` such that the interpolated
+        power at each query angle is ``(1 - fraction) * power[lower] +
+        fraction * power[upper]``.  The table depends only on the angle
+        grid, not on the power values, so it can be computed once per
+        (AP, search grid) and reused across every frame and every client
+        observed by that AP -- this is what the batched localizer caches.
+        """
+        query = np.atleast_1d(np.asarray(local_angles_deg, dtype=float)) % 360.0
+        resolution = self.resolution_deg
+        positions = query / resolution
+        floor_positions = np.floor(positions)
+        lower = floor_positions.astype(int) % len(self.angles_deg)
+        upper = (lower + 1) % len(self.angles_deg)
+        fraction = positions - floor_positions
+        return lower, upper, fraction
+
     def power_at_local(self, local_angles_deg) -> np.ndarray:
         """Return interpolated power at local-frame angles (degrees).
 
         Linear interpolation on the circular grid, vectorized over the
         input.
         """
-        query = np.atleast_1d(np.asarray(local_angles_deg, dtype=float)) % 360.0
-        resolution = self.resolution_deg
-        positions = query / resolution
-        lower = np.floor(positions).astype(int) % len(self.angles_deg)
-        upper = (lower + 1) % len(self.angles_deg)
-        fraction = positions - np.floor(positions)
+        lower, upper, fraction = self.interpolation_table(local_angles_deg)
         return (1.0 - fraction) * self.power[lower] + fraction * self.power[upper]
 
     def power_at_global(self, global_bearings_deg) -> np.ndarray:

@@ -11,6 +11,14 @@ the :class:`ArrayTrackServer` performs the cross-frame and cross-AP steps:
 * synthesize the suppressed spectra of all APs into a likelihood surface and
   extract the location estimate (Section 2.5);
 * account for the end-to-end latency of the fix (Section 4.4).
+
+Beyond the paper's single-client flow, :meth:`ArrayTrackServer.localize_batch`
+accepts many clients at once and hands them to the vectorized
+:class:`~repro.core.batch.BatchLocalizer`, which evaluates the Equation 8
+grid for the whole batch in stacked NumPy passes while reusing the cached
+per-AP bearing tables.  Batched fixes are bit-for-bit identical to looping
+:meth:`ArrayTrackServer.localize_spectra` over the same clients -- the single
+client path *is* the batch path with a batch of one.
 """
 
 from __future__ import annotations
@@ -98,6 +106,46 @@ class ArrayTrackServer:
             self._last_processing_s = time.perf_counter() - start
         return estimate
 
+    def localize_batch(self,
+                       spectra_by_client: Mapping[str, Mapping[str, Sequence[AoASpectrum]]]
+                       ) -> Dict[str, LocationEstimate]:
+        """Localize many clients in one vectorized synthesis pass.
+
+        Parameters
+        ----------
+        spectra_by_client:
+            For every client id, the same per-AP spectra mapping that
+            :meth:`localize_spectra` takes.  Multipath suppression runs per
+            client and per AP exactly as in the single-client path.
+
+        Returns
+        -------
+        dict
+            One :class:`~repro.core.localizer.LocationEstimate` per client,
+            identical to calling :meth:`localize_spectra` per client but
+            sharing the bearing-grid work and the stacked Equation 8
+            evaluation across the whole batch.
+
+        Raises
+        ------
+        EstimationError
+            If the batch is empty or any client contributes no spectra.
+        """
+        if not spectra_by_client:
+            raise EstimationError("no clients supplied for batch localization")
+        processed_by_client: Dict[str, List[AoASpectrum]] = {}
+        for client_id, spectra_by_ap in spectra_by_client.items():
+            processed = self._process_per_ap(spectra_by_ap)
+            if not processed:
+                raise EstimationError(
+                    f"no AoA spectra supplied for client {client_id!r}")
+            processed_by_client[client_id] = processed
+        start = time.perf_counter() if self.config.measure_processing_time else None
+        estimates = self.estimator.estimate_batch(processed_by_client)
+        if start is not None:
+            self._last_processing_s = time.perf_counter() - start
+        return estimates
+
     def _process_per_ap(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]]
                         ) -> List[AoASpectrum]:
         processed: List[AoASpectrum] = []
@@ -128,6 +176,38 @@ class ArrayTrackServer:
             if spectra:
                 spectra_by_ap[ap.ap_id] = spectra
         return self.localize_spectra(spectra_by_ap, client_id=client_id)
+
+    def localize_clients(self, aps: Sequence[ArrayTrackAP],
+                         client_ids: Sequence[str]) -> Dict[str, LocationEstimate]:
+        """Batch-localize every client in ``client_ids`` from buffered frames.
+
+        Clients no AP currently holds frames for (never transmitted, or
+        their frames aged out of the circular buffers) are omitted from the
+        result rather than failing the whole sweep; callers detect them by
+        diffing the returned keys against ``client_ids``.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``aps`` is empty.
+        EstimationError
+            If none of the requested clients has any buffered frames.
+        """
+        if not aps:
+            raise ConfigurationError("need at least one AP to localize")
+        spectra_by_client: Dict[str, Dict[str, List[AoASpectrum]]] = {}
+        for client_id in client_ids:
+            per_ap: Dict[str, List[AoASpectrum]] = {}
+            for ap in aps:
+                spectra = ap.spectra_for_client(client_id)
+                if spectra:
+                    per_ap[ap.ap_id] = spectra
+            if per_ap:
+                spectra_by_client[client_id] = per_ap
+        if not spectra_by_client:
+            raise EstimationError(
+                "none of the requested clients has any buffered frames")
+        return self.localize_batch(spectra_by_client)
 
     # ------------------------------------------------------------------
     # Latency accounting (Section 4.4)

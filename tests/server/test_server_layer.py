@@ -79,6 +79,76 @@ class TestArrayTrackServer:
         paper = server.latency_breakdown(use_measured_processing=False)
         assert paper.processing_s == pytest.approx(0.1)
 
+    def _batch_of_clients(self, count):
+        rng = np.random.default_rng(11)
+        clients = {}
+        for index in range(count):
+            target = Point2D(rng.uniform(1.0, 19.0), rng.uniform(1.0, 9.0))
+            clients[f"c{index}"] = {
+                f"ap{i}": [_spectrum_towards(p, target)]
+                for i, p in enumerate(AP_POSITIONS)
+            }
+        return clients
+
+    def test_localize_batch_matches_sequential_loop(self):
+        server = self._server()
+        clients = self._batch_of_clients(5)
+        sequential = {client_id: server.localize_spectra(spectra, client_id)
+                      for client_id, spectra in clients.items()}
+        batched = server.localize_batch(clients)
+        assert set(batched) == set(clients)
+        for client_id in clients:
+            assert batched[client_id].position.distance_to(
+                sequential[client_id].position) <= 1e-9
+            assert batched[client_id].client_id == client_id
+
+    def test_localize_batch_runs_multipath_suppression_per_client(self):
+        """Each client's per-AP frames are suppressed exactly as when alone."""
+        ghost_bearing = 200.0
+        spectra = {
+            "ap0": [
+                _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.0,
+                                  extra_peak=ghost_bearing),
+                _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.03),
+            ],
+            "ap1": [_spectrum_towards(AP_POSITIONS[1], TARGET, timestamp_s=0.0)],
+            "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET, timestamp_s=0.0)],
+        }
+        server = self._server(enable_multipath_suppression=True)
+        single = server.localize_spectra(spectra, "c0")
+        batched = server.localize_batch({"c0": spectra})
+        assert batched["c0"].position.distance_to(single.position) <= 1e-9
+        assert batched["c0"].position.distance_to(TARGET) < 0.3
+
+    def test_localize_batch_rejects_empty_input(self):
+        server = self._server()
+        with pytest.raises(EstimationError):
+            server.localize_batch({})
+        with pytest.raises(EstimationError):
+            server.localize_batch({"c": {}})
+
+    def test_localize_clients_requires_aps(self):
+        with pytest.raises(ConfigurationError):
+            self._server().localize_clients([], ["c"])
+
+    def test_localize_batch_ragged_ap_subsets(self):
+        """Clients heard by different AP subsets localize in one batch."""
+        server = self._server()
+        rng = np.random.default_rng(13)
+        clients, sequential = {}, {}
+        for index, subset in enumerate(([0, 1, 2], [0, 2], [1, 2])):
+            target = Point2D(rng.uniform(2.0, 18.0), rng.uniform(2.0, 8.0))
+            spectra = {f"ap{i}": [_spectrum_towards(AP_POSITIONS[i], target)]
+                       for i in subset}
+            clients[f"c{index}"] = spectra
+        sequential = {cid: server.localize_spectra(s, cid)
+                      for cid, s in clients.items()}
+        batched = server.localize_batch(clients)
+        for cid in clients:
+            assert batched[cid].position.distance_to(
+                sequential[cid].position) <= 1e-9
+            assert batched[cid].num_aps == sequential[cid].num_aps
+
 
 class TestClientTracker:
     def _estimate(self, x, y):

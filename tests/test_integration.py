@@ -41,6 +41,48 @@ class TestFullPipeline:
             errors[6].append(server.localize_spectra(spectra, client_id).error_to(truth))
         assert np.median(errors[6]) <= np.median(errors[3]) * 1.5
 
+    def test_batched_fixes_match_sequential_over_simulated_deployment(self):
+        """Full-pipeline spectra: batch API agrees with per-client fixes."""
+        testbed = build_office_testbed()
+        deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=23))
+        server = ArrayTrackServer(
+            testbed.bounds,
+            ServerConfig(localizer=LocalizerConfig(grid_resolution_m=0.4,
+                                                   spectrum_floor=0.05)))
+        client_ids = testbed.client_ids()[:4]
+        spectra_by_client = {}
+        for client_id in client_ids:
+            deployment.clear()
+            spectra_by_client[client_id] = deployment.collect_client_spectra(
+                client_id)
+        sequential = {client_id: server.localize_spectra(spectra, client_id)
+                      for client_id, spectra in spectra_by_client.items()}
+        batched = server.localize_batch(spectra_by_client)
+        for client_id in client_ids:
+            assert batched[client_id].position.distance_to(
+                sequential[client_id].position) <= 1e-9
+            assert batched[client_id].num_aps == sequential[client_id].num_aps
+
+    def test_localize_clients_end_to_end(self):
+        """AP-level batch entry point produces fixes for every buffered client."""
+        testbed = build_office_testbed()
+        deployment = SimulatedDeployment(testbed,
+                                         ScenarioConfig(frames_per_client=1,
+                                                        seed=31))
+        server = ArrayTrackServer(
+            testbed.bounds,
+            ServerConfig(localizer=LocalizerConfig(grid_resolution_m=0.4,
+                                                   spectrum_floor=0.05)))
+        client_ids = testbed.client_ids()[:3]
+        for client_id in client_ids:
+            deployment.capture_client(client_id)
+        estimates = server.localize_clients(list(deployment.aps.values()),
+                                            client_ids)
+        assert set(estimates) == set(client_ids)
+        for client_id in client_ids:
+            truth = testbed.client_position(client_id)
+            assert estimates[client_id].error_to(truth) < 4.0
+
     def test_tracking_a_walking_client(self):
         """Localize a client at several waypoints and track the trajectory."""
         testbed = build_office_testbed()
