@@ -8,8 +8,6 @@ each regeneration; run with ``-s`` to see the printed reports.
 
 from __future__ import annotations
 
-import pytest
-
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark timing.

@@ -5,8 +5,7 @@ changed, quantifying how much that component of ArrayTrack's pipeline is
 worth on the simulated testbed.
 """
 
-import pytest
-
+from repro.api import get_estimator
 from repro.core import SpectrumConfig
 from repro.eval import format_error_statistics, run_localization_sweep
 from repro.testbed import ScenarioConfig
@@ -113,14 +112,21 @@ def test_ablation_symmetry_removal(benchmark):
 
 
 def test_ablation_estimator_choice(benchmark):
-    """A-ESTIMATOR: MUSIC versus the Bartlett and Capon beamformers."""
+    """A-ESTIMATOR: MUSIC versus the Bartlett and Capon beamformers.
+
+    Estimators are selected by name through the facade's registry
+    (:func:`repro.api.get_estimator`); ``specialize`` yields exactly the
+    ``SpectrumConfig(method=...)`` this ablation always hardcoded, so the
+    registry path reproduces the historical results verbatim.
+    """
     def run():
         results = {}
-        for method in ("music", "bartlett", "capon"):
+        for name in ("music", "bartlett", "capon"):
+            spectrum = get_estimator(name).specialize(SpectrumConfig())
+            assert spectrum == SpectrumConfig(method=name)
             scenario = ScenarioConfig(
-                frames_per_client=3, seed=2013,
-                spectrum=SpectrumConfig(method=method))
-            results[method] = _sweep(scenario).statistics[6]
+                frames_per_client=3, seed=2013, spectrum=spectrum)
+            results[name] = _sweep(scenario).statistics[6]
         return results
 
     results = run_once(benchmark, run)

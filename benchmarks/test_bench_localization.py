@@ -5,7 +5,6 @@ These are the paper's headline results: localization error CDFs across the
 optimizations, and for different antenna counts.
 """
 
-import pytest
 
 from repro.eval import (
     fig13_static_localization,

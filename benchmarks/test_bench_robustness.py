@@ -1,6 +1,5 @@
 """Benchmarks regenerating the robustness results (Figures 18-20, Section 4.3)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Benchmarks regenerating the spectrum-level figures (Figures 3, 7, 9, 17)."""
 
-import pytest
 
 from repro.eval import (
     fig3_example_spectrum,

@@ -8,10 +8,12 @@ benchmark measures end-to-end fixes/sec over the office testbed geometry for
 * ``naive loop`` -- the seed implementation's behaviour: every fix rebuilds
   the AP bearing tables and interpolation indices from scratch (cold caches
   per fix), exactly the per-client cost the batched engine amortizes away;
-* ``cached loop`` -- ``localize_spectra`` per client on a long-lived server,
-  so the shared bearing/steering caches and per-AP interpolation plans are
-  warm (the single-client path *is* the batch path with a batch of one);
-* ``batched`` -- one ``localize_batch`` call covering all clients.
+* ``cached loop`` -- ``ArrayTrackService.localize`` per client on a
+  long-lived service, so the shared bearing/steering caches and per-AP
+  interpolation plans are warm (the single-client path *is* the batch path
+  with a batch of one);
+* ``batched`` -- one ``ArrayTrackService.localize_many`` call covering all
+  clients.
 
 Asserted: the batched engine beats the naive loop by >= 5x at 256 clients,
 does not lose to the cached loop, and produces positions identical to the
@@ -29,13 +31,14 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.api import ArrayTrackConfig, ArrayTrackService
 from repro.core.batch import BatchLocalizer
 from repro.core.cache import BearingGridCache
 from repro.core.localizer import LocalizerConfig
 from repro.core.spectrum import AoASpectrum, default_angle_grid
 from repro.eval import format_table
 from repro.geometry.vector import Point2D, bearing_deg
-from repro.server.backend import ArrayTrackServer, ServerConfig
+from repro.server.backend import ServerConfig
 from repro.testbed.office import OfficeTestbed
 
 from conftest import run_once
@@ -95,10 +98,11 @@ def measure_throughput() -> Dict[int, Dict[str, float]]:
     rng = np.random.default_rng(2026)
     results: Dict[int, Dict[str, float]] = {}
     for count in CLIENT_COUNTS:
-        server = ArrayTrackServer(
-            testbed.bounds, ServerConfig(localizer=_localizer_config()))
+        service = ArrayTrackService(ArrayTrackConfig(
+            bounds=testbed.bounds,
+            server=ServerConfig(localizer=_localizer_config())))
         clients = _synthesize_clients(testbed, count, rng)
-        batch_estimates = server.localize_batch(clients)   # warm the caches
+        batch_estimates = service.localize_many(clients)   # warm the caches
         naive_s, cached_s, batched_s = [], [], []
         for _ in range(REPETITIONS):
             start = time.perf_counter()
@@ -107,13 +111,12 @@ def measure_throughput() -> Dict[int, Dict[str, float]]:
             naive_s.append(time.perf_counter() - start)
 
             start = time.perf_counter()
-            looped = {client_id: server.localize_spectra(spectra_by_ap,
-                                                         client_id)
+            looped = {client_id: service.localize(spectra_by_ap, client_id)
                       for client_id, spectra_by_ap in clients.items()}
             cached_s.append(time.perf_counter() - start)
 
             start = time.perf_counter()
-            batch_estimates = server.localize_batch(clients)
+            batch_estimates = service.localize_many(clients)
             batched_s.append(time.perf_counter() - start)
         for client_id, estimate in looped.items():
             divergence = estimate.position.distance_to(

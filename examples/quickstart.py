@@ -8,16 +8,15 @@ This walks through the full pipeline step by step:
 3. have the client transmit three frames (with centimetre-scale movement
    between them, as a hand-held device would);
 4. each AP computes an AoA spectrum per overheard frame;
-5. the server suppresses multipath, synthesizes the spectra and returns a
-   location estimate.
+5. the ``ArrayTrackService`` facade suppresses multipath, synthesizes the
+   spectra and returns a location estimate.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import LocalizerConfig
-from repro.server import ArrayTrackServer, ServerConfig
+from repro import ArrayTrackConfig, ArrayTrackService
 from repro.testbed import ScenarioConfig, SimulatedDeployment, build_office_testbed
 
 
@@ -39,12 +38,14 @@ def main() -> None:
         print(f"AP {ap_id}: {len(ap_spectra)} AoA spectra "
               f"({ap_spectra[0].angles_deg.shape[0]} angle bins each)")
 
-    # 5. The central server synthesizes the spectra into a location estimate.
-    server = ArrayTrackServer(
-        testbed.bounds,
-        ServerConfig(localizer=LocalizerConfig(grid_resolution_m=0.10,
-                                               spectrum_floor=0.05)))
-    estimate = server.localize_spectra(spectra, client_id)
+    # 5. The service facade synthesizes the spectra into a location estimate.
+    #    One config tree drives everything; the spectrum floor is already the
+    #    documented service default (DEFAULT_SPECTRUM_FLOOR = 0.05), only the
+    #    paper's 10 cm grid is dialled in explicitly.
+    config = ArrayTrackConfig(bounds=testbed.bounds).updated(
+        {"server.localizer.grid_resolution_m": 0.10})
+    service = ArrayTrackService(config)
+    estimate = service.localize(spectra, client_id)
     truth = testbed.client_position(client_id)
 
     print()
@@ -53,7 +54,7 @@ def main() -> None:
     print(f"error        : {estimate.error_to(truth) * 100:.0f} cm "
           f"using {estimate.num_aps} APs")
 
-    breakdown = server.latency_breakdown(payload_bytes=1500, bitrate_mbps=54.0)
+    breakdown = service.latency_breakdown(payload_bytes=1500, bitrate_mbps=54.0)
     print(f"latency model: {breakdown.added_after_frame_end_s * 1e3:.0f} ms added "
           f"after the frame leaves the air (paper: ~100 ms)")
 

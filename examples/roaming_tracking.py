@@ -4,9 +4,11 @@
 The paper's motivating applications (augmented-reality navigation, retail
 analytics) need a continuous stream of fine-grained location fixes while the
 user walks around.  This example walks a client along a corridor waypoint
-track, localizes every transmitted frame with the full ArrayTrack pipeline,
-and feeds the fixes through the :class:`~repro.server.ClientTracker` the way
-an application front-end would.
+track and drives the ``ArrayTrackService`` facade the way a live deployment
+would: every overheard frame is streamed into the client's session with
+``service.ingest``, and ``service.tick`` drains ready sessions through one
+batched synthesis pass, emitting fixes that the built-in client tracker
+smooths into a trajectory.
 
 Run with:  python examples/roaming_tracking.py
 """
@@ -15,10 +17,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import ArrayTrackConfig, ArrayTrackService
 from repro.channel import random_waypoint_track
-from repro.core import LocalizerConfig
 from repro.geometry import Point2D
-from repro.server import ArrayTrackServer, ClientTracker, ServerConfig
 from repro.testbed import ScenarioConfig, SimulatedDeployment, build_office_testbed
 
 
@@ -26,11 +27,14 @@ def main() -> None:
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(
         testbed, ScenarioConfig(frames_per_client=1, snr_db=25.0, seed=42))
-    server = ArrayTrackServer(
-        testbed.bounds,
-        ServerConfig(localizer=LocalizerConfig(grid_resolution_m=0.15,
-                                               spectrum_floor=0.05)))
-    tracker = ClientTracker(smoothing_factor=0.6)
+    # One config tree: localizer grid, streaming trigger (emit a fix as soon
+    # as any frame is pending) and tracker smoothing all in one place.
+    config = ArrayTrackConfig(bounds=testbed.bounds).updated({
+        "server.localizer.grid_resolution_m": 0.15,
+        "session.emit_every_frames": 1,
+        "session.track_smoothing": 0.6,
+    })
+    service = ArrayTrackService(config)
 
     # A walk along the central corridor (y = 9 m) from west to east.
     waypoints = random_waypoint_track(Point2D(5.0, 9.5), Point2D(35.0, 9.5),
@@ -43,19 +47,26 @@ def main() -> None:
         deployment.clear()
         deployment.capture_client("roamer", positions=[waypoint],
                                   start_time_s=timestamp)
-        spectra = deployment.spectra_for_client("roamer")
-        estimate = server.localize_spectra(spectra, "roamer")
-        point = tracker.update("roamer", estimate, timestamp)
-        error_cm = point.position.distance_to(waypoint) * 100.0
+        # Stream every AP's spectrum of this frame into the session...
+        for ap_id, spectra in deployment.spectra_for_client("roamer").items():
+            for spectrum in spectra:
+                service.ingest(ap_id, spectrum, client_id="roamer",
+                               timestamp_s=timestamp)
+        # ...and let the service emit the fixes whose triggers fired.
+        fixes = service.tick(now_s=timestamp)
+        estimate = fixes["roamer"]
+        error_cm = estimate.position.distance_to(waypoint) * 100.0
         errors_cm.append(error_cm)
         print(f"{timestamp:6.1f} | ({waypoint.x:6.2f}, {waypoint.y:5.2f}) m "
-              f"| ({point.position.x:6.2f}, {point.position.y:5.2f}) m "
+              f"| ({estimate.position.x:6.2f}, {estimate.position.y:5.2f}) m "
               f"| {error_cm:5.0f} cm")
 
+    session = service.session("roamer")
     print()
+    print(f"fixes emitted              : {len(session.fixes)}")
     print(f"median error over the walk : {np.median(errors_cm):.0f} cm")
     print(f"mean error over the walk   : {np.mean(errors_cm):.0f} cm")
-    print(f"smoothed path length       : {tracker.path_length_m('roamer'):.1f} m "
+    print(f"smoothed path length       : {service.tracker.path_length_m('roamer'):.1f} m "
           f"(ground truth {waypoints[0].distance_to(waypoints[-1]):.1f} m straight line)")
 
 

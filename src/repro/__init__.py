@@ -11,18 +11,26 @@ model with diversity synthesis and phase calibration, the simulated 41-client
 office testbed, RSSI baselines and the experiment harness regenerating every
 table and figure of the paper.
 
-Quick start::
+The documented one-line import is the service facade::
 
-    from repro import quickstart
-    estimate, ground_truth = quickstart.localize_one_client()
+    from repro import ArrayTrackConfig, ArrayTrackService
 
-or see ``examples/quickstart.py`` for the same flow spelled out step by step.
+    service = ArrayTrackService(ArrayTrackConfig(bounds=testbed.bounds))
+    estimate = service.localize(spectra_by_ap, "client-17")
+
+See ``docs/api.md`` for the facade guide (streaming sessions, the
+estimator registry, the config schema) and ``examples/quickstart.py`` for
+the flow spelled out step by step.
 """
+
+from importlib import import_module
+from typing import TYPE_CHECKING
 
 from repro.constants import (
     ANTENNA_SPACING_M,
     CARRIER_FREQUENCY_HZ,
     DEFAULT_NUM_SNAPSHOTS,
+    DEFAULT_SPECTRUM_FLOOR,
     SAMPLE_RATE_HZ,
     WAVELENGTH_M,
 )
@@ -37,14 +45,55 @@ from repro.errors import (
     SignalError,
 )
 
-__version__ = "1.0.0"
+if TYPE_CHECKING:  # pragma: no cover - import-time types for tooling only
+    from repro.api import (  # noqa: F401
+        ArrayTrackConfig,
+        ArrayTrackService,
+        EstimatorSpec,
+        Session,
+        SessionConfig,
+        available_estimators,
+        create_baseline,
+        get_estimator,
+        register_estimator,
+    )
+
+__version__ = "1.1.0"
+
+#: Facade names re-exported lazily (PEP 562) so that ``import repro`` stays
+#: lightweight while ``from repro import ArrayTrackService`` works as the
+#: documented one-line import.
+_LAZY_EXPORTS = {
+    "ArrayTrackConfig": "repro.api",
+    "ArrayTrackService": "repro.api",
+    "EstimatorSpec": "repro.api",
+    "Session": "repro.api",
+    "SessionConfig": "repro.api",
+    "available_estimators": "repro.api",
+    "create_baseline": "repro.api",
+    "get_estimator": "repro.api",
+    "register_estimator": "repro.api",
+}
 
 __all__ = [
+    # Service facade (the documented public API)
+    "ArrayTrackConfig",
+    "ArrayTrackService",
+    "EstimatorSpec",
+    "Session",
+    "SessionConfig",
+    "available_estimators",
+    "create_baseline",
+    "get_estimator",
+    "register_estimator",
+    # Physical constants
     "ANTENNA_SPACING_M",
     "CARRIER_FREQUENCY_HZ",
     "DEFAULT_NUM_SNAPSHOTS",
+    "DEFAULT_SPECTRUM_FLOOR",
     "SAMPLE_RATE_HZ",
     "WAVELENGTH_M",
+    # Exception hierarchy
     "ArrayError",
     "ArrayTrackError",
     "ChannelError",
@@ -53,5 +102,19 @@ __all__ = [
     "EstimationError",
     "GeometryError",
     "SignalError",
+    # Metadata
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterator, List
 
 from repro.errors import ConfigurationError
 from repro.array.receiver import SnapshotMatrix

@@ -18,16 +18,13 @@ the AoA-spectrum domain:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.constants import PEAK_MATCH_TOLERANCE_DEG
 from repro.errors import EstimationError
-from repro.channel.paths import ChannelComponent, MultipathChannel
+from repro.channel.paths import MultipathChannel
 from repro.core.peaks import find_peaks, match_peak, peak_regions
 from repro.core.spectrum import AoASpectrum
-from repro.signal.packet import Frame
 
 __all__ = ["CollisionResolver", "merge_channels", "preamble_collision_probability"]
 

@@ -19,7 +19,7 @@ latency), which the paper rounds to roughly 100 ms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.constants import (

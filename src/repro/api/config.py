@@ -1,0 +1,383 @@
+"""The single service-level configuration tree of the ArrayTrack facade.
+
+Before this layer existed every entry point hand-wired three or four config
+dataclasses (``ServerConfig`` + ``LocalizerConfig`` + ``SpectrumConfig`` +
+the suppressor), and end-to-end callers copied the same magic values around
+(most famously ``spectrum_floor=0.05``).  :class:`ArrayTrackConfig` composes
+the existing per-layer dataclasses into one typed, validated tree that
+
+* round-trips through plain dictionaries and JSON
+  (:meth:`ArrayTrackConfig.to_dict` / :meth:`ArrayTrackConfig.from_dict` /
+  :meth:`ArrayTrackConfig.to_json` / :meth:`ArrayTrackConfig.from_json` /
+  :meth:`ArrayTrackConfig.from_file`), rejecting unknown keys and invalid
+  values with :class:`~repro.errors.ConfigurationError`\\ s that name the
+  offending path;
+* supports dotted-path overrides (:meth:`ArrayTrackConfig.updated`) and
+  environment-variable overrides (:meth:`ArrayTrackConfig.with_env_overrides`,
+  ``ARRAYTRACK_SERVER__LOCALIZER__GRID_RESOLUTION_M=0.1`` style);
+* records the historical end-to-end defaults once: the service-level
+  localizer uses :data:`repro.constants.DEFAULT_SPECTRUM_FLOOR` (0.05)
+  instead of every example repeating the literal.
+
+The tree deliberately reuses the layer dataclasses rather than mirroring
+their fields, so a knob added to, say, :class:`~repro.core.pipeline.
+SpectrumConfig` is immediately configurable (and serializable) through the
+facade with no glue code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.ap.access_point import APConfig
+from repro.constants import DEFAULT_SPECTRUM_FLOOR
+from repro.core.localizer import LocalizerConfig
+from repro.core.pipeline import SpectrumConfig
+from repro.core.suppression import SuppressorConfig
+from repro.errors import ArrayTrackError, ConfigurationError
+from repro.server.backend import ServerConfig
+
+__all__ = ["SessionConfig", "ArrayTrackConfig", "default_server_config"]
+
+
+def default_server_config() -> ServerConfig:
+    """The server section defaults used by the facade.
+
+    Identical to ``ServerConfig()`` except that the localizer applies the
+    documented end-to-end :data:`~repro.constants.DEFAULT_SPECTRUM_FLOOR`
+    (0.05) instead of the paper-faithful Equation 8 default (0.02).
+    """
+    return ServerConfig(
+        localizer=LocalizerConfig(spectrum_floor=DEFAULT_SPECTRUM_FLOOR))
+
+
+@dataclass
+class SessionConfig:
+    """Configuration of the streaming per-client sessions.
+
+    Attributes
+    ----------
+    emit_every_frames:
+        Emit a fix for a client once this many frames are pending across
+        all APs (0 disables the frame-count trigger).
+    max_age_s:
+        Emit a fix once the oldest pending frame of a client is at least
+        this old, relative to ``tick(now_s)`` or, when ``now_s`` is
+        omitted, to the latest ingested timestamp (None disables the
+        age trigger).
+    max_pending_frames:
+        Hard cap on pending frames per client; the oldest pending frame is
+        dropped once the cap is exceeded (a lost fix beats unbounded
+        memory, exactly like the APs' circular buffers).
+    track_smoothing:
+        Exponential moving-average weight of the newest fix in the
+        service's :class:`~repro.server.tracker.ClientTracker`, in
+        ``(0, 1]`` (1 disables smoothing).
+    track_history:
+        Maximum fixes retained per client by the tracker (None keeps
+        everything).
+    """
+
+    emit_every_frames: int = 3
+    max_age_s: Optional[float] = None
+    max_pending_frames: int = 64
+    track_smoothing: float = 0.6
+    track_history: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.emit_every_frames < 0:
+            raise ConfigurationError("emit_every_frames must be >= 0")
+        if self.max_age_s is not None and self.max_age_s < 0:
+            raise ConfigurationError("max_age_s must be non-negative or None")
+        if self.max_pending_frames < 1:
+            raise ConfigurationError("max_pending_frames must be >= 1")
+        if not 0.0 < self.track_smoothing <= 1.0:
+            raise ConfigurationError("track_smoothing must be in (0, 1]")
+        if self.track_history is not None and self.track_history < 1:
+            raise ConfigurationError("track_history must be >= 1 or None")
+
+
+# ----------------------------------------------------------------------
+# Generic section <-> dict machinery
+# ----------------------------------------------------------------------
+#: Which fields of each section are themselves nested config dataclasses.
+_NESTED_FIELDS: Dict[type, Dict[str, type]] = {
+    ServerConfig: {"localizer": LocalizerConfig, "suppressor": SuppressorConfig},
+    APConfig: {"spectrum": SpectrumConfig},
+}
+
+#: Defaults applied when a nested key is absent from a partial dict.  The
+#: one entry keeps partial trees consistent with the facade's documented
+#: defaults: a ``{"server": {}}`` section still gets the 0.05 floor rather
+#: than silently falling back to the bare ``ServerConfig()`` default.
+_SECTION_DEFAULTS: Dict[type, Dict[str, Callable[[], Any]]] = {
+    ServerConfig: {
+        "localizer": lambda: LocalizerConfig(
+            spectrum_floor=DEFAULT_SPECTRUM_FLOOR),
+    },
+}
+
+#: Field defaults merged into a *partial* nested mapping before parsing,
+#: keyed by ``(parent section, nested key)``.  This keeps hand-written
+#: partial trees like ``{"server": {"localizer": {"grid_resolution_m":
+#: 0.2}}}`` on the facade's documented 0.05 floor instead of silently
+#: reverting to the bare ``LocalizerConfig`` default; an explicit value in
+#: the mapping always wins.
+_NESTED_FIELD_DEFAULTS: Dict[Tuple[type, str], Dict[str, Any]] = {
+    (ServerConfig, "localizer"): {"spectrum_floor": DEFAULT_SPECTRUM_FLOOR},
+}
+
+
+def _section_to_dict(section: Any) -> Dict[str, Any]:
+    """Serialize one config dataclass (recursing into nested sections)."""
+    nested = _NESTED_FIELDS.get(type(section), {})
+    out: Dict[str, Any] = {}
+    for spec in fields(section):
+        value = getattr(section, spec.name)
+        out[spec.name] = _section_to_dict(value) if spec.name in nested else value
+    return out
+
+
+def _section_from_dict(cls: type, data: Mapping[str, Any], path: str) -> Any:
+    """Build one config dataclass from a mapping, strictly validated."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"{path} must be a mapping, got {type(data).__name__}")
+    valid = {spec.name for spec in fields(cls)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown key(s) {unknown} under {path}; "
+            f"valid keys: {sorted(valid)}")
+    nested = _NESTED_FIELDS.get(cls, {})
+    kwargs: Dict[str, Any] = {}
+    for key, value in data.items():
+        if key in nested:
+            if isinstance(value, nested[key]):
+                kwargs[key] = value
+            elif isinstance(value, Mapping):
+                defaults = _NESTED_FIELD_DEFAULTS.get((cls, key))
+                if defaults:
+                    value = {**defaults, **dict(value)}
+                kwargs[key] = _section_from_dict(nested[key], value,
+                                                 f"{path}.{key}")
+            else:
+                raise ConfigurationError(
+                    f"{path}.{key} must be a mapping or a "
+                    f"{nested[key].__name__}, got {type(value).__name__}")
+        else:
+            kwargs[key] = value
+    for key, factory in _SECTION_DEFAULTS.get(cls, {}).items():
+        if key not in kwargs:
+            kwargs[key] = factory()
+    try:
+        return cls(**kwargs)
+    except ArrayTrackError as exc:
+        raise ConfigurationError(f"invalid value under {path}: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"invalid value under {path}: {exc}") from exc
+
+
+def _assign_path(data: Dict[str, Any], path: str, value: Any) -> None:
+    """Set a dotted-path key inside a nested plain-dict tree, strictly."""
+    segments = path.split(".")
+    cursor: Any = data
+    for index, segment in enumerate(segments[:-1]):
+        if not isinstance(cursor, dict) or segment not in cursor:
+            prefix = ".".join(segments[:index + 1])
+            raise ConfigurationError(
+                f"unknown configuration path {path!r} (no section {prefix!r})")
+        cursor = cursor[segment]
+    leaf = segments[-1]
+    if not isinstance(cursor, dict) or leaf not in cursor:
+        raise ConfigurationError(
+            f"unknown configuration path {path!r} (no key {leaf!r})")
+    cursor[leaf] = value
+
+
+@dataclass
+class ArrayTrackConfig:
+    """One validated configuration tree for the whole ArrayTrack service.
+
+    Attributes
+    ----------
+    bounds:
+        ``(xmin, ymin, xmax, ymax)`` search area in metres (typically the
+        floorplan bounding box).  Must be set -- either here or via the
+        ``bounds=`` argument of :class:`~repro.api.ArrayTrackService` --
+        before a service can be built.
+    estimator:
+        Registry key of the AoA spectrum estimator (``"music"``,
+        ``"bartlett"``, ``"capon"``, or anything added through
+        :func:`repro.api.register_estimator`).
+    ap:
+        Per-AP configuration (:class:`~repro.ap.access_point.APConfig`),
+        including the per-frame spectrum pipeline section.  APs built via
+        :meth:`repro.api.ArrayTrackService.build_ap` use it.
+    server:
+        Central-server configuration
+        (:class:`~repro.server.backend.ServerConfig`), including the
+        localizer and multipath-suppressor sections.  The facade default
+        applies :data:`~repro.constants.DEFAULT_SPECTRUM_FLOOR`.
+    session:
+        Streaming-session configuration (:class:`SessionConfig`).
+    """
+
+    bounds: Optional[Tuple[float, float, float, float]] = None
+    estimator: str = "music"
+    ap: APConfig = field(default_factory=APConfig)
+    server: ServerConfig = field(default_factory=default_server_config)
+    session: SessionConfig = field(default_factory=SessionConfig)
+
+    def __post_init__(self) -> None:
+        if self.bounds is not None:
+            try:
+                bounds = tuple(float(value) for value in self.bounds)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"bounds must be four numbers, got {self.bounds!r}") from exc
+            if len(bounds) != 4:
+                raise ConfigurationError(
+                    f"bounds must be (xmin, ymin, xmax, ymax), got {bounds!r}")
+            xmin, ymin, xmax, ymax = bounds
+            if xmax <= xmin or ymax <= ymin:
+                raise ConfigurationError(f"degenerate bounds {bounds!r}")
+            self.bounds = bounds
+        if not isinstance(self.estimator, str) or not self.estimator:
+            raise ConfigurationError(
+                f"estimator must be a non-empty registry key, "
+                f"got {self.estimator!r}")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Return the full tree as plain dicts/lists/scalars (JSON-safe)."""
+        return {
+            "bounds": list(self.bounds) if self.bounds is not None else None,
+            "estimator": self.estimator,
+            "ap": _section_to_dict(self.ap),
+            "server": _section_to_dict(self.server),
+            "session": _section_to_dict(self.session),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrayTrackConfig":
+        """Build a config tree from a (possibly partial) mapping.
+
+        Unknown keys anywhere in the tree and invalid values raise
+        :class:`~repro.errors.ConfigurationError` naming the offending
+        path; missing keys take the documented defaults.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"config must be a mapping, got {type(data).__name__}")
+        valid = {"bounds", "estimator", "ap", "server", "session"}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown key(s) {unknown} under config; "
+                f"valid keys: {sorted(valid)}")
+        kwargs: Dict[str, Any] = {}
+        sections = {"ap": APConfig, "server": ServerConfig,
+                    "session": SessionConfig}
+        for key, value in data.items():
+            if key in sections and not isinstance(value, sections[key]):
+                kwargs[key] = _section_from_dict(sections[key], value,
+                                                 f"config.{key}")
+            else:
+                kwargs[key] = value
+        try:
+            return cls(**kwargs)
+        except ArrayTrackError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"invalid config value: {exc}") from exc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Return the tree serialized as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArrayTrackConfig":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid config JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_file(self, path: str) -> None:
+        """Write the tree to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_file(cls, path: str) -> "ArrayTrackConfig":
+        """Load a config tree from a JSON file."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read config file {path!r}: {exc}") from exc
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+    def updated(self, overrides: Mapping[str, Any]) -> "ArrayTrackConfig":
+        """Return a copy with dotted-path overrides applied.
+
+        Example::
+
+            config.updated({"server.localizer.grid_resolution_m": 0.10,
+                            "session.emit_every_frames": 1})
+
+        Unknown paths raise :class:`~repro.errors.ConfigurationError`;
+        values are re-validated by the normal construction path.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            _assign_path(data, path, value)
+        return type(self).from_dict(data)
+
+    def with_env_overrides(self, environ: Optional[Mapping[str, str]] = None,
+                           prefix: str = "ARRAYTRACK_") -> "ArrayTrackConfig":
+        """Return a copy with ``PREFIX_SECTION__KEY=value`` overrides applied.
+
+        Double underscores separate tree levels and names are lowercased,
+        so ``ARRAYTRACK_SERVER__LOCALIZER__GRID_RESOLUTION_M=0.1`` sets
+        ``server.localizer.grid_resolution_m``.  Values are parsed as JSON
+        when possible (numbers, booleans, ``null``, lists) and kept as
+        strings otherwise.  ``os.environ`` is used when ``environ`` is
+        omitted.
+
+        Only variables whose first segment names a config section
+        (``bounds``, ``estimator``, ``ap``, ``server``, ``session``) are
+        consumed; other ``ARRAYTRACK_*`` variables (``ARRAYTRACK_HOME``,
+        ``ARRAYTRACK_LOG_LEVEL``, ...) are ignored so unrelated deployment
+        environment does not crash service startup.  *Within* a recognized
+        section, unknown keys still raise
+        :class:`~repro.errors.ConfigurationError` (typo protection).
+        """
+        environ = os.environ if environ is None else environ
+        sections = {spec.name for spec in fields(self)}
+        overrides: Dict[str, Any] = {}
+        for key, raw in environ.items():
+            if not key.startswith(prefix):
+                continue
+            path = key[len(prefix):].lower().replace("__", ".")
+            if path.split(".", 1)[0] not in sections:
+                continue
+            try:
+                value: Any = json.loads(raw)
+            except json.JSONDecodeError:
+                value = raw
+            overrides[path] = value
+        if not overrides:
+            return self
+        return self.updated(overrides)

@@ -1,0 +1,177 @@
+"""String-keyed estimator/baseline registry of the ArrayTrack facade.
+
+Ablations and benchmarks want to select localization algorithms *by name*
+("run this sweep with ``bartlett``") without reaching into pipeline
+internals.  The registry maps names to small :class:`EstimatorSpec`
+records of two kinds:
+
+* ``"aoa"`` -- spectra-driven estimators that specialize the per-frame
+  :class:`~repro.core.pipeline.SpectrumConfig` of the ArrayTrack pipeline
+  (the built-in ``music`` / ``bartlett`` / ``capon``, plus anything a
+  caller registers with a custom ``configure`` hook);
+* ``"rss"`` -- RSSI baselines built directly from AP positions (the
+  built-in ``rssi`` weighted-centroid baseline of the Section 5
+  comparison).
+
+:class:`~repro.api.ArrayTrackService` resolves its configured estimator
+name through :func:`get_estimator` at construction; selecting
+``estimator="bartlett"`` therefore produces *exactly* the
+``SpectrumConfig(method="bartlett")`` the ablation benchmarks always used,
+so named selection reproduces their results by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.baselines.rssi import WeightedCentroidLocalizer
+from repro.core.pipeline import SpectrumConfig
+from repro.errors import ConfigurationError
+from repro.geometry.vector import Point2D
+
+__all__ = [
+    "AOA",
+    "RSS",
+    "EstimatorSpec",
+    "available_estimators",
+    "create_baseline",
+    "get_estimator",
+    "register_estimator",
+]
+
+#: Kind tag of spectra-driven (ArrayTrack pipeline) estimators.
+AOA = "aoa"
+#: Kind tag of RSSI-driven baseline localizers.
+RSS = "rss"
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """One named estimator recipe.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    kind:
+        :data:`AOA` for spectra-driven estimators, :data:`RSS` for RSSI
+        baselines.
+    description:
+        One-line human description (shown in error messages and docs).
+    spectrum_method:
+        For simple AoA entries: the :class:`~repro.core.pipeline.
+        SpectrumConfig` ``method`` this estimator selects.
+    configure:
+        For custom AoA entries: a hook mapping the caller's base
+        ``SpectrumConfig`` to the specialized one (overrides
+        ``spectrum_method`` when both are given).
+    build_baseline:
+        For RSS entries: a factory called with the AP-position mapping
+        (plus any keyword arguments) returning the baseline localizer.
+    """
+
+    name: str
+    kind: str
+    description: str = ""
+    spectrum_method: Optional[str] = None
+    configure: Optional[Callable[[SpectrumConfig], SpectrumConfig]] = None
+    build_baseline: Optional[Callable[..., object]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an estimator spec needs a name")
+        if self.kind not in (AOA, RSS):
+            raise ConfigurationError(
+                f"estimator kind must be {AOA!r} or {RSS!r}, got {self.kind!r}")
+        if self.kind == AOA and self.spectrum_method is None \
+                and self.configure is None:
+            raise ConfigurationError(
+                f"aoa estimator {self.name!r} needs spectrum_method or configure")
+        if self.kind == RSS and self.build_baseline is None:
+            raise ConfigurationError(
+                f"rss estimator {self.name!r} needs build_baseline")
+
+    def specialize(self, spectrum: SpectrumConfig) -> SpectrumConfig:
+        """Return the spectrum configuration this estimator implies.
+
+        Raises
+        ------
+        ConfigurationError
+            If this spec is not spectra-driven (RSS baselines cannot run
+            the AoA pipeline).
+        """
+        if self.kind != AOA:
+            raise ConfigurationError(
+                f"estimator {self.name!r} is an RSS baseline, not a "
+                f"spectra-driven estimator; build it with "
+                f"create_baseline({self.name!r}, ap_positions)")
+        if self.configure is not None:
+            return self.configure(spectrum)
+        return replace(spectrum, method=self.spectrum_method)
+
+
+_REGISTRY: Dict[str, EstimatorSpec] = {}
+
+
+def register_estimator(spec: EstimatorSpec, *,
+                       replace_existing: bool = False) -> EstimatorSpec:
+    """Add ``spec`` to the registry (the extension point for ablations).
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is already registered and ``replace_existing`` is
+        False.
+    """
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ConfigurationError(
+            f"estimator {spec.name!r} is already registered; pass "
+            f"replace_existing=True to override it")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_estimator(name: str) -> EstimatorSpec:
+    """Look up a registered estimator by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown estimator {name!r}; registered: "
+            f"{', '.join(available_estimators())}") from None
+
+
+def available_estimators() -> Tuple[str, ...]:
+    """Return the sorted names of all registered estimators."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_baseline(name: str, ap_positions: Mapping[str, Point2D],
+                    **kwargs) -> object:
+    """Instantiate a registered RSS baseline from the AP-position map."""
+    spec = get_estimator(name)
+    if spec.kind != RSS:
+        raise ConfigurationError(
+            f"estimator {name!r} is spectra-driven; select it via "
+            f"ArrayTrackConfig(estimator={name!r}) instead")
+    assert spec.build_baseline is not None
+    return spec.build_baseline(ap_positions, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in estimators
+# ----------------------------------------------------------------------
+for _method, _description in (
+        ("music", "MUSIC pseudospectrum (the paper's estimator, Section 2.3.1)"),
+        ("bartlett", "Bartlett (conventional) beamformer ablation"),
+        ("capon", "Capon (MVDR) beamformer ablation"),
+):
+    register_estimator(EstimatorSpec(name=_method, kind=AOA,
+                                     description=_description,
+                                     spectrum_method=_method))
+
+register_estimator(EstimatorSpec(
+    name="rssi", kind=RSS,
+    description="RSSI-weighted centroid baseline (Section 5 comparison)",
+    build_baseline=WeightedCentroidLocalizer))

@@ -1,0 +1,469 @@
+"""The unified ArrayTrack service facade: one object, three workloads.
+
+The paper's system is a *service*: APs stream detections to a central
+server that continuously emits location fixes.  :class:`ArrayTrackService`
+is that service as a single public object, built from one
+:class:`~repro.api.config.ArrayTrackConfig` tree:
+
+* **batch localization** -- :meth:`ArrayTrackService.localize` /
+  :meth:`ArrayTrackService.localize_many` are the validated front door of
+  the batched synthesis engine (PR 1's
+  :class:`~repro.core.batch.BatchLocalizer`);
+* **streaming sessions** -- :meth:`ArrayTrackService.ingest` accumulates
+  per-client frames into :class:`Session` objects and
+  :meth:`ArrayTrackService.tick` drains every *ready* session (every-N-
+  frames and/or max-age triggers) through one batched synthesis pass, so
+  the streaming path inherits batched throughput and is bit-for-bit
+  identical to localizing the same frames in one batch call;
+* **AP fleet wiring** -- :meth:`ArrayTrackService.build_ap` constructs
+  :class:`~repro.ap.access_point.ArrayTrackAP`\\ s from the config tree's
+  ``ap`` section (with the registry-resolved estimator applied), so the
+  whole deployment is configured from one place.
+
+The legacy entry points (``ArrayTrackServer.localize_spectra``,
+``repro.quickstart.*``) remain as deprecated shims over this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ap.access_point import ArrayTrackAP
+from repro.ap.buffer import BufferEntry
+from repro.ap.latency import LatencyBreakdown, LatencyModel
+from repro.api.config import ArrayTrackConfig, SessionConfig
+from repro.api.registry import EstimatorSpec, get_estimator
+from repro.core.localizer import LocationEstimate
+from repro.core.pipeline import SpectrumConfig
+from repro.core.spectrum import AoASpectrum
+from repro.errors import ConfigurationError
+from repro.geometry.vector import Point2D
+from repro.server.backend import ArrayTrackServer
+from repro.server.tracker import ClientTracker, TrackPoint
+
+__all__ = ["Session", "ArrayTrackService"]
+
+
+class Session:
+    """One client's streaming state: pending frames and emitted fixes.
+
+    Sessions are created lazily by :meth:`ArrayTrackService.ingest` /
+    :meth:`ArrayTrackService.session`; callers never construct them
+    directly.  A session accumulates AoA spectra per AP until one of its
+    configured triggers fires, at which point the service drains it
+    through the batched synthesis engine and records the fix.
+    """
+
+    def __init__(self, client_id: str, config: SessionConfig) -> None:
+        self.client_id = client_id
+        self.config = config
+        #: Pending ``(timestamp, spectrum)`` pairs per AP, in first-ingest
+        #: AP order (this order is what makes a drained session
+        #: bit-identical to the same frames passed to
+        #: :meth:`ArrayTrackService.localize_many` directly).  The stored
+        #: timestamp is the ingest-resolved one, which may legitimately
+        #: differ from ``spectrum.timestamp_s``.
+        self._pending: Dict[str, List[Tuple[float, AoASpectrum]]] = {}
+        self._oldest_pending_s: Optional[float] = None
+        #: Timestamp of the most recently ingested frame (simulation time).
+        self.last_ingest_s: Optional[float] = None
+        #: Every fix emitted for this client, as tracker points.
+        self.fixes: List[TrackPoint] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def pending_frames(self) -> int:
+        """Number of frames waiting to be folded into the next fix."""
+        return sum(len(frames) for frames in self._pending.values())
+
+    @property
+    def pending_aps(self) -> List[str]:
+        """APs that contributed at least one pending frame."""
+        return [ap_id for ap_id, frames in self._pending.items() if frames]
+
+    @property
+    def oldest_pending_s(self) -> Optional[float]:
+        """Timestamp of the oldest pending frame (None when empty)."""
+        return self._oldest_pending_s
+
+    @property
+    def last_fix(self) -> Optional[TrackPoint]:
+        """The most recently emitted fix, or None."""
+        return self.fixes[-1] if self.fixes else None
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def add(self, ap_id: str, spectrum: AoASpectrum,
+            timestamp_s: float) -> None:
+        """Append one frame's spectrum to the pending buffer."""
+        self._pending.setdefault(ap_id, []).append((timestamp_s, spectrum))
+        if self._oldest_pending_s is None or timestamp_s < self._oldest_pending_s:
+            self._oldest_pending_s = timestamp_s
+        if self.last_ingest_s is None or timestamp_s > self.last_ingest_s:
+            self.last_ingest_s = timestamp_s
+        while self.pending_frames > self.config.max_pending_frames:
+            self._drop_oldest()
+
+    def _drop_oldest(self) -> None:
+        """Drop the globally oldest pending frame (cap enforcement).
+
+        "Oldest" means the smallest ingest-resolved timestamp across *all*
+        pending frames -- frames may arrive out of timestamp order within
+        one AP (network reordering), so every entry is inspected, not just
+        the head of each AP's list.
+        """
+        oldest_ap: Optional[str] = None
+        oldest_index = -1
+        oldest_ts = float("inf")
+        for ap_id, frames in self._pending.items():
+            for index, (timestamp, _) in enumerate(frames):
+                if timestamp < oldest_ts:
+                    oldest_ts = timestamp
+                    oldest_ap = ap_id
+                    oldest_index = index
+        if oldest_ap is None:
+            return
+        self._pending[oldest_ap].pop(oldest_index)
+        if not self._pending[oldest_ap]:
+            del self._pending[oldest_ap]
+        remaining = [timestamp for frames in self._pending.values()
+                     for timestamp, _ in frames]
+        self._oldest_pending_s = min(remaining) if remaining else None
+
+    # ------------------------------------------------------------------
+    # Triggers and draining
+    # ------------------------------------------------------------------
+    def ready(self, now_s: Optional[float] = None) -> bool:
+        """True when a configured trigger fires for the pending frames.
+
+        ``now_s`` anchors the max-age trigger; when omitted, the latest
+        ingested timestamp stands in (pure simulation-time semantics, no
+        wall clock involved).
+        """
+        if self.pending_frames == 0:
+            return False
+        config = self.config
+        if config.emit_every_frames \
+                and self.pending_frames >= config.emit_every_frames:
+            return True
+        if config.max_age_s is not None and self._oldest_pending_s is not None:
+            now = now_s if now_s is not None else self.last_ingest_s
+            if now is not None and now - self._oldest_pending_s >= config.max_age_s:
+                return True
+        return False
+
+    def pending_spectra(self) -> Dict[str, List[AoASpectrum]]:
+        """Return the pending per-AP spectra without removing them."""
+        return {ap_id: [spectrum for _, spectrum in frames]
+                for ap_id, frames in self._pending.items()}
+
+    def drain(self) -> Dict[str, List[AoASpectrum]]:
+        """Remove and return the pending per-AP spectra."""
+        batch = self.pending_spectra()
+        self._pending = {}
+        self._oldest_pending_s = None
+        return batch
+
+
+class ArrayTrackService:
+    """The public facade over the whole ArrayTrack pipeline.
+
+    Parameters
+    ----------
+    config:
+        The service configuration tree; documented defaults when omitted.
+    bounds:
+        Convenience override for ``config.bounds`` (one of the two must
+        be set).
+    latency_model:
+        Hardware latency model used to annotate fixes; a WARP-like
+        default when omitted.
+
+    Examples
+    --------
+    One-shot localization from collected spectra::
+
+        from repro import ArrayTrackConfig, ArrayTrackService
+
+        service = ArrayTrackService(ArrayTrackConfig(bounds=testbed.bounds))
+        estimate = service.localize(spectra_by_ap, "client-17")
+
+    Streaming fixes::
+
+        for spectrum in incoming_frames:
+            service.ingest(spectrum.ap_id, spectrum)
+        fixes = service.tick()          # {client_id: LocationEstimate}
+    """
+
+    def __init__(self, config: Optional[ArrayTrackConfig] = None, *,
+                 bounds: Optional[Sequence[float]] = None,
+                 latency_model: Optional[LatencyModel] = None) -> None:
+        config = config if config is not None else ArrayTrackConfig()
+        if bounds is not None:
+            config = replace(config, bounds=tuple(bounds))
+        if config.bounds is None:
+            raise ConfigurationError(
+                "ArrayTrackService needs a search area: set "
+                "ArrayTrackConfig.bounds or pass bounds=(xmin, ymin, xmax, ymax)")
+        spec = get_estimator(config.estimator)
+        spectrum = spec.specialize(config.ap.spectrum)
+        if spectrum != config.ap.spectrum:
+            config = replace(config, ap=replace(config.ap, spectrum=spectrum))
+        self.config = config
+        self.estimator_spec: EstimatorSpec = spec
+        self._server = ArrayTrackServer(config.bounds, config.server,
+                                        latency_model)
+        self.tracker = ClientTracker(
+            smoothing_factor=config.session.track_smoothing,
+            max_history=config.session.track_history)
+        self._sessions: Dict[str, Session] = {}
+        self._aps: Dict[str, ArrayTrackAP] = {}
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any],
+                  **kwargs) -> "ArrayTrackService":
+        """Build a service from a plain config mapping."""
+        return cls(ArrayTrackConfig.from_dict(data), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str, **kwargs) -> "ArrayTrackService":
+        """Build a service from a JSON config document."""
+        return cls(ArrayTrackConfig.from_json(text), **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "ArrayTrackService":
+        """Build a service from a JSON config file."""
+        return cls(ArrayTrackConfig.from_file(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """Search-area bounds in metres."""
+        assert self.config.bounds is not None
+        return self.config.bounds
+
+    @property
+    def spectrum_config(self) -> SpectrumConfig:
+        """The effective per-frame spectrum config (estimator applied)."""
+        return self.config.ap.spectrum
+
+    @property
+    def server(self) -> ArrayTrackServer:
+        """The underlying central server (advanced use)."""
+        return self._server
+
+    # ------------------------------------------------------------------
+    # AP fleet wiring
+    # ------------------------------------------------------------------
+    def build_ap(self, ap_id: str, position: Point2D,
+                 orientation_deg: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> ArrayTrackAP:
+        """Construct (and register) one AP from the config tree's ``ap`` section.
+
+        Each AP gets its own copy of the section (nested spectrum config
+        included), so tweaking one AP's configuration afterwards never
+        leaks into the service config or its siblings.
+        """
+        ap_config = replace(self.config.ap,
+                            spectrum=replace(self.config.ap.spectrum))
+        ap = ArrayTrackAP(ap_id, position, orientation_deg,
+                          config=ap_config, rng=rng)
+        self._aps[ap_id] = ap
+        return ap
+
+    def adopt_aps(self, aps: Iterable[ArrayTrackAP]) -> None:
+        """Register externally constructed APs (e.g. a simulated deployment's)."""
+        for ap in aps:
+            self._aps[ap.ap_id] = ap
+
+    @property
+    def aps(self) -> Dict[str, ArrayTrackAP]:
+        """The registered AP fleet, by AP id (a copy)."""
+        return dict(self._aps)
+
+    # ------------------------------------------------------------------
+    # Batch localization
+    # ------------------------------------------------------------------
+    def localize(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]],
+                 client_id: str = "") -> LocationEstimate:
+        """Localize one client from per-AP lists of AoA spectra."""
+        return self._server._localize_spectra(spectra_by_ap, client_id)
+
+    def localize_many(self,
+                      spectra_by_client: Mapping[str, Mapping[str, Sequence[AoASpectrum]]]
+                      ) -> Dict[str, LocationEstimate]:
+        """Localize many clients in one vectorized synthesis pass."""
+        return self._server.localize_batch(spectra_by_client)
+
+    def localize_buffered(self, client_ids: Sequence[str],
+                          aps: Optional[Sequence[ArrayTrackAP]] = None
+                          ) -> Dict[str, LocationEstimate]:
+        """Batch-localize clients from frames buffered at the AP fleet.
+
+        Uses the registered fleet when ``aps`` is omitted.
+        """
+        fleet = list(aps) if aps is not None else list(self._aps.values())
+        return self._server.localize_clients(fleet, list(client_ids))
+
+    # ------------------------------------------------------------------
+    # Streaming sessions
+    # ------------------------------------------------------------------
+    def session(self, client_id: str) -> Session:
+        """Return (creating if needed) the client's streaming session."""
+        if not client_id:
+            raise ConfigurationError("a session needs a non-empty client id")
+        existing = self._sessions.get(client_id)
+        if existing is None:
+            existing = Session(client_id, self.config.session)
+            self._sessions[client_id] = existing
+        return existing
+
+    @property
+    def sessions(self) -> Dict[str, Session]:
+        """All live sessions, by client id (a copy)."""
+        return dict(self._sessions)
+
+    def ingest(self, ap: Union[str, ArrayTrackAP, None],
+               item: Union[AoASpectrum, BufferEntry],
+               client_id: Optional[str] = None,
+               timestamp_s: Optional[float] = None) -> Session:
+        """Accumulate one frame into the client's streaming session.
+
+        Parameters
+        ----------
+        ap:
+            The receiving AP: an AP id, a registered/constructed
+            :class:`~repro.ap.access_point.ArrayTrackAP`, or None when the
+            spectrum itself carries its ``ap_id``.
+        item:
+            Either a computed :class:`~repro.core.spectrum.AoASpectrum`,
+            or a raw :class:`~repro.ap.buffer.BufferEntry` (a detected
+            packet's snapshots), in which case the capturing AP computes
+            the spectrum -- so callers can stream either processed spectra
+            or raw detections.
+        client_id:
+            Client identity; defaults to the frame's own ``client_id``.
+        timestamp_s:
+            Frame time; defaults to the frame's own ``timestamp_s``.
+
+        Returns
+        -------
+        Session
+            The client's session (``session.ready()`` tells whether the
+            next :meth:`tick` will emit a fix for it).
+        """
+        spectrum, ap_id = self._resolve_frame(ap, item)
+        resolved_client = client_id if client_id else spectrum.client_id
+        if not resolved_client:
+            raise ConfigurationError(
+                "cannot ingest a frame without a client id (pass client_id= "
+                "or use spectra that carry one)")
+        resolved_ts = timestamp_s if timestamp_s is not None \
+            else spectrum.timestamp_s
+        session = self.session(resolved_client)
+        session.add(ap_id, spectrum, resolved_ts)
+        return session
+
+    def _resolve_frame(self, ap: Union[str, ArrayTrackAP, None],
+                       item: Union[AoASpectrum, BufferEntry]
+                       ) -> Tuple[AoASpectrum, str]:
+        if isinstance(item, BufferEntry):
+            ap_obj: Optional[ArrayTrackAP]
+            if isinstance(ap, ArrayTrackAP):
+                ap_obj = ap
+            elif ap is not None:
+                ap_obj = self._aps.get(str(ap))
+            else:
+                ap_obj = None
+            if ap_obj is None:
+                raise ConfigurationError(
+                    "ingesting a raw BufferEntry needs its capturing AP: "
+                    "pass the ArrayTrackAP object, or register it first via "
+                    "build_ap()/adopt_aps()")
+            return ap_obj.compute_spectrum(item), ap_obj.ap_id
+        if isinstance(item, AoASpectrum):
+            if isinstance(ap, ArrayTrackAP):
+                ap_id = ap.ap_id
+            elif ap is not None:
+                ap_id = str(ap)
+            else:
+                ap_id = item.ap_id
+            if not ap_id:
+                raise ConfigurationError(
+                    "cannot ingest a spectrum without an AP id (pass ap= or "
+                    "use spectra that carry one)")
+            return item, ap_id
+        raise ConfigurationError(
+            f"cannot ingest a {type(item).__name__}; expected an AoASpectrum "
+            f"or a BufferEntry")
+
+    def tick(self, now_s: Optional[float] = None
+             ) -> Dict[str, LocationEstimate]:
+        """Drain every ready session through one batched synthesis pass.
+
+        Returns one fix per ready client (empty dict when no trigger has
+        fired).  Fixes are bit-for-bit identical to passing the same
+        pending frames to :meth:`localize_many` in one batch.
+        """
+        ready = {client_id: session
+                 for client_id, session in self._sessions.items()
+                 if session.ready(now_s)}
+        return self._emit(ready, now_s)
+
+    def flush(self) -> Dict[str, LocationEstimate]:
+        """Drain every session with pending frames, triggers or not."""
+        pending = {client_id: session
+                   for client_id, session in self._sessions.items()
+                   if session.pending_frames}
+        return self._emit(pending, None)
+
+    def _emit(self, sessions: Mapping[str, Session],
+              now_s: Optional[float]) -> Dict[str, LocationEstimate]:
+        if not sessions:
+            return {}
+        # Peek first, drain only after a successful synthesis: a failing
+        # batch (e.g. a spectrum without its AP position) must not destroy
+        # every drained client's pending frames.  On such an error the
+        # exception propagates with all sessions intact; the caller can
+        # discard a poisoned session explicitly via session.drain().
+        batch = {client_id: session.pending_spectra()
+                 for client_id, session in sessions.items()}
+        estimates = self._server.localize_batch(batch)
+        fixes: Dict[str, LocationEstimate] = {}
+        for client_id, estimate in estimates.items():
+            session = sessions[client_id]
+            session.drain()
+            timestamp = now_s if now_s is not None else \
+                (session.last_ingest_s if session.last_ingest_s is not None
+                 else 0.0)
+            point = self.tracker.update(client_id, estimate, timestamp)
+            session.fixes.append(point)
+            fixes[client_id] = estimate
+        return fixes
+
+    # ------------------------------------------------------------------
+    # Latency accounting passthrough (Section 4.4)
+    # ------------------------------------------------------------------
+    @property
+    def last_processing_s(self) -> Optional[float]:
+        """Wall-clock duration of the most recent synthesis, if measured."""
+        return self._server.last_processing_s
+
+    def latency_breakdown(self, payload_bytes: int = 1500,
+                          bitrate_mbps: float = 54.0,
+                          use_measured_processing: bool = False
+                          ) -> LatencyBreakdown:
+        """Return the end-to-end latency breakdown of a fix."""
+        return self._server.latency_breakdown(payload_bytes, bitrate_mbps,
+                                              use_measured_processing)

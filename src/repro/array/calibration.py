@@ -19,7 +19,7 @@ system can be exercised both with ideal calibration and with residual error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -19,8 +19,8 @@ tens of centimetres, RSS systems in the metres.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
 
 import numpy as np
 

@@ -14,7 +14,7 @@ physically (the environment stays fixed, the client moves).
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -45,6 +45,7 @@ from repro.core.weighting import apply_geometry_weighting, geometry_window
 from repro.core.symmetry import SymmetryResolver, resolve_symmetry
 from repro.core.suppression import (
     MultipathSuppressor,
+    SuppressorConfig,
     group_spectra_by_time,
     suppress_multipath,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "SymmetryResolver",
     "resolve_symmetry",
     "MultipathSuppressor",
+    "SuppressorConfig",
     "group_spectra_by_time",
     "suppress_multipath",
     "LikelihoodMap",

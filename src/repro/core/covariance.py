@@ -11,7 +11,6 @@ Figure 19).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

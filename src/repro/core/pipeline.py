@@ -14,7 +14,7 @@ else fixed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -22,7 +22,6 @@ import numpy as np
 from repro.constants import (
     DEFAULT_ANGLE_RESOLUTION_DEG,
     DEFAULT_SMOOTHING_GROUPS,
-    WAVELENGTH_M,
 )
 from repro.errors import EstimationError
 from repro.array.deployment import DeployedArray

@@ -14,7 +14,6 @@ The paper's microbenchmark (Figure 7) leads it to choose ``NG = 2``; the
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -14,14 +14,14 @@ location expressed in building coordinates (Section 2.5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
 from repro.constants import DEFAULT_ANGLE_RESOLUTION_DEG
 from repro.errors import EstimationError
-from repro.geometry.vector import Point2D, bearing_deg, normalize_angle_deg
+from repro.geometry.vector import Point2D, bearing_deg
 
 __all__ = ["AoASpectrum", "default_angle_grid"]
 

@@ -19,7 +19,7 @@ The algorithm (Figure 8):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -31,7 +31,8 @@ from repro.errors import EstimationError
 from repro.core.peaks import SpectrumPeak, find_peaks, match_peak, peak_regions
 from repro.core.spectrum import AoASpectrum
 
-__all__ = ["MultipathSuppressor", "suppress_multipath", "group_spectra_by_time"]
+__all__ = ["MultipathSuppressor", "SuppressorConfig", "suppress_multipath",
+           "group_spectra_by_time"]
 
 
 def group_spectra_by_time(spectra: Sequence[AoASpectrum],
@@ -152,6 +153,13 @@ class MultipathSuppressor:
         """
         groups = group_spectra_by_time(spectra, window_s)
         return [self.suppress(group) for group in groups]
+
+
+#: The suppression step is configured by the same dataclass that implements
+#: it: :class:`MultipathSuppressor` carries only plain parameters, so the
+#: service-level configuration tree (:class:`repro.api.ArrayTrackConfig`)
+#: composes it directly under this alias.
+SuppressorConfig = MultipathSuppressor
 
 
 def suppress_multipath(group: Sequence[AoASpectrum],

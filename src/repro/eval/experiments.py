@@ -14,20 +14,21 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ap.collision import CollisionResolver, merge_channels
 from repro.ap.latency import LatencyModel
+from repro.api import ArrayTrackConfig, ArrayTrackService, create_baseline
 from repro.baselines import (
     FingerprintLocalizer,
     ModelBasedRssLocalizer,
     RssFingerprint,
-    WeightedCentroidLocalizer,
 )
 from repro.channel import perturb_position
+from repro.constants import DEFAULT_SPECTRUM_FLOOR
 from repro.core import (
     LocalizerConfig,
     LocationEstimator,
@@ -41,7 +42,6 @@ from repro.errors import EstimationError
 from repro.eval.metrics import ErrorStatistics, empirical_cdf, summarize_errors
 from repro.geometry import Point2D, bearing_deg
 from repro.geometry.vector import angle_difference_deg
-from repro.server import ArrayTrackServer, ServerConfig
 from repro.signal import (
     MatchedFilterDetector,
     SchmidlCoxDetector,
@@ -104,7 +104,27 @@ def _default_scenario(**overrides) -> ScenarioConfig:
 
 
 def _localizer_config(grid_resolution_m: float) -> LocalizerConfig:
-    return LocalizerConfig(grid_resolution_m=grid_resolution_m, spectrum_floor=0.05)
+    """Localizer settings for experiments driving the bare estimator.
+
+    Matches the facade's documented defaults (notably the
+    :data:`~repro.constants.DEFAULT_SPECTRUM_FLOOR` floor) so estimator-
+    level and service-level experiments stay comparable.
+    """
+    return LocalizerConfig(grid_resolution_m=grid_resolution_m,
+                           spectrum_floor=DEFAULT_SPECTRUM_FLOOR)
+
+
+def _service(bounds: Tuple[float, float, float, float],
+             grid_resolution_m: float, **server_overrides) -> ArrayTrackService:
+    """The facade every end-to-end experiment localizes through.
+
+    Spectrum floor and all other knobs are the facade defaults; only the
+    grid resolution and explicit server overrides are dialled in.
+    """
+    overrides = {"server.localizer.grid_resolution_m": grid_resolution_m}
+    overrides.update({f"server.{key}": value
+                      for key, value in server_overrides.items()})
+    return ArrayTrackService(ArrayTrackConfig(bounds=bounds).updated(overrides))
 
 
 def _ap_subsets(ap_ids: Sequence[str], subset_size: int,
@@ -152,10 +172,9 @@ def run_localization_sweep(testbed: Optional[OfficeTestbed] = None,
     testbed = testbed if testbed is not None else build_office_testbed()
     scenario = scenario if scenario is not None else _default_scenario()
     deployment = SimulatedDeployment(testbed, scenario)
-    server = ArrayTrackServer(
-        testbed.bounds,
-        ServerConfig(localizer=_localizer_config(grid_resolution_m),
-                     enable_multipath_suppression=enable_multipath_suppression))
+    service = _service(
+        testbed.bounds, grid_resolution_m,
+        enable_multipath_suppression=enable_multipath_suppression)
     clients = testbed.client_ids()
     if num_clients is not None:
         clients = clients[:num_clients]
@@ -169,7 +188,7 @@ def run_localization_sweep(testbed: Optional[OfficeTestbed] = None,
                 subset_spectra = {ap: spectra[ap] for ap in subset if ap in spectra}
                 if not subset_spectra:
                     continue
-                estimate = server.localize_spectra(subset_spectra, client_id)
+                estimate = service.localize(subset_spectra, client_id)
                 errors[count].append(estimate.error_to(ground_truth) * 100.0)
     statistics = {count: summarize_errors(samples)
                   for count, samples in errors.items() if samples}
@@ -730,16 +749,14 @@ def fig21_latency(payload_bytes: int = 1500,
     """E-FIG21: the end-to-end latency breakdown for slow and fast frames."""
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(testbed, _default_scenario())
-    server = ArrayTrackServer(
-        testbed.bounds,
-        ServerConfig(localizer=_localizer_config(grid_resolution_m),
-                     measure_processing_time=True))
+    service = _service(testbed.bounds, grid_resolution_m,
+                       measure_processing_time=True)
     client_id = testbed.client_ids()[0]
     spectra = deployment.collect_client_spectra(client_id)
-    server.localize_spectra(spectra, client_id)
+    service.localize(spectra, client_id)
     results: Dict[str, Dict[str, float]] = {}
     for bitrate in bitrates_mbps:
-        breakdown = server.latency_breakdown(
+        breakdown = service.latency_breakdown(
             payload_bytes, bitrate,
             use_measured_processing=measure_python_processing)
         results[f"{bitrate:g} Mbit/s"] = breakdown.as_dict()
@@ -759,8 +776,7 @@ def baseline_comparison(num_clients: Optional[int] = 15,
     """
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(testbed, _default_scenario())
-    server = ArrayTrackServer(testbed.bounds,
-                              ServerConfig(localizer=_localizer_config(grid_resolution_m)))
+    service = _service(testbed.bounds, grid_resolution_m)
     ap_positions = {site.ap_id: site.position for site in testbed.ap_sites}
     transmit_power_dbm = 15.0
     rng = np.random.default_rng(seed)
@@ -790,7 +806,9 @@ def baseline_comparison(num_clients: Optional[int] = 15,
     fingerprint_localizer = FingerprintLocalizer(k=3)
     fingerprint_localizer.train(fingerprints)
     model_localizer = ModelBasedRssLocalizer(ap_positions, transmit_power_dbm)
-    centroid_localizer = WeightedCentroidLocalizer(ap_positions)
+    # The weighted-centroid baseline is looked up by name in the estimator
+    # registry, the same way benchmark sweeps select it.
+    centroid_localizer = create_baseline("rssi", ap_positions)
 
     clients = testbed.client_ids()
     if num_clients is not None:
@@ -803,7 +821,7 @@ def baseline_comparison(num_clients: Optional[int] = 15,
         ground_truth = testbed.client_position(client_id)
         deployment.clear()
         spectra = deployment.collect_client_spectra(client_id)
-        estimate = server.localize_spectra(spectra, client_id)
+        estimate = service.localize(spectra, client_id)
         errors["arraytrack"].append(estimate.error_to(ground_truth) * 100.0)
         rssi = observe_rssi(ground_truth)
         errors["rss fingerprinting"].append(

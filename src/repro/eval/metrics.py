@@ -8,7 +8,7 @@ module provides those summaries in a plotting-free, assertable form.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

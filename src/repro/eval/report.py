@@ -8,7 +8,7 @@ rendering separate from the experiments keeps the experiment functions pure
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 

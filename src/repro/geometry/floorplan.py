@@ -9,7 +9,7 @@ localization grid (bounding box, point-inside tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.materials import Material, get_material

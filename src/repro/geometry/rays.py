@@ -15,8 +15,8 @@ add small extra peaks that the multipath suppression step removes anyway).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.floorplan import Floorplan

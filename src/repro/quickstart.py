@@ -1,59 +1,78 @@
-"""One-call helpers for first-time users of the library.
+"""Deprecated one-call helpers, kept as thin shims over the facade.
 
-These wrap the full pipeline (testbed -> channels -> APs -> spectra ->
-server -> location estimate) into single functions so that the README's
-quick-start snippet and interactive exploration stay short.  Real
-applications should use the underlying classes directly; see
-``examples/`` for complete walk-throughs.
+These predate :class:`repro.api.ArrayTrackService`; they now build the
+same service the README documents and emit ``DeprecationWarning``\\ s while
+returning bit-for-bit the results they always did.  New code should use
+the facade directly::
+
+    from repro import ArrayTrackConfig, ArrayTrackService
+
+See ``docs/api.md`` and ``examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Tuple
 
-from repro.core import LocalizerConfig, LocationEstimate
+from repro.api import ArrayTrackConfig, ArrayTrackService
+from repro.core import LocationEstimate
 from repro.geometry import Point2D
-from repro.server import ArrayTrackServer, ServerConfig
 from repro.testbed import ScenarioConfig, SimulatedDeployment, build_office_testbed
 
 __all__ = ["localize_one_client", "localize_all_clients"]
+
+
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.quickstart.{name}() is deprecated; use "
+        f"repro.api.ArrayTrackService (see docs/api.md)",
+        DeprecationWarning, stacklevel=3)
+
+
+def _service(bounds: Tuple[float, float, float, float],
+             grid_resolution_m: float) -> ArrayTrackService:
+    """The facade configuration these helpers always used.
+
+    Only the grid resolution is dialled in; the spectrum floor is the
+    facade's documented default (``DEFAULT_SPECTRUM_FLOOR = 0.05``), which
+    is exactly the value these helpers historically hardcoded.
+    """
+    return ArrayTrackService(ArrayTrackConfig(bounds=bounds).updated(
+        {"server.localizer.grid_resolution_m": grid_resolution_m}))
 
 
 def localize_one_client(client_id: str = "client-17",
                         num_aps: int = 6,
                         grid_resolution_m: float = 0.25,
                         seed: int = 7) -> Tuple[LocationEstimate, Point2D]:
-    """Localize one client of the default office testbed.
+    """Deprecated: localize one client of the default office testbed.
 
     Returns the location estimate and the ground-truth position, so the
     caller can immediately compute the error.
     """
+    _warn_deprecated("localize_one_client")
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=seed))
-    server = ArrayTrackServer(
-        testbed.bounds,
-        ServerConfig(localizer=LocalizerConfig(grid_resolution_m=grid_resolution_m,
-                                               spectrum_floor=0.05)))
+    service = _service(testbed.bounds, grid_resolution_m)
     ap_ids = testbed.ap_ids()[:num_aps]
     spectra = deployment.collect_client_spectra(client_id, ap_ids)
-    estimate = server.localize_spectra(spectra, client_id)
+    estimate = service.localize(spectra, client_id)
     return estimate, testbed.client_position(client_id)
 
 
 def localize_all_clients(num_clients: int = 10,
                          grid_resolution_m: float = 0.25,
                          seed: int = 7) -> Dict[str, float]:
-    """Localize the first ``num_clients`` clients; return errors in centimetres."""
+    """Deprecated: localize the first ``num_clients`` clients (errors in cm)."""
+    _warn_deprecated("localize_all_clients")
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=seed))
-    server = ArrayTrackServer(
-        testbed.bounds,
-        ServerConfig(localizer=LocalizerConfig(grid_resolution_m=grid_resolution_m,
-                                               spectrum_floor=0.05)))
+    service = _service(testbed.bounds, grid_resolution_m)
     errors: Dict[str, float] = {}
     for client_id in testbed.client_ids()[:num_clients]:
         deployment.clear()
         spectra = deployment.collect_client_spectra(client_id)
-        estimate = server.localize_spectra(spectra, client_id)
+        estimate = service.localize(spectra, client_id)
         errors[client_id] = estimate.error_to(testbed.client_position(client_id)) * 100.0
     return errors

@@ -19,11 +19,17 @@ grid for the whole batch in stacked NumPy passes while reusing the cached
 per-AP bearing tables.  Batched fixes are bit-for-bit identical to looping
 :meth:`ArrayTrackServer.localize_spectra` over the same clients -- the single
 client path *is* the batch path with a batch of one.
+
+Since the facade redesign, applications should reach this backend through
+:class:`repro.api.ArrayTrackService`; the server's own
+:meth:`~ArrayTrackServer.localize_spectra` is a deprecated shim over the
+identical internal path.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -89,6 +95,20 @@ class ArrayTrackServer:
     # ------------------------------------------------------------------
     def localize_spectra(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]],
                          client_id: str = "") -> LocationEstimate:
+        """Deprecated: use :meth:`repro.api.ArrayTrackService.localize`.
+
+        This entry point predates the service facade and remains as a thin
+        shim over the same internal path the facade uses, so its results
+        are bit-for-bit identical to ``ArrayTrackService.localize``.
+        """
+        warnings.warn(
+            "ArrayTrackServer.localize_spectra() is deprecated; use "
+            "repro.api.ArrayTrackService.localize() (see docs/api.md)",
+            DeprecationWarning, stacklevel=2)
+        return self._localize_spectra(spectra_by_ap, client_id)
+
+    def _localize_spectra(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]],
+                          client_id: str = "") -> LocationEstimate:
         """Localize a client from per-AP lists of AoA spectra.
 
         Each AP contributes one processed spectrum: when multipath
@@ -175,7 +195,7 @@ class ArrayTrackServer:
             spectra = ap.spectra_for_client(client_id)
             if spectra:
                 spectra_by_ap[ap.ap_id] = spectra
-        return self.localize_spectra(spectra_by_ap, client_id=client_id)
+        return self._localize_spectra(spectra_by_ap, client_id=client_id)
 
     def localize_clients(self, aps: Sequence[ArrayTrackAP],
                          client_ids: Sequence[str]) -> Dict[str, LocationEstimate]:

@@ -10,8 +10,8 @@ what a consumer of a 10 Hz location feed would typically apply.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.core.localizer import LocationEstimate

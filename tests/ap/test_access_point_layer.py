@@ -12,9 +12,9 @@ from repro.ap import (
     merge_channels,
     preamble_collision_probability,
 )
-from repro.array import ArrayReceiver, SnapshotMatrix
-from repro.channel import ChannelBuilder, ChannelModelConfig, MultipathChannel
-from repro.core import SpectrumConfig, find_peaks
+from repro.array import SnapshotMatrix
+from repro.channel import ChannelBuilder, ChannelModelConfig
+from repro.core import find_peaks
 from repro.errors import ConfigurationError
 from repro.geometry import Point2D, bearing_deg, rectangular_room
 from repro.geometry.vector import angle_difference_deg

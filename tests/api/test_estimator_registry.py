@@ -1,0 +1,132 @@
+"""Tests for the string-keyed estimator/baseline registry."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    AOA,
+    RSS,
+    ArrayTrackConfig,
+    ArrayTrackService,
+    EstimatorSpec,
+    available_estimators,
+    create_baseline,
+    get_estimator,
+    register_estimator,
+)
+from repro.baselines import WeightedCentroidLocalizer
+from repro.core import SpectrumComputer, SpectrumConfig
+from repro.errors import ConfigurationError
+from repro.geometry import Point2D
+
+BOUNDS = (0.0, 0.0, 20.0, 10.0)
+
+
+class TestBuiltins:
+    def test_builtin_names_registered(self):
+        names = available_estimators()
+        for name in ("music", "bartlett", "capon", "rssi"):
+            assert name in names
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="music"):
+            get_estimator("esprit")
+
+    @pytest.mark.parametrize("method", ["music", "bartlett", "capon"])
+    def test_aoa_specialization_matches_hardcoded_config(self, method):
+        # The exact SpectrumConfig the ablation benchmarks always built by
+        # hand: named lookup must reproduce it field for field.
+        spec = get_estimator(method)
+        assert spec.kind == AOA
+        assert spec.specialize(SpectrumConfig()) == SpectrumConfig(method=method)
+
+    def test_specialize_preserves_other_fields(self):
+        base = SpectrumConfig(smoothing_groups=3, apply_weighting=False)
+        specialized = get_estimator("bartlett").specialize(base)
+        assert specialized == replace(base, method="bartlett")
+
+    def test_rssi_is_a_baseline(self):
+        spec = get_estimator("rssi")
+        assert spec.kind == RSS
+        baseline = create_baseline("rssi", {"ap0": Point2D(0.0, 0.0)})
+        assert isinstance(baseline, WeightedCentroidLocalizer)
+
+    def test_rssi_cannot_drive_the_aoa_pipeline(self):
+        with pytest.raises(ConfigurationError, match="baseline"):
+            get_estimator("rssi").specialize(SpectrumConfig())
+        with pytest.raises(ConfigurationError, match="baseline"):
+            ArrayTrackService(ArrayTrackConfig(bounds=BOUNDS, estimator="rssi"))
+
+    def test_aoa_estimator_cannot_be_built_as_baseline(self):
+        with pytest.raises(ConfigurationError, match="spectra-driven"):
+            create_baseline("music", {"ap0": Point2D(0.0, 0.0)})
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_estimator(EstimatorSpec(name="music", kind=AOA,
+                                             spectrum_method="music"))
+
+    def test_register_and_use_custom_estimator(self):
+        register_estimator(
+            EstimatorSpec(
+                name="music-fb-test", kind=AOA,
+                description="MUSIC with forward-backward smoothing",
+                configure=lambda spectrum: replace(
+                    spectrum, method="music", forward_backward=True)),
+            replace_existing=True)
+        service = ArrayTrackService(ArrayTrackConfig(
+            bounds=BOUNDS, estimator="music-fb-test"))
+        assert service.spectrum_config.forward_backward is True
+        assert service.spectrum_config.method == "music"
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorSpec(name="", kind=AOA, spectrum_method="music")
+        with pytest.raises(ConfigurationError):
+            EstimatorSpec(name="x", kind="other", spectrum_method="music")
+        with pytest.raises(ConfigurationError):
+            EstimatorSpec(name="x", kind=AOA)
+        with pytest.raises(ConfigurationError):
+            EstimatorSpec(name="x", kind=RSS)
+
+
+class TestServiceIntegration:
+    def test_service_applies_estimator_to_spectrum_config(self):
+        service = ArrayTrackService(ArrayTrackConfig(bounds=BOUNDS,
+                                                     estimator="bartlett"))
+        assert service.spectrum_config == SpectrumConfig(method="bartlett")
+        assert service.estimator_spec.name == "bartlett"
+
+    def test_built_aps_inherit_the_estimator(self):
+        service = ArrayTrackService(ArrayTrackConfig(bounds=BOUNDS,
+                                                     estimator="capon"))
+        ap = service.build_ap("ap0", Point2D(1.0, 1.0))
+        assert ap.config.spectrum.method == "capon"
+
+    def test_built_ap_configs_are_isolated(self):
+        service = ArrayTrackService(ArrayTrackConfig(bounds=BOUNDS))
+        first = service.build_ap("ap0", Point2D(1.0, 1.0))
+        second = service.build_ap("ap1", Point2D(2.0, 2.0))
+        first.config.spectrum.method = "bartlett"
+        assert second.config.spectrum.method == "music"
+        assert service.spectrum_config.method == "music"
+
+    def test_unknown_estimator_rejected_at_service_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown estimator"):
+            ArrayTrackService(ArrayTrackConfig(bounds=BOUNDS,
+                                               estimator="esprit"))
+
+    def test_registry_spectrum_equals_direct_pipeline(self, capture_snapshots,
+                                                      deployed_ula8):
+        """Named selection computes the same spectrum as the hardcoded config."""
+        service = ArrayTrackService(ArrayTrackConfig(bounds=BOUNDS,
+                                                     estimator="bartlett"))
+        via_registry = SpectrumComputer(service.spectrum_config).compute(
+            capture_snapshots, deployed_ula8)
+        direct = SpectrumComputer(SpectrumConfig(method="bartlett")).compute(
+            capture_snapshots, deployed_ula8)
+        assert np.array_equal(via_registry.power, direct.power)

@@ -1,0 +1,370 @@
+"""Tests for the ArrayTrackService facade: batch API, streaming sessions, shims."""
+
+import numpy as np
+import pytest
+
+from repro.ap import APConfig, ArrayTrackAP
+from repro.api import ArrayTrackConfig, ArrayTrackService
+from repro.channel import MultipathChannel
+from repro.core import AoASpectrum, LocalizerConfig, default_angle_grid
+from repro.errors import ConfigurationError, EstimationError
+from repro.geometry import Point2D, bearing_deg
+from repro.server import ArrayTrackServer, ServerConfig
+
+BOUNDS = (0.0, 0.0, 20.0, 10.0)
+TARGET = Point2D(12.0, 6.0)
+AP_POSITIONS = [Point2D(1.0, 1.0), Point2D(19.0, 1.0), Point2D(10.0, 9.5)]
+
+
+def _spectrum_towards(ap_position, target, width=3.0, timestamp_s=0.0,
+                      extra_peak=None, client_id=""):
+    angles = default_angle_grid(1.0)
+    bearing = bearing_deg(ap_position, target)
+    distance = np.minimum(np.abs(angles - bearing), 360 - np.abs(angles - bearing))
+    power = np.exp(-0.5 * (distance / width) ** 2) + 1e-4
+    if extra_peak is not None:
+        extra_distance = np.minimum(np.abs(angles - extra_peak),
+                                    360 - np.abs(angles - extra_peak))
+        power += 0.9 * np.exp(-0.5 * (extra_distance / width) ** 2)
+    return AoASpectrum(angles, power, ap_position=ap_position,
+                       ap_id=f"ap@{ap_position.x:.0f},{ap_position.y:.0f}",
+                       client_id=client_id, timestamp_s=timestamp_s)
+
+
+def _service(**overrides):
+    config = ArrayTrackConfig(bounds=BOUNDS).updated(
+        {"server.localizer.grid_resolution_m": 0.2, **overrides})
+    return ArrayTrackService(config)
+
+
+def _spectra_for(target, timestamp_s=0.0):
+    return {f"ap{i}": [_spectrum_towards(p, target, timestamp_s=timestamp_s)]
+            for i, p in enumerate(AP_POSITIONS)}
+
+
+class TestBatchFacade:
+    def test_localize_finds_target(self):
+        service = _service()
+        estimate = service.localize(_spectra_for(TARGET), "c")
+        assert estimate.position.distance_to(TARGET) < 0.3
+        assert estimate.client_id == "c"
+
+    def test_localize_many_matches_single(self):
+        service = _service()
+        rng = np.random.default_rng(3)
+        clients = {f"c{i}": _spectra_for(Point2D(rng.uniform(2, 18),
+                                                 rng.uniform(2, 8)))
+                   for i in range(4)}
+        batched = service.localize_many(clients)
+        for client_id, spectra in clients.items():
+            single = service.localize(spectra, client_id)
+            assert batched[client_id].position == single.position
+            assert batched[client_id].likelihood == single.likelihood
+
+    def test_service_requires_bounds(self):
+        with pytest.raises(ConfigurationError, match="bounds"):
+            ArrayTrackService(ArrayTrackConfig())
+
+    def test_bounds_argument_overrides_config(self):
+        service = ArrayTrackService(ArrayTrackConfig(), bounds=BOUNDS)
+        assert service.bounds == BOUNDS
+
+    def test_from_json_constructor(self):
+        config = ArrayTrackConfig(bounds=BOUNDS)
+        service = ArrayTrackService.from_json(config.to_json())
+        assert service.config == config
+
+    def test_localize_buffered_uses_built_fleet(self):
+        service = _service()
+        rng = np.random.default_rng(5)
+        for index, position in enumerate(AP_POSITIONS):
+            ap = service.build_ap(f"ap{index}", position,
+                                  rng=np.random.default_rng(index))
+            channel = MultipathChannel.from_bearings(
+                [float(rng.uniform(30, 150))], [1.0], direct_index=0,
+                client_id="buffered", ap_id=ap.ap_id)
+            ap.overhear(channel, timestamp_s=0.0)
+        fixes = service.localize_buffered(["buffered"])
+        assert set(fixes) == {"buffered"}
+        assert fixes["buffered"].num_aps == 3
+
+
+class TestDeprecatedShims:
+    def test_server_localize_spectra_warns_and_matches_facade(self):
+        spectra = _spectra_for(TARGET)
+        service = _service()
+        facade = service.localize(spectra, "c")
+        server = ArrayTrackServer(
+            BOUNDS, ServerConfig(localizer=LocalizerConfig(
+                grid_resolution_m=0.2, spectrum_floor=0.05)))
+        with pytest.deprecated_call():
+            legacy = server.localize_spectra(spectra, "c")
+        assert legacy.position == facade.position
+        assert legacy.likelihood == facade.likelihood
+        assert legacy.num_aps == facade.num_aps
+
+    def test_quickstart_shim_warns_and_matches_facade(self):
+        from repro import quickstart
+        from repro.testbed import (ScenarioConfig, SimulatedDeployment,
+                                   build_office_testbed)
+
+        with pytest.deprecated_call():
+            estimate, truth = quickstart.localize_one_client(
+                num_aps=3, grid_resolution_m=0.5)
+
+        testbed = build_office_testbed()
+        deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=7))
+        service = ArrayTrackService(
+            ArrayTrackConfig(bounds=testbed.bounds).updated(
+                {"server.localizer.grid_resolution_m": 0.5}))
+        spectra = deployment.collect_client_spectra(
+            "client-17", testbed.ap_ids()[:3])
+        expected = service.localize(spectra, "client-17")
+        assert estimate.position == expected.position
+        assert estimate.likelihood == expected.likelihood
+        assert truth == testbed.client_position("client-17")
+
+
+class TestStreamingSessions:
+    def test_tick_matches_batch_bit_for_bit(self):
+        streaming = _service(**{"session.emit_every_frames": 3})
+        batch = _service()
+        rng = np.random.default_rng(7)
+        clients = {}
+        for index in range(3):
+            target = Point2D(rng.uniform(2, 18), rng.uniform(2, 8))
+            clients[f"c{index}"] = _spectra_for(target)
+        for client_id, spectra_by_ap in clients.items():
+            for ap_id, spectra in spectra_by_ap.items():
+                for spectrum in spectra:
+                    streaming.ingest(ap_id, spectrum, client_id=client_id,
+                                     timestamp_s=0.0)
+        fixes = streaming.tick()
+        expected = batch.localize_many(clients)
+        assert set(fixes) == set(clients)
+        for client_id in clients:
+            assert fixes[client_id].position == expected[client_id].position
+            assert fixes[client_id].likelihood == expected[client_id].likelihood
+
+    def test_streaming_runs_multipath_suppression_like_batch(self):
+        """Multi-frame-per-AP sessions suppress exactly like the batch path."""
+        spectra = {
+            "ap0": [
+                _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.0,
+                                  extra_peak=200.0),
+                _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.03),
+            ],
+            "ap1": [_spectrum_towards(AP_POSITIONS[1], TARGET, timestamp_s=0.0)],
+            "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET, timestamp_s=0.0)],
+        }
+        streaming = _service(**{"session.emit_every_frames": 4})
+        for ap_id, ap_spectra in spectra.items():
+            for spectrum in ap_spectra:
+                streaming.ingest(ap_id, spectrum, client_id="c0",
+                                 timestamp_s=spectrum.timestamp_s)
+        fixes = streaming.tick()
+        expected = _service().localize(spectra, "c0")
+        assert fixes["c0"].position == expected.position
+        assert fixes["c0"].position.distance_to(TARGET) < 0.3
+
+    def test_frame_count_trigger(self):
+        service = _service(**{"session.emit_every_frames": 3})
+        for index in range(2):
+            service.ingest(f"ap{index}",
+                           _spectrum_towards(AP_POSITIONS[index], TARGET),
+                           client_id="c", timestamp_s=0.0)
+        assert service.tick() == {}
+        assert not service.session("c").ready()
+        service.ingest("ap2", _spectrum_towards(AP_POSITIONS[2], TARGET),
+                       client_id="c", timestamp_s=0.0)
+        assert service.session("c").ready()
+        fixes = service.tick()
+        assert set(fixes) == {"c"}
+        assert service.session("c").pending_frames == 0
+
+    def test_max_age_trigger_with_explicit_now(self):
+        service = _service(**{"session.emit_every_frames": 0,
+                              "session.max_age_s": 1.0})
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="c", timestamp_s=0.0)
+        assert service.tick(now_s=0.5) == {}
+        fixes = service.tick(now_s=1.2)
+        assert set(fixes) == {"c"}
+
+    def test_max_age_trigger_uses_last_ingest_when_now_omitted(self):
+        service = _service(**{"session.emit_every_frames": 0,
+                              "session.max_age_s": 1.0})
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="c", timestamp_s=0.0)
+        assert service.tick() == {}
+        service.ingest("ap1", _spectrum_towards(AP_POSITIONS[1], TARGET),
+                       client_id="c", timestamp_s=1.5)
+        fixes = service.tick()
+        assert set(fixes) == {"c"}
+
+    def test_flush_drains_without_triggers(self):
+        service = _service(**{"session.emit_every_frames": 100})
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="c", timestamp_s=0.0)
+        assert service.tick() == {}
+        fixes = service.flush()
+        assert set(fixes) == {"c"}
+        assert service.flush() == {}
+
+    def test_pending_cap_drops_oldest_frame(self):
+        service = _service(**{"session.emit_every_frames": 0,
+                              "session.max_pending_frames": 2})
+        session = None
+        for index in range(3):
+            session = service.ingest(
+                "ap0",
+                _spectrum_towards(AP_POSITIONS[0], TARGET,
+                                  timestamp_s=float(index)),
+                client_id="c", timestamp_s=float(index))
+        assert session.pending_frames == 2
+        assert session.oldest_pending_s == 1.0
+
+    def test_pending_cap_uses_ingest_timestamps_not_spectrum_ones(self):
+        """Cap eviction must track the ingest-resolved times, so the max-age
+        trigger stays sane when spectra carry the default timestamp 0.0."""
+        service = _service(**{"session.emit_every_frames": 0,
+                              "session.max_age_s": 10.0,
+                              "session.max_pending_frames": 2})
+        session = None
+        for step in range(3):
+            # Spectra keep their default timestamp_s=0.0; real times are
+            # supplied via ingest(..., timestamp_s=...).
+            session = service.ingest(
+                "ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                client_id="c", timestamp_s=100.0 + step)
+        assert session.pending_frames == 2
+        assert session.oldest_pending_s == 101.0
+        # Frames are ~1 s old, far below max_age_s: no fix yet.
+        assert not session.ready(102.0)
+        assert session.ready(111.5)
+
+    def test_pending_cap_drops_globally_oldest_under_reordering(self):
+        """Out-of-order arrival within one AP must not shield old frames."""
+        service = _service(**{"session.emit_every_frames": 0,
+                              "session.max_pending_frames": 2})
+        for timestamp, ap_index in ((5.0, 0), (1.0, 0), (3.0, 1)):
+            session = service.ingest(
+                f"ap{ap_index}",
+                _spectrum_towards(AP_POSITIONS[ap_index], TARGET,
+                                  timestamp_s=timestamp),
+                client_id="c", timestamp_s=timestamp)
+        assert session.pending_frames == 2
+        # The ts=1.0 frame (globally oldest, but not its AP list's head)
+        # was evicted; 3.0 and 5.0 remain.
+        assert session.oldest_pending_s == 3.0
+        assert sorted(session.pending_aps) == ["ap0", "ap1"]
+
+    def test_fixes_recorded_in_session_and_tracker(self):
+        service = _service(**{"session.emit_every_frames": 1})
+        for step in range(3):
+            service.ingest("ap0",
+                           _spectrum_towards(AP_POSITIONS[0], TARGET,
+                                             timestamp_s=float(step)),
+                           client_id="c", timestamp_s=float(step))
+            service.tick()
+        session = service.session("c")
+        assert len(session.fixes) == 3
+        assert session.last_fix is session.fixes[-1]
+        assert len(service.tracker.track("c")) == 3
+        assert service.tracker.latest("c").timestamp_s == 2.0
+
+    def test_client_id_from_spectrum(self):
+        service = _service()
+        spectrum = _spectrum_towards(AP_POSITIONS[0], TARGET, client_id="tagged")
+        session = service.ingest(None, spectrum)
+        assert session.client_id == "tagged"
+        assert session.pending_aps == [spectrum.ap_id]
+
+
+class TestIngestValidation:
+    def test_missing_client_id_rejected(self):
+        service = _service()
+        with pytest.raises(ConfigurationError, match="client id"):
+            service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET))
+
+    def test_missing_ap_id_rejected(self):
+        service = _service()
+        angles = default_angle_grid(1.0)
+        anonymous = AoASpectrum(angles, np.ones_like(angles),
+                                ap_position=AP_POSITIONS[0])
+        with pytest.raises(ConfigurationError, match="AP id"):
+            service.ingest(None, anonymous, client_id="c")
+
+    def test_unsupported_payload_rejected(self):
+        service = _service()
+        with pytest.raises(ConfigurationError, match="cannot ingest"):
+            service.ingest("ap0", object(), client_id="c")
+
+    def test_empty_client_id_session_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _service().session("")
+
+    def test_buffer_entry_needs_known_ap(self):
+        service = _service()
+        ap = ArrayTrackAP("probe", Point2D(0.0, 0.0),
+                          config=APConfig(num_antennas=4,
+                                          use_symmetry_antenna=False,
+                                          apply_phase_offsets=False),
+                          rng=np.random.default_rng(1))
+        channel = MultipathChannel.from_bearings(
+            [60.0], [1.0], direct_index=0, client_id="c9", ap_id="probe")
+        entry = ap.overhear(channel, timestamp_s=0.5)
+        with pytest.raises(ConfigurationError, match="BufferEntry"):
+            service.ingest("probe", entry)
+        service.adopt_aps([ap])
+        session = service.ingest("probe", entry)
+        assert session.client_id == "c9"
+        assert session.pending_frames == 1
+        assert session.last_ingest_s == 0.5
+
+    def test_empty_tick_batch_never_reaches_engine(self):
+        service = _service()
+        assert service.tick() == {}
+        assert service.flush() == {}
+        with pytest.raises(EstimationError):
+            service.localize_many({})
+
+    def test_failed_tick_preserves_all_pending_frames(self):
+        """One poisoned client must not destroy any session's frames."""
+        service = _service(**{"session.emit_every_frames": 1})
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="good", timestamp_s=0.0)
+        angles = default_angle_grid(1.0)
+        poisoned = AoASpectrum(angles, np.ones_like(angles), ap_id="ap9")
+        service.ingest("ap9", poisoned, client_id="bad", timestamp_s=0.0)
+        with pytest.raises(EstimationError, match="AP position"):
+            service.tick()
+        # Nothing was drained and no fix recorded.
+        assert service.session("good").pending_frames == 1
+        assert service.session("bad").pending_frames == 1
+        assert service.session("good").fixes == []
+        # Discarding the poisoned session lets the good one proceed.
+        service.session("bad").drain()
+        fixes = service.tick()
+        assert set(fixes) == {"good"}
+
+
+class TestCuratedExports:
+    def test_one_line_import(self):
+        from repro import ArrayTrackConfig as Config
+        from repro import ArrayTrackService as Service
+
+        assert Service is ArrayTrackService
+        assert Config is ArrayTrackConfig
+
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+        assert "ArrayTrackService" in dir(repro)

@@ -15,7 +15,6 @@ from repro.array import (
 )
 from repro.channel import MultipathChannel
 from repro.errors import ArrayError, ChannelError
-from repro.geometry import Point2D
 
 
 class TestPhaseCalibrator:

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.array import ArrayGeometry, DeployedArray
 from repro.constants import ANTENNA_SPACING_M, WAVELENGTH_M

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.channel import (
     ChannelBuilder,
-    ChannelComponent,
     ChannelModelConfig,
     MultipathChannel,
     movement_track,
@@ -14,7 +13,7 @@ from repro.channel import (
     random_waypoint_track,
 )
 from repro.errors import ChannelError
-from repro.geometry import Point2D, bearing_deg, rectangular_room
+from repro.geometry import Point2D, bearing_deg
 from repro.geometry.vector import angle_difference_deg
 
 

@@ -2,10 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray
-from repro.channel import ChannelBuilder, ChannelModelConfig, MultipathChannel
+from repro.channel import ChannelBuilder, ChannelModelConfig
 from repro.core import (
     AoASpectrum,
     LikelihoodMap,

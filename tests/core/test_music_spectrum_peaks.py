@@ -8,8 +8,6 @@ from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray
 from repro.channel import MultipathChannel
 from repro.core import (
     AoASpectrum,
-    SpectrumComputer,
-    SpectrumConfig,
     bartlett_spectrum,
     capon_spectrum,
     default_angle_grid,

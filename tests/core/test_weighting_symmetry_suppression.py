@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray, DiversitySynthesizer
+from repro.array import ArrayGeometry, DeployedArray, DiversitySynthesizer
 from repro.channel import MultipathChannel
 from repro.core import (
     AoASpectrum,
@@ -12,7 +12,6 @@ from repro.core import (
     SymmetryResolver,
     apply_geometry_weighting,
     default_angle_grid,
-    find_peaks,
     geometry_window,
     group_spectra_by_time,
     suppress_multipath,

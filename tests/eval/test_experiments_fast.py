@@ -4,9 +4,7 @@ The benchmark harness runs the paper-sized versions; these tests exercise the
 same code paths with small parameters so the full suite stays quick.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.eval import (
@@ -25,7 +23,6 @@ from repro.eval import (
     sec435_collisions,
     table1_peak_stability,
 )
-from repro.testbed import ScenarioConfig
 
 
 class TestSpectrumExperiments:

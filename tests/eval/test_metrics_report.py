@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 
 from repro.errors import EstimationError
 from repro.eval import (
-    ErrorStatistics,
     empirical_cdf,
     format_cdf_series,
     format_error_statistics,

@@ -1,6 +1,5 @@
 """Unit and property tests for 2-D vector/angle utilities."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -1,7 +1,6 @@
 """End-to-end integration tests spanning every layer of the system."""
 
 import numpy as np
-import pytest
 
 from repro import quickstart
 from repro.core import LocalizerConfig

@@ -1,10 +1,8 @@
 """Tests for the office testbed description and the simulated deployment."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.geometry import Point2D
 from repro.testbed import (
     NUM_CLIENTS,
     OFFICE_DEPTH_M,
