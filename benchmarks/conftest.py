@@ -8,6 +8,14 @@ each regeneration; run with ``-s`` to see the printed reports.
 
 from __future__ import annotations
 
+import pytest
+
+
+@pytest.fixture
+def bench_smoke(request) -> bool:
+    """True when running under ``--bench-smoke`` (untimed 1-rep CI canary)."""
+    return bool(request.config.getoption("--bench-smoke", default=False))
+
 
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark timing.

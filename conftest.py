@@ -1,0 +1,20 @@
+"""Repo-level pytest options.
+
+Defined at the rootdir so the flag is recognized both by the full tier-1
+run (``python -m pytest``) and by targeted benchmark invocations
+(``pytest benchmarks/test_bench_tracking.py``).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-smoke", action="store_true", default=False,
+        help="run benchmarks as an untimed single-repetition smoke job "
+             "with reduced problem sizes (CI pipeline canary)")
+
+
+def pytest_configure(config):
+    if config.getoption("--bench-smoke"):
+        # One untimed repetition: pytest-benchmark's disabled mode calls the
+        # benchmarked function exactly once without calibration loops.
+        config.option.benchmark_disable = True

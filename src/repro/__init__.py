@@ -52,6 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover - import-time types for tooling only
         EstimatorSpec,
         Session,
         SessionConfig,
+        SuppressorConfig,
+        TrackerConfig,
         available_estimators,
         create_baseline,
         get_estimator,
@@ -69,6 +71,8 @@ _LAZY_EXPORTS = {
     "EstimatorSpec": "repro.api",
     "Session": "repro.api",
     "SessionConfig": "repro.api",
+    "SuppressorConfig": "repro.api",
+    "TrackerConfig": "repro.api",
     "available_estimators": "repro.api",
     "create_baseline": "repro.api",
     "get_estimator": "repro.api",
@@ -82,6 +86,8 @@ __all__ = [
     "EstimatorSpec",
     "Session",
     "SessionConfig",
+    "SuppressorConfig",
+    "TrackerConfig",
     "available_estimators",
     "create_baseline",
     "get_estimator",

@@ -15,6 +15,8 @@ See ``docs/api.md`` for the full guide.
 """
 
 from repro.api.config import ArrayTrackConfig, SessionConfig, default_server_config
+from repro.core.suppression import SuppressorConfig
+from repro.server.tracker import TrackerConfig
 from repro.api.registry import (
     AOA,
     RSS,
@@ -34,6 +36,8 @@ __all__ = [
     "EstimatorSpec",
     "Session",
     "SessionConfig",
+    "SuppressorConfig",
+    "TrackerConfig",
     "available_estimators",
     "create_baseline",
     "default_server_config",

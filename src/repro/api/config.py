@@ -39,6 +39,7 @@ from repro.core.pipeline import SpectrumConfig
 from repro.core.suppression import SuppressorConfig
 from repro.errors import ArrayTrackError, ConfigurationError
 from repro.server.backend import ServerConfig
+from repro.server.tracker import TrackerConfig
 
 __all__ = ["SessionConfig", "ArrayTrackConfig", "default_server_config"]
 
@@ -72,20 +73,22 @@ class SessionConfig:
         Hard cap on pending frames per client; the oldest pending frame is
         dropped once the cap is exceeded (a lost fix beats unbounded
         memory, exactly like the APs' circular buffers).
-    track_smoothing:
-        Exponential moving-average weight of the newest fix in the
-        service's :class:`~repro.server.tracker.ClientTracker`, in
-        ``(0, 1]`` (1 disables smoothing).
-    track_history:
-        Maximum fixes retained per client by the tracker (None keeps
-        everything).
+    suppress_multipath:
+        Run the Section 2.4 multipath suppression as a streaming stage when
+        a session drains: the pending frames of each AP are grouped by
+        capture time (on the ingest-resolved timestamps) and each group's
+        suppressed primary -- instead of the raw spectra -- feeds the
+        synthesis.  Off by default: the disabled path is bit-for-bit
+        identical to draining the raw spectra through
+        :meth:`~repro.api.ArrayTrackService.localize_many`.  The stage is
+        parameterized by the service tree's top-level ``suppressor``
+        section; the tracker knobs live in the ``tracker`` section.
     """
 
     emit_every_frames: int = 3
     max_age_s: Optional[float] = None
     max_pending_frames: int = 64
-    track_smoothing: float = 0.6
-    track_history: Optional[int] = None
+    suppress_multipath: bool = False
 
     def __post_init__(self) -> None:
         if self.emit_every_frames < 0:
@@ -94,10 +97,10 @@ class SessionConfig:
             raise ConfigurationError("max_age_s must be non-negative or None")
         if self.max_pending_frames < 1:
             raise ConfigurationError("max_pending_frames must be >= 1")
-        if not 0.0 < self.track_smoothing <= 1.0:
-            raise ConfigurationError("track_smoothing must be in (0, 1]")
-        if self.track_history is not None and self.track_history < 1:
-            raise ConfigurationError("track_history must be >= 1 or None")
+        if not isinstance(self.suppress_multipath, bool):
+            raise ConfigurationError(
+                f"suppress_multipath must be a boolean, "
+                f"got {self.suppress_multipath!r}")
 
 
 # ----------------------------------------------------------------------
@@ -220,10 +223,22 @@ class ArrayTrackConfig:
     server:
         Central-server configuration
         (:class:`~repro.server.backend.ServerConfig`), including the
-        localizer and multipath-suppressor sections.  The facade default
-        applies :data:`~repro.constants.DEFAULT_SPECTRUM_FLOOR`.
+        localizer and the *batch-path* multipath-suppressor sections.  The
+        facade default applies
+        :data:`~repro.constants.DEFAULT_SPECTRUM_FLOOR`.
     session:
-        Streaming-session configuration (:class:`SessionConfig`).
+        Streaming-session configuration (:class:`SessionConfig`),
+        including the ``suppress_multipath`` stage toggle.
+    suppressor:
+        Parameters of the *streaming* multipath-suppression stage
+        (:class:`~repro.core.suppression.SuppressorConfig`): peak-match
+        tolerance, grouping window/span and group size.  Only consulted
+        when ``session.suppress_multipath`` is enabled; the batch path
+        keeps its own ``server.suppressor`` section.
+    tracker:
+        Per-client fix tracker configuration
+        (:class:`~repro.server.tracker.TrackerConfig`): EMA smoothing,
+        history cap and the out-of-order fix policy.
     """
 
     bounds: Optional[Tuple[float, float, float, float]] = None
@@ -231,6 +246,8 @@ class ArrayTrackConfig:
     ap: APConfig = field(default_factory=APConfig)
     server: ServerConfig = field(default_factory=default_server_config)
     session: SessionConfig = field(default_factory=SessionConfig)
+    suppressor: SuppressorConfig = field(default_factory=SuppressorConfig)
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
 
     def __post_init__(self) -> None:
         if self.bounds is not None:
@@ -262,6 +279,8 @@ class ArrayTrackConfig:
             "ap": _section_to_dict(self.ap),
             "server": _section_to_dict(self.server),
             "session": _section_to_dict(self.session),
+            "suppressor": _section_to_dict(self.suppressor),
+            "tracker": _section_to_dict(self.tracker),
         }
 
     @classmethod
@@ -275,7 +294,8 @@ class ArrayTrackConfig:
         if not isinstance(data, Mapping):
             raise ConfigurationError(
                 f"config must be a mapping, got {type(data).__name__}")
-        valid = {"bounds", "estimator", "ap", "server", "session"}
+        valid = {"bounds", "estimator", "ap", "server", "session",
+                 "suppressor", "tracker"}
         unknown = sorted(set(data) - valid)
         if unknown:
             raise ConfigurationError(
@@ -283,7 +303,8 @@ class ArrayTrackConfig:
                 f"valid keys: {sorted(valid)}")
         kwargs: Dict[str, Any] = {}
         sections = {"ap": APConfig, "server": ServerConfig,
-                    "session": SessionConfig}
+                    "session": SessionConfig,
+                    "suppressor": SuppressorConfig, "tracker": TrackerConfig}
         for key, value in data.items():
             if key in sections and not isinstance(value, sections[key]):
                 kwargs[key] = _section_from_dict(sections[key], value,
@@ -357,7 +378,8 @@ class ArrayTrackConfig:
         omitted.
 
         Only variables whose first segment names a config section
-        (``bounds``, ``estimator``, ``ap``, ``server``, ``session``) are
+        (``bounds``, ``estimator``, ``ap``, ``server``, ``session``,
+        ``suppressor``, ``tracker``) are
         consumed; other ``ARRAYTRACK_*`` variables (``ARRAYTRACK_HOME``,
         ``ARRAYTRACK_LOG_LEVEL``, ...) are ignored so unrelated deployment
         environment does not crash service startup.  *Within* a recognized

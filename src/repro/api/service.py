@@ -14,7 +14,12 @@ is that service as a single public object, built from one
   :meth:`ArrayTrackService.tick` drains every *ready* session (every-N-
   frames and/or max-age triggers) through one batched synthesis pass, so
   the streaming path inherits batched throughput and is bit-for-bit
-  identical to localizing the same frames in one batch call;
+  identical to localizing the same frames in one batch call.  With
+  ``session.suppress_multipath`` enabled, a drain first groups each AP's
+  pending frames by capture time and runs the Section 2.4 multipath
+  suppression per group, feeding the suppressed primaries to the same
+  synthesis; every fix lands in the built-in per-client tracker
+  (:meth:`ArrayTrackService.track` / :meth:`ArrayTrackService.latest_fix`);
 * **AP fleet wiring** -- :meth:`ArrayTrackService.build_ap` constructs
   :class:`~repro.ap.access_point.ArrayTrackAP`\\ s from the config tree's
   ``ap`` section (with the registry-resolved estimator applied), so the
@@ -70,7 +75,11 @@ class Session:
         self._oldest_pending_s: Optional[float] = None
         #: Timestamp of the most recently ingested frame (simulation time).
         self.last_ingest_s: Optional[float] = None
-        #: Every fix emitted for this client, as tracker points.
+        #: Every fix emitted for this client, as tracker points in
+        #: *emission order* -- frozen snapshots of each fix as it was
+        #: recorded.  The authoritative, timestamp-sorted and currently-
+        #: smoothed history is :meth:`ArrayTrackService.track`; the two
+        #: can differ once out-of-order fixes were inserted.
         self.fixes: List[TrackPoint] = []
 
     # ------------------------------------------------------------------
@@ -163,6 +172,15 @@ class Session:
         return {ap_id: [spectrum for _, spectrum in frames]
                 for ap_id, frames in self._pending.items()}
 
+    def pending_timestamped(self) -> Dict[str, List[Tuple[float, AoASpectrum]]]:
+        """Return the pending per-AP ``(timestamp, spectrum)`` pairs.
+
+        The timestamps are the ingest-resolved ones (which the multipath
+        suppression stage groups on); the pairs are not removed.
+        """
+        return {ap_id: list(frames)
+                for ap_id, frames in self._pending.items()}
+
     def drain(self) -> Dict[str, List[AoASpectrum]]:
         """Remove and return the pending per-AP spectra."""
         batch = self.pending_spectra()
@@ -219,9 +237,10 @@ class ArrayTrackService:
         self.estimator_spec: EstimatorSpec = spec
         self._server = ArrayTrackServer(config.bounds, config.server,
                                         latency_model)
-        self.tracker = ClientTracker(
-            smoothing_factor=config.session.track_smoothing,
-            max_history=config.session.track_history)
+        self.tracker: ClientTracker = config.tracker.build()
+        #: The streaming suppression stage (SuppressorConfig *is* the
+        #: suppressor dataclass, so the config section is used directly).
+        self._suppressor = config.suppressor
         self._sessions: Dict[str, Session] = {}
         self._aps: Dict[str, ArrayTrackAP] = {}
 
@@ -413,8 +432,11 @@ class ArrayTrackService:
         """Drain every ready session through one batched synthesis pass.
 
         Returns one fix per ready client (empty dict when no trigger has
-        fired).  Fixes are bit-for-bit identical to passing the same
-        pending frames to :meth:`localize_many` in one batch.
+        fired).  With the suppression stage off (the
+        ``session.suppress_multipath`` default), fixes are bit-for-bit
+        identical to passing the same pending frames to
+        :meth:`localize_many` in one batch; with it on, each AP's frames
+        are first grouped by capture time and suppressed per group.
         """
         ready = {client_id: session
                  for client_id, session in self._sessions.items()
@@ -437,20 +459,72 @@ class ArrayTrackService:
         # every drained client's pending frames.  On such an error the
         # exception propagates with all sessions intact; the caller can
         # discard a poisoned session explicitly via session.drain().
-        batch = {client_id: session.pending_spectra()
-                 for client_id, session in sessions.items()}
-        estimates = self._server.localize_batch(batch)
+        if self.config.session.suppress_multipath:
+            # detect -> buffer -> spectrum -> multipath suppression ->
+            # synthesis (the paper's full pipeline): each AP's pending
+            # frames are grouped by capture time and every group's
+            # suppressed primary enters the one-pass synthesis.  The raw
+            # batch entry is skipped so the server's batch-path suppressor
+            # cannot run a second time over the already-suppressed output.
+            batch = {client_id: self._suppress_pending(session)
+                     for client_id, session in sessions.items()}
+            estimates = self._server.synthesize_batch(batch)
+        else:
+            batch = {client_id: session.pending_spectra()
+                     for client_id, session in sessions.items()}
+            estimates = self._server.localize_batch(batch)
+        timestamps: Dict[str, float] = {}
+        for client_id in estimates:
+            session = sessions[client_id]
+            timestamps[client_id] = now_s if now_s is not None else \
+                (session.last_ingest_s if session.last_ingest_s is not None
+                 else 0.0)
+            # Validate every client against the tracker's out-of-order
+            # policy BEFORE committing anything: a rejected fix must leave
+            # all sessions (frames, fix logs) and the tracker untouched.
+            self.tracker.ensure_accepts(client_id, timestamps[client_id])
         fixes: Dict[str, LocationEstimate] = {}
         for client_id, estimate in estimates.items():
             session = sessions[client_id]
+            point = self.tracker.update(client_id, estimate,
+                                        timestamps[client_id])
             session.drain()
-            timestamp = now_s if now_s is not None else \
-                (session.last_ingest_s if session.last_ingest_s is not None
-                 else 0.0)
-            point = self.tracker.update(client_id, estimate, timestamp)
             session.fixes.append(point)
             fixes[client_id] = estimate
         return fixes
+
+    def _suppress_pending(self, session: Session) -> List[AoASpectrum]:
+        """Run the streaming multipath-suppression stage on one session.
+
+        Each AP's pending frames are grouped on their ingest-resolved
+        timestamps (gap-anchored, see
+        :func:`~repro.core.suppression.group_spectra_by_time`) and the
+        Figure 8 algorithm reduces every group to its suppressed primary,
+        so a session spanning several capture bursts contributes one
+        cleaned spectrum per AP and burst to the synthesis.
+        """
+        processed: List[AoASpectrum] = []
+        for frames in session.pending_timestamped().values():
+            spectra = [spectrum for _, spectrum in frames]
+            timestamps = [timestamp for timestamp, _ in frames]
+            processed.extend(
+                self._suppressor.process(spectra, timestamps=timestamps))
+        return processed
+
+    # ------------------------------------------------------------------
+    # Client tracks
+    # ------------------------------------------------------------------
+    def track(self, client_id: str) -> List[TrackPoint]:
+        """Return the client's emitted fixes as track points (oldest first).
+
+        The points carry both the raw and the EMA-smoothed positions, per
+        the ``tracker`` config section.
+        """
+        return self.tracker.track(client_id)
+
+    def latest_fix(self, client_id: str) -> Optional[TrackPoint]:
+        """Return the most recently emitted fix for the client, or None."""
+        return self.tracker.latest(client_id)
 
     # ------------------------------------------------------------------
     # Latency accounting passthrough (Section 4.4)

@@ -19,7 +19,7 @@ The algorithm (Figure 8):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -37,28 +37,68 @@ __all__ = ["MultipathSuppressor", "SuppressorConfig", "suppress_multipath",
 
 def group_spectra_by_time(spectra: Sequence[AoASpectrum],
                           window_s: float = MULTIPATH_SUPPRESSION_WINDOW_S,
-                          max_group_size: int = 3) -> List[List[AoASpectrum]]:
+                          max_group_size: int = 3,
+                          max_span_s: Optional[float] = None,
+                          timestamps: Optional[Sequence[float]] = None
+                          ) -> List[List[AoASpectrum]]:
     """Group spectra whose frames were captured closely together in time.
 
     Spectra are sorted by timestamp and greedily packed into groups of up to
-    ``max_group_size`` frames spanning at most ``window_s`` seconds
-    (Section 2.4 groups "two to three AoA spectra from frames spaced closer
-    than 100 ms").  A spectrum with no close-enough companion ends up in a
-    singleton group.
+    ``max_group_size`` frames; a frame joins the current group when the gap
+    to the *previous* frame is at most ``window_s`` seconds (Section 2.4
+    groups "two to three AoA spectra from frames spaced closer than 100 ms"
+    -- the spacing constraint is between neighbouring frames, so frames at
+    0 / 60 / 120 ms form one group rather than splitting the third frame
+    away from its 60 ms-near companion).  A spectrum with no close-enough
+    companion ends up in a singleton group.
+
+    Parameters
+    ----------
+    spectra:
+        The spectra to group.
+    window_s:
+        Maximum gap between *consecutive* frames of one group.
+    max_group_size:
+        Maximum frames per group.
+    max_span_s:
+        Explicit cap on a group's total time span (first to last frame).
+        When None the span is bounded only implicitly, by
+        ``(max_group_size - 1) * window_s``.
+    timestamps:
+        Capture times overriding each spectrum's own ``timestamp_s`` (one
+        per spectrum) -- the streaming sessions group on their
+        ingest-resolved times, which may legitimately differ.
     """
     if max_group_size < 1:
         raise EstimationError("max_group_size must be >= 1")
     if window_s < 0:
         raise EstimationError("window_s must be non-negative")
-    ordered = sorted(spectra, key=lambda s: s.timestamp_s)
+    if max_span_s is not None and max_span_s < 0:
+        raise EstimationError("max_span_s must be non-negative or None")
+    spectra = list(spectra)
+    if timestamps is None:
+        times = [spectrum.timestamp_s for spectrum in spectra]
+    else:
+        times = [float(timestamp) for timestamp in timestamps]
+        if len(times) != len(spectra):
+            raise EstimationError(
+                f"got {len(times)} timestamps for {len(spectra)} spectra")
+    order = sorted(range(len(spectra)), key=lambda i: times[i])
     groups: List[List[AoASpectrum]] = []
-    for spectrum in ordered:
+    group_first_ts = 0.0
+    group_last_ts = 0.0
+    for i in order:
+        timestamp = times[i]
         if (groups
                 and len(groups[-1]) < max_group_size
-                and spectrum.timestamp_s - groups[-1][0].timestamp_s <= window_s):
-            groups[-1].append(spectrum)
+                and timestamp - group_last_ts <= window_s
+                and (max_span_s is None
+                     or timestamp - group_first_ts <= max_span_s)):
+            groups[-1].append(spectra[i])
         else:
-            groups.append([spectrum])
+            groups.append([spectra[i]])
+            group_first_ts = timestamp
+        group_last_ts = timestamp
     return groups
 
 
@@ -72,23 +112,44 @@ class MultipathSuppressor:
         Peaks within this angular distance across frames count as "the same
         bearing" (five degrees in the paper).
     min_relative_height:
-        Peak detection floor relative to the spectrum maximum.
+        Peak detection floor relative to the spectrum maximum, in ``[0, 1]``.
     residual_fraction:
         Unmatched lobes are scaled down to this fraction of their original
         value rather than hard-zeroed, so the likelihood synthesis
         (a product across APs, Equation 8) never multiplies by exactly zero
         because of one noisy companion frame.
+    window_s:
+        Maximum gap between consecutive frames of one suppression group
+        (the paper's 100 ms window).
+    max_group_size:
+        Maximum frames per suppression group ("two to three" in the paper).
+    max_span_s:
+        Explicit cap on a group's first-to-last time span (None bounds it
+        only implicitly, by ``(max_group_size - 1) * window_s``).
     """
 
     tolerance_deg: float = PEAK_MATCH_TOLERANCE_DEG
     min_relative_height: float = 0.1
     residual_fraction: float = 0.05
+    window_s: float = MULTIPATH_SUPPRESSION_WINDOW_S
+    max_group_size: int = 3
+    max_span_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.tolerance_deg < 0:
             raise EstimationError("tolerance_deg must be non-negative")
+        if not 0.0 <= self.min_relative_height <= 1.0:
+            # Validated here so a bad value fails at construction/config-load
+            # time instead of surfacing as a find_peaks error mid-stream.
+            raise EstimationError("min_relative_height must be in [0, 1]")
         if not 0.0 <= self.residual_fraction < 1.0:
             raise EstimationError("residual_fraction must be in [0, 1)")
+        if self.window_s < 0:
+            raise EstimationError("window_s must be non-negative")
+        if self.max_group_size < 1:
+            raise EstimationError("max_group_size must be >= 1")
+        if self.max_span_s is not None and self.max_span_s < 0:
+            raise EstimationError("max_span_s must be non-negative or None")
 
     # ------------------------------------------------------------------
     # Core algorithm
@@ -145,13 +206,19 @@ class MultipathSuppressor:
     # Batch interface
     # ------------------------------------------------------------------
     def process(self, spectra: Sequence[AoASpectrum],
-                window_s: float = MULTIPATH_SUPPRESSION_WINDOW_S) -> List[AoASpectrum]:
+                window_s: Optional[float] = None,
+                timestamps: Optional[Sequence[float]] = None
+                ) -> List[AoASpectrum]:
         """Group ``spectra`` by time and suppress each group.
 
         Returns one output spectrum per group (the processed primary), which
-        is what the synthesis step consumes.
+        is what the synthesis step consumes.  ``window_s`` overrides the
+        configured window for this call; ``timestamps`` overrides the
+        spectra's own capture times (see :func:`group_spectra_by_time`).
         """
-        groups = group_spectra_by_time(spectra, window_s)
+        window = self.window_s if window_s is None else window_s
+        groups = group_spectra_by_time(spectra, window, self.max_group_size,
+                                       self.max_span_s, timestamps)
         return [self.suppress(group) for group in groups]
 
 

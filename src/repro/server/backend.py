@@ -153,9 +153,38 @@ class ArrayTrackServer:
         """
         if not spectra_by_client:
             raise EstimationError("no clients supplied for batch localization")
+        return self.synthesize_batch(
+            {client_id: self._process_per_ap(spectra_by_ap)
+             for client_id, spectra_by_ap in spectra_by_client.items()})
+
+    def synthesize_batch(self,
+                         spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
+                         ) -> Dict[str, LocationEstimate]:
+        """Synthesize already-processed spectra into one fix per client.
+
+        This is the raw synthesis entry below :meth:`localize_batch`: the
+        per-AP grouping and multipath suppression are the *caller's*
+        responsibility (the streaming sessions run their own suppression
+        stage on ingest-resolved timestamps before calling it), while the
+        stacked Equation 8 evaluation and the processing-time measurement
+        are identical to the full batch path.
+
+        Parameters
+        ----------
+        spectra_by_client:
+            For every client id, the flat list of spectra entering the
+            synthesis (typically one suppressed primary per AP and burst).
+
+        Raises
+        ------
+        EstimationError
+            If the batch is empty or any client contributes no spectra.
+        """
+        if not spectra_by_client:
+            raise EstimationError("no clients supplied for batch localization")
         processed_by_client: Dict[str, List[AoASpectrum]] = {}
-        for client_id, spectra_by_ap in spectra_by_client.items():
-            processed = self._process_per_ap(spectra_by_ap)
+        for client_id, spectra in spectra_by_client.items():
+            processed = list(spectra)
             if not processed:
                 raise EstimationError(
                     f"no AoA spectra supplied for client {client_id!r}")

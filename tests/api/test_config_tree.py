@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.api import ArrayTrackConfig, SessionConfig, default_server_config
+from repro.api import (ArrayTrackConfig, SessionConfig, TrackerConfig,
+                       default_server_config)
 from repro.constants import DEFAULT_SPECTRUM_FLOOR
 from repro.core import LocalizerConfig, SpectrumConfig, SuppressorConfig
 from repro.errors import ConfigurationError
@@ -103,9 +104,21 @@ class TestRejection:
             ArrayTrackConfig.from_dict(
                 {"server": {"localizer": {"grid_resolution_m": -1.0}}})
 
+    def test_invalid_tracker_value_names_path(self):
+        with pytest.raises(ConfigurationError, match="smoothing_factor"):
+            ArrayTrackConfig.from_dict({"tracker": {"smoothing_factor": 0.0}})
+
+    def test_invalid_suppressor_value_fails_at_config_load(self):
+        # A bad peak floor must fail here, not as an EstimationError from
+        # find_peaks once a stream is already running.
+        with pytest.raises(ConfigurationError, match="min_relative_height"):
+            ArrayTrackConfig.from_dict(
+                {"suppressor": {"min_relative_height": 1.5}})
+
     def test_invalid_session_value(self):
-        with pytest.raises(ConfigurationError, match="track_smoothing"):
-            ArrayTrackConfig.from_dict({"session": {"track_smoothing": 0.0}})
+        with pytest.raises(ConfigurationError, match="suppress_multipath"):
+            ArrayTrackConfig.from_dict(
+                {"session": {"suppress_multipath": "yes"}})
 
     def test_section_must_be_mapping(self):
         with pytest.raises(ConfigurationError, match="must be a mapping"):
@@ -192,12 +205,48 @@ class TestSessionConfigValidation:
         {"emit_every_frames": -1},
         {"max_age_s": -0.5},
         {"max_pending_frames": 0},
-        {"track_smoothing": 1.5},
-        {"track_history": 0},
+        {"suppress_multipath": 1},
     ])
     def test_invalid_session_parameters(self, kwargs):
         with pytest.raises(ConfigurationError):
             SessionConfig(**kwargs)
+
+
+class TestTrackerSection:
+    def test_defaults(self):
+        config = ArrayTrackConfig()
+        assert config.tracker == TrackerConfig()
+        assert config.tracker.on_out_of_order == "insert"
+
+    def test_round_trips_with_non_default_values(self):
+        config = ArrayTrackConfig(
+            bounds=(0.0, 0.0, 5.0, 5.0),
+            tracker=TrackerConfig(smoothing_factor=0.3, max_history=16,
+                                  on_out_of_order="reject"))
+        restored = ArrayTrackConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.tracker.max_history == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        {"smoothing_factor": 0.0},
+        {"smoothing_factor": 1.5},
+        {"max_history": 0},
+        {"on_out_of_order": "panic"},
+    ])
+    def test_invalid_tracker_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrackerConfig(**kwargs)
+
+    def test_env_override_reaches_tracker_section(self):
+        config = ArrayTrackConfig(bounds=(0.0, 0.0, 5.0, 5.0))
+        updated = config.with_env_overrides({
+            "ARRAYTRACK_TRACKER__SMOOTHING_FACTOR": "0.25",
+            "ARRAYTRACK_SESSION__SUPPRESS_MULTIPATH": "true",
+            "ARRAYTRACK_SUPPRESSOR__TOLERANCE_DEG": "7.5",
+        })
+        assert updated.tracker.smoothing_factor == 0.25
+        assert updated.session.suppress_multipath is True
+        assert updated.suppressor.tolerance_deg == 7.5
 
 
 class TestSuppressorAlias:

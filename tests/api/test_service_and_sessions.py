@@ -281,6 +281,190 @@ class TestStreamingSessions:
         assert session.pending_aps == [spectrum.ap_id]
 
 
+class TestStreamingSuppression:
+    GHOST = 200.0
+
+    def _burst(self, ap_index, t0, ghost=None):
+        """Two frames 30 ms apart; the first optionally carries a ghost peak."""
+        return [
+            _spectrum_towards(AP_POSITIONS[ap_index], TARGET, timestamp_s=t0,
+                              extra_peak=ghost),
+            _spectrum_towards(AP_POSITIONS[ap_index], TARGET,
+                              timestamp_s=t0 + 0.03),
+        ]
+
+    def _ingest_all(self, service, spectra_by_ap, client_id="c"):
+        for ap_id, frames in spectra_by_ap.items():
+            for spectrum in frames:
+                service.ingest(ap_id, spectrum, client_id=client_id,
+                               timestamp_s=spectrum.timestamp_s)
+
+    def test_disabled_stage_is_bit_identical_to_batch_path(self):
+        """Off by default: even ghost-bearing bursts the stage would rewrite
+        drain exactly like localize_many on the same pending frames."""
+        spectra = {
+            "ap0": self._burst(0, 0.0, ghost=self.GHOST),
+            "ap1": [_spectrum_towards(AP_POSITIONS[1], TARGET)],
+            "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET)],
+        }
+        streaming = _service(**{"session.emit_every_frames": 4})
+        assert streaming.config.session.suppress_multipath is False
+        self._ingest_all(streaming, spectra)
+        fixes = streaming.tick()
+        expected = _service().localize_many({"c": spectra})
+        assert fixes["c"].position == expected["c"].position
+        assert fixes["c"].likelihood == expected["c"].likelihood
+
+    def test_enabled_stage_suppresses_ghost_and_finds_target(self):
+        streaming = _service(**{"session.emit_every_frames": 4,
+                                "session.suppress_multipath": True})
+        spectra = {
+            "ap0": self._burst(0, 0.0, ghost=self.GHOST),
+            "ap1": [_spectrum_towards(AP_POSITIONS[1], TARGET)],
+            "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET)],
+        }
+        self._ingest_all(streaming, spectra)
+        fixes = streaming.tick()
+        assert fixes["c"].position.distance_to(TARGET) < 0.3
+        # The ghost lobe was attenuated before synthesis: folding the raw
+        # frames instead gives a different likelihood product.
+        raw = _service().server.synthesize_batch(
+            {"c": [s for frames in spectra.values() for s in frames]})
+        assert fixes["c"].likelihood != raw["c"].likelihood
+
+    def test_enabled_stage_feeds_one_primary_per_burst(self):
+        """Two bursts 1 s apart contribute one suppressed primary each,
+        unlike the batch path which only folds the first time group."""
+        spectra = {
+            "ap0": self._burst(0, 0.0, ghost=self.GHOST)
+            + self._burst(0, 1.0),
+            "ap1": [_spectrum_towards(AP_POSITIONS[1], TARGET)],
+            "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET)],
+        }
+        streaming = _service(**{"session.emit_every_frames": 6,
+                                "session.suppress_multipath": True})
+        self._ingest_all(streaming, spectra)
+        fixes = streaming.tick()
+        reference = _service()
+        suppressor = reference.config.suppressor
+        processed = [out for frames in spectra.values()
+                     for out in suppressor.process(frames)]
+        assert len(processed) == 4  # 2 bursts for ap0, 1 spectrum each other
+        expected = reference.server.synthesize_batch({"c": processed})
+        assert fixes["c"].position == expected["c"].position
+        assert fixes["c"].likelihood == expected["c"].likelihood
+
+    def test_enabled_stage_groups_on_ingest_timestamps(self):
+        """Frames carrying the default timestamp 0.0 but ingested 5 s apart
+        form singleton groups: nothing may be suppressed."""
+        ghost_frame = _spectrum_towards(AP_POSITIONS[0], TARGET,
+                                        extra_peak=self.GHOST)
+        clean_frame = _spectrum_towards(AP_POSITIONS[0], TARGET)
+        others = {f"ap{i}": _spectrum_towards(AP_POSITIONS[i], TARGET)
+                  for i in (1, 2)}
+        streaming = _service(**{"session.emit_every_frames": 4,
+                                "session.suppress_multipath": True})
+        streaming.ingest("ap0", ghost_frame, client_id="c", timestamp_s=0.0)
+        streaming.ingest("ap0", clean_frame, client_id="c", timestamp_s=5.0)
+        for ap_id, spectrum in others.items():
+            streaming.ingest(ap_id, spectrum, client_id="c", timestamp_s=5.0)
+        fixes = streaming.tick()
+        expected = _service().server.synthesize_batch(
+            {"c": [ghost_frame, clean_frame, *others.values()]})
+        assert fixes["c"].position == expected["c"].position
+        assert fixes["c"].likelihood == expected["c"].likelihood
+
+    def test_suppressor_section_parameterizes_the_stage(self):
+        """A zero-size window turns every frame into a singleton group."""
+        spectra = {
+            "ap0": self._burst(0, 0.0, ghost=self.GHOST),
+            "ap1": [_spectrum_towards(AP_POSITIONS[1], TARGET)],
+            "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET)],
+        }
+        streaming = _service(**{"session.emit_every_frames": 4,
+                                "session.suppress_multipath": True,
+                                "suppressor.window_s": 0.0})
+        self._ingest_all(streaming, spectra)
+        fixes = streaming.tick()
+        expected = _service().server.synthesize_batch(
+            {"c": [s for frames in spectra.values() for s in frames]})
+        assert fixes["c"].position == expected["c"].position
+        assert fixes["c"].likelihood == expected["c"].likelihood
+
+
+class TestClientTrackAccess:
+    def test_track_and_latest_fix_accessors(self):
+        service = _service(**{"session.emit_every_frames": 1,
+                              "tracker.smoothing_factor": 1.0})
+        for step in range(3):
+            service.ingest("ap0",
+                           _spectrum_towards(AP_POSITIONS[0], TARGET,
+                                             timestamp_s=float(step)),
+                           client_id="c", timestamp_s=float(step))
+            service.tick()
+        track = service.track("c")
+        assert len(track) == 3
+        assert [point.timestamp_s for point in track] == [0.0, 1.0, 2.0]
+        assert service.latest_fix("c") == track[-1]
+        assert service.latest_fix("missing") is None
+        assert service.track("missing") == []
+
+    def test_tracker_section_configures_service_tracker(self):
+        service = _service(**{"tracker.smoothing_factor": 0.25,
+                              "tracker.max_history": 2,
+                              "tracker.on_out_of_order": "reject"})
+        assert service.tracker.smoothing_factor == 0.25
+        assert service.tracker.max_history == 2
+        assert service.tracker.on_out_of_order == "reject"
+
+    def test_reject_policy_keeps_session_frames_on_stale_tick(self):
+        service = _service(**{"session.emit_every_frames": 1,
+                              "tracker.on_out_of_order": "reject"})
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="c", timestamp_s=0.0)
+        service.tick(now_s=10.0)
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="c", timestamp_s=1.0)
+        with pytest.raises(EstimationError, match="out-of-order"):
+            service.tick(now_s=5.0)
+        # The rejected fix left the pending frame in place: a tick at a
+        # sane time emits it.
+        assert service.session("c").pending_frames == 1
+        fixes = service.tick(now_s=11.0)
+        assert set(fixes) == {"c"}
+        assert len(service.track("c")) == 2
+
+    def test_reject_policy_is_atomic_across_clients(self):
+        """One stale client must not let other drained clients lose fixes."""
+        service = _service(**{"session.emit_every_frames": 1,
+                              "tracker.on_out_of_order": "reject"})
+        # "good" is created first, so without the up-front validation it
+        # would be committed (and its frames drained) before "bad" raises.
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="good", timestamp_s=0.0)
+        service.ingest("ap1", _spectrum_towards(AP_POSITIONS[1], TARGET),
+                       client_id="bad", timestamp_s=0.0)
+        service.tick(now_s=10.0)
+        # Advance only "bad" to t=50 ("good" has nothing pending then).
+        service.ingest("ap1", _spectrum_towards(AP_POSITIONS[1], TARGET),
+                       client_id="bad", timestamp_s=50.0)
+        service.tick(now_s=50.0)
+        # A tick at t=20 is fine for "good" (latest 10) but stale for
+        # "bad" (latest 50).
+        service.ingest("ap0", _spectrum_towards(AP_POSITIONS[0], TARGET),
+                       client_id="good", timestamp_s=20.0)
+        service.ingest("ap1", _spectrum_towards(AP_POSITIONS[1], TARGET),
+                       client_id="bad", timestamp_s=20.0)
+        with pytest.raises(EstimationError, match="'bad'"):
+            service.tick(now_s=20.0)
+        # Nothing was committed for ANY client: frames intact, tracks and
+        # fix logs unchanged ("good" would have been drained first).
+        assert service.session("good").pending_frames == 1
+        assert service.session("bad").pending_frames == 1
+        assert len(service.track("good")) == 1
+        assert len(service.session("good").fixes) == 1
+
+
 class TestIngestValidation:
     def test_missing_client_id_rejected(self):
         service = _service()

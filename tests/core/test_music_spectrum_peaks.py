@@ -182,3 +182,39 @@ class TestPeaks:
         angles = default_angle_grid(1.0)
         spectrum = AoASpectrum(angles, np.zeros_like(angles))
         assert find_peaks(spectrum) == []
+
+    def test_match_peak_across_wraparound_seam(self):
+        # 358 and 2 degrees are 4 degrees apart across the 0/360 seam of
+        # the circular grid, well inside the paper's 5-degree tolerance.
+        peak = find_peaks(self._gaussian_spectrum([358], [4], [1.0]))[0]
+        near = find_peaks(self._gaussian_spectrum([2], [4], [1.0]))
+        far = find_peaks(self._gaussian_spectrum([8], [4], [1.0]))
+        assert match_peak(peak, near, tolerance_deg=5.0) is not None
+        assert match_peak(peak, far, tolerance_deg=5.0) is None
+
+    def test_peak_on_grid_edge_found_once_with_wrapping_lobe(self):
+        spectrum = self._gaussian_spectrum([0], [6], [1.0])
+        peaks = find_peaks(spectrum, min_relative_height=0.1)
+        assert len(peaks) == 1
+        assert peaks[0].index == 0
+        mask = peak_regions(spectrum, peaks[0])
+        # The lobe extends circularly to both sides of the seam.
+        assert mask[0] and mask[1] and mask[-1]
+
+    def test_plateau_peak_resolved_to_single_left_edge(self):
+        angles = default_angle_grid(1.0)
+        power = np.full_like(angles, 0.1)
+        power[100:105] = 1.0
+        peaks = find_peaks(AoASpectrum(angles, power))
+        assert len(peaks) == 1
+        assert peaks[0].index == 100
+        assert peaks[0].prominence == pytest.approx(0.9)
+
+    def test_plateau_across_wraparound_seam_found_once(self):
+        angles = default_angle_grid(1.0)
+        power = np.full_like(angles, 0.1)
+        power[358:] = 1.0
+        power[:3] = 1.0
+        peaks = find_peaks(AoASpectrum(angles, power))
+        assert len(peaks) == 1
+        assert peaks[0].index == 358

@@ -102,6 +102,35 @@ class TestMultipathSuppression:
         groups = group_spectra_by_time(spectra, window_s=0.1, max_group_size=3)
         assert [len(g) for g in groups] == [3, 2]
 
+    def test_grouping_anchors_on_inter_frame_gap(self):
+        # Frames at 0 / 60 / 120 ms: each gap is 60 ms < 100 ms, so all
+        # three belong together.  Anchoring the window on the group's
+        # *first* frame used to split the 120 ms frame away from its
+        # natural 60 ms companion into a suppression-skipping singleton.
+        spectra = [_gaussian([50], [1.0], timestamp_s=t)
+                   for t in (0.0, 0.06, 0.12)]
+        groups = group_spectra_by_time(spectra, window_s=0.1, max_group_size=3)
+        assert [len(g) for g in groups] == [3]
+
+    def test_grouping_explicit_span_cap(self):
+        spectra = [_gaussian([50], [1.0], timestamp_s=t)
+                   for t in (0.0, 0.06, 0.12)]
+        groups = group_spectra_by_time(spectra, window_s=0.1,
+                                       max_group_size=3, max_span_s=0.1)
+        # The 120 ms frame would stretch the group span past the cap, so
+        # it starts a new group even though its gap is inside the window.
+        assert [len(g) for g in groups] == [2, 1]
+
+    def test_grouping_on_supplied_timestamps(self):
+        # Streaming sessions group on ingest-resolved times, which may
+        # differ from the spectra's own (all-default 0.0) timestamps.
+        spectra = [_gaussian([50], [1.0]) for _ in range(3)]
+        groups = group_spectra_by_time(spectra, window_s=0.1,
+                                       timestamps=(0.0, 0.02, 0.5))
+        assert [len(g) for g in groups] == [2, 1]
+        with pytest.raises(EstimationError, match="timestamps"):
+            group_spectra_by_time(spectra, timestamps=(0.0, 0.02))
+
     def test_singleton_group_passes_through(self):
         spectrum = _gaussian([50, 120], [1.0, 0.8])
         assert suppress_multipath([spectrum]) is spectrum
@@ -135,8 +164,25 @@ class TestMultipathSuppression:
         outputs = MultipathSuppressor().process(spectra)
         assert len(outputs) == 2
 
-    def test_invalid_parameters(self):
+    def test_process_groups_on_supplied_timestamps(self):
+        spectra = [_gaussian([50, 120], [1.0, 0.8]) for _ in range(3)]
+        outputs = MultipathSuppressor().process(
+            spectra, timestamps=(0.0, 0.03, 1.0))
+        assert len(outputs) == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"residual_fraction": 1.5},
+        {"tolerance_deg": -1.0},
+        {"min_relative_height": -0.1},
+        {"min_relative_height": 1.5},
+        {"window_s": -0.1},
+        {"max_group_size": 0},
+        {"max_span_s": -1.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        # Bad values fail at construction/config-load time, not as a
+        # confusing find_peaks error in the middle of a stream.
         with pytest.raises(EstimationError):
-            MultipathSuppressor(residual_fraction=1.5)
+            MultipathSuppressor(**kwargs)
         with pytest.raises(EstimationError):
             MultipathSuppressor().suppress([])

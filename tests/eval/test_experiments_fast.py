@@ -7,6 +7,7 @@ same code paths with small parameters so the full suite stays quick.
 
 import pytest
 
+from repro.errors import EstimationError
 from repro.eval import (
     appendix_a_height_error,
     baseline_comparison,
@@ -18,6 +19,8 @@ from repro.eval import (
     fig19_sample_count,
     fig20_snr_sweep,
     fig21_latency,
+    roaming_tracking,
+    roaming_tracking_comparison,
     run_localization_sweep,
     sec434_detection_snr,
     sec435_collisions,
@@ -123,3 +126,34 @@ class TestSystemExperiments:
         assert result["arraytrack"].median_cm < result["rss fingerprinting"].median_cm
         assert result["arraytrack"].median_cm < result["rss model"].median_cm
         assert result["arraytrack"].median_cm < result["weighted centroid"].median_cm
+
+
+class TestRoamingTracking:
+    def test_roaming_tracking_emits_one_fix_per_step(self):
+        result = roaming_tracking(num_clients=2, num_steps=3,
+                                  grid_resolution_m=0.4)
+        assert result.num_clients == 2
+        assert result.num_fixes == 6
+        assert len(result.errors_cm) == 6
+        assert result.fixes_per_s > 0
+        assert set(result.path_length_m) == {"roamer-0", "roamer-1"}
+        # Two fixes per client and walking clients: the tracker accumulated
+        # a non-trivial smoothed trajectory.
+        assert all(length > 0.0 for length in result.path_length_m.values())
+
+    def test_roaming_comparison_runs_identical_captures(self):
+        results = roaming_tracking_comparison(num_clients=1, num_steps=2,
+                                              grid_resolution_m=0.4)
+        suppressed = results["suppressed"]
+        unsuppressed = results["unsuppressed"]
+        assert suppressed.num_fixes == unsuppressed.num_fixes == 2
+        # Same seed, same walks: the error samples are paired, not merely
+        # the same length.
+        assert suppressed.errors_cm != []
+        assert len(suppressed.errors_cm) == len(unsuppressed.errors_cm)
+
+    def test_roaming_tracking_rejects_degenerate_sizes(self):
+        with pytest.raises(EstimationError):
+            roaming_tracking(num_steps=1)
+        with pytest.raises(EstimationError):
+            roaming_tracking(num_clients=0)

@@ -131,6 +131,41 @@ class TestArrayTrackServer:
         with pytest.raises(ConfigurationError):
             self._server().localize_clients([], ["c"])
 
+    def test_synthesize_batch_skips_server_side_suppression(self):
+        """Pre-suppressed spectra must enter the synthesis untouched."""
+        ghost_bearing = 200.0
+        ghost = _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.0,
+                                  extra_peak=ghost_bearing)
+        companion = _spectrum_towards(AP_POSITIONS[0], TARGET, timestamp_s=0.03)
+        others = [_spectrum_towards(p, TARGET) for p in AP_POSITIONS[1:]]
+        server = self._server(enable_multipath_suppression=True)
+        # localize_batch groups ap0's pair and folds the one suppressed
+        # primary (3 spectra total); synthesize_batch folds exactly what it
+        # is given (all 4 raw spectra) -- no second suppression pass.
+        suppressed = server.localize_batch(
+            {"c": {"ap0": [ghost, companion],
+                   "ap1": [others[0]], "ap2": [others[1]]}})["c"]
+        raw = server.synthesize_batch({"c": [ghost, companion] + others})["c"]
+        assert suppressed.position.distance_to(TARGET) < 0.3
+        assert raw.likelihood != suppressed.likelihood
+
+    def test_synthesize_batch_matches_unsuppressed_localize_batch(self):
+        server = self._server(enable_multipath_suppression=False)
+        spectra = {f"ap{i}": [_spectrum_towards(p, TARGET)]
+                   for i, p in enumerate(AP_POSITIONS)}
+        via_batch = server.localize_batch({"c": spectra})["c"]
+        via_synthesis = server.synthesize_batch(
+            {"c": [s[0] for s in spectra.values()]})["c"]
+        assert via_batch.position == via_synthesis.position
+        assert via_batch.likelihood == via_synthesis.likelihood
+
+    def test_synthesize_batch_rejects_empty_input(self):
+        server = self._server()
+        with pytest.raises(EstimationError):
+            server.synthesize_batch({})
+        with pytest.raises(EstimationError, match="'c'"):
+            server.synthesize_batch({"c": []})
+
     def test_localize_batch_ragged_ap_subsets(self):
         """Clients heard by different AP subsets localize in one batch."""
         server = self._server()
@@ -195,3 +230,59 @@ class TestClientTracker:
             ClientTracker(smoothing_factor=0.0)
         with pytest.raises(ConfigurationError):
             ClientTracker(max_history=0)
+        with pytest.raises(ConfigurationError):
+            ClientTracker(on_out_of_order="panic")
+
+    def test_out_of_order_fix_inserted_chronologically(self):
+        tracker = ClientTracker(smoothing_factor=1.0)
+        tracker.update("a", self._estimate(0.0, 0.0), 0.0)
+        tracker.update("a", self._estimate(2.0, 0.0), 2.0)
+        late = tracker.update("a", self._estimate(1.0, 0.0), 1.0)
+        track = tracker.track("a")
+        assert [p.timestamp_s for p in track] == [0.0, 1.0, 2.0]
+        assert track[1] == late
+        # latest() still reports the chronologically newest fix.
+        assert tracker.latest("a").timestamp_s == 2.0
+        assert tracker.latest("a").position.x == pytest.approx(2.0)
+        # The path walks 0 -> 1 -> 2, not 0 -> 2 -> 1 (which would be 3 m).
+        assert tracker.path_length_m("a") == pytest.approx(2.0)
+
+    def test_out_of_order_fix_recomputes_smoothing_downstream(self):
+        tracker = ClientTracker(smoothing_factor=0.5)
+        tracker.update("a", self._estimate(0.0, 0.0), 0.0)
+        tracker.update("a", self._estimate(4.0, 0.0), 2.0)
+        tracker.update("a", self._estimate(2.0, 0.0), 1.0)
+        track = tracker.track("a")
+        # EMA along chronological order: 0, then 0.5*2, then mid(1, 4).
+        assert track[0].smoothed_position.x == pytest.approx(0.0)
+        assert track[1].smoothed_position.x == pytest.approx(1.0)
+        assert track[2].smoothed_position.x == pytest.approx(2.5)
+
+    def test_duplicate_timestamp_inserted_after_existing(self):
+        tracker = ClientTracker(smoothing_factor=1.0)
+        tracker.update("a", self._estimate(0.0, 0.0), 1.0)
+        duplicate = tracker.update("a", self._estimate(5.0, 0.0), 1.0)
+        track = tracker.track("a")
+        assert [p.position.x for p in track] == [0.0, 5.0]
+        assert tracker.latest("a") == duplicate
+
+    def test_reject_policy_raises_on_regression_and_duplicate(self):
+        tracker = ClientTracker(on_out_of_order="reject")
+        tracker.update("a", self._estimate(0.0, 0.0), 1.0)
+        with pytest.raises(EstimationError, match="out-of-order"):
+            tracker.update("a", self._estimate(1.0, 0.0), 0.5)
+        with pytest.raises(EstimationError, match="out-of-order"):
+            tracker.update("a", self._estimate(1.0, 0.0), 1.0)
+        # The failed updates left the track untouched; advancing works.
+        assert len(tracker.track("a")) == 1
+        tracker.update("a", self._estimate(2.0, 0.0), 2.0)
+        assert tracker.latest("a").timestamp_s == 2.0
+
+    def test_tracker_config_builds_equivalent_tracker(self):
+        from repro.server import TrackerConfig
+
+        tracker = TrackerConfig(smoothing_factor=0.4, max_history=2,
+                                on_out_of_order="reject").build()
+        assert tracker.smoothing_factor == 0.4
+        assert tracker.max_history == 2
+        assert tracker.on_out_of_order == "reject"
