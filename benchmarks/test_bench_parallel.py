@@ -1,0 +1,154 @@
+"""Benchmark: vectorized refinement + sharded parallel service throughput.
+
+The Section 2.5 refinement used to be the scaling cliff of the batched
+engine: grid synthesis ran in stacked NumPy passes, then hill climbing fell
+back to one Python likelihood call per candidate point per climber.  This
+benchmark measures end-to-end ``ArrayTrackService.localize_many`` over the
+office testbed with refinement *enabled*, three ways:
+
+* ``serial seed`` -- the pre-optimization path:
+  ``server.localizer.vectorized_refinement=False`` and no parallel backend
+  (per-candidate Python hill climbing, one thread);
+* ``vectorized`` -- the batched refiner
+  (:func:`repro.core.optimizer.refine_many`): every round evaluates the
+  stacked candidates of all clients' climbers in one Equation 8 pass per AP;
+* ``vectorized + threads`` -- the same, plus ``parallel.backend=thread``
+  sharding the batch across 4 workers.
+
+Asserted: the full configuration beats the serial seed path by >= 3x at 256
+clients / 4 workers, and both new paths produce fixes bit-for-bit identical
+to the serial seed path (the refinement replay and the shard merge preserve
+every tie-break).
+
+Run with ``--bench-smoke`` for an untimed single-repetition equality canary
+at a reduced client count (the speedup ratio is only asserted at full size,
+where it is not noise-bound).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.api import ArrayTrackConfig, ArrayTrackService
+from repro.core.spectrum import AoASpectrum, default_angle_grid
+from repro.eval import format_table
+from repro.geometry.vector import Point2D, bearing_deg
+from repro.testbed.office import OfficeTestbed
+
+from conftest import run_once
+
+GRID_RESOLUTION_M = 0.25
+NUM_CLIENTS = 256
+NUM_WORKERS = 4
+REPETITIONS = 3
+SPEEDUP_FLOOR = 3.0
+#: Reduced problem size for the --bench-smoke CI canary.
+SMOKE_CLIENTS = 24
+
+
+def _synthesize_clients(testbed: OfficeTestbed, count: int,
+                        rng: np.random.Generator
+                        ) -> Dict[str, Dict[str, List[AoASpectrum]]]:
+    """Build per-AP spectra for ``count`` clients at random positions."""
+    angles = default_angle_grid(1.0)
+    sites = [(site.ap_id, site.position, site.orientation_deg)
+             for site in testbed.ap_sites]
+    xmin, ymin, xmax, ymax = testbed.bounds
+    clients: Dict[str, Dict[str, List[AoASpectrum]]] = {}
+    for index in range(count):
+        position = Point2D(rng.uniform(xmin + 1.0, xmax - 1.0),
+                           rng.uniform(ymin + 1.0, ymax - 1.0))
+        per_ap: Dict[str, List[AoASpectrum]] = {}
+        for ap_id, ap_position, orientation_deg in sites:
+            bearing = bearing_deg(ap_position, position)
+            local = (angles - (bearing - orientation_deg) + 180.0) % 360.0 - 180.0
+            power = np.exp(-0.5 * (local / 8.0) ** 2) \
+                + 0.02 * rng.random(angles.shape[0])
+            per_ap[ap_id] = [AoASpectrum(
+                angles, power, ap_position=ap_position,
+                ap_orientation_deg=orientation_deg, ap_id=ap_id)]
+        clients[f"client-{index}"] = per_ap
+    return clients
+
+
+def _service(testbed: OfficeTestbed, vectorized: bool,
+             backend: str) -> ArrayTrackService:
+    config = ArrayTrackConfig(bounds=testbed.bounds).updated({
+        "server.localizer.grid_resolution_m": GRID_RESOLUTION_M,
+        "server.localizer.vectorized_refinement": vectorized,
+        "parallel.backend": backend,
+        "parallel.num_workers": NUM_WORKERS,
+        "parallel.min_clients_per_worker": 2,
+    })
+    return ArrayTrackService(config)
+
+
+def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
+    """Time the three refinement/sharding configurations over one batch."""
+    testbed = OfficeTestbed()
+    rng = np.random.default_rng(2026)
+    clients = _synthesize_clients(testbed, num_clients, rng)
+    services = {
+        "serial seed": _service(testbed, vectorized=False, backend="none"),
+        "vectorized": _service(testbed, vectorized=True, backend="none"),
+        "vectorized + threads": _service(testbed, vectorized=True,
+                                         backend="thread"),
+    }
+    estimates: Dict[str, Dict[str, object]] = {}
+    timings: Dict[str, float] = {}
+    for name, service in services.items():
+        estimates[name] = service.localize_many(clients)   # warm the caches
+        samples = []
+        for _ in range(REPETITIONS):
+            start = time.perf_counter()
+            estimates[name] = service.localize_many(clients)
+            samples.append(time.perf_counter() - start)
+        timings[name] = float(np.median(samples))
+        service.close()
+    reference = estimates["serial seed"]
+    for name in ("vectorized", "vectorized + threads"):
+        assert list(estimates[name]) == list(reference), (
+            f"{name} returned clients out of order")
+        for client_id, expected in reference.items():
+            actual = estimates[name][client_id]
+            assert (actual.position.x, actual.position.y) \
+                == (expected.position.x, expected.position.y), (
+                f"{name} fix for {client_id} diverged from the serial path")
+            assert actual.likelihood == expected.likelihood, (
+                f"{name} likelihood for {client_id} diverged")
+    return {"timings": timings, "num_clients": num_clients}
+
+
+def test_parallel_localization_speedup(benchmark, bench_smoke):
+    """E-PARALLEL: vectorized + sharded refinement >= 3x the serial seed path.
+
+    The serial seed path re-enters the Equation 8 likelihood once per
+    candidate point of every climber; the vectorized refiner folds each
+    round's candidates in stacked passes and the thread backend shards the
+    batch across workers.  Both are asserted bit-identical to the serial
+    fixes at any size; the 3x bar applies at 256 clients / 4 workers.
+    """
+    num_clients = SMOKE_CLIENTS if bench_smoke else NUM_CLIENTS
+    results = run_once(benchmark, measure_parallel, num_clients)
+    timings: Dict[str, float] = results["timings"]
+    count = results["num_clients"]
+    rows = [[name, f"{seconds * 1e3:.0f}",
+             f"{count / seconds:.0f}",
+             f"{timings['serial seed'] / seconds:.1f}x"]
+            for name, seconds in timings.items()]
+    print()
+    print(format_table(
+        ["configuration", "batch (ms)", "fixes/s", "vs serial seed"],
+        rows,
+        title=f"Refined localize_many, office testbed, {count} clients, "
+              f"{NUM_WORKERS} workers"))
+    if not bench_smoke:
+        speedup = timings["serial seed"] / timings["vectorized + threads"]
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"vectorized + sharded refinement must be >= {SPEEDUP_FLOOR}x "
+            f"the serial seed path, got {speedup:.2f}x")
+        assert timings["vectorized + threads"] <= timings["serial seed"], (
+            "the parallel path must not lose to the serial seed path")

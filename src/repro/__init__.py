@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time types for tooling only
         ArrayTrackConfig,
         ArrayTrackService,
         EstimatorSpec,
+        ParallelConfig,
         Session,
         SessionConfig,
         SuppressorConfig,
@@ -69,6 +70,7 @@ _LAZY_EXPORTS = {
     "ArrayTrackConfig": "repro.api",
     "ArrayTrackService": "repro.api",
     "EstimatorSpec": "repro.api",
+    "ParallelConfig": "repro.api",
     "Session": "repro.api",
     "SessionConfig": "repro.api",
     "SuppressorConfig": "repro.api",
@@ -84,6 +86,7 @@ __all__ = [
     "ArrayTrackConfig",
     "ArrayTrackService",
     "EstimatorSpec",
+    "ParallelConfig",
     "Session",
     "SessionConfig",
     "SuppressorConfig",

@@ -14,7 +14,12 @@ This package is the documented entry point for applications:
 See ``docs/api.md`` for the full guide.
 """
 
-from repro.api.config import ArrayTrackConfig, SessionConfig, default_server_config
+from repro.api.config import (
+    ArrayTrackConfig,
+    ParallelConfig,
+    SessionConfig,
+    default_server_config,
+)
 from repro.core.suppression import SuppressorConfig
 from repro.server.tracker import TrackerConfig
 from repro.api.registry import (
@@ -34,6 +39,7 @@ __all__ = [
     "ArrayTrackConfig",
     "ArrayTrackService",
     "EstimatorSpec",
+    "ParallelConfig",
     "Session",
     "SessionConfig",
     "SuppressorConfig",

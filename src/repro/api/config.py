@@ -41,7 +41,8 @@ from repro.errors import ArrayTrackError, ConfigurationError
 from repro.server.backend import ServerConfig
 from repro.server.tracker import TrackerConfig
 
-__all__ = ["SessionConfig", "ArrayTrackConfig", "default_server_config"]
+__all__ = ["ParallelConfig", "SessionConfig", "ArrayTrackConfig",
+           "default_server_config"]
 
 
 def default_server_config() -> ServerConfig:
@@ -101,6 +102,57 @@ class SessionConfig:
             raise ConfigurationError(
                 f"suppress_multipath must be a boolean, "
                 f"got {self.suppress_multipath!r}")
+
+
+@dataclass
+class ParallelConfig:
+    """Configuration of the service's sharded parallel execution.
+
+    When enabled, :meth:`~repro.api.ArrayTrackService.localize_many`,
+    :meth:`~repro.api.ArrayTrackService.localize_buffered` and
+    :meth:`~repro.api.ArrayTrackService.tick` split their client batch into
+    contiguous shards and run each shard's synthesis on a worker thread.
+    The hot Equation 8 folds are NumPy reductions that release the GIL, so
+    thread sharding buys real parallelism without any serialization cost.
+    Every shard drains through the unchanged suppression/synthesis
+    pipeline and the per-shard batches are themselves bit-for-bit identical
+    to single-client fixes, so sharded results equal the serial path
+    exactly; only the tracker commit stays on the calling thread.
+
+    Attributes
+    ----------
+    backend:
+        ``"none"`` (the default) runs everything on the calling thread;
+        ``"thread"`` shards batches across a worker pool.
+    num_workers:
+        Maximum number of worker threads (and shards) per batched call.
+    min_clients_per_worker:
+        Do not split below this many clients per shard: tiny shards pay
+        more in thread handoff than they win in parallelism, so a batch
+        only fans out once it is at least ``2 * min_clients_per_worker``
+        clients.
+    """
+
+    backend: str = "none"
+    num_workers: int = 4
+    min_clients_per_worker: int = 8
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("none", "thread"):
+            raise ConfigurationError(
+                f"parallel backend must be 'none' or 'thread', "
+                f"got {self.backend!r}")
+        self._require_positive_int("num_workers", self.num_workers)
+        self._require_positive_int("min_clients_per_worker",
+                                   self.min_clients_per_worker)
+
+    @staticmethod
+    def _require_positive_int(name: str, value: Any) -> None:
+        # bool is an int subclass; ARRAYTRACK_PARALLEL__NUM_WORKERS=true
+        # would otherwise silently become num_workers=1 (never fans out).
+        if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+            raise ConfigurationError(
+                f"{name} must be a positive integer, got {value!r}")
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +291,11 @@ class ArrayTrackConfig:
         Per-client fix tracker configuration
         (:class:`~repro.server.tracker.TrackerConfig`): EMA smoothing,
         history cap and the out-of-order fix policy.
+    parallel:
+        Sharded parallel execution (:class:`ParallelConfig`): worker
+        backend, pool size and the minimum shard size.  Off by default;
+        when enabled, batched calls are bit-for-bit identical to the
+        serial path.
     """
 
     bounds: Optional[Tuple[float, float, float, float]] = None
@@ -248,6 +305,7 @@ class ArrayTrackConfig:
     session: SessionConfig = field(default_factory=SessionConfig)
     suppressor: SuppressorConfig = field(default_factory=SuppressorConfig)
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.bounds is not None:
@@ -281,6 +339,7 @@ class ArrayTrackConfig:
             "session": _section_to_dict(self.session),
             "suppressor": _section_to_dict(self.suppressor),
             "tracker": _section_to_dict(self.tracker),
+            "parallel": _section_to_dict(self.parallel),
         }
 
     @classmethod
@@ -295,7 +354,7 @@ class ArrayTrackConfig:
             raise ConfigurationError(
                 f"config must be a mapping, got {type(data).__name__}")
         valid = {"bounds", "estimator", "ap", "server", "session",
-                 "suppressor", "tracker"}
+                 "suppressor", "tracker", "parallel"}
         unknown = sorted(set(data) - valid)
         if unknown:
             raise ConfigurationError(
@@ -304,7 +363,8 @@ class ArrayTrackConfig:
         kwargs: Dict[str, Any] = {}
         sections = {"ap": APConfig, "server": ServerConfig,
                     "session": SessionConfig,
-                    "suppressor": SuppressorConfig, "tracker": TrackerConfig}
+                    "suppressor": SuppressorConfig, "tracker": TrackerConfig,
+                    "parallel": ParallelConfig}
         for key, value in data.items():
             if key in sections and not isinstance(value, sections[key]):
                 kwargs[key] = _section_from_dict(sections[key], value,
@@ -379,7 +439,7 @@ class ArrayTrackConfig:
 
         Only variables whose first segment names a config section
         (``bounds``, ``estimator``, ``ap``, ``server``, ``session``,
-        ``suppressor``, ``tracker``) are
+        ``suppressor``, ``tracker``, ``parallel``) are
         consumed; other ``ARRAYTRACK_*`` variables (``ARRAYTRACK_HOME``,
         ``ARRAYTRACK_LOG_LEVEL``, ...) are ignored so unrelated deployment
         environment does not crash service startup.  *Within* a recognized

@@ -31,8 +31,21 @@ The legacy entry points (``ArrayTrackServer.localize_spectra``,
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -243,6 +256,8 @@ class ArrayTrackService:
         self._suppressor = config.suppressor
         self._sessions: Dict[str, Session] = {}
         self._aps: Dict[str, ArrayTrackAP] = {}
+        #: Lazily created worker pool of the ``parallel`` config section.
+        self._executor: Optional[ThreadPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # Alternative constructors
@@ -312,6 +327,70 @@ class ArrayTrackService:
         return dict(self._aps)
 
     # ------------------------------------------------------------------
+    # Sharded parallel execution (the ``parallel`` config section)
+    # ------------------------------------------------------------------
+    def _shards(self, keys: Sequence[str]) -> Optional[List[List[str]]]:
+        """Split client keys into contiguous worker shards, or None.
+
+        Returns None when the configured backend is ``none`` or the batch
+        is too small to win from fanning out (fewer than two shards of
+        ``min_clients_per_worker`` clients each).  Contiguous slicing keeps
+        the merged result in the caller's original client order.
+        """
+        parallel = self.config.parallel
+        if parallel.backend != "thread":
+            return None
+        num_shards = min(parallel.num_workers,
+                         len(keys) // parallel.min_clients_per_worker)
+        if num_shards < 2:
+            return None
+        bounds = np.linspace(0, len(keys), num_shards + 1).astype(int)
+        return [list(keys[start:stop])
+                for start, stop in zip(bounds[:-1], bounds[1:])
+                if stop > start]
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.parallel.num_workers,
+                thread_name_prefix="arraytrack-worker")
+        return self._executor
+
+    def _run_sharded(self, shards: List[List[str]],
+                     synthesize: Callable[[List[str]],
+                                          Dict[str, LocationEstimate]]
+                     ) -> Dict[str, LocationEstimate]:
+        """Run ``synthesize`` per shard on the pool and merge in order.
+
+        The NumPy reductions inside each shard's Equation 8 fold release
+        the GIL, so shards genuinely overlap.  When processing-time
+        measurement is on, the wall-clock duration of the whole parallel
+        pass is recorded on the server (each shard's own measurement only
+        covers that shard).
+        """
+        measure = self.config.server.measure_processing_time
+        start = time.perf_counter() if measure else None
+        futures = [self._pool().submit(synthesize, shard) for shard in shards]
+        estimates: Dict[str, LocationEstimate] = {}
+        for future in futures:
+            estimates.update(future.result())
+        if start is not None:
+            self._server.record_processing_time(time.perf_counter() - start)
+        return estimates
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the pool is rebuilt on use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ArrayTrackService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Batch localization
     # ------------------------------------------------------------------
     def localize(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]],
@@ -322,18 +401,34 @@ class ArrayTrackService:
     def localize_many(self,
                       spectra_by_client: Mapping[str, Mapping[str, Sequence[AoASpectrum]]]
                       ) -> Dict[str, LocationEstimate]:
-        """Localize many clients in one vectorized synthesis pass."""
-        return self._server.localize_batch(spectra_by_client)
+        """Localize many clients in one vectorized synthesis pass.
+
+        With ``parallel.backend="thread"`` and a large enough batch, the
+        clients are split into contiguous shards and each shard's
+        suppression + synthesis runs on a worker thread; results are
+        bit-for-bit identical to the serial path either way.
+        """
+        keys = list(spectra_by_client.keys())
+        shards = self._shards(keys)
+        if shards is None:
+            return self._server.localize_batch(spectra_by_client)
+        return self._run_sharded(
+            shards,
+            lambda shard: self._server.localize_batch(
+                {client_id: spectra_by_client[client_id]
+                 for client_id in shard}))
 
     def localize_buffered(self, client_ids: Sequence[str],
                           aps: Optional[Sequence[ArrayTrackAP]] = None
                           ) -> Dict[str, LocationEstimate]:
         """Batch-localize clients from frames buffered at the AP fleet.
 
-        Uses the registered fleet when ``aps`` is omitted.
+        Uses the registered fleet when ``aps`` is omitted.  Shards across
+        the worker pool exactly like :meth:`localize_many`.
         """
         fleet = list(aps) if aps is not None else list(self._aps.values())
-        return self._server.localize_clients(fleet, list(client_ids))
+        return self.localize_many(
+            self._server.collect_buffered(fleet, list(client_ids)))
 
     # ------------------------------------------------------------------
     # Streaming sessions
@@ -466,13 +561,26 @@ class ArrayTrackService:
             # suppressed primary enters the one-pass synthesis.  The raw
             # batch entry is skipped so the server's batch-path suppressor
             # cannot run a second time over the already-suppressed output.
-            batch = {client_id: self._suppress_pending(session)
-                     for client_id, session in sessions.items()}
-            estimates = self._server.synthesize_batch(batch)
+            def synthesize(shard: List[str]) -> Dict[str, LocationEstimate]:
+                batch = {client_id: self._suppress_pending(sessions[client_id])
+                         for client_id in shard}
+                return self._server.synthesize_batch(batch)
         else:
-            batch = {client_id: session.pending_spectra()
-                     for client_id, session in sessions.items()}
-            estimates = self._server.localize_batch(batch)
+            def synthesize(shard: List[str]) -> Dict[str, LocationEstimate]:
+                batch = {client_id: sessions[client_id].pending_spectra()
+                         for client_id in shard}
+                return self._server.localize_batch(batch)
+
+        keys = list(sessions.keys())
+        shards = self._shards(keys)
+        if shards is None:
+            estimates = synthesize(keys)
+        else:
+            # Each worker shard runs the identical suppression + synthesis
+            # stages over its slice of the ready sessions; sessions are
+            # only read here, and the tracker commit below stays on the
+            # calling thread.
+            estimates = self._run_sharded(shards, synthesize)
         timestamps: Dict[str, float] = {}
         for client_id in estimates:
             session = sessions[client_id]

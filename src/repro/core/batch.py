@@ -21,8 +21,15 @@ observation:
 3. the Equation 8 product is folded per client, in each client's own
    spectrum order, so a batched fix is bit-for-bit identical to the same
    client localized alone;
-4. hill-climbing refinement (Section 2.5) stays per client, seeded from each
-   client's own likelihood plane.
+4. hill-climbing refinement (Section 2.5) is seeded from each client's own
+   likelihood plane and, by default, driven by the *vectorized* refiner
+   (:func:`repro.core.optimizer.refine_many`): each round stacks the
+   compass-neighbour candidates of every active climber of every client and
+   evaluates them in one Equation 8 pass per AP slot
+   (:class:`_StackedObjective`), replaying the serial climber's exact
+   tie-breaking and evaluation budget so refined fixes stay bit-for-bit
+   identical to the per-candidate reference path
+   (``LocalizerConfig.vectorized_refinement=False``).
 
 :class:`~repro.core.localizer.LocationEstimator` is a thin wrapper running
 this engine with a batch of one, so there is exactly one synthesis code
@@ -31,6 +38,7 @@ path to test and optimize.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -42,7 +50,7 @@ except ImportError:  # pragma: no cover - exercised via the forced fallback test
     _sparse = None
 
 from repro.errors import EstimationError
-from repro.geometry.vector import Point2D
+from repro.geometry.vector import Point2D, normalize_angle_deg
 from repro.core.cache import (
     BearingGridCache,
     default_bearing_cache,
@@ -53,7 +61,11 @@ from repro.core.localizer import (
     LocalizerConfig,
     LocationEstimate,
 )
-from repro.core.optimizer import HillClimbResult, refine_from_seeds
+from repro.core.optimizer import (
+    HillClimbResult,
+    refine_from_seeds,
+    refine_many,
+)
 from repro.core.spectrum import AoASpectrum
 
 __all__ = ["BatchLocalizer", "count_distinct_sources"]
@@ -71,6 +83,17 @@ def count_distinct_sources(spectra: Sequence[AoASpectrum]) -> int:
     named = {spectrum.ap_id for spectrum in spectra if spectrum.ap_id}
     anonymous = sum(1 for spectrum in spectra if not spectrum.ap_id)
     return len(named) + anonymous
+
+
+def _placement_key(spectrum: AoASpectrum) -> Tuple:
+    """Key identifying one AP placement + angle grid (shared fold/refine)."""
+    return (
+        float(spectrum.ap_position.x),
+        float(spectrum.ap_position.y),
+        float(spectrum.ap_orientation_deg),
+        int(spectrum.angles_deg.shape[0]),
+        float(spectrum.resolution_deg),
+    )
 
 
 @dataclass
@@ -124,6 +147,172 @@ class _FoldedBatch:
         values = self._rows[key]
         flat_index = int(np.argmax(values))
         return flat_index, float(values[flat_index])
+
+
+class _SlotEntry:
+    """One (slot index, AP placement) group of the stacked refinement.
+
+    Holds the stacked (and normalized) power rows of every client whose
+    ``slot``-th spectrum sits at this placement, plus the unit-index ->
+    power-row mapping the evaluator gathers through.
+    """
+
+    __slots__ = ("ap_x", "ap_y", "orientation_deg", "resolution_deg",
+                 "num_angles", "powers", "maxima", "membership", "rows")
+
+    def __init__(self, exemplar: AoASpectrum) -> None:
+        self.ap_x = float(exemplar.ap_position.x)
+        self.ap_y = float(exemplar.ap_position.y)
+        self.orientation_deg = float(exemplar.ap_orientation_deg)
+        self.resolution_deg = float(exemplar.resolution_deg)
+        self.num_angles = int(exemplar.angles_deg.shape[0])
+        self.powers: np.ndarray = np.empty(0)       # (jobs, angles), stacked
+        self.maxima: np.ndarray = np.empty(0)       # per-row max (floor term)
+        #: ``membership[u]`` is True when unit ``u`` has a row here; None
+        #: means *every* unit does (the rectangular fast path, where the
+        #: evaluator skips the boolean select entirely).
+        self.membership: Optional[np.ndarray] = None
+        self.rows: np.ndarray = np.empty(0, dtype=int)  # unit index -> row
+
+
+class _StackedObjective:
+    """Batched Section 2.5 objective: Equation 8 at arbitrary points.
+
+    The serial refinement objective is ``likelihood_at(normalized_spectra,
+    position, floor)`` with out-of-bounds candidates rated 0.0; this class
+    is its stacked equivalent for :func:`repro.core.optimizer.refine_many`:
+    ``evaluate(units, xs, ys)`` scores every candidate point against its
+    own client's spectra in one NumPy pass per (slot, AP placement) group.
+
+    Bit-exactness with the scalar path holds because every step performs
+    the identical elementwise arithmetic -- the ``arctan2`` bearing (with
+    :func:`~repro.geometry.vector.normalize_angle_deg`'s fold of a
+    float-rounded 360.0 back to 0.0), the circular interpolation of
+    :meth:`~repro.core.spectrum.AoASpectrum.interpolation_table`, the
+    collocated-point zero of
+    :meth:`~repro.core.spectrum.AoASpectrum.power_towards` and the floor
+    max of :func:`~repro.core.likelihood.likelihood_at` -- and because the
+    per-point product is folded slot by slot, i.e. in each client's own
+    spectrum order, exactly like the scalar fold.
+    """
+
+    def __init__(self, keys: Sequence[str],
+                 prepared: Mapping[str, List[AoASpectrum]],
+                 bounds: Tuple[float, float, float, float],
+                 config: LocalizerConfig) -> None:
+        self._bounds = bounds
+        self._floor = config.spectrum_floor
+        num_units = len(keys)
+        entries: Dict[Tuple[int, Tuple], _SlotEntry] = {}
+        jobs: Dict[Tuple[int, Tuple], List[Tuple[int, np.ndarray]]] = {}
+        max_slots = 0
+        for unit, key in enumerate(keys):
+            spectra = prepared[key]
+            max_slots = max(max_slots, len(spectra))
+            for slot, spectrum in enumerate(spectra):
+                group = (slot, _placement_key(spectrum))
+                if group not in entries:
+                    entries[group] = _SlotEntry(spectrum)
+                    jobs[group] = []
+                jobs[group].append((unit, spectrum.power))
+        #: Entries per slot index; iterating slots in ascending order folds
+        #: every client's product in its own spectrum order.
+        self._slots: List[List[_SlotEntry]] = [[] for _ in range(max_slots)]
+        for group, entry in entries.items():
+            slot = group[0]
+            group_jobs = jobs[group]
+            stacked = np.stack([power for _, power in group_jobs])
+            if config.normalize_spectra:
+                maxima = np.max(stacked, axis=1)
+                if np.any(maxima <= 0):
+                    raise EstimationError(
+                        "cannot normalize an all-zero spectrum")
+                stacked = stacked / maxima[:, None]
+            entry.powers = stacked
+            # ``likelihood_at`` floors against each (normalized) spectrum's
+            # own maximum, so recompute it on the rows actually evaluated.
+            entry.maxima = np.max(stacked, axis=1)
+            units = np.array([unit for unit, _ in group_jobs], dtype=int)
+            rows = np.zeros(num_units, dtype=int)
+            rows[units] = np.arange(units.shape[0])
+            entry.rows = rows
+            if units.shape[0] != num_units:
+                membership = np.zeros(num_units, dtype=bool)
+                membership[units] = True
+                entry.membership = membership
+            self._slots[slot].append(entry)
+
+    def evaluate(self, units: np.ndarray, xs: np.ndarray,
+                 ys: np.ndarray) -> np.ndarray:
+        """Return the refinement objective at every candidate point."""
+        units = np.asarray(units, dtype=int)
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        # The serial objective short-circuits out-of-bounds candidates to
+        # 0.0 without touching the spectra; do the same (climbers near the
+        # boundary probe outside every round) and fold only the rest.
+        xmin, ymin, xmax, ymax = self._bounds
+        inside = (xs >= xmin) & (xs <= xmax) & (ys >= ymin) & (ys <= ymax)
+        if not np.all(inside):
+            values = np.zeros(xs.shape[0])
+            kept = np.nonzero(inside)[0]
+            if kept.shape[0]:
+                values[kept] = self._fold_points(units[kept], xs[kept],
+                                                 ys[kept])
+            return values
+        return self._fold_points(units, xs, ys)
+
+    def _fold_points(self, units: np.ndarray, xs: np.ndarray,
+                     ys: np.ndarray) -> np.ndarray:
+        """Equation 8 product at in-bounds points, slot-ordered per client."""
+        likelihood = np.ones(xs.shape[0])
+        for slot_entries in self._slots:
+            for entry in slot_entries:
+                if entry.membership is None:
+                    likelihood *= self._spectrum_values(entry, units, xs, ys)
+                    continue
+                mask = entry.membership[units]
+                if not np.any(mask):
+                    continue
+                selected = np.nonzero(mask)[0]
+                likelihood[selected] *= self._spectrum_values(
+                    entry, units[selected], xs[selected], ys[selected])
+        return likelihood
+
+    def _spectrum_values(self, entry: _SlotEntry, owners: np.ndarray,
+                         xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """One placement's ``P_i(theta_i(x))`` term for a set of points."""
+        dx = xs - entry.ap_x
+        dy = ys - entry.ap_y
+        # The scalar objective takes its bearing from
+        # :func:`~repro.geometry.vector.bearing_deg`, i.e. ``math.atan2``.
+        # NumPy's ``arctan2`` kernel disagrees with libm in the last ulp for
+        # a few percent of inputs, which would break the bit-equality
+        # guarantee -- so the (cheap, candidates-only) bearing stays on the
+        # exact scalar call chain; everything after it is IEEE-exact
+        # elementwise arithmetic and safely vectorized.
+        bearings = np.array([
+            normalize_angle_deg(math.degrees(math.atan2(dy_i, dx_i)))
+            if (dx_i != 0.0 or dy_i != 0.0) else 0.0
+            for dx_i, dy_i in zip(dx.tolist(), dy.tolist())])
+        query = (bearings - entry.orientation_deg) % 360.0
+        positions = query / entry.resolution_deg
+        floor_positions = np.floor(positions)
+        lower = floor_positions.astype(int) % entry.num_angles
+        upper = (lower + 1) % entry.num_angles
+        fraction = positions - floor_positions
+        rows = entry.rows[owners]
+        values = (1.0 - fraction) * entry.powers[rows, lower] \
+            + fraction * entry.powers[rows, upper]
+        collocated = np.hypot(dx, dy) < 1e-9
+        if np.any(collocated):
+            # power_towards rates the AP's own location zero (the bearing
+            # is undefined there); the floor below still applies, exactly
+            # like the scalar path.
+            values[collocated] = 0.0
+        if self._floor > 0:
+            np.maximum(values, self._floor * entry.maxima[rows], out=values)
+        return values
 
 
 class BatchLocalizer:
@@ -186,9 +375,12 @@ class BatchLocalizer:
             raise EstimationError("cannot localize an empty client batch")
         prepared = self._prepare(spectra_by_client)
         folded = self._fold_batch(prepared)
+        seeds, heatmaps = self._seed_batch(prepared, folded)
+        refined = self._refine_batch(prepared, seeds)
         estimates: Dict[str, LocationEstimate] = {}
         for key, spectra in prepared.items():
-            estimates[key] = self._estimate_client(key, spectra, folded)
+            estimates[key] = self._estimate_client(
+                key, spectra, folded, heatmaps.get(key), refined.get(key))
         return estimates
 
     # ------------------------------------------------------------------
@@ -228,13 +420,7 @@ class BatchLocalizer:
     # ------------------------------------------------------------------
     @staticmethod
     def _placement_key(spectrum: AoASpectrum) -> Tuple:
-        return (
-            float(spectrum.ap_position.x),
-            float(spectrum.ap_position.y),
-            float(spectrum.ap_orientation_deg),
-            int(spectrum.angles_deg.shape[0]),
-            float(spectrum.resolution_deg),
-        )
+        return _placement_key(spectrum)
 
     def _interpolation_table(self, exemplar: AoASpectrum
                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -447,31 +633,87 @@ class BatchLocalizer:
         return _FoldedBatch(keys, rows=folded)
 
     # ------------------------------------------------------------------
-    # Stage 3/4: per-client seeding and refinement
+    # Stage 3/4: seeding and refinement
     # ------------------------------------------------------------------
-    def _estimate_client(self, key: str, spectra: List[AoASpectrum],
-                         folded: _FoldedBatch) -> LocationEstimate:
+    def _seed_batch(self, prepared: Mapping[str, List[AoASpectrum]],
+                    folded: _FoldedBatch
+                    ) -> Tuple[Dict[str, List[Tuple[Point2D, float]]],
+                               Dict[str, LikelihoodMap]]:
+        """Extract hill-climb seeds (and optionally heatmaps) per client.
+
+        Each client's folded plane is viewed as a grid map just long enough
+        to rank its top cells; the map itself is only *retained* under
+        ``keep_heatmap`` (on the cell-major fold path ``flat_values``
+        copies, so holding every client's map alive through refinement
+        would double the batch's peak memory for nothing).  Grid-only
+        estimates without ``keep_heatmap`` skip the reshape entirely and
+        use the batched argmax.
+        """
+        needs_seeds = self.config.refine_with_hill_climbing
+        if not needs_seeds and not self.config.keep_heatmap:
+            return {}, {}
         x_coords, y_coords = grid_axes(self.bounds,
                                        self.config.grid_resolution_m)
         shape = (y_coords.shape[0], x_coords.shape[0])
-        needs_map = self.config.refine_with_hill_climbing \
-            or self.config.keep_heatmap
-        heatmap: Optional[LikelihoodMap] = None
-        if needs_map:
-            values = folded.flat_values(key)
-            heatmap = LikelihoodMap(x_coords, y_coords, values.reshape(shape))
-        if self.config.refine_with_hill_climbing:
-            assert heatmap is not None
-            seeds = heatmap.top_positions(self.config.num_seeds)
+        seeds: Dict[str, List[Tuple[Point2D, float]]] = {}
+        heatmaps: Dict[str, LikelihoodMap] = {}
+        for key in prepared:
+            heatmap = LikelihoodMap(x_coords, y_coords,
+                                    folded.flat_values(key).reshape(shape))
+            if needs_seeds:
+                seeds[key] = heatmap.top_positions(self.config.num_seeds)
+            if self.config.keep_heatmap:
+                heatmaps[key] = heatmap
+        return seeds, heatmaps
+
+    def _refine_batch(self, prepared: Mapping[str, List[AoASpectrum]],
+                      seeds_by_key: Mapping[str, List[Tuple[Point2D, float]]]
+                      ) -> Dict[str, HillClimbResult]:
+        """Run the Section 2.5 hill climbing for every client of the batch.
+
+        With ``vectorized_refinement`` (the default) all clients climb
+        together: each round evaluates the stacked candidates of every
+        active climber through :class:`_StackedObjective` -- one Equation 8
+        pass per AP slot instead of one Python call per candidate point.
+        The serial reference path runs :func:`refine_from_seeds` per client;
+        both produce bit-for-bit identical results.
+        """
+        if not self.config.refine_with_hill_climbing:
+            return {}
+        keys = list(prepared.keys())
+        initial_step_m = self.config.grid_resolution_m / 2.0
+        min_step_m = self.config.grid_resolution_m / 20.0
+        if self.config.vectorized_refinement:
+            objective = _StackedObjective(keys, prepared, self.bounds,
+                                          self.config)
+            results = refine_many(objective.evaluate,
+                                  [seeds_by_key[key] for key in keys],
+                                  initial_step_m=initial_step_m,
+                                  min_step_m=min_step_m)
+            return dict(zip(keys, results))
+        refined: Dict[str, HillClimbResult] = {}
+        for key in keys:
+            spectra = prepared[key]
             normalized = [s.normalized() for s in spectra] \
                 if self.config.normalize_spectra else spectra
-            result = self._refine(normalized, seeds)
-            position, value = result.position, result.value
+            refined[key] = self._refine(normalized, seeds_by_key[key],
+                                        initial_step_m, min_step_m)
+        return refined
+
+    def _estimate_client(self, key: str, spectra: List[AoASpectrum],
+                         folded: _FoldedBatch,
+                         heatmap: Optional[LikelihoodMap],
+                         refined: Optional[HillClimbResult]
+                         ) -> LocationEstimate:
+        if refined is not None:
+            position, value = refined.position, refined.value
         else:
             # Grid-only estimates only need the peak cell, so skip the full
             # seed ranking and take the (batch-vectorized) argmax directly.
+            x_coords, y_coords = grid_axes(self.bounds,
+                                           self.config.grid_resolution_m)
             flat_index, value = folded.peak(key)
-            row, column = divmod(flat_index, shape[1])
+            row, column = divmod(flat_index, x_coords.shape[0])
             position = Point2D(float(x_coords[column]), float(y_coords[row]))
         client = key or (spectra[0].client_id if spectra else "")
         return LocationEstimate(
@@ -483,8 +725,10 @@ class BatchLocalizer:
         )
 
     def _refine(self, spectra: Sequence[AoASpectrum],
-                seeds: Sequence[Tuple[Point2D, float]]) -> HillClimbResult:
-        """Run the Section 2.5 hill climbing for one client of the batch."""
+                seeds: Sequence[Tuple[Point2D, float]],
+                initial_step_m: float,
+                min_step_m: float) -> HillClimbResult:
+        """Serial reference refinement for one client (one call per point)."""
 
         def objective(position: Point2D) -> float:
             if not self._within_bounds(position):
@@ -492,10 +736,9 @@ class BatchLocalizer:
             return likelihood_at(spectra, position,
                                  floor=self.config.spectrum_floor)
 
-        return refine_from_seeds(
-            objective, seeds,
-            initial_step_m=self.config.grid_resolution_m / 2.0,
-            min_step_m=self.config.grid_resolution_m / 20.0)
+        return refine_from_seeds(objective, seeds,
+                                 initial_step_m=initial_step_m,
+                                 min_step_m=min_step_m)
 
     def _within_bounds(self, position: Point2D) -> bool:
         xmin, ymin, xmax, ymax = self.bounds

@@ -27,6 +27,7 @@ immutable lookup tables, never as scratch space.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
@@ -102,6 +103,13 @@ class SteeringCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        # The service's thread-sharded execution drives this cache from
+        # worker threads; the lookup/move-to-end/evict sequences are not
+        # atomic on their own (a concurrent eviction between get() and
+        # move_to_end() raises KeyError), so every entry/stats mutation
+        # takes this lock.  The (expensive) table computation itself stays
+        # outside: a racing duplicate compute is benign and identical.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -139,23 +147,32 @@ class SteeringCache:
         angles = np.ascontiguousarray(np.asarray(angles_deg, dtype=float))
         positions = np.ascontiguousarray(geometry.element_positions)
         key = self._key(positions, angles, wavelength_m, elevation_deg)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats.misses += 1
         steering = geometry.steering_matrix(angles, elevation_deg, wavelength_m)
         entry = _readonly(np.ascontiguousarray(steering))
-        self._entries[key] = entry
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Another thread computed the same table first; both are
+                # identical, keep the stored one.
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return entry
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; use ``stats.reset()``)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 @dataclass(frozen=True)
@@ -219,6 +236,9 @@ class BearingGridCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple, BearingGrid]" = OrderedDict()
+        # See SteeringCache: worker threads share this cache, so entry and
+        # stats mutations are locked; the arctan2 sweep runs outside.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -237,12 +257,13 @@ class BearingGridCache:
             float(ap_position.x),
             float(ap_position.y),
         )
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats.misses += 1
         x_coords, y_coords = grid_axes(bounds, resolution_m)
         grid_x, grid_y = np.meshgrid(x_coords, y_coords)
         dx = grid_x - float(ap_position.x)
@@ -253,15 +274,21 @@ class BearingGridCache:
             y_coords=_readonly(y_coords),
             bearings_deg=_readonly(np.ascontiguousarray(bearings.ravel())),
         )
-        self._entries[key] = entry
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return entry
 
     def clear(self) -> None:
         """Drop every entry (counters are kept; use ``stats.reset()``)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 # ----------------------------------------------------------------------

@@ -63,8 +63,21 @@ class LikelihoodMap:
 
     @property
     def resolution_m(self) -> float:
-        """Grid spacing in metres (assumed equal along x and y)."""
-        return float(self.x_coords[1] - self.x_coords[0])
+        """Grid spacing in metres (assumed equal along x and y).
+
+        Tight search bounds can collapse an axis to a single cell (the
+        seed code then died with a bare ``IndexError`` on ``x_coords[1]``,
+        taking :meth:`top_positions` and hill-climb seeding down with it).
+        A one-cell axis carries no spacing information, so the other axis
+        answers for it; a fully degenerate 1x1 map reports 0.0, which
+        :meth:`top_positions` handles naturally (its single cell is always
+        returned, no separation applies).
+        """
+        if self.x_coords.shape[0] >= 2:
+            return float(self.x_coords[1] - self.x_coords[0])
+        if self.y_coords.shape[0] >= 2:
+            return float(self.y_coords[1] - self.y_coords[0])
+        return 0.0
 
     def peak_position(self) -> Point2D:
         """Return the grid point with the highest likelihood."""

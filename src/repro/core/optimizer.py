@@ -16,14 +16,35 @@ plateaus that a coarse angle grid can create.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import EstimationError
 from repro.geometry.vector import Point2D
 
-__all__ = ["HillClimbResult", "hill_climb", "refine_from_seeds"]
+__all__ = [
+    "HillClimbResult",
+    "hill_climb",
+    "refine_from_seeds",
+    "refine_many",
+]
 
 LikelihoodFunction = Callable[[Point2D], float]
+
+#: Batched likelihood evaluator used by :func:`refine_many`.  Called with
+#: three equal-length arrays -- the unit (client) index of each candidate
+#: point plus its x/y coordinates -- and returns the likelihood of every
+#: candidate, evaluated against its own unit's objective.
+BatchLikelihoodFunction = Callable[
+    [np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+#: Compass-neighbour probe order of the pattern search.  The serial climber
+#: and the vectorized :func:`refine_many` share this single definition, so
+#: their first-improvement tie-breaking can never drift apart.
+_NEIGHBOUR_DIRECTIONS: Tuple[Tuple[float, float], ...] = (
+    (1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0))
 
 
 @dataclass(frozen=True)
@@ -75,7 +96,8 @@ def hill_climb(likelihood: LikelihoodFunction, start: Point2D,
     step = initial_step_m
     while step >= min_step_m and evaluations < max_evaluations:
         moved = False
-        for dx, dy in ((step, 0.0), (-step, 0.0), (0.0, step), (0.0, -step)):
+        for unit_dx, unit_dy in _NEIGHBOUR_DIRECTIONS:
+            dx, dy = unit_dx * step, unit_dy * step
             candidate = Point2D(current.x + dx, current.y + dy)
             value = likelihood(candidate)
             evaluations += 1
@@ -106,3 +128,152 @@ def refine_from_seeds(likelihood: LikelihoodFunction,
     for position, _ in seeds:
         results.append(hill_climb(likelihood, position, initial_step_m, min_step_m))
     return max(results, key=lambda r: r.value)
+
+
+class _Climber:
+    """Mutable state of one (unit, seed) hill climb inside the batch."""
+
+    __slots__ = ("unit", "x", "y", "value", "evaluations", "step")
+
+    def __init__(self, unit: int, x: float, y: float, step: float) -> None:
+        self.unit = unit
+        self.x = x
+        self.y = y
+        self.value = 0.0
+        self.evaluations = 0
+        self.step = step
+
+    def active(self, min_step_m: float, max_evaluations: int) -> bool:
+        return self.step >= min_step_m and self.evaluations < max_evaluations
+
+    def result(self) -> HillClimbResult:
+        return HillClimbResult(position=Point2D(self.x, self.y),
+                               value=self.value,
+                               iterations=self.evaluations)
+
+
+def refine_many(evaluate: BatchLikelihoodFunction,
+                seeds_by_unit: Sequence[Sequence[Tuple[Point2D, float]]],
+                initial_step_m: float = 0.05,
+                min_step_m: float = 0.005,
+                max_evaluations: int = 400) -> List[HillClimbResult]:
+    """Hill climb every seed of every unit, batching the evaluations.
+
+    Functionally this is :func:`refine_from_seeds` applied independently to
+    each unit (client) of a batch; the difference is purely *how* the
+    likelihood gets evaluated.  Instead of one Python call per candidate
+    point, the candidates of every still-active climber are collected once
+    per round -- all seeds in round zero, then the four compass neighbours
+    of each climber -- and handed to ``evaluate`` as one stacked request, so
+    a batched caller (:class:`repro.core.batch.BatchLocalizer`) folds the
+    Equation 8 product of *all* clients' candidates in a handful of NumPy
+    passes per round.
+
+    The serial climber's semantics are replayed exactly on the returned
+    values: neighbours are considered in the shared probe order, the first
+    strict improvement moves the climber (later neighbours of that round are
+    discarded *and not charged to the budget*), the evaluation budget stops
+    a scan mid-neighbour exactly where :func:`hill_climb` would, an
+    improvement-free round halves the step, and per unit the best seed wins
+    with first-seed tie-breaking.  Results are therefore bit-for-bit
+    identical to running :func:`refine_from_seeds` per unit with a scalar
+    objective that matches ``evaluate``.
+
+    Parameters
+    ----------
+    evaluate:
+        Batched likelihood: ``evaluate(units, xs, ys)`` returns one value
+        per candidate, where ``units[i]`` is the index (into
+        ``seeds_by_unit``) of the unit owning candidate ``i``.
+    seeds_by_unit:
+        Per unit, the ``(position, grid_likelihood)`` seed pairs that
+        :func:`refine_from_seeds` takes.
+    initial_step_m, min_step_m, max_evaluations:
+        As in :func:`hill_climb`, applied to every climber independently.
+
+    Returns
+    -------
+    list
+        One :class:`HillClimbResult` per unit, in ``seeds_by_unit`` order.
+    """
+    if initial_step_m <= 0 or min_step_m <= 0:
+        raise EstimationError("step sizes must be positive")
+    if min_step_m > initial_step_m:
+        raise EstimationError("min_step_m must not exceed initial_step_m")
+    if max_evaluations < 1:
+        raise EstimationError("max_evaluations must be >= 1")
+    climbers: List[_Climber] = []
+    owners: List[List[_Climber]] = []
+    for unit, seeds in enumerate(seeds_by_unit):
+        seeds = list(seeds)
+        if not seeds:
+            raise EstimationError("need at least one seed position")
+        mine: List[_Climber] = []
+        for position, _ in seeds:
+            climber = _Climber(unit, float(position.x), float(position.y),
+                               initial_step_m)
+            climbers.append(climber)
+            mine.append(climber)
+        owners.append(mine)
+
+    def _evaluate(points: List[Tuple[int, float, float]]) -> np.ndarray:
+        units = np.array([unit for unit, _, _ in points], dtype=int)
+        xs = np.array([x for _, x, _ in points], dtype=float)
+        ys = np.array([y for _, _, y in points], dtype=float)
+        values = np.asarray(evaluate(units, xs, ys), dtype=float)
+        if values.shape != xs.shape:
+            raise EstimationError(
+                f"batched likelihood returned shape {values.shape} for "
+                f"{xs.shape[0]} candidates")
+        return values
+
+    # Round zero: every climber's seed, in one stacked evaluation.
+    seed_values = _evaluate([(c.unit, c.x, c.y) for c in climbers])
+    for climber, value in zip(climbers, seed_values):
+        climber.value = float(value)
+        climber.evaluations = 1
+
+    active = [c for c in climbers
+              if c.active(min_step_m, max_evaluations)]
+    while active:
+        # All four compass neighbours of every active climber, stacked.
+        # The serial scan often stops early, so some of these values go
+        # unused -- the replay below charges the budget only for the
+        # evaluations the serial climber would actually have made, which
+        # keeps ``iterations`` (and every downstream decision) identical.
+        candidates: List[Tuple[int, float, float]] = []
+        for climber in active:
+            step = climber.step
+            for unit_dx, unit_dy in _NEIGHBOUR_DIRECTIONS:
+                candidates.append((climber.unit,
+                                   climber.x + unit_dx * step,
+                                   climber.y + unit_dy * step))
+        values = _evaluate(candidates)
+        for index, climber in enumerate(active):
+            base = index * len(_NEIGHBOUR_DIRECTIONS)
+            moved = False
+            for offset, (unit_dx, unit_dy) in enumerate(_NEIGHBOUR_DIRECTIONS):
+                value = float(values[base + offset])
+                climber.evaluations += 1
+                if value > climber.value:
+                    climber.x += unit_dx * climber.step
+                    climber.y += unit_dy * climber.step
+                    climber.value = value
+                    moved = True
+                    break
+                if climber.evaluations >= max_evaluations:
+                    break
+            if not moved:
+                climber.step /= 2.0
+        active = [c for c in active
+                  if c.active(min_step_m, max_evaluations)]
+
+    results: List[HillClimbResult] = []
+    for mine in owners:
+        best: Optional[_Climber] = None
+        for climber in mine:
+            if best is None or climber.value > best.value:
+                best = climber
+        assert best is not None
+        results.append(best.result())
+    return results

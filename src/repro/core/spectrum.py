@@ -44,9 +44,16 @@ def default_angle_grid(resolution_deg: float = DEFAULT_ANGLE_RESOLUTION_DEG,
     if abs((180.0 / resolution_deg) - round(180.0 / resolution_deg)) > 1e-9:
         raise EstimationError(
             f"angle resolution must divide 180 evenly, got {resolution_deg!r}")
+    # Build both grids on their exact point count.  The previous
+    # ``np.arange(0, 180 + res/2, res)`` endpoint construction let float
+    # accumulation drop or duplicate the 180-degree seam point for
+    # resolutions like 0.3 whose reciprocal is inexact; ``np.linspace``
+    # pins both the count and the endpoints, so ``grid[-1]`` is exactly
+    # 180.0 (half circle) and 360.0 is exactly excluded (full circle).
+    half_points = int(round(180.0 / resolution_deg))
     if full_circle:
-        return np.arange(0.0, 360.0, resolution_deg)
-    return np.arange(0.0, 180.0 + resolution_deg / 2.0, resolution_deg)
+        return np.linspace(0.0, 360.0, 2 * half_points, endpoint=False)
+    return np.linspace(0.0, 180.0, half_points + 1)
 
 
 @dataclass

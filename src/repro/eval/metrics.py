@@ -52,10 +52,25 @@ class ErrorStatistics:
 
 
 def summarize_errors(errors_cm: Sequence[float] | np.ndarray) -> ErrorStatistics:
-    """Return :class:`ErrorStatistics` for a sample of errors in centimetres."""
+    """Return :class:`ErrorStatistics` for a sample of errors in centimetres.
+
+    Raises
+    ------
+    EstimationError
+        If the sample is empty, contains non-finite values (every
+        comparison against NaN is False, so the old ``errors < 0`` guard
+        silently admitted NaN and poisoned every quantile; +inf slips the
+        same guard and poisons the mean/max), or contains negative values.
+    """
     errors = np.asarray(list(errors_cm), dtype=float)
     if errors.size == 0:
         raise EstimationError("cannot summarize an empty error sample")
+    bad_count = int(np.count_nonzero(~np.isfinite(errors)))
+    if bad_count:
+        raise EstimationError(
+            f"error sample contains {bad_count} non-finite value(s) "
+            f"(NaN/inf) out of {errors.size}; they would silently poison "
+            f"every quantile")
     if np.any(errors < 0):
         raise EstimationError("errors must be non-negative")
     return ErrorStatistics(
@@ -85,6 +100,12 @@ def empirical_cdf(errors_cm: Sequence[float] | np.ndarray,
     errors = np.sort(np.asarray(list(errors_cm), dtype=float))
     if errors.size == 0:
         raise EstimationError("cannot compute the CDF of an empty sample")
+    bad_count = int(np.count_nonzero(~np.isfinite(errors)))
+    if bad_count:
+        raise EstimationError(
+            f"error sample contains {bad_count} non-finite value(s) "
+            f"(NaN/inf) out of {errors.size}; they sort above every grid "
+            f"point and would silently deflate the CDF")
     if grid_cm is None:
         # Pad the top of the grid slightly so the largest sample is always
         # counted despite floating-point rounding of the log spacing.

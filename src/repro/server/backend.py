@@ -226,14 +226,16 @@ class ArrayTrackServer:
                 spectra_by_ap[ap.ap_id] = spectra
         return self._localize_spectra(spectra_by_ap, client_id=client_id)
 
-    def localize_clients(self, aps: Sequence[ArrayTrackAP],
-                         client_ids: Sequence[str]) -> Dict[str, LocationEstimate]:
-        """Batch-localize every client in ``client_ids`` from buffered frames.
+    def collect_buffered(self, aps: Sequence[ArrayTrackAP],
+                         client_ids: Sequence[str]
+                         ) -> Dict[str, Dict[str, List[AoASpectrum]]]:
+        """Gather the buffered per-AP spectra of every requested client.
 
-        Clients no AP currently holds frames for (never transmitted, or
-        their frames aged out of the circular buffers) are omitted from the
-        result rather than failing the whole sweep; callers detect them by
-        diffing the returned keys against ``client_ids``.
+        This is the collection half of :meth:`localize_clients`, exposed
+        separately so the service facade can shard the resulting batch
+        across workers while keeping one definition of which frames enter
+        a buffered sweep.  Clients no AP currently holds frames for are
+        omitted from the result.
 
         Raises
         ------
@@ -256,7 +258,25 @@ class ArrayTrackServer:
         if not spectra_by_client:
             raise EstimationError(
                 "none of the requested clients has any buffered frames")
-        return self.localize_batch(spectra_by_client)
+        return spectra_by_client
+
+    def localize_clients(self, aps: Sequence[ArrayTrackAP],
+                         client_ids: Sequence[str]) -> Dict[str, LocationEstimate]:
+        """Batch-localize every client in ``client_ids`` from buffered frames.
+
+        Clients no AP currently holds frames for (never transmitted, or
+        their frames aged out of the circular buffers) are omitted from the
+        result rather than failing the whole sweep; callers detect them by
+        diffing the returned keys against ``client_ids``.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``aps`` is empty.
+        EstimationError
+            If none of the requested clients has any buffered frames.
+        """
+        return self.localize_batch(self.collect_buffered(aps, client_ids))
 
     # ------------------------------------------------------------------
     # Latency accounting (Section 4.4)
@@ -265,6 +285,16 @@ class ArrayTrackServer:
     def last_processing_s(self) -> Optional[float]:
         """Wall-clock duration of the most recent synthesis step, if measured."""
         return self._last_processing_s
+
+    def record_processing_time(self, seconds: float) -> None:
+        """Overwrite the measured processing time of the most recent fix.
+
+        Used by the service facade's sharded execution: each shard's own
+        measurement covers only that shard, so after a parallel pass the
+        facade records the wall-clock duration of the *whole* batch here,
+        keeping :meth:`latency_breakdown` meaningful.
+        """
+        self._last_processing_s = float(seconds)
 
     def latency_breakdown(self, payload_bytes: int = 1500,
                           bitrate_mbps: float = 54.0,

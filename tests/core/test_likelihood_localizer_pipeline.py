@@ -80,6 +80,45 @@ class TestLikelihood:
         with pytest.raises(EstimationError):
             synthesize_likelihood([spectrum], (0, 0, 1, 1))
 
+    def test_degenerate_single_column_bounds(self):
+        # Regression: bounds tighter than one grid cell along x collapse
+        # the map to a single column; ``resolution_m`` read x_coords[1]
+        # unconditionally and died with a bare IndexError, taking
+        # top_positions and hill-climb seeding down with it.
+        target = Point2D(5.04, 4.0)
+        spectra = [_spectrum_towards(Point2D(5.0, 0.0), target),
+                   _spectrum_towards(Point2D(5.1, 9.0), target)]
+        heatmap = synthesize_likelihood(spectra, (5.0, 0.0, 5.05, 9.0),
+                                        resolution_m=0.1)
+        assert heatmap.values.shape[1] == 1
+        # The one-cell x axis answers with the y spacing.
+        assert heatmap.resolution_m == pytest.approx(0.1)
+        tops = heatmap.top_positions(3)
+        assert len(tops) >= 1
+        assert all(position.x == 5.0 for position, _ in tops)
+
+    def test_degenerate_single_cell_map(self):
+        target = Point2D(5.0, 4.0)
+        spectra = [_spectrum_towards(Point2D(0.0, 4.0), target)]
+        heatmap = synthesize_likelihood(spectra, (5.0, 4.0, 5.04, 4.04),
+                                        resolution_m=0.1)
+        assert heatmap.values.shape == (1, 1)
+        assert heatmap.resolution_m == 0.0
+        [(position, value)] = heatmap.top_positions(3)
+        assert (position.x, position.y) == (5.0, 4.0)
+        assert value == heatmap.values[0, 0]
+
+    def test_estimator_survives_degenerate_bounds(self):
+        # End to end: grid seeding plus hill climbing on a one-column map.
+        target = Point2D(5.02, 4.0)
+        spectra = [_spectrum_towards(Point2D(5.0, 0.0), target),
+                   _spectrum_towards(Point2D(5.1, 9.0), target)]
+        estimator = LocationEstimator(
+            (5.0, 0.0, 5.05, 9.0), LocalizerConfig(grid_resolution_m=0.1))
+        estimate = estimator.estimate(spectra, client_id="edge")
+        assert 5.0 <= estimate.position.x <= 5.05
+        assert estimate.likelihood > 0.0
+
 
 class TestHillClimbing:
     def test_converges_to_smooth_maximum(self):

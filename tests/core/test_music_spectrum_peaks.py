@@ -89,6 +89,31 @@ class TestAoASpectrum:
         with pytest.raises(EstimationError):
             AoASpectrum(np.arange(4.0), np.array([1.0, -1.0, 0.0, 0.0]))
 
+    @pytest.mark.parametrize("resolution_deg", [0.1, 0.3, 0.75, 0.9, 1.0, 2.0])
+    def test_half_circle_grid_seam_is_exact(self, resolution_deg):
+        # Regression: the old ``np.arange(0, 180 + res/2, res)`` endpoint
+        # construction let float accumulation drop or duplicate the 180
+        # degree seam point for resolutions whose reciprocal is inexact
+        # (0.3, 0.9, ...).  The grid is now built on its exact point count.
+        grid = default_angle_grid(resolution_deg, full_circle=False)
+        expected_points = int(round(180.0 / resolution_deg)) + 1
+        assert grid.shape[0] == expected_points
+        assert grid[0] == 0.0
+        assert grid[-1] == 180.0  # bitwise exact, not approx
+        assert np.all(np.diff(grid) > 0)
+        # The half grid must mirror cleanly onto the full circle.
+        spectrum = AoASpectrum.from_half_spectrum(
+            grid, np.ones_like(grid))
+        assert spectrum.angles_deg.shape[0] == 2 * (expected_points - 1)
+
+    @pytest.mark.parametrize("resolution_deg", [0.3, 0.9, 1.0, 2.0])
+    def test_full_circle_grid_excludes_360_exactly(self, resolution_deg):
+        grid = default_angle_grid(resolution_deg, full_circle=True)
+        assert grid.shape[0] == int(round(360.0 / resolution_deg))
+        assert grid[0] == 0.0
+        assert grid[-1] < 360.0
+        assert np.all(np.diff(grid) > 0)
+
     def test_mirror_from_half_spectrum(self):
         angles = default_angle_grid(1.0, full_circle=False)
         power = np.exp(-0.5 * ((angles - 60.0) / 5.0) ** 2)

@@ -33,6 +33,23 @@ class TestMetrics:
         with pytest.raises(EstimationError):
             summarize_errors([-1.0])
 
+    def test_non_finite_sample_rejected_with_count(self):
+        # Regression: every comparison against NaN is False, so the old
+        # ``errors < 0`` guard accepted NaN and every quantile came back
+        # NaN; +inf slipped the same guard and poisoned mean/max.  The
+        # error must name how many samples are offending.
+        with pytest.raises(EstimationError,
+                           match=r"2 non-finite value\(s\) \(NaN/inf\) out of 4"):
+            summarize_errors([10.0, float("nan"), np.nan, 30.0])
+        with pytest.raises(EstimationError, match="non-finite"):
+            summarize_errors([10.0, float("inf")])
+        with pytest.raises(EstimationError, match="non-finite"):
+            empirical_cdf([10.0, float("nan")])
+        with pytest.raises(EstimationError, match="non-finite"):
+            empirical_cdf([10.0, float("inf")])
+        # Plain finite samples are unaffected.
+        assert summarize_errors([10.0, 30.0]).median_cm == pytest.approx(20.0)
+
     @given(error_samples)
     def test_summary_invariants(self, sample):
         stats = summarize_errors(sample)
