@@ -16,7 +16,7 @@ front half of the server pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -232,10 +232,83 @@ class ArrayTrackAP:
         return self._spectrum_computer.compute(snapshots, self.array,
                                                self.linear_indices)
 
+    def compute_spectra(self, entries: Sequence[BufferEntry]
+                        ) -> List[AoASpectrum]:
+        """Return the AoA spectra of many buffered frames in one batched pass.
+
+        The AP-level entry point of the vectorized Section 2.3 frontend:
+        the entries' calibrated snapshots enter
+        :meth:`~repro.core.pipeline.SpectrumComputer.compute_many` (or its
+        symmetry-resolving sibling) as one stack, so the whole batch costs
+        one covariance/eigh/projection sweep instead of one per frame.
+        Entries whose captures differ in snapshot shape (e.g. a Figure 19
+        sample-count sweep left mixed frames in the buffer) are grouped by
+        shape and batched per group.  Results are returned in input order
+        and are bit-for-bit identical to :meth:`compute_spectrum` per
+        entry.
+        """
+        entries = list(entries)
+        if not entries:
+            return []
+        if not self.config.spectrum.vectorized_frontend:
+            # The serial reference path, frame by frame.
+            return [self.compute_spectrum(entry) for entry in entries]
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for index, entry in enumerate(entries):
+            groups.setdefault(entry.snapshots.samples.shape, []).append(index)
+        spectra: List[Optional[AoASpectrum]] = [None] * len(entries)
+        for indices in groups.values():
+            stack = np.stack([entries[index].snapshots.samples
+                              for index in indices])
+            if self.config.apply_phase_offsets:
+                # All frames' phase offsets compensated in one broadcast
+                # multiply (elementwise identical to per-frame
+                # ``_compensate``).
+                correction = np.exp(-1j * self._calibration_offsets)[:, None]
+                stack = stack * correction[None, :, :]
+            metadata = [entries[index].snapshots for index in indices]
+            if self.config.use_symmetry_antenna:
+                outputs = self._spectrum_computer.compute_many_with_symmetry_stacked(
+                    stack, metadata, self.array, self.linear_indices)
+            else:
+                outputs = self._spectrum_computer.compute_many_stacked(
+                    stack, metadata, self.array, self.linear_indices)
+            for index, spectrum in zip(indices, outputs):
+                spectra[index] = spectrum
+        return spectra  # type: ignore[return-value]
+
     def spectra_for_client(self, client_id: str) -> List[AoASpectrum]:
-        """Return spectra for every buffered frame of ``client_id``."""
-        return [self.compute_spectrum(entry)
-                for entry in self.buffer.entries_for_client(client_id)]
+        """Return spectra for every buffered frame of ``client_id``.
+
+        All of the client's buffered frames run through the batched
+        frontend in one :meth:`compute_spectra` call.
+        """
+        return self.compute_spectra(self.buffer.entries_for_client(client_id))
+
+    def spectra_for_clients(self, client_ids: Sequence[str]
+                            ) -> Dict[str, List[AoASpectrum]]:
+        """Return per-client spectra for every requested client's frames.
+
+        All requested clients' buffered frames are stacked into *one*
+        batched frontend pass (the per-AP collection step of
+        :meth:`repro.server.backend.ArrayTrackServer.collect_buffered`),
+        then split back per client.  Clients without buffered frames are
+        omitted.
+        """
+        entries_by_client = {
+            client_id: self.buffer.entries_for_client(client_id)
+            for client_id in client_ids}
+        flat = [entry for client_id in client_ids
+                for entry in entries_by_client[client_id]]
+        spectra = self.compute_spectra(flat)
+        result: Dict[str, List[AoASpectrum]] = {}
+        cursor = 0
+        for client_id in client_ids:
+            count = len(entries_by_client[client_id])
+            if count:
+                result[client_id] = spectra[cursor:cursor + count]
+            cursor += count
+        return result
 
     def clear(self) -> None:
         """Drop all buffered frames (between experiment runs)."""

@@ -489,17 +489,83 @@ class ArrayTrackService:
         session.add(ap_id, spectrum, resolved_ts)
         return session
 
+    def ingest_many(self, ap: Union[str, ArrayTrackAP, None],
+                    items: Sequence[Union[AoASpectrum, BufferEntry]],
+                    client_id: Optional[str] = None,
+                    timestamp_s: Optional[float] = None) -> List[Session]:
+        """Accumulate many frames of one AP in a single batched pass.
+
+        The streaming counterpart of the batched Section 2.3 frontend:
+        where :meth:`ingest` computes one spectrum per raw
+        :class:`~repro.ap.buffer.BufferEntry`, this entry point stacks all
+        of the batch's raw entries into one
+        :meth:`~repro.ap.access_point.ArrayTrackAP.compute_spectra` call
+        (already-computed :class:`~repro.core.spectrum.AoASpectrum` items
+        pass straight through), then feeds every frame into its client's
+        session exactly like repeated :meth:`ingest` calls would -- same
+        sessions, same pending order, bit-for-bit identical fixes at the
+        next :meth:`tick`.
+
+        Parameters
+        ----------
+        ap:
+            The receiving AP, as in :meth:`ingest`; raw buffer entries
+            require a resolvable :class:`~repro.ap.access_point.ArrayTrackAP`.
+        items:
+            The frames, in arrival order: spectra and/or raw buffer entries.
+        client_id, timestamp_s:
+            Optional overrides applied to every frame, as in :meth:`ingest`.
+
+        Returns
+        -------
+        list of Session
+            The per-frame sessions, in input order (one client streaming a
+            burst yields the same session object repeated).
+        """
+        items = list(items)
+        entry_indices = [index for index, item in enumerate(items)
+                         if isinstance(item, BufferEntry)]
+        spectra: List[Union[AoASpectrum, BufferEntry]] = list(items)
+        if entry_indices:
+            ap_obj = self._resolve_ap(ap)
+            if ap_obj is None:
+                raise ConfigurationError(
+                    "ingesting raw BufferEntries needs their capturing AP: "
+                    "pass the ArrayTrackAP object, or register it first via "
+                    "build_ap()/adopt_aps()")
+            batch = ap_obj.compute_spectra(
+                [items[index] for index in entry_indices])
+            for index, spectrum in zip(entry_indices, batch):
+                spectra[index] = spectrum
+        sessions: List[Session] = []
+        for spectrum in spectra:
+            resolved, ap_id = self._resolve_frame(ap, spectrum)
+            resolved_client = client_id if client_id else resolved.client_id
+            if not resolved_client:
+                raise ConfigurationError(
+                    "cannot ingest a frame without a client id (pass "
+                    "client_id= or use spectra that carry one)")
+            resolved_ts = timestamp_s if timestamp_s is not None \
+                else resolved.timestamp_s
+            session = self.session(resolved_client)
+            session.add(ap_id, resolved, resolved_ts)
+            sessions.append(session)
+        return sessions
+
+    def _resolve_ap(self, ap: Union[str, ArrayTrackAP, None]
+                    ) -> Optional[ArrayTrackAP]:
+        """Resolve an AP argument to a registered ArrayTrackAP, if possible."""
+        if isinstance(ap, ArrayTrackAP):
+            return ap
+        if ap is not None:
+            return self._aps.get(str(ap))
+        return None
+
     def _resolve_frame(self, ap: Union[str, ArrayTrackAP, None],
                        item: Union[AoASpectrum, BufferEntry]
                        ) -> Tuple[AoASpectrum, str]:
         if isinstance(item, BufferEntry):
-            ap_obj: Optional[ArrayTrackAP]
-            if isinstance(ap, ArrayTrackAP):
-                ap_obj = ap
-            elif ap is not None:
-                ap_obj = self._aps.get(str(ap))
-            else:
-                ap_obj = None
+            ap_obj = self._resolve_ap(ap)
             if ap_obj is None:
                 raise ConfigurationError(
                     "ingesting a raw BufferEntry needs its capturing AP: "

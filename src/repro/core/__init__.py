@@ -17,31 +17,49 @@ from repro.core.cache import (
     BearingGridCache,
     CacheStats,
     SteeringCache,
+    WindowCache,
     clear_default_caches,
     default_bearing_cache,
     default_steering_cache,
+    default_window_cache,
     grid_axes,
 )
-from repro.core.covariance import forward_backward_covariance, sample_covariance
+from repro.core.covariance import (
+    forward_backward_covariance,
+    forward_backward_covariance_many,
+    sample_covariance,
+    sample_covariance_many,
+)
 from repro.core.subspace import (
     SubspaceDecomposition,
+    SubspaceDecompositionBatch,
     decompose,
+    decompose_many,
     estimate_num_sources_mdl,
 )
 from repro.core.smoothing import (
     effective_antennas,
     smooth_snapshots,
     smoothed_covariance,
+    smoothed_covariance_many,
 )
 from repro.core.music import (
     bartlett_spectrum,
+    bartlett_spectrum_many,
     capon_spectrum,
+    capon_spectrum_many,
     music_spectrum,
+    music_spectrum_many,
     spectrum_from_noise_subspace,
+    spectrum_from_noise_subspace_many,
 )
 from repro.core.spectrum import AoASpectrum, default_angle_grid
 from repro.core.peaks import SpectrumPeak, find_peaks, match_peak, peak_regions
-from repro.core.weighting import apply_geometry_weighting, geometry_window
+from repro.core.weighting import (
+    apply_geometry_weighting,
+    cached_geometry_window,
+    geometry_window,
+)
 from repro.core.symmetry import SymmetryResolver, resolve_symmetry
 from repro.core.suppression import (
     MultipathSuppressor,
@@ -66,24 +84,35 @@ __all__ = [
     "BearingGridCache",
     "CacheStats",
     "SteeringCache",
+    "WindowCache",
     "clear_default_caches",
     "count_distinct_sources",
     "default_bearing_cache",
     "default_steering_cache",
+    "default_window_cache",
     "grid_axes",
     "spectrum_grid_powers",
     "forward_backward_covariance",
+    "forward_backward_covariance_many",
     "sample_covariance",
+    "sample_covariance_many",
     "SubspaceDecomposition",
+    "SubspaceDecompositionBatch",
     "decompose",
+    "decompose_many",
     "estimate_num_sources_mdl",
     "effective_antennas",
     "smooth_snapshots",
     "smoothed_covariance",
+    "smoothed_covariance_many",
     "bartlett_spectrum",
+    "bartlett_spectrum_many",
     "capon_spectrum",
+    "capon_spectrum_many",
     "music_spectrum",
+    "music_spectrum_many",
     "spectrum_from_noise_subspace",
+    "spectrum_from_noise_subspace_many",
     "AoASpectrum",
     "default_angle_grid",
     "SpectrumPeak",
@@ -91,6 +120,7 @@ __all__ = [
     "match_peak",
     "peak_regions",
     "apply_geometry_weighting",
+    "cached_geometry_window",
     "geometry_window",
     "SymmetryResolver",
     "resolve_symmetry",

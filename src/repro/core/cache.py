@@ -42,9 +42,11 @@ __all__ = [
     "BearingGridCache",
     "CacheStats",
     "SteeringCache",
+    "WindowCache",
     "clear_default_caches",
     "default_bearing_cache",
     "default_steering_cache",
+    "default_window_cache",
 ]
 
 
@@ -291,11 +293,83 @@ class BearingGridCache:
             self._entries.clear()
 
 
+class WindowCache:
+    """LRU cache of Section 2.3.3 geometry windows keyed on grid and angle.
+
+    The W(theta) window of :func:`repro.core.weighting.geometry_window` is a
+    pure function of the angle grid and the reliable-angle parameter, yet the
+    seed pipeline recomputed it for every frame.  Like its sibling
+    :class:`SteeringCache`, the key is content-derived (the grid enters via
+    its raw bytes) so every AP sharing a grid signature shares one window,
+    and entry/stats mutations are lock-protected because the service's
+    thread-sharded execution drives spectrum computation from worker
+    threads.  The computation itself is injected by the caller (keeps this
+    module free of a weighting import cycle) and runs outside the lock: a
+    racing duplicate compute is benign and identical.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise EstimationError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, angles_deg: np.ndarray, reliable_angle_deg: float,
+            compute) -> np.ndarray:
+        """Return the window for ``angles_deg``, computing it on first use.
+
+        Parameters
+        ----------
+        angles_deg:
+            1-D angle grid the window is evaluated on.
+        reliable_angle_deg:
+            The endfire-reliability parameter of the window.
+        compute:
+            Zero-argument callable producing the window on a cache miss.
+
+        Returns
+        -------
+        numpy.ndarray
+            Read-only float window; do not mutate.
+        """
+        angles = np.ascontiguousarray(np.asarray(angles_deg, dtype=float))
+        key = (angles.shape, angles.tobytes(), float(reliable_angle_deg))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats.misses += 1
+        entry = _readonly(np.ascontiguousarray(compute()))
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; use ``stats.reset()``)."""
+        with self._lock:
+            self._entries.clear()
+
+
 # ----------------------------------------------------------------------
 # Shared default instances
 # ----------------------------------------------------------------------
 _DEFAULT_STEERING_CACHE = SteeringCache()
 _DEFAULT_BEARING_CACHE = BearingGridCache()
+_DEFAULT_WINDOW_CACHE = WindowCache()
 
 
 def default_steering_cache() -> SteeringCache:
@@ -308,7 +382,13 @@ def default_bearing_cache() -> BearingGridCache:
     return _DEFAULT_BEARING_CACHE
 
 
+def default_window_cache() -> WindowCache:
+    """Return the process-wide W(theta) cache used by :mod:`repro.core.weighting`."""
+    return _DEFAULT_WINDOW_CACHE
+
+
 def clear_default_caches() -> None:
-    """Empty both shared caches (useful between benchmark configurations)."""
+    """Empty every shared cache (useful between benchmark configurations)."""
     _DEFAULT_STEERING_CACHE.clear()
     _DEFAULT_BEARING_CACHE.clear()
+    _DEFAULT_WINDOW_CACHE.clear()

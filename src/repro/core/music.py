@@ -9,11 +9,18 @@ yielding sharp peaks at the arrival angles.  The Bartlett (conventional) and
 Capon (MVDR) beamformers are implemented alongside: the paper calls MUSIC the
 "best known" of the eigenstructure algorithms, and the ablation benchmark
 A-ESTIMATOR quantifies how much accuracy the MUSIC choice is worth.
+
+Every estimator has a stacked ``*_many`` counterpart taking an ``(F, M, M)``
+covariance stack, the workhorses of the batched Section 2.3 frontend
+(:meth:`repro.core.pipeline.SpectrumComputer.compute_many`).  The batched
+variants run the identical per-slice GEMM/LAPACK calls the single-frame
+functions issue, so frame ``f`` of a stacked result is bit-for-bit identical
+to the corresponding single-frame call.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,13 +28,22 @@ from repro.constants import WAVELENGTH_M
 from repro.errors import EstimationError
 from repro.array.geometry import ArrayGeometry
 from repro.core.cache import default_steering_cache
-from repro.core.subspace import SubspaceDecomposition, decompose
+from repro.core.subspace import (
+    SubspaceDecomposition,
+    SubspaceDecompositionBatch,
+    decompose,
+    decompose_many,
+)
 
 __all__ = [
     "music_spectrum",
+    "music_spectrum_many",
     "bartlett_spectrum",
+    "bartlett_spectrum_many",
     "capon_spectrum",
+    "capon_spectrum_many",
     "spectrum_from_noise_subspace",
+    "spectrum_from_noise_subspace_many",
 ]
 
 
@@ -46,6 +62,21 @@ def _steering_matrix(geometry: ArrayGeometry, angles_deg: np.ndarray,
         raise EstimationError("angle grid must be a 1-D array with >= 2 entries")
     return default_steering_cache().get(geometry, angles, wavelength_m,
                                         elevation_deg)
+
+
+def _check_covariance_stack(covariances: np.ndarray,
+                            geometry: ArrayGeometry) -> np.ndarray:
+    """Validate an ``(F, M, M)`` stack against the geometry's element count."""
+    covariances = np.asarray(covariances, dtype=np.complex128)
+    if covariances.ndim != 3 or covariances.shape[1] != covariances.shape[2]:
+        raise EstimationError(
+            f"covariance stack must have shape (F, M, M), "
+            f"got {covariances.shape}")
+    if covariances.shape[1] != geometry.num_elements:
+        raise EstimationError(
+            f"covariances are {covariances.shape[1]}x{covariances.shape[1]} but "
+            f"the geometry has {geometry.num_elements} elements")
+    return covariances
 
 
 def spectrum_from_noise_subspace(noise_subspace: np.ndarray,
@@ -72,6 +103,41 @@ def spectrum_from_noise_subspace(noise_subspace: np.ndarray,
             f"{noise_subspace.shape[0]} vs {steering.shape[0]}")
     projected = noise_subspace.conj().T @ steering          # (M - D, K)
     denominator = np.sum(np.abs(projected) ** 2, axis=0)     # (K,)
+    return 1.0 / np.maximum(denominator, 1e-12)
+
+
+def spectrum_from_noise_subspace_many(noise_subspaces: np.ndarray,
+                                      steering: np.ndarray) -> np.ndarray:
+    """Evaluate MUSIC spectra for a stack of same-``D`` noise subspaces.
+
+    This is the Equation 6 noise projection of one (geometry, D) frame
+    group: a single stacked ``E_N^H A`` GEMM over all ``G`` frames sharing
+    the source count, followed by elementwise reductions.
+
+    Parameters
+    ----------
+    noise_subspaces:
+        ``(G, M, M - D)`` stack of noise eigenvectors.
+    steering:
+        ``(M, K)`` steering matrix over the angle grid.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(G, K)`` non-negative spectrum values, one row per frame.
+    """
+    noise_subspaces = np.asarray(noise_subspaces, dtype=np.complex128)
+    steering = np.asarray(steering, dtype=np.complex128)
+    if noise_subspaces.ndim != 3:
+        raise EstimationError(
+            f"noise subspace stack must have shape (G, M, M - D), "
+            f"got {noise_subspaces.shape}")
+    if noise_subspaces.shape[1] != steering.shape[0]:
+        raise EstimationError(
+            "noise subspaces and steering matrix disagree on the antenna "
+            f"count: {noise_subspaces.shape[1]} vs {steering.shape[0]}")
+    projected = noise_subspaces.conj().transpose(0, 2, 1) @ steering
+    denominator = np.sum(np.abs(projected) ** 2, axis=1)     # (G, K)
     return 1.0 / np.maximum(denominator, 1e-12)
 
 
@@ -108,6 +174,32 @@ def music_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
     return spectrum_from_noise_subspace(decomposition.noise_subspace, steering)
 
 
+def music_spectrum_many(covariances: np.ndarray, geometry: ArrayGeometry,
+                        angles_deg: np.ndarray,
+                        num_sources: Optional[Union[int, Sequence[int]]] = None,
+                        wavelength_m: float = WAVELENGTH_M,
+                        elevation_deg: float = 0.0) -> np.ndarray:
+    """Return MUSIC pseudospectra for an ``(F, M, M)`` covariance stack.
+
+    One stacked ``np.linalg.eigh`` covers every frame, the eigenvalue
+    threshold rule runs vectorized, and frames are grouped by their
+    estimated source count ``D`` so the Equation 6 noise projection is one
+    ``E_N^H A`` GEMM per (geometry, D) group against the cached steering
+    matrix.  Row ``f`` of the result is bit-for-bit identical to
+    ``music_spectrum(covariances[f], ...)``.
+    """
+    covariances = _check_covariance_stack(covariances, geometry)
+    steering = _steering_matrix(geometry, angles_deg, wavelength_m,
+                                elevation_deg)
+    batch: SubspaceDecompositionBatch = decompose_many(covariances, num_sources)
+    power = np.empty((covariances.shape[0], steering.shape[1]))
+    for count in np.unique(batch.num_sources):
+        indices = np.nonzero(batch.num_sources == count)[0]
+        noise = batch.eigenvectors[indices][:, :, count:]
+        power[indices] = spectrum_from_noise_subspace_many(noise, steering)
+    return power
+
+
 def bartlett_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
                       angles_deg: np.ndarray,
                       wavelength_m: float = WAVELENGTH_M,
@@ -117,7 +209,10 @@ def bartlett_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
     ``P(theta) = a^H R a / (a^H a)``; lower resolution than MUSIC but makes
     no assumption about the number of sources, which is why the array
     symmetry test (Section 2.3.4) uses it on the non-linear nine-antenna
-    geometry.
+    geometry.  The quadratic form is evaluated as one ``R A`` GEMM followed
+    by an elementwise reduction -- the same shape of computation the stacked
+    :func:`bartlett_spectrum_many` runs per frame, keeping the two paths
+    bit-for-bit identical.
     """
     covariance = np.asarray(covariance, dtype=np.complex128)
     if covariance.shape[0] != geometry.num_elements:
@@ -125,7 +220,26 @@ def bartlett_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
             f"covariance is {covariance.shape[0]}x{covariance.shape[0]} but the "
             f"geometry has {geometry.num_elements} elements")
     steering = _steering_matrix(geometry, angles_deg, wavelength_m, elevation_deg)
-    numerator = np.real(np.einsum("mk,mn,nk->k", steering.conj(), covariance, steering))
+    projected = covariance @ steering                        # (M, K)
+    numerator = np.real(np.einsum("mk,mk->k", steering.conj(), projected))
+    normalization = np.real(np.sum(np.abs(steering) ** 2, axis=0))
+    return np.maximum(numerator, 0.0) / np.maximum(normalization, 1e-12)
+
+
+def bartlett_spectrum_many(covariances: np.ndarray, geometry: ArrayGeometry,
+                           angles_deg: np.ndarray,
+                           wavelength_m: float = WAVELENGTH_M,
+                           elevation_deg: float = 0.0) -> np.ndarray:
+    """Return Bartlett spectra for an ``(F, M, M)`` covariance stack.
+
+    Row ``f`` is bit-for-bit identical to ``bartlett_spectrum``
+    on ``covariances[f]``.
+    """
+    covariances = _check_covariance_stack(covariances, geometry)
+    steering = _steering_matrix(geometry, angles_deg, wavelength_m,
+                                elevation_deg)
+    projected = covariances @ steering                       # (F, M, K)
+    numerator = np.real(np.einsum("mk,fmk->fk", steering.conj(), projected))
     normalization = np.real(np.sum(np.abs(steering) ** 2, axis=0))
     return np.maximum(numerator, 0.0) / np.maximum(normalization, 1e-12)
 
@@ -139,7 +253,9 @@ def capon_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
 
     Diagonal loading regularizes the inverse when the covariance is estimated
     from very few snapshots (the N = 1 case of Figure 19 would otherwise be
-    singular).
+    singular).  The quadratic form is evaluated through
+    ``np.linalg.solve(regularized, steering)`` rather than an explicit
+    ``np.linalg.inv``: better conditioned and one fewer GEMM.
     """
     covariance = np.asarray(covariance, dtype=np.complex128)
     if covariance.shape[0] != geometry.num_elements:
@@ -149,7 +265,31 @@ def capon_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
     num_antennas = covariance.shape[0]
     loading = diagonal_loading * float(np.real(np.trace(covariance))) / num_antennas
     regularized = covariance + loading * np.eye(num_antennas)
-    inverse = np.linalg.inv(regularized)
     steering = _steering_matrix(geometry, angles_deg, wavelength_m, elevation_deg)
-    quadratic = np.real(np.einsum("mk,mn,nk->k", steering.conj(), inverse, steering))
+    solution = np.linalg.solve(regularized, steering)        # R^-1 A, (M, K)
+    quadratic = np.real(np.einsum("mk,mk->k", steering.conj(), solution))
+    return 1.0 / np.maximum(quadratic, 1e-12)
+
+
+def capon_spectrum_many(covariances: np.ndarray, geometry: ArrayGeometry,
+                        angles_deg: np.ndarray,
+                        wavelength_m: float = WAVELENGTH_M,
+                        elevation_deg: float = 0.0,
+                        diagonal_loading: float = 1e-3) -> np.ndarray:
+    """Return Capon spectra for an ``(F, M, M)`` covariance stack.
+
+    The per-frame diagonal loading vectorizes over the stacked traces and
+    the stacked ``np.linalg.solve`` runs the identical per-slice LAPACK
+    factorization, so row ``f`` is bit-for-bit identical to
+    ``capon_spectrum`` on ``covariances[f]``.
+    """
+    covariances = _check_covariance_stack(covariances, geometry)
+    num_antennas = covariances.shape[1]
+    traces = np.real(np.trace(covariances, axis1=1, axis2=2))
+    loading = diagonal_loading * traces / num_antennas
+    regularized = covariances + loading[:, None, None] * np.eye(num_antennas)
+    steering = _steering_matrix(geometry, angles_deg, wavelength_m,
+                                elevation_deg)
+    solution = np.linalg.solve(regularized, steering)        # (F, M, K)
+    quadratic = np.real(np.einsum("mk,fmk->fk", steering.conj(), solution))
     return 1.0 / np.maximum(quadratic, 1e-12)

@@ -23,7 +23,7 @@ from repro.constants import DEFAULT_ANGLE_RESOLUTION_DEG
 from repro.errors import EstimationError
 from repro.geometry.vector import Point2D, bearing_deg
 
-__all__ = ["AoASpectrum", "default_angle_grid"]
+__all__ = ["AoASpectrum", "circular_interpolation_table", "default_angle_grid"]
 
 
 def default_angle_grid(resolution_deg: float = DEFAULT_ANGLE_RESOLUTION_DEG,
@@ -54,6 +54,31 @@ def default_angle_grid(resolution_deg: float = DEFAULT_ANGLE_RESOLUTION_DEG,
     if full_circle:
         return np.linspace(0.0, 360.0, 2 * half_points, endpoint=False)
     return np.linspace(0.0, 180.0, half_points + 1)
+
+
+def circular_interpolation_table(grid_angles_deg: np.ndarray,
+                                 query_angles_deg
+                                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return circular-interpolation indices of query angles on a uniform grid.
+
+    The single definition of the circular lookup used by
+    :meth:`AoASpectrum.interpolation_table` and by the batched frontend's
+    stacked side-power pass: the table depends only on the grids, never on
+    the power values, so one table serves every frame sharing a grid.
+
+    Returns ``(lower, upper, fraction)`` such that the interpolated value at
+    each query angle is ``(1 - fraction) * values[lower] + fraction *
+    values[upper]``.
+    """
+    grid_angles_deg = np.asarray(grid_angles_deg, dtype=float)
+    query = np.atleast_1d(np.asarray(query_angles_deg, dtype=float)) % 360.0
+    resolution = float(grid_angles_deg[1] - grid_angles_deg[0])
+    positions = query / resolution
+    floor_positions = np.floor(positions)
+    lower = floor_positions.astype(int) % len(grid_angles_deg)
+    upper = (lower + 1) % len(grid_angles_deg)
+    fraction = positions - floor_positions
+    return lower, upper, fraction
 
 
 @dataclass
@@ -139,14 +164,7 @@ class AoASpectrum:
         (AP, search grid) and reused across every frame and every client
         observed by that AP -- this is what the batched localizer caches.
         """
-        query = np.atleast_1d(np.asarray(local_angles_deg, dtype=float)) % 360.0
-        resolution = self.resolution_deg
-        positions = query / resolution
-        floor_positions = np.floor(positions)
-        lower = floor_positions.astype(int) % len(self.angles_deg)
-        upper = (lower + 1) % len(self.angles_deg)
-        fraction = positions - floor_positions
-        return lower, upper, fraction
+        return circular_interpolation_table(self.angles_deg, local_angles_deg)
 
     def power_at_local(self, local_angles_deg) -> np.ndarray:
         """Return interpolated power at local-frame angles (degrees).
@@ -238,14 +256,24 @@ class AoASpectrum:
         power = np.asarray(power, dtype=float)
         if angles_deg.ndim != 1 or angles_deg.shape != power.shape:
             raise EstimationError("angles and power must be 1-D arrays of equal length")
+        if angles_deg.shape[0] < 3:
+            raise EstimationError("a half spectrum needs at least three grid points")
         if angles_deg[0] != 0.0 or abs(angles_deg[-1] - 180.0) > 1e-9:
             raise EstimationError("half spectrum must cover exactly [0, 180] degrees")
-        resolution = float(angles_deg[1] - angles_deg[0])
-        full_angles = np.arange(0.0, 360.0, resolution)
-        full_power = np.zeros_like(full_angles)
+        # Build the full circle on its exact point count.  The previous
+        # ``np.arange(0.0, 360.0, resolution)`` construction had the same
+        # float-accumulation seam bug ``default_angle_grid`` was cured of:
+        # for resolutions like 0.3 the accumulated grid points drift off the
+        # exact angles (the 180-degree mirror seam lands on 180.00000000000003)
+        # and the point count depends on rounding luck.  ``np.linspace`` on
+        # the count derived from the input grid pins both, and yields the
+        # identical grid object ``default_angle_grid(resolution)`` builds.
         half_points = angles_deg.shape[0]
+        full_angles = np.linspace(0.0, 360.0, 2 * (half_points - 1),
+                                  endpoint=False)
+        full_power = np.zeros_like(full_angles)
         full_power[:half_points] = power
-        # Mirror: angle 360 - theta maps to index len(full) - theta/res.
+        # Mirror: P(360 - theta) = P(theta), endpoints excluded.
         mirrored = power[1:-1][::-1]
         full_power[half_points:] = mirrored
         return AoASpectrum(full_angles, full_power, **metadata)

@@ -17,15 +17,19 @@ integrating its response over each half plane reveals the true side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import EstimationError
 from repro.array.geometry import ArrayGeometry
-from repro.core.covariance import sample_covariance
-from repro.core.music import bartlett_spectrum
-from repro.core.spectrum import AoASpectrum, default_angle_grid
+from repro.core.covariance import sample_covariance, sample_covariance_many
+from repro.core.music import bartlett_spectrum, bartlett_spectrum_many
+from repro.core.spectrum import (
+    AoASpectrum,
+    circular_interpolation_table,
+    default_angle_grid,
+)
 
 __all__ = ["SymmetryResolver", "resolve_symmetry"]
 
@@ -88,6 +92,98 @@ class SymmetryResolver:
         lower = float(np.sum(power[angles >= 180.0]))
         return upper, lower
 
+    def side_powers_many(self, snapshots: np.ndarray,
+                         spectra: Optional[Sequence[AoASpectrum]] = None
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return per-frame upper/lower half-plane Bartlett powers of a stack.
+
+        The batched counterpart of :meth:`side_powers` for the vectorized
+        Section 2.3 frontend: one stacked covariance pass and one stacked
+        Bartlett evaluation cover all ``F`` frames, and the optional
+        spectrum weighting reuses a single circular-interpolation table
+        (all spectra of one batch share the same angle grid).  Frame ``f``
+        of the result is bit-for-bit identical to
+        ``side_powers(snapshots[f], spectra[f])``.
+
+        Parameters
+        ----------
+        snapshots:
+            ``(F, M, N)`` snapshot stack captured on the resolver's
+            geometry (phase offsets already calibrated out).
+        spectra:
+            Optional mirrored MUSIC spectra of the same frames (one per
+            frame, sharing one angle grid).
+        """
+        spectra = list(spectra) if spectra is not None else None
+        if not spectra:
+            return self.side_powers_stack(snapshots, None, None)
+        snapshots = np.asarray(snapshots, dtype=np.complex128)
+        if snapshots.ndim == 3 and len(spectra) != snapshots.shape[0]:
+            raise EstimationError(
+                f"got {len(spectra)} spectra for {snapshots.shape[0]} frames")
+        if any(not np.array_equal(spectrum.angles_deg, spectra[0].angles_deg)
+               for spectrum in spectra[1:]):
+            raise EstimationError(
+                "all spectra of one batch must share one angle grid")
+        spectrum_power = np.stack([spectrum.power for spectrum in spectra])
+        return self.side_powers_stack(snapshots, spectrum_power,
+                                      spectra[0].angles_deg)
+
+    def side_powers_stack(self, snapshots: np.ndarray,
+                          spectrum_power: Optional[np.ndarray],
+                          spectrum_angles: Optional[np.ndarray]
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw-array core of :meth:`side_powers_many`.
+
+        The batched frontend calls this directly with its mirrored power
+        stack so no intermediate :class:`AoASpectrum` objects are built.
+
+        Parameters
+        ----------
+        snapshots:
+            ``(F, M, N)`` snapshot stack on the resolver's geometry.
+        spectrum_power:
+            Optional ``(F, K)`` stack of the frames' mirrored spectrum
+            values on ``spectrum_angles`` (weights the Bartlett response,
+            exactly like :meth:`side_powers` with a spectrum).
+        spectrum_angles:
+            The shared angle grid of ``spectrum_power``.
+        """
+        snapshots = np.asarray(snapshots, dtype=np.complex128)
+        if snapshots.ndim != 3:
+            raise EstimationError(
+                f"snapshot stack must have shape (F, M, N), "
+                f"got {snapshots.shape}")
+        if snapshots.shape[1] != self.geometry.num_elements:
+            raise EstimationError(
+                f"snapshots have {snapshots.shape[1]} rows but the geometry "
+                f"has {self.geometry.num_elements} elements")
+        covariances = sample_covariance_many(snapshots)
+        angles = default_angle_grid(self.angle_resolution_deg, full_circle=True)
+        power = bartlett_spectrum_many(covariances, self.geometry, angles,
+                                       self.wavelength_m)
+        if spectrum_power is not None:
+            spectrum_power = np.asarray(spectrum_power, dtype=float)
+            if spectrum_power.shape[0] != snapshots.shape[0]:
+                raise EstimationError(
+                    f"got {spectrum_power.shape[0]} spectra for "
+                    f"{snapshots.shape[0]} frames")
+            # One interpolation table serves every frame: the table depends
+            # only on the (shared) spectrum grid and the Bartlett scan grid.
+            lower, upper, fraction = circular_interpolation_table(
+                spectrum_angles, angles)
+            weights = (1.0 - fraction) * spectrum_power[:, lower] \
+                + fraction * spectrum_power[:, upper]
+            peaks = np.max(weights, axis=1)
+            positive = peaks > 0
+            if np.any(positive):
+                power[positive] = power[positive] \
+                    * (weights[positive] / peaks[positive, None])
+        upper_mask = angles < 180.0
+        upper_power = np.sum(power[:, upper_mask], axis=1)
+        lower_power = np.sum(power[:, ~upper_mask], axis=1)
+        return upper_power, lower_power
+
     def resolve(self, spectrum: AoASpectrum, snapshots: np.ndarray,
                 attenuation: float = 0.0) -> AoASpectrum:
         """Return ``spectrum`` with the weaker half plane suppressed.
@@ -105,6 +201,35 @@ class SymmetryResolver:
         upper, lower = self.side_powers(snapshots, spectrum)
         suppress_lower = upper >= lower
         return spectrum.suppress_half_plane(suppress_lower, attenuation)
+
+    def resolve_many(self, spectra: Sequence[AoASpectrum],
+                     snapshots: np.ndarray,
+                     attenuation: float = 0.0) -> List[AoASpectrum]:
+        """Batched :meth:`resolve`: suppress each frame's weaker half plane.
+
+        Parameters
+        ----------
+        spectra:
+            The mirrored 360-degree spectra produced by the linear array,
+            one per frame, sharing one angle grid.
+        snapshots:
+            ``(F, M, N)`` nine-antenna snapshot stack for the same frames.
+        attenuation:
+            Residual scale applied to each suppressed half.
+
+        Returns
+        -------
+        list of AoASpectrum
+            One resolved spectrum per frame, bit-for-bit identical to
+            calling :meth:`resolve` frame by frame.
+        """
+        spectra = list(spectra)
+        if not spectra:
+            return []
+        upper, lower = self.side_powers_many(snapshots, spectra)
+        suppress_lower = upper >= lower
+        return [spectrum.suppress_half_plane(bool(suppress), attenuation)
+                for spectrum, suppress in zip(spectra, suppress_lower)]
 
 
 def resolve_symmetry(spectrum: AoASpectrum, snapshots: np.ndarray,

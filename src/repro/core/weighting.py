@@ -19,9 +19,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import EstimationError
+from repro.core.cache import default_window_cache
 from repro.core.spectrum import AoASpectrum
 
-__all__ = ["geometry_window", "apply_geometry_weighting"]
+__all__ = ["geometry_window", "cached_geometry_window", "apply_geometry_weighting"]
 
 #: Bearing (degrees away from the array axis) beyond which the spectrum is
 #: considered fully reliable; the paper uses 15 degrees.
@@ -49,9 +50,34 @@ def geometry_window(angles_deg: np.ndarray,
     return window
 
 
+def cached_geometry_window(angles_deg: np.ndarray,
+                           reliable_angle_deg: float = DEFAULT_RELIABLE_ANGLE_DEG
+                           ) -> np.ndarray:
+    """Return the (shared, read-only) W(theta) window for ``angles_deg``.
+
+    The window is a pure function of the angle grid and the reliable-angle
+    parameter, so it is served from the shared
+    :class:`~repro.core.cache.WindowCache` -- one computation per (grid
+    signature, reliable angle) for the lifetime of the process instead of
+    one per frame.  Validation runs before the lookup so an invalid
+    parameter fails identically whether or not the grid is already cached.
+    """
+    if not 0.0 < reliable_angle_deg < 90.0:
+        raise EstimationError(
+            f"reliable_angle_deg must be in (0, 90), got {reliable_angle_deg!r}")
+    return default_window_cache().get(
+        angles_deg, reliable_angle_deg,
+        lambda: geometry_window(angles_deg, reliable_angle_deg))
+
+
 def apply_geometry_weighting(spectrum: AoASpectrum,
                              reliable_angle_deg: float = DEFAULT_RELIABLE_ANGLE_DEG
                              ) -> AoASpectrum:
-    """Return ``spectrum`` multiplied by the array-geometry window W(theta)."""
-    window = geometry_window(spectrum.angles_deg, reliable_angle_deg)
+    """Return ``spectrum`` multiplied by the array-geometry window W(theta).
+
+    The window is looked up in the shared cache, so repeated calls over the
+    same grid (every frame of every AP with the default resolution) cost a
+    dictionary lookup plus the elementwise multiply.
+    """
+    window = cached_geometry_window(spectrum.angles_deg, reliable_angle_deg)
     return spectrum.apply_window(window)

@@ -320,13 +320,14 @@ def table1_peak_stability(num_positions: int = 100,
         ap_id = str(rng.integers(1, 7))
         ap = deployment.aps[ap_id]
         site = testbed.ap_site(ap_id)
-        spectra = []
+        entries = []
         for point in (position, perturb_position(position, movement_m, rng=rng)):
             channel = deployment.channel_builder.build(point, ap.position,
                                                        client_id="probe", ap_id=ap_id)
-            entry = ap.overhear(channel, rng=rng)
-            spectra.append(ap.compute_spectrum(entry))
+            entries.append(ap.overhear(channel, rng=rng))
             ap.clear()
+        # Both captures run through the batched frontend in one pass.
+        spectra = ap.compute_spectra(entries)
         local_true = (bearing_deg(site.position, position) - site.orientation_deg) % 360.0
         first_peaks = find_peaks(spectra[0], min_relative_height=0.15)
         second_peaks = find_peaks(spectra[1], min_relative_height=0.15)
@@ -561,10 +562,12 @@ def fig19_sample_count(sample_counts: Sequence[int] = (1, 5, 10, 100),
     results: Dict[int, Dict[str, float]] = {}
     for count in sample_counts:
         bearings: List[float] = []
-        for _ in range(num_packets):
-            entry = ap.overhear(channel, num_snapshots=count, snr_db=snr_db, rng=rng)
-            spectrum = ap.compute_spectrum(entry)
-            ap.clear()
+        entries = [ap.overhear(channel, num_snapshots=count, snr_db=snr_db,
+                               rng=rng)
+                   for _ in range(num_packets)]
+        ap.clear()
+        # All packets of one sample count share one batched-frontend pass.
+        for spectrum in ap.compute_spectra(entries):
             peaks = find_peaks(spectrum, min_relative_height=0.3)
             if peaks:
                 bearings.append(peaks[0].angle_deg)
@@ -607,10 +610,11 @@ def fig20_snr_sweep(snrs_db: Sequence[float] = (15.0, 8.0, 2.0, -5.0),
     for snr_db in snrs_db:
         concentration_samples = []
         error_samples = []
-        for _ in range(10):
-            entry = ap.overhear(channel, snr_db=snr_db, rng=rng)
-            spectrum = ap.compute_spectrum(entry)
-            ap.clear()
+        entries = [ap.overhear(channel, snr_db=snr_db, rng=rng)
+                   for _ in range(10)]
+        ap.clear()
+        # All packets of one SNR share one batched-frontend pass.
+        for spectrum in ap.compute_spectra(entries):
             distances = np.minimum(np.abs(spectrum.angles_deg - local_true),
                                    360.0 - np.abs(spectrum.angles_deg - local_true))
             near_true = float(np.sum(spectrum.power[distances <= 10.0]))

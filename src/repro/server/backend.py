@@ -234,8 +234,12 @@ class ArrayTrackServer:
         This is the collection half of :meth:`localize_clients`, exposed
         separately so the service facade can shard the resulting batch
         across workers while keeping one definition of which frames enter
-        a buffered sweep.  Clients no AP currently holds frames for are
-        omitted from the result.
+        a buffered sweep.  Each AP computes the spectra of *all* requested
+        clients' pending frames in one batched Section 2.3 frontend pass
+        (:meth:`~repro.ap.access_point.ArrayTrackAP.spectra_for_clients`),
+        so a buffered sweep costs one stacked covariance/eigh/projection
+        sweep per AP rather than one per frame.  Clients no AP currently
+        holds frames for are omitted from the result.
 
         Raises
         ------
@@ -246,11 +250,13 @@ class ArrayTrackServer:
         """
         if not aps:
             raise ConfigurationError("need at least one AP to localize")
+        client_ids = list(client_ids)
+        per_ap_spectra = [ap.spectra_for_clients(client_ids) for ap in aps]
         spectra_by_client: Dict[str, Dict[str, List[AoASpectrum]]] = {}
         for client_id in client_ids:
             per_ap: Dict[str, List[AoASpectrum]] = {}
-            for ap in aps:
-                spectra = ap.spectra_for_client(client_id)
+            for ap, ap_spectra in zip(aps, per_ap_spectra):
+                spectra = ap_spectra.get(client_id)
                 if spectra:
                     per_ap[ap.ap_id] = spectra
             if per_ap:

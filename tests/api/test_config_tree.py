@@ -259,5 +259,20 @@ class TestSuppressorAlias:
         config = ArrayTrackConfig(bounds=(0.0, 0.0, 5.0, 5.0))
         data = config.to_dict()
         assert data["ap"]["spectrum"]["method"] == "music"
+        assert data["ap"]["spectrum"]["vectorized_frontend"] is True
         restored = ArrayTrackConfig.from_dict(data)
         assert restored.ap.spectrum == SpectrumConfig()
+
+    def test_vectorized_frontend_configurable_through_the_tree(self):
+        config = ArrayTrackConfig(bounds=(0.0, 0.0, 5.0, 5.0)).updated(
+            {"ap.spectrum.vectorized_frontend": False})
+        assert config.ap.spectrum.vectorized_frontend is False
+        restored = ArrayTrackConfig.from_json(config.to_json())
+        assert restored.ap.spectrum.vectorized_frontend is False
+        with pytest.raises(ConfigurationError,
+                           match=r"config\.ap\.spectrum"):
+            ArrayTrackConfig.from_dict(
+                {"ap": {"spectrum": {"vectorized_frontend": "yes"}}})
+        overridden = config.with_env_overrides(
+            {"ARRAYTRACK_AP__SPECTRUM__VECTORIZED_FRONTEND": "true"})
+        assert overridden.ap.spectrum.vectorized_frontend is True

@@ -533,6 +533,65 @@ class TestIngestValidation:
         assert set(fixes) == {"good"}
 
 
+class TestIngestMany:
+    def _probe_ap(self, seed=1):
+        return ArrayTrackAP("probe", Point2D(1.0, 1.0),
+                            config=APConfig(num_antennas=8,
+                                            use_symmetry_antenna=True,
+                                            apply_phase_offsets=False),
+                            rng=np.random.default_rng(seed))
+
+    def _burst(self, ap, num_frames, client_id, rng):
+        channel = MultipathChannel.from_bearings(
+            [60.0, 130.0], [1.0, 0.5 * np.exp(0.4j)],
+            direct_index=0, client_id=client_id, ap_id=ap.ap_id)
+        return [ap.overhear(channel, timestamp_s=0.03 * index, rng=rng)
+                for index in range(num_frames)]
+
+    def test_batched_ingest_matches_serial_ingest_bitwise(self):
+        ap = self._probe_ap()
+        entries = self._burst(ap, 4, "c1", np.random.default_rng(2))
+        serial = _service()
+        serial.adopt_aps([ap])
+        for entry in entries:
+            serial.ingest("probe", entry)
+        batched = _service()
+        batched.adopt_aps([ap])
+        sessions = batched.ingest_many("probe", entries)
+        assert len(sessions) == 4
+        assert all(session is sessions[0] for session in sessions)
+        reference = serial.session("c1").pending_spectra()
+        candidate = batched.session("c1").pending_spectra()
+        assert list(reference) == list(candidate)
+        for reference_list, candidate_list in zip(reference.values(),
+                                                  candidate.values()):
+            for expected, actual in zip(reference_list, candidate_list):
+                assert np.array_equal(expected.power, actual.power)
+
+    def test_mixed_spectra_and_entries_keep_input_order(self):
+        ap = self._probe_ap()
+        entries = self._burst(ap, 2, "c2", np.random.default_rng(5))
+        spectrum = _spectrum_towards(AP_POSITIONS[0], TARGET,
+                                     timestamp_s=0.5, client_id="c2")
+        service = _service()
+        service.adopt_aps([ap])
+        sessions = service.ingest_many(
+            ap, [entries[0], spectrum, entries[1]])
+        assert len(sessions) == 3
+        session = service.session("c2")
+        assert session.pending_frames == 3
+        pending = session.pending_timestamped()["probe"]
+        assert [timestamp for timestamp, _ in pending] == [0.0, 0.5, 0.03]
+
+    def test_raw_entries_need_known_ap(self):
+        ap = self._probe_ap()
+        entries = self._burst(ap, 2, "c3", np.random.default_rng(7))
+        service = _service()
+        with pytest.raises(ConfigurationError, match="BufferEntries"):
+            service.ingest_many("probe", entries)
+        assert service.ingest_many("probe", []) == []
+
+
 class TestCuratedExports:
     def test_one_line_import(self):
         from repro import ArrayTrackConfig as Config

@@ -8,12 +8,16 @@ from repro.array import ArrayGeometry, ArrayReceiver, DeployedArray
 from repro.channel import MultipathChannel
 from repro.core import (
     decompose,
+    decompose_many,
     effective_antennas,
     estimate_num_sources_mdl,
     forward_backward_covariance,
+    forward_backward_covariance_many,
     sample_covariance,
+    sample_covariance_many,
     smooth_snapshots,
     smoothed_covariance,
+    smoothed_covariance_many,
 )
 from repro.errors import EstimationError
 
@@ -148,3 +152,129 @@ class TestSpatialSmoothing:
         snapshots = _snapshots_for([45.0], [1.0], num=20)
         averaged = smooth_snapshots(snapshots, 3)
         assert averaged.shape == (6, 20)
+
+
+def _snapshot_stack(num_frames=6, num=10, antennas=8, seed=11):
+    """A stack of frames with varied bearings/coherence, one rng stream."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(num_frames):
+        bearings = [float(rng.uniform(10.0, 170.0)),
+                    float(rng.uniform(10.0, 170.0))]
+        gains = [1.0, float(rng.uniform(0.3, 0.9)) * np.exp(1j * rng.uniform(0, 6))]
+        frames.append(_snapshots_for(bearings, gains, num=num, snr_db=20.0,
+                                     seed=int(rng.integers(1 << 30)),
+                                     antennas=antennas))
+    return np.stack(frames)
+
+
+class TestStackedCovariance:
+    """The *_many variants must be bit-for-bit identical per frame."""
+
+    def test_sample_covariance_many_matches_serial_bitwise(self):
+        stack = _snapshot_stack()
+        batched = sample_covariance_many(stack)
+        for frame in range(stack.shape[0]):
+            assert np.array_equal(batched[frame], sample_covariance(stack[frame]))
+
+    def test_sample_covariance_many_with_loading_matches_serial(self):
+        stack = _snapshot_stack(num_frames=4)
+        batched = sample_covariance_many(stack, diagonal_loading=0.05)
+        for frame in range(stack.shape[0]):
+            assert np.array_equal(
+                batched[frame],
+                sample_covariance(stack[frame], diagonal_loading=0.05))
+
+    def test_forward_backward_many_matches_serial_bitwise(self):
+        stack = _snapshot_stack(num_frames=4)
+        batched = forward_backward_covariance_many(stack)
+        for frame in range(stack.shape[0]):
+            assert np.array_equal(batched[frame],
+                                  forward_backward_covariance(stack[frame]))
+
+    @pytest.mark.parametrize("groups", [1, 2, 3])
+    @pytest.mark.parametrize("forward_backward", [False, True])
+    def test_smoothed_covariance_many_matches_serial_bitwise(
+            self, groups, forward_backward):
+        stack = _snapshot_stack(num_frames=5)
+        batched = smoothed_covariance_many(stack, groups,
+                                           forward_backward=forward_backward)
+        for frame in range(stack.shape[0]):
+            assert np.array_equal(
+                batched[frame],
+                smoothed_covariance(stack[frame], groups,
+                                    forward_backward=forward_backward))
+
+    def test_stack_shape_validation(self):
+        with pytest.raises(EstimationError):
+            sample_covariance_many(np.zeros((8, 4)))
+        with pytest.raises(EstimationError):
+            smoothed_covariance_many(np.zeros((2, 8, 4)), 0)
+
+
+class TestStackedDecompose:
+    """decompose_many over an (F, M, M) eigh stack vs per-frame decompose."""
+
+    def _assert_frames_equal(self, batch, covariances, num_sources=None):
+        for frame in range(covariances.shape[0]):
+            forced = None
+            if num_sources is not None:
+                forced = num_sources if np.isscalar(num_sources) \
+                    else num_sources[frame]
+            serial = decompose(covariances[frame], num_sources=forced)
+            stacked = batch.frame(frame)
+            assert stacked.num_sources == serial.num_sources
+            assert np.array_equal(stacked.eigenvalues, serial.eigenvalues)
+            assert np.array_equal(stacked.eigenvectors, serial.eigenvectors)
+            assert np.array_equal(stacked.noise_subspace, serial.noise_subspace)
+            assert np.array_equal(stacked.signal_subspace, serial.signal_subspace)
+
+    def test_matches_serial_bitwise(self):
+        covariances = sample_covariance_many(_snapshot_stack())
+        self._assert_frames_equal(decompose_many(covariances), covariances)
+
+    def test_degenerate_frames_mixed_in_one_batch(self):
+        # An all-zero covariance (D falls back to 1), a full-rank noise
+        # frame pushing D to M - 1, and ordinary frames, all in one stack.
+        stack = _snapshot_stack(num_frames=3, antennas=6)
+        covariances = list(sample_covariance_many(stack))
+        covariances.append(np.zeros((6, 6), dtype=np.complex128))
+        covariances.append(np.eye(6, dtype=np.complex128))  # all equal -> D = M-1
+        covariances = np.stack(covariances)
+        batch = decompose_many(covariances)
+        assert int(batch.num_sources[-2]) == 1      # all-zero frame
+        assert int(batch.num_sources[-1]) == 5      # D capped at M - 1
+        self._assert_frames_equal(batch, covariances)
+
+    def test_forced_counts_scalar_and_per_frame(self):
+        covariances = sample_covariance_many(_snapshot_stack(num_frames=4))
+        self._assert_frames_equal(
+            decompose_many(covariances, num_sources=3), covariances,
+            num_sources=3)
+        per_frame = [1, 3, 7, 2]   # 7 exceeds M - 1 and must clamp like serial
+        self._assert_frames_equal(
+            decompose_many(covariances, num_sources=per_frame), covariances,
+            num_sources=per_frame)
+
+    def test_noise_subspace_grouping_covers_every_frame(self):
+        covariances = sample_covariance_many(_snapshot_stack(num_frames=8))
+        batch = decompose_many(covariances)
+        total = 0
+        for count in np.unique(batch.num_sources):
+            group = batch.noise_subspaces(int(count))
+            assert group.shape[2] == batch.num_antennas - int(count)
+            total += group.shape[0]
+        assert total == len(batch)
+
+    def test_stack_validation(self):
+        with pytest.raises(EstimationError):
+            decompose_many(np.zeros((2, 3, 4)))
+        with pytest.raises(EstimationError):
+            decompose_many(np.zeros((2, 4, 4)), threshold_fraction=1.5)
+        with pytest.raises(EstimationError):
+            decompose_many(np.zeros((2, 4, 4)), num_sources=[1, 2, 3])
+
+    def test_empty_stack(self):
+        batch = decompose_many(np.zeros((0, 4, 4)))
+        assert len(batch) == 0
+        assert batch.num_sources.shape == (0,)

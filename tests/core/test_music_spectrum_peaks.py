@@ -9,11 +9,14 @@ from repro.channel import MultipathChannel
 from repro.core import (
     AoASpectrum,
     bartlett_spectrum,
+    bartlett_spectrum_many,
     capon_spectrum,
+    capon_spectrum_many,
     default_angle_grid,
     find_peaks,
     match_peak,
     music_spectrum,
+    music_spectrum_many,
     peak_regions,
     sample_covariance,
     smoothed_covariance,
@@ -81,6 +84,80 @@ class TestEstimators:
         with pytest.raises(EstimationError):
             music_spectrum(np.eye(4), geometry, default_angle_grid(1.0, False))
 
+    def test_capon_solve_matches_explicit_inverse(self):
+        # The solve-based Capon quadratic form must reproduce the explicit
+        # R^-1 evaluation (the pre-optimization reference) to numerical
+        # precision, and stay exactly reciprocal-positive.
+        covariance, geometry = _covariance_for([75.0, 130.0],
+                                               [1.0, 0.5 * np.exp(0.3j)])
+        angles = default_angle_grid(1.0, full_circle=False)
+        power = capon_spectrum(covariance, geometry, angles)
+        num_antennas = covariance.shape[0]
+        loading = 1e-3 * float(np.real(np.trace(covariance))) / num_antennas
+        regularized = covariance + loading * np.eye(num_antennas)
+        inverse = np.linalg.inv(regularized)
+        steering = geometry.steering_matrix(angles)
+        quadratic = np.real(np.einsum("mk,mn,nk->k", steering.conj(),
+                                      inverse, steering))
+        reference = 1.0 / np.maximum(quadratic, 1e-12)
+        assert np.allclose(power, reference, rtol=1e-9, atol=1e-12)
+        assert np.all(power > 0)
+
+
+class TestStackedEstimators:
+    """The *_many estimators must match the serial calls bit for bit."""
+
+    def _covariance_stack(self, num_frames=5, seed=2):
+        rng = np.random.default_rng(seed)
+        frames = []
+        for _ in range(num_frames):
+            bearings = [float(rng.uniform(15.0, 165.0)),
+                        float(rng.uniform(15.0, 165.0))]
+            covariance, geometry = _covariance_for(
+                bearings, [1.0, 0.6 * np.exp(0.8j)],
+                seed=int(rng.integers(1 << 30)), num=20, snr_db=12.0)
+            frames.append(covariance)
+        return np.stack(frames), geometry
+
+    def test_music_many_matches_serial_bitwise(self):
+        covariances, geometry = self._covariance_stack()
+        angles = default_angle_grid(1.0, full_circle=False)
+        batched = music_spectrum_many(covariances, geometry, angles)
+        for frame in range(covariances.shape[0]):
+            assert np.array_equal(batched[frame],
+                                  music_spectrum(covariances[frame], geometry,
+                                                 angles))
+
+    def test_music_many_forced_counts(self):
+        covariances, geometry = self._covariance_stack(num_frames=4)
+        angles = default_angle_grid(1.0, full_circle=False)
+        batched = music_spectrum_many(covariances, geometry, angles,
+                                      num_sources=[1, 2, 7, 3])
+        for frame, forced in enumerate([1, 2, 7, 3]):
+            assert np.array_equal(
+                batched[frame],
+                music_spectrum(covariances[frame], geometry, angles,
+                               num_sources=forced))
+
+    def test_bartlett_and_capon_many_match_serial_bitwise(self):
+        covariances, geometry = self._covariance_stack()
+        angles = default_angle_grid(1.0, full_circle=False)
+        for serial, batched in ((bartlett_spectrum, bartlett_spectrum_many),
+                                (capon_spectrum, capon_spectrum_many)):
+            stacked = batched(covariances, geometry, angles)
+            for frame in range(covariances.shape[0]):
+                assert np.array_equal(stacked[frame],
+                                      serial(covariances[frame], geometry,
+                                             angles))
+
+    def test_stack_dimension_mismatch_rejected(self):
+        geometry = ArrayGeometry.uniform_linear(8)
+        angles = default_angle_grid(1.0, full_circle=False)
+        with pytest.raises(EstimationError):
+            music_spectrum_many(np.zeros((2, 4, 4)), geometry, angles)
+        with pytest.raises(EstimationError):
+            bartlett_spectrum_many(np.zeros((4, 4)), geometry, angles)
+
 
 class TestAoASpectrum:
     def test_grid_validation(self):
@@ -113,6 +190,32 @@ class TestAoASpectrum:
         assert grid[0] == 0.0
         assert grid[-1] < 360.0
         assert np.all(np.diff(grid) > 0)
+
+    @pytest.mark.parametrize("resolution_deg", [0.1, 0.3, 0.75, 0.9])
+    def test_mirrored_grid_matches_default_full_circle_exactly(
+            self, resolution_deg):
+        # Regression: from_half_spectrum built the full circle with
+        # ``np.arange(0.0, 360.0, resolution)`` -- the float-accumulation
+        # seam bug default_angle_grid was already cured of.  For
+        # resolutions like 0.3 the accumulated points drift off the exact
+        # grid (the mirror seam landed on 180.00000000000003 instead of
+        # 180.0).  The mirrored grid must now equal the canonical
+        # full-circle grid bit for bit.
+        half = default_angle_grid(resolution_deg, full_circle=False)
+        spectrum = AoASpectrum.from_half_spectrum(half, np.ones_like(half))
+        full = default_angle_grid(resolution_deg, full_circle=True)
+        assert np.array_equal(spectrum.angles_deg, full)
+        seam = spectrum.angles_deg.shape[0] // 2
+        assert spectrum.angles_deg[seam] == 180.0  # bitwise exact
+
+    def test_from_half_spectrum_mirrors_power_exactly(self):
+        half = default_angle_grid(0.3, full_circle=False)
+        power = np.exp(-0.5 * ((half - 60.0) / 5.0) ** 2)
+        spectrum = AoASpectrum.from_half_spectrum(half, power)
+        half_points = half.shape[0]
+        assert np.array_equal(spectrum.power[:half_points], power)
+        assert np.array_equal(spectrum.power[half_points:],
+                              power[1:-1][::-1])
 
     def test_mirror_from_half_spectrum(self):
         angles = default_angle_grid(1.0, full_circle=False)

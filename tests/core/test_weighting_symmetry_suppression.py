@@ -10,8 +10,11 @@ from repro.core import (
     AoASpectrum,
     MultipathSuppressor,
     SymmetryResolver,
+    WindowCache,
     apply_geometry_weighting,
+    cached_geometry_window,
     default_angle_grid,
+    default_window_cache,
     geometry_window,
     group_spectra_by_time,
     suppress_multipath,
@@ -51,6 +54,78 @@ class TestGeometryWeighting:
     def test_invalid_reliable_angle(self):
         with pytest.raises(EstimationError):
             geometry_window(default_angle_grid(1.0), reliable_angle_deg=95.0)
+        with pytest.raises(EstimationError):
+            cached_geometry_window(default_angle_grid(1.0),
+                                   reliable_angle_deg=95.0)
+
+
+class TestWindowCache:
+    def test_cached_window_equals_direct_computation(self):
+        angles = default_angle_grid(1.0)
+        cached = cached_geometry_window(angles)
+        assert np.array_equal(cached, geometry_window(angles))
+        assert not cached.flags.writeable
+
+    def test_hits_per_grid_signature_and_angle(self):
+        cache = WindowCache()
+        angles = default_angle_grid(1.0)
+        first = cache.get(angles, 15.0, lambda: geometry_window(angles, 15.0))
+        again = cache.get(angles.copy(), 15.0,
+                          lambda: geometry_window(angles, 15.0))
+        assert first is again          # content-derived key, not identity
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        cache.get(angles, 20.0, lambda: geometry_window(angles, 20.0))
+        assert cache.stats.misses == 2  # different reliable angle, new entry
+        assert len(cache) == 2
+
+    def test_lru_eviction(self):
+        cache = WindowCache(max_entries=2)
+        grids = [default_angle_grid(res) for res in (1.0, 2.0, 3.0)]
+        for grid in grids:
+            cache.get(grid, 15.0, lambda grid=grid: geometry_window(grid))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest grid was evicted; re-fetching it is a miss.
+        misses = cache.stats.misses
+        cache.get(grids[0], 15.0, lambda: geometry_window(grids[0]))
+        assert cache.stats.misses == misses + 1
+
+    def test_concurrent_access_is_lock_safe(self):
+        import threading
+
+        cache = WindowCache(max_entries=4)
+        grids = [default_angle_grid(res) for res in (0.5, 1.0, 1.5, 2.0, 3.0, 4.5)]
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(200):
+                    grid = grids[int(rng.integers(len(grids)))]
+                    window = cache.get(grid, 15.0,
+                                       lambda grid=grid: geometry_window(grid))
+                    assert window.shape == grid.shape
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+    def test_default_cache_shared_by_weighting(self):
+        default_window_cache().clear()
+        angles = default_angle_grid(0.75)
+        spectrum = AoASpectrum(angles, np.ones_like(angles))
+        before = default_window_cache().stats.lookups
+        apply_geometry_weighting(spectrum)
+        apply_geometry_weighting(spectrum)
+        stats = default_window_cache().stats
+        assert stats.lookups >= before + 2
+        assert stats.hits >= 1
 
 
 class TestSymmetryResolver:
@@ -85,6 +160,34 @@ class TestSymmetryResolver:
         resolved = resolver.resolve(spectrum, snapshots.samples)
         assert resolved.power_at_local(azimuth)[0] > resolved.power_at_local(
             360.0 - azimuth)[0]
+
+    def test_resolve_many_matches_serial_bitwise(self):
+        rng = np.random.default_rng(61)
+        azimuths = [40.0, 300.0, 120.0, 250.0]
+        captures = [self._capture(azimuth, seed=seed)
+                    for seed, azimuth in enumerate(azimuths)]
+        array = captures[0][0]
+        resolver = SymmetryResolver(array.geometry, array.wavelength_m)
+        spectra = [_gaussian([azimuth, (360.0 - azimuth) % 360.0],
+                             [1.0, float(rng.uniform(0.5, 1.0))])
+                   for azimuth in azimuths]
+        stack = np.stack([snapshots.samples for _, snapshots in captures])
+        batched = resolver.resolve_many(spectra, stack, attenuation=0.1)
+        for spectrum, (_, snapshots), resolved in zip(spectra, captures, batched):
+            serial = resolver.resolve(spectrum, snapshots.samples,
+                                      attenuation=0.1)
+            assert np.array_equal(serial.power, resolved.power)
+        assert resolver.resolve_many([], stack[:0]) == []
+
+    def test_side_powers_many_requires_shared_grid(self):
+        array, snapshots = self._capture(60.0)
+        resolver = SymmetryResolver(array.geometry, array.wavelength_m)
+        coarse = default_angle_grid(2.0)
+        mismatched = [_gaussian([60.0], [1.0]),
+                      AoASpectrum(coarse, np.ones_like(coarse))]
+        stack = np.stack([snapshots.samples, snapshots.samples])
+        with pytest.raises(EstimationError):
+            resolver.side_powers_many(stack, mismatched)
 
     def test_attenuation_keeps_residual(self):
         array, snapshots = self._capture(60.0)
