@@ -4,7 +4,7 @@ The Section 2.5 refinement used to be the scaling cliff of the batched
 engine: grid synthesis ran in stacked NumPy passes, then hill climbing fell
 back to one Python likelihood call per candidate point per climber.  This
 benchmark measures end-to-end ``ArrayTrackService.localize_many`` over the
-office testbed with refinement *enabled*, three ways:
+office testbed with refinement *enabled*, four ways:
 
 * ``serial seed`` -- the pre-optimization path:
   ``server.localizer.vectorized_refinement=False`` and no parallel backend
@@ -13,20 +13,31 @@ office testbed with refinement *enabled*, three ways:
   (:func:`repro.core.optimizer.refine_many`): every round evaluates the
   stacked candidates of all clients' climbers in one Equation 8 pass per AP;
 * ``vectorized + threads`` -- the same, plus ``parallel.backend=thread``
-  sharding the batch across 4 workers.
+  sharding the batch across 4 workers (GIL-releasing NumPy overlap only);
+* ``vectorized + processes`` -- the same, plus ``parallel.backend=process``
+  sharding across 4 spawned worker processes with shared-memory spectra
+  (no interpreter lock shared between shards).
 
-Asserted: the full configuration beats the serial seed path by >= 3x at 256
-clients / 4 workers, and both new paths produce fixes bit-for-bit identical
-to the serial seed path (the refinement replay and the shard merge preserve
-every tie-break).
+Asserted: the thread configuration beats the serial seed path by >= 3x at
+256 clients / 4 workers, the process configuration additionally beats the
+thread backend by >= 2x *on a multi-core runner* (the bar is skipped, and
+recorded in the JSON, when fewer than 4 CPUs are visible -- process
+sharding cannot beat threads on one core), and every configuration produces
+fixes bit-for-bit identical to the serial seed path (the refinement replay
+and the shard merge preserve every tie-break).
+
+Timings are emitted to ``BENCH_parallel.json`` (same schema style as
+``BENCH_frontend.json``) so the perf trajectory covers parallel scale-out.
 
 Run with ``--bench-smoke`` for an untimed single-repetition equality canary
-at a reduced client count (the speedup ratio is only asserted at full size,
-where it is not noise-bound).
+at a reduced client count: the cross-backend bit-equality (process backend
+included) is still asserted there, the speedup bars only at full size.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from typing import Dict, List
 
@@ -45,8 +56,14 @@ NUM_CLIENTS = 256
 NUM_WORKERS = 4
 REPETITIONS = 3
 SPEEDUP_FLOOR = 3.0
+#: Process-over-thread bar; only meaningful with real cores to spread over.
+PROCESS_VS_THREAD_FLOOR = 2.0
+MIN_CPUS_FOR_PROCESS_BAR = 4
 #: Reduced problem size for the --bench-smoke CI canary.
 SMOKE_CLIENTS = 24
+#: Machine-readable results for cross-PR perf tracking.
+RESULTS_PATH = os.path.join(os.environ.get("BENCH_OUTPUT_DIR", "."),
+                            "BENCH_parallel.json")
 
 
 def _synthesize_clients(testbed: OfficeTestbed, count: int,
@@ -87,7 +104,14 @@ def _service(testbed: OfficeTestbed, vectorized: bool,
 
 
 def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
-    """Time the three refinement/sharding configurations over one batch."""
+    """Time the four refinement/sharding configurations over one batch.
+
+    Every configuration gets one untimed warm-up pass (cache warm-up, and
+    for the process backend the worker spawn + per-worker cache warm-up)
+    before its timed repetitions, then is closed; bit-equality against the
+    serial seed fixes is asserted for every other configuration.  Results
+    are written to :data:`RESULTS_PATH`.
+    """
     testbed = OfficeTestbed()
     rng = np.random.default_rng(2026)
     clients = _synthesize_clients(testbed, num_clients, rng)
@@ -96,6 +120,8 @@ def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
         "vectorized": _service(testbed, vectorized=True, backend="none"),
         "vectorized + threads": _service(testbed, vectorized=True,
                                          backend="thread"),
+        "vectorized + processes": _service(testbed, vectorized=True,
+                                           backend="process"),
     }
     estimates: Dict[str, Dict[str, object]] = {}
     timings: Dict[str, float] = {}
@@ -109,7 +135,8 @@ def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
         timings[name] = float(np.median(samples))
         service.close()
     reference = estimates["serial seed"]
-    for name in ("vectorized", "vectorized + threads"):
+    for name in ("vectorized", "vectorized + threads",
+                 "vectorized + processes"):
         assert list(estimates[name]) == list(reference), (
             f"{name} returned clients out of order")
         for client_id, expected in reference.items():
@@ -119,36 +146,80 @@ def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
                 f"{name} fix for {client_id} diverged from the serial path")
             assert actual.likelihood == expected.likelihood, (
                 f"{name} likelihood for {client_id} diverged")
-    return {"timings": timings, "num_clients": num_clients}
+    serial_s = timings["serial seed"]
+    results: Dict[str, object] = {
+        "num_clients": num_clients,
+        "num_workers": NUM_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "configs": {
+            name: {
+                "seconds": seconds,
+                "fixes_per_s": num_clients / seconds,
+                "speedup_vs_serial": serial_s / seconds,
+            }
+            for name, seconds in timings.items()},
+        "process_vs_thread": (timings["vectorized + threads"]
+                              / timings["vectorized + processes"]),
+        "process_bar_applies": (os.cpu_count() or 1)
+        >= MIN_CPUS_FOR_PROCESS_BAR,
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    return results
 
 
 def test_parallel_localization_speedup(benchmark, bench_smoke):
-    """E-PARALLEL: vectorized + sharded refinement >= 3x the serial seed path.
+    """E-PARALLEL: sharded refinement speedups, bit-identical to serial.
 
     The serial seed path re-enters the Equation 8 likelihood once per
     candidate point of every climber; the vectorized refiner folds each
-    round's candidates in stacked passes and the thread backend shards the
-    batch across workers.  Both are asserted bit-identical to the serial
-    fixes at any size; the 3x bar applies at 256 clients / 4 workers.
+    round's candidates in stacked passes, the thread backend shards the
+    batch across workers, and the process backend spreads the shards over
+    worker processes.  All are asserted bit-identical to the serial fixes
+    at any size; the speedup bars apply at 256 clients / 4 workers (the
+    process-over-thread bar additionally needs >= 4 visible CPUs).
     """
     num_clients = SMOKE_CLIENTS if bench_smoke else NUM_CLIENTS
     results = run_once(benchmark, measure_parallel, num_clients)
-    timings: Dict[str, float] = results["timings"]
+    configs: Dict[str, Dict[str, float]] = results["configs"]
     count = results["num_clients"]
-    rows = [[name, f"{seconds * 1e3:.0f}",
-             f"{count / seconds:.0f}",
-             f"{timings['serial seed'] / seconds:.1f}x"]
-            for name, seconds in timings.items()]
+    rows = [[name, f"{entry['seconds'] * 1e3:.0f}",
+             f"{entry['fixes_per_s']:.0f}",
+             f"{entry['speedup_vs_serial']:.1f}x"]
+            for name, entry in configs.items()]
     print()
     print(format_table(
         ["configuration", "batch (ms)", "fixes/s", "vs serial seed"],
         rows,
         title=f"Refined localize_many, office testbed, {count} clients, "
-              f"{NUM_WORKERS} workers"))
+              f"{NUM_WORKERS} workers, {results['cpu_count']} cpus"))
+    bar_note = "applies" if results["process_bar_applies"] \
+        else "skipped: fewer than 4 visible CPUs"
+    print(f"process vs thread: {results['process_vs_thread']:.2f}x "
+          f"(bar {bar_note})")
+    print(f"results written to {RESULTS_PATH}")
     if not bench_smoke:
-        speedup = timings["serial seed"] / timings["vectorized + threads"]
+        speedup = configs["vectorized + threads"]["speedup_vs_serial"]
         assert speedup >= SPEEDUP_FLOOR, (
             f"vectorized + sharded refinement must be >= {SPEEDUP_FLOOR}x "
             f"the serial seed path, got {speedup:.2f}x")
-        assert timings["vectorized + threads"] <= timings["serial seed"], (
+        assert configs["vectorized + threads"]["seconds"] \
+            <= configs["serial seed"]["seconds"], (
             "the parallel path must not lose to the serial seed path")
+        if results["process_bar_applies"]:
+            process_speedup = \
+                configs["vectorized + processes"]["speedup_vs_serial"]
+            assert process_speedup >= SPEEDUP_FLOOR, (
+                f"process sharding must be >= {SPEEDUP_FLOOR}x the serial "
+                f"seed path on a multi-core runner, "
+                f"got {process_speedup:.2f}x")
+            assert results["process_vs_thread"] \
+                >= PROCESS_VS_THREAD_FLOOR, (
+                f"process sharding must be >= {PROCESS_VS_THREAD_FLOOR}x "
+                f"the thread backend on a multi-core runner, "
+                f"got {results['process_vs_thread']:.2f}x")
+
+
+if __name__ == "__main__":
+    print(json.dumps(measure_parallel(NUM_CLIENTS), indent=2))

@@ -1,9 +1,36 @@
-"""Repo-level pytest options.
+"""Repo-level pytest options: the bench-smoke mode and the test watchdog.
 
-Defined at the rootdir so the flag is recognized both by the full tier-1
+Defined at the rootdir so the flags are recognized both by the full tier-1
 run (``python -m pytest``) and by targeted benchmark invocations
 (``pytest benchmarks/test_bench_tracking.py``).
+
+The watchdog exists because the service now owns *process* worker pools: a
+deadlocked or wedged pool (lost worker, stuck pipe) would otherwise stall a
+CI job until the job-level timeout kills it with no Python-side diagnostics.
+Every test phase (setup/call/teardown) is armed with a ``SIGALRM`` timer;
+on expiry the tracebacks of all threads are dumped to stderr and the test
+fails with a ``WatchdogTimeout`` naming the phase.  ``pytest-timeout`` is
+not a dependency of this repo, so the hook is self-contained.
 """
+
+from __future__ import annotations
+
+import contextlib
+import faulthandler
+import signal
+import sys
+import threading
+
+import pytest
+
+#: Generous per-test ceiling: the slowest legitimate test (a full-size
+#: benchmark repetition on a loaded single-core runner) stays well under
+#: this, while a deadlocked worker pool trips it instead of stalling CI.
+DEFAULT_WATCHDOG_S = 900.0
+
+
+class WatchdogTimeout(Exception):
+    """A test phase exceeded the per-phase watchdog timeout."""
 
 
 def pytest_addoption(parser):
@@ -11,6 +38,12 @@ def pytest_addoption(parser):
         "--bench-smoke", action="store_true", default=False,
         help="run benchmarks as an untimed single-repetition smoke job "
              "with reduced problem sizes (CI pipeline canary)")
+    parser.addoption(
+        "--watchdog-timeout", type=float, default=DEFAULT_WATCHDOG_S,
+        metavar="SECONDS",
+        help="per-phase (setup/call/teardown) SIGALRM watchdog so a "
+             "deadlocked worker pool fails fast with thread tracebacks "
+             "instead of stalling the job (0 disables)")
 
 
 def pytest_configure(config):
@@ -18,3 +51,43 @@ def pytest_configure(config):
         # One untimed repetition: pytest-benchmark's disabled mode calls the
         # benchmarked function exactly once without calibration loops.
         config.option.benchmark_disable = True
+
+
+@contextlib.contextmanager
+def _watchdog(item, phase):
+    timeout = item.config.getoption("--watchdog-timeout")
+    if (timeout <= 0 or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def on_timeout(signum, frame):
+        faulthandler.dump_traceback(all_threads=True, file=sys.stderr)
+        raise WatchdogTimeout(
+            f"watchdog: {item.nodeid} {phase} exceeded {timeout:g}s")
+
+    previous = signal.signal(signal.SIGALRM, on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_setup(item):
+    with _watchdog(item, "setup"):
+        yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    with _watchdog(item, "call"):
+        yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_teardown(item):
+    with _watchdog(item, "teardown"):
+        yield

@@ -1,0 +1,420 @@
+"""Process-backend sharding: a persistent spawn pool + shared-memory spectra.
+
+``ParallelConfig.backend = "thread"`` shards batches across threads, which
+only overlaps the GIL-releasing NumPy regions; everything Python-bound in a
+shard still serializes on one interpreter lock.  This module is the
+``"process"`` backend that breaks that ceiling: a lazy, persistent pool of
+*spawned* worker processes, each owning its own :class:`~repro.server.
+backend.ArrayTrackServer` (and therefore its own steering/bearing/window
+caches, warmed in the worker initializer), with the bulk frame data --
+angle grids and spectrum power rows -- moved through one
+``multiprocessing.shared_memory`` segment per batched call.  Only small
+things cross the pickle pipe:
+
+* down: the segment name, per-array ``(offset, length)`` specs and per-shard
+  index metadata (client/AP ids, positions, timestamps);
+* up: the per-shard fix dictionaries (:class:`~repro.core.localizer.
+  LocationEstimate` objects).
+
+Workers rebuild each shard's :class:`~repro.core.spectrum.AoASpectrum`
+objects as zero-copy read-only views into the segment, run the *identical*
+suppression + synthesis stages the thread backend runs, and return fixes.
+Because every stage is deterministic and the shard merge preserves the
+caller's client order, process-sharded results are bit-for-bit identical to
+the serial path (asserted by ``tests/api/test_process_backend.py``).
+
+Shared-memory lifecycle: the parent creates one segment per batched call and
+always closes *and unlinks* it in a ``finally`` -- success, worker
+exception, or worker crash alike -- so no segment outlives the call.  The
+module-level :func:`live_segments` registry backs the teardown assertions in
+the test suite.  Spawn (not fork) is used so a pool started from a threaded
+parent is safe on every platform.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.localizer import LocationEstimate
+from repro.core.spectrum import AoASpectrum
+from repro.core.suppression import MultipathSuppressor
+from repro.errors import ConfigurationError, EstimationError
+from repro.geometry.vector import Point2D
+from repro.server.backend import ArrayTrackServer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.config import ArrayTrackConfig
+
+__all__ = ["ProcessShardPool", "SEGMENT_PREFIX", "live_segments"]
+
+#: Prefix of every shared-memory segment this module creates; the teardown
+#: tests scan ``/dev/shm`` for it to prove nothing leaked.
+SEGMENT_PREFIX = "arraytrack_"
+
+#: Parent-side registry of segments created but not yet unlinked.
+_LIVE_SEGMENTS: set = set()
+
+
+def live_segments() -> FrozenSet[str]:
+    """Return the names of this process's currently live shm segments.
+
+    Empty whenever no sharded call is in flight; the equality suite asserts
+    it is empty after every call and after ``close()``.
+    """
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def _new_segment_name() -> str:
+    return f"{SEGMENT_PREFIX}{os.getpid():x}_{uuid.uuid4().hex[:12]}"
+
+
+# ----------------------------------------------------------------------
+# Shared-memory packing (parent side)
+# ----------------------------------------------------------------------
+#: One spectrum, flattened to picklable metadata plus two array indices:
+#: ``(angles_index, power_index, ap_xy, orientation_deg, client_id, ap_id,
+#: timestamp_s)``.
+_SpectrumRef = Tuple[int, int, Optional[Tuple[float, float]], float,
+                     str, str, float]
+
+
+@dataclass(frozen=True)
+class _SegmentHandle:
+    """Everything a worker needs to map the batch arrays: name + layout."""
+
+    name: str
+    #: Per-array ``(byte offset, element count)``; all arrays are 1-D
+    #: float64, so the layout stays self-describing and 8-byte aligned.
+    specs: Tuple[Tuple[int, int], ...]
+
+
+class _ArrayPacker:
+    """Collects the batch's float arrays and writes them into one segment.
+
+    Arrays are deduplicated by source-object identity: every spectrum of a
+    deployment typically shares one angle-grid object, so the grid is
+    stored once per segment instead of once per frame.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: List[np.ndarray] = []
+        self._specs: List[Tuple[int, int]] = []
+        self._by_source: Dict[int, int] = {}
+        self._nbytes = 0
+
+    def add(self, array: np.ndarray) -> int:
+        """Register one 1-D array; returns its index into the segment."""
+        index = self._by_source.get(id(array))
+        if index is not None:
+            return index
+        data = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+        index = len(self._arrays)
+        self._arrays.append(data)
+        self._specs.append((self._nbytes, int(data.shape[0])))
+        self._nbytes += data.nbytes
+        self._by_source[id(array)] = index
+        return index
+
+    def pack(self) -> Tuple[shared_memory.SharedMemory, _SegmentHandle]:
+        """Create the segment, copy every array in, return it + its handle."""
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(self._nbytes, 8), name=_new_segment_name())
+        _LIVE_SEGMENTS.add(segment.name)
+        for (offset, length), data in zip(self._specs, self._arrays):
+            target = np.ndarray((length,), dtype=np.float64,
+                                buffer=segment.buf, offset=offset)
+            target[:] = data
+            # Drop the view immediately so the buffer has no exports left
+            # when the parent closes the segment.
+            del target
+        return segment, _SegmentHandle(segment.name, tuple(self._specs))
+
+
+def _release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close and unlink one segment, tolerating partial prior cleanup."""
+    name = segment.name
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - a view escaped; GC releases it
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+    _LIVE_SEGMENTS.discard(name)
+
+
+def _encode_spectrum(packer: _ArrayPacker,
+                     spectrum: AoASpectrum) -> _SpectrumRef:
+    position = spectrum.ap_position
+    return (
+        packer.add(spectrum.angles_deg),
+        packer.add(spectrum.power),
+        None if position is None else (float(position.x), float(position.y)),
+        float(spectrum.ap_orientation_deg),
+        spectrum.client_id,
+        spectrum.ap_id,
+        float(spectrum.timestamp_s),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+@dataclass
+class _WorkerState:
+    server: ArrayTrackServer
+    suppressor: MultipathSuppressor
+
+
+_WORKER: Optional[_WorkerState] = None
+
+
+def _initialize_worker(config: "ArrayTrackConfig",
+                       warm_positions: Tuple[Tuple[float, float], ...]) -> None:
+    """Build this worker's server once and warm its geometry caches.
+
+    Runs in the spawned child before any task.  ``config`` arrives through
+    the :class:`~repro.api.config.ArrayTrackConfig` dict-round-trip pickle
+    contract, so every validator re-runs on this side of the pipe; the
+    bearing grids of the known AP fleet are precomputed so the first real
+    shard does not pay the arctan2 sweeps.
+    """
+    global _WORKER
+    assert config.bounds is not None
+    server = ArrayTrackServer(config.bounds, config.server)
+    server.warm_geometry_caches(warm_positions)
+    _WORKER = _WorkerState(server=server, suppressor=config.suppressor)
+
+
+def _require_worker() -> _WorkerState:
+    if _WORKER is None:  # pragma: no cover - initializer always runs first
+        raise EstimationError(
+            "process-pool worker task ran before the worker was initialized")
+    return _WORKER
+
+
+@contextmanager
+def _attached_arrays(handle: _SegmentHandle) -> Iterator[List[np.ndarray]]:
+    """Attach the segment and yield its arrays as read-only views.
+
+    The views are zero-copy; callers must drop every reference derived from
+    them before the context exits so the mapping can be released.  If a
+    view escapes into an in-flight exception's traceback the close is
+    skipped (the worker releases the mapping when the traceback is
+    collected) -- the *parent's* unlink removes the segment name either
+    way, so nothing leaks system-wide.
+    """
+    segment = shared_memory.SharedMemory(name=handle.name)
+    arrays: List[np.ndarray] = []
+    try:
+        for offset, length in handle.specs:
+            view = np.ndarray((length,), dtype=np.float64,
+                              buffer=segment.buf, offset=offset)
+            view.flags.writeable = False
+            arrays.append(view)
+        yield arrays
+    finally:
+        arrays.clear()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - view held by a traceback
+            pass
+
+
+def _decode_spectrum(arrays: Sequence[np.ndarray],
+                     ref: _SpectrumRef) -> AoASpectrum:
+    angles_index, power_index, position, orientation, client_id, ap_id, \
+        timestamp_s = ref
+    return AoASpectrum(
+        arrays[angles_index], arrays[power_index],
+        ap_position=None if position is None else Point2D(*position),
+        ap_orientation_deg=orientation, client_id=client_id, ap_id=ap_id,
+        timestamp_s=timestamp_s)
+
+
+#: One shard as shipped to a worker: ordered ``(client_id, per_ap)`` pairs,
+#: where ``per_ap`` preserves the caller's AP order exactly (the order is
+#: part of the bit-equality contract).
+_LocalizeShard = Tuple[Tuple[str, Tuple[Tuple[str, Tuple[_SpectrumRef, ...]],
+                                        ...]], ...]
+_TickShard = Tuple[Tuple[str, Tuple[Tuple[str, Tuple[Tuple[float,
+                                                           _SpectrumRef],
+                                                     ...]], ...]], ...]
+
+
+def _localize_shard(handle: _SegmentHandle,
+                    shard: _LocalizeShard) -> Dict[str, LocationEstimate]:
+    """Worker task behind ``localize_many`` / ``localize_buffered``."""
+    worker = _require_worker()
+    with _attached_arrays(handle) as arrays:
+        batch = {
+            client_id: {ap_id: [_decode_spectrum(arrays, ref) for ref in refs]
+                        for ap_id, refs in per_ap}
+            for client_id, per_ap in shard}
+        estimates = worker.server.localize_batch(batch)
+        del batch
+    return estimates
+
+
+def _tick_shard(handle: _SegmentHandle, shard: _TickShard,
+                suppress: bool) -> Dict[str, LocationEstimate]:
+    """Worker task behind ``tick`` / ``flush``.
+
+    Replicates the thread backend's shard closure exactly: with the
+    streaming suppression stage on, each AP's pending frames are suppressed
+    per time group (on the ingest-resolved timestamps) and the primaries
+    enter the raw synthesis; with it off, the raw pending spectra go
+    through the full batch path.
+    """
+    worker = _require_worker()
+    with _attached_arrays(handle) as arrays:
+        if suppress:
+            flat: Dict[str, List[AoASpectrum]] = {}
+            for client_id, per_ap in shard:
+                processed: List[AoASpectrum] = []
+                for _ap_id, frames in per_ap:
+                    spectra = [_decode_spectrum(arrays, ref)
+                               for _ts, ref in frames]
+                    timestamps = [timestamp for timestamp, _ref in frames]
+                    processed.extend(worker.suppressor.process(
+                        spectra, timestamps=timestamps))
+                flat[client_id] = processed
+            estimates = worker.server.synthesize_batch(flat)
+            del flat
+        else:
+            batch = {
+                client_id: {ap_id: [_decode_spectrum(arrays, ref)
+                                    for _ts, ref in frames]
+                            for ap_id, frames in per_ap}
+                for client_id, per_ap in shard}
+            estimates = worker.server.localize_batch(batch)
+            del batch
+    return estimates
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ProcessShardPool:
+    """A lazy, persistent spawn pool sharding batched calls across processes.
+
+    Owned by :class:`~repro.api.ArrayTrackService` when
+    ``parallel.backend = "process"``.  Workers are spawned on the first
+    sharded call and persist across calls (the per-worker server and its
+    warmed caches amortize over the service lifetime); :meth:`close` shuts
+    them down.  Each batched call moves its frame arrays through one
+    shared-memory segment that is unconditionally unlinked before the call
+    returns -- on success, on a worker exception (which re-raises here with
+    the original remote traceback chained), and on a worker crash (which
+    surfaces as ``concurrent.futures.process.BrokenProcessPool`` rather
+    than a hang).
+    """
+
+    def __init__(self, config: "ArrayTrackConfig",
+                 warm_positions: Iterable[Tuple[float, float]] = ()) -> None:
+        if config.bounds is None:
+            raise ConfigurationError(
+                "a process shard pool needs config.bounds to build its "
+                "per-worker servers")
+        self._config = config
+        self._warm_positions = tuple(
+            (float(x), float(y)) for x, y in warm_positions)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def started(self) -> bool:
+        """True once workers have been spawned (and not yet closed)."""
+        return self._executor is not None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._config.parallel.num_workers,
+                mp_context=get_context("spawn"),
+                initializer=_initialize_worker,
+                initargs=(self._config, self._warm_positions))
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Batched calls
+    # ------------------------------------------------------------------
+    def localize_shards(self, shards: Sequence[Sequence[str]],
+                        spectra_by_client: Mapping[str, Mapping[str, Sequence[AoASpectrum]]]
+                        ) -> Dict[str, LocationEstimate]:
+        """Run ``localize_batch`` per shard on the pool and merge in order."""
+        packer = _ArrayPacker()
+        encoded = {
+            client_id: tuple(
+                (ap_id, tuple(_encode_spectrum(packer, spectrum)
+                              for spectrum in spectra))
+                for ap_id, spectra in spectra_by_client[client_id].items())
+            for shard in shards for client_id in shard}
+        return self._run(_localize_shard, packer, shards, encoded)
+
+    def tick_shards(self, shards: Sequence[Sequence[str]],
+                    pending_by_client: Mapping[str, Mapping[str, Sequence[Tuple[float, AoASpectrum]]]],
+                    suppress: bool) -> Dict[str, LocationEstimate]:
+        """Run the streaming drain (suppression + synthesis) per shard."""
+        packer = _ArrayPacker()
+        encoded = {
+            client_id: tuple(
+                (ap_id, tuple((float(timestamp),
+                               _encode_spectrum(packer, spectrum))
+                              for timestamp, spectrum in frames))
+                for ap_id, frames in pending_by_client[client_id].items())
+            for shard in shards for client_id in shard}
+        return self._run(_tick_shard, packer, shards, encoded, suppress)
+
+    def _run(self, task, packer: _ArrayPacker,
+             shards: Sequence[Sequence[str]], encoded: Dict[str, tuple],
+             *extra) -> Dict[str, LocationEstimate]:
+        executor = self._ensure()
+        segment, handle = packer.pack()
+        try:
+            futures = [
+                executor.submit(
+                    task, handle,
+                    tuple((client_id, encoded[client_id])
+                          for client_id in shard),
+                    *extra)
+                for shard in shards]
+            merged: Dict[str, LocationEstimate] = {}
+            try:
+                for future in futures:
+                    merged.update(future.result())
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+            return merged
+        finally:
+            _release_segment(segment)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None

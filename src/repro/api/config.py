@@ -111,26 +111,31 @@ class ParallelConfig:
     When enabled, :meth:`~repro.api.ArrayTrackService.localize_many`,
     :meth:`~repro.api.ArrayTrackService.localize_buffered` and
     :meth:`~repro.api.ArrayTrackService.tick` split their client batch into
-    contiguous shards and run each shard's synthesis on a worker thread.
-    The hot Equation 8 folds are NumPy reductions that release the GIL, so
-    thread sharding buys real parallelism without any serialization cost.
-    Every shard drains through the unchanged suppression/synthesis
-    pipeline and the per-shard batches are themselves bit-for-bit identical
-    to single-client fixes, so sharded results equal the serial path
-    exactly; only the tracker commit stays on the calling thread.
+    contiguous shards and run each shard's synthesis on a worker.  With the
+    ``"thread"`` backend the hot Equation 8 folds overlap in their
+    GIL-releasing NumPy regions; the ``"process"`` backend goes further and
+    runs each shard in a spawned worker process with its own interpreter
+    (frame arrays travel through shared memory, so only shard metadata and
+    the returned fixes are pickled).  Every shard drains through the
+    unchanged suppression/synthesis pipeline and the per-shard batches are
+    themselves bit-for-bit identical to single-client fixes, so sharded
+    results equal the serial path exactly -- whichever backend runs them;
+    only the tracker commit stays on the calling thread.
 
     Attributes
     ----------
     backend:
         ``"none"`` (the default) runs everything on the calling thread;
-        ``"thread"`` shards batches across a worker pool.
+        ``"thread"`` shards batches across a worker-thread pool;
+        ``"process"`` shards them across a persistent pool of spawned
+        worker processes (requires the config tree to be picklable, which
+        every built-in section is; see ``docs/api.md``).
     num_workers:
-        Maximum number of worker threads (and shards) per batched call.
+        Maximum number of workers (and shards) per batched call.
     min_clients_per_worker:
         Do not split below this many clients per shard: tiny shards pay
-        more in thread handoff than they win in parallelism, so a batch
-        only fans out once it is at least ``2 * min_clients_per_worker``
-        clients.
+        more in handoff than they win in parallelism, so a batch only fans
+        out once it is at least ``2 * min_clients_per_worker`` clients.
     """
 
     backend: str = "none"
@@ -138,9 +143,9 @@ class ParallelConfig:
     min_clients_per_worker: int = 8
 
     def __post_init__(self) -> None:
-        if self.backend not in ("none", "thread"):
+        if self.backend not in ("none", "thread", "process"):
             raise ConfigurationError(
-                f"parallel backend must be 'none' or 'thread', "
+                f"parallel backend must be 'none', 'thread' or 'process', "
                 f"got {self.backend!r}")
         self._require_positive_int("num_workers", self.num_workers)
         self._require_positive_int("min_clients_per_worker",
@@ -329,6 +334,17 @@ class ArrayTrackConfig:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def __reduce__(self):
+        """Pickle as the plain-dict tree and rebuild via :meth:`from_dict`.
+
+        The process-backend worker initializer ships the config across the
+        spawn pipe, so pickling must be cheap and robust: the dict
+        round-trip reuses the one serialization path that already exists,
+        keeps the payload free of class internals, and re-runs every
+        validator on the receiving side.
+        """
+        return (_config_from_state, (self.to_dict(),))
+
     def to_dict(self) -> Dict[str, Any]:
         """Return the full tree as plain dicts/lists/scalars (JSON-safe)."""
         return {
@@ -463,3 +479,8 @@ class ArrayTrackConfig:
         if not overrides:
             return self
         return self.updated(overrides)
+
+
+def _config_from_state(data: Dict[str, Any]) -> ArrayTrackConfig:
+    """Unpickle hook of :meth:`ArrayTrackConfig.__reduce__`."""
+    return ArrayTrackConfig.from_dict(data)

@@ -52,6 +52,7 @@ import numpy as np
 from repro.ap.access_point import ArrayTrackAP
 from repro.ap.buffer import BufferEntry
 from repro.ap.latency import LatencyBreakdown, LatencyModel
+from repro.api._procpool import ProcessShardPool
 from repro.api.config import ArrayTrackConfig, SessionConfig
 from repro.api.registry import EstimatorSpec, get_estimator
 from repro.core.localizer import LocationEstimate
@@ -256,8 +257,11 @@ class ArrayTrackService:
         self._suppressor = config.suppressor
         self._sessions: Dict[str, Session] = {}
         self._aps: Dict[str, ArrayTrackAP] = {}
-        #: Lazily created worker pool of the ``parallel`` config section.
+        #: Lazily created worker pools of the ``parallel`` config section
+        #: (thread backend / process backend respectively).
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._procpool: Optional[ProcessShardPool] = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Alternative constructors
@@ -338,7 +342,7 @@ class ArrayTrackService:
         the merged result in the caller's original client order.
         """
         parallel = self.config.parallel
-        if parallel.backend != "thread":
+        if parallel.backend not in ("thread", "process"):
             return None
         num_shards = min(parallel.num_workers,
                          len(keys) // parallel.min_clients_per_worker)
@@ -349,6 +353,12 @@ class ArrayTrackService:
                 for start, stop in zip(bounds[:-1], bounds[1:])
                 if stop > start]
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "this ArrayTrackService is closed (its worker pools are "
+                "shut down); build a new service instead of reusing it")
+
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
@@ -356,33 +366,66 @@ class ArrayTrackService:
                 thread_name_prefix="arraytrack-worker")
         return self._executor
 
-    def _run_sharded(self, shards: List[List[str]],
-                     synthesize: Callable[[List[str]],
-                                          Dict[str, LocationEstimate]]
-                     ) -> Dict[str, LocationEstimate]:
-        """Run ``synthesize`` per shard on the pool and merge in order.
+    def _process_pool(self) -> ProcessShardPool:
+        if self._procpool is None:
+            warm = [(ap.position.x, ap.position.y)
+                    for ap in self._aps.values()]
+            self._procpool = ProcessShardPool(self.config,
+                                              warm_positions=warm)
+        return self._procpool
 
-        The NumPy reductions inside each shard's Equation 8 fold release
-        the GIL, so shards genuinely overlap.  When processing-time
-        measurement is on, the wall-clock duration of the whole parallel
-        pass is recorded on the server (each shard's own measurement only
-        covers that shard).
+    def _timed_pass(self, run: Callable[[], Dict[str, LocationEstimate]]
+                    ) -> Dict[str, LocationEstimate]:
+        """Run one parallel pass, recording its whole wall-clock duration.
+
+        Each shard's own processing-time measurement only covers that
+        shard, so after a parallel pass the duration of the *entire* fan
+        out is recorded on the server instead.
         """
         measure = self.config.server.measure_processing_time
         start = time.perf_counter() if measure else None
-        futures = [self._pool().submit(synthesize, shard) for shard in shards]
-        estimates: Dict[str, LocationEstimate] = {}
-        for future in futures:
-            estimates.update(future.result())
+        estimates = run()
         if start is not None:
             self._server.record_processing_time(time.perf_counter() - start)
         return estimates
 
+    def _run_sharded(self, shards: List[List[str]],
+                     synthesize: Callable[[List[str]],
+                                          Dict[str, LocationEstimate]]
+                     ) -> Dict[str, LocationEstimate]:
+        """Run ``synthesize`` per shard on the thread pool, merge in order.
+
+        The NumPy reductions inside each shard's Equation 8 fold release
+        the GIL, so shards genuinely overlap.
+        """
+        def run() -> Dict[str, LocationEstimate]:
+            futures = [self._pool().submit(synthesize, shard)
+                       for shard in shards]
+            estimates: Dict[str, LocationEstimate] = {}
+            for future in futures:
+                estimates.update(future.result())
+            return estimates
+
+        return self._timed_pass(run)
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; the pool is rebuilt on use)."""
+        """Shut down the worker pools and mark the service closed.
+
+        Idempotent.  After ``close()`` the localization entry points
+        (:meth:`localize`, :meth:`localize_many`,
+        :meth:`localize_buffered`, :meth:`tick`, :meth:`flush`) raise
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        rebuilding the pools -- with the process backend a rebuilt pool
+        would re-spawn workers, which is far too expensive to happen by
+        accident.  Build a new service to continue.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+        self._closed = True
 
     def __enter__(self) -> "ArrayTrackService":
         return self
@@ -396,6 +439,7 @@ class ArrayTrackService:
     def localize(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]],
                  client_id: str = "") -> LocationEstimate:
         """Localize one client from per-AP lists of AoA spectra."""
+        self._ensure_open()
         return self._server._localize_spectra(spectra_by_ap, client_id)
 
     def localize_many(self,
@@ -403,15 +447,21 @@ class ArrayTrackService:
                       ) -> Dict[str, LocationEstimate]:
         """Localize many clients in one vectorized synthesis pass.
 
-        With ``parallel.backend="thread"`` and a large enough batch, the
-        clients are split into contiguous shards and each shard's
-        suppression + synthesis runs on a worker thread; results are
+        With ``parallel.backend="thread"`` or ``"process"`` and a large
+        enough batch, the clients are split into contiguous shards and
+        each shard's suppression + synthesis runs on a worker thread or a
+        worker process (spectra travel through shared memory); results are
         bit-for-bit identical to the serial path either way.
         """
+        self._ensure_open()
         keys = list(spectra_by_client.keys())
         shards = self._shards(keys)
         if shards is None:
             return self._server.localize_batch(spectra_by_client)
+        if self.config.parallel.backend == "process":
+            return self._timed_pass(
+                lambda: self._process_pool().localize_shards(
+                    shards, spectra_by_client))
         return self._run_sharded(
             shards,
             lambda shard: self._server.localize_batch(
@@ -426,6 +476,7 @@ class ArrayTrackService:
         Uses the registered fleet when ``aps`` is omitted.  Shards across
         the worker pool exactly like :meth:`localize_many`.
         """
+        self._ensure_open()
         fleet = list(aps) if aps is not None else list(self._aps.values())
         return self.localize_many(
             self._server.collect_buffered(fleet, list(client_ids)))
@@ -599,6 +650,7 @@ class ArrayTrackService:
         :meth:`localize_many` in one batch; with it on, each AP's frames
         are first grouped by capture time and suppressed per group.
         """
+        self._ensure_open()
         ready = {client_id: session
                  for client_id, session in self._sessions.items()
                  if session.ready(now_s)}
@@ -606,6 +658,7 @@ class ArrayTrackService:
 
     def flush(self) -> Dict[str, LocationEstimate]:
         """Drain every session with pending frames, triggers or not."""
+        self._ensure_open()
         pending = {client_id: session
                    for client_id, session in self._sessions.items()
                    if session.pending_frames}
@@ -641,6 +694,18 @@ class ArrayTrackService:
         shards = self._shards(keys)
         if shards is None:
             estimates = synthesize(keys)
+        elif self.config.parallel.backend == "process":
+            # Ship every ready session's pending (timestamp, spectrum)
+            # pairs to the worker processes through shared memory; each
+            # worker runs the identical suppression + synthesis stages on
+            # its shard.  Sessions are only read here, and the tracker
+            # commit below stays on the calling thread.
+            pending = {client_id: sessions[client_id].pending_timestamped()
+                       for client_id in keys}
+            estimates = self._timed_pass(
+                lambda: self._process_pool().tick_shards(
+                    shards, pending,
+                    self.config.session.suppress_multipath))
         else:
             # Each worker shard runs the identical suppression + synthesis
             # stages over its slice of the ready sessions; sessions are

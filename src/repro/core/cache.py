@@ -287,6 +287,26 @@ class BearingGridCache:
                 self.stats.evictions += 1
         return entry
 
+    def warm(self, bounds: Tuple[float, float, float, float],
+             resolution_m: float, ap_positions) -> int:
+        """Populate the cache for every AP position of a deployment.
+
+        Used by per-worker initializers (process-backend sharding): a fresh
+        worker process starts with empty caches, and warming the known AP
+        fleet up front keeps the first sharded batch from paying the
+        ``arctan2`` sweeps inline.  ``ap_positions`` may hold
+        :class:`~repro.geometry.vector.Point2D`\\ s or ``(x, y)`` pairs.
+        Returns the number of positions warmed.
+        """
+        count = 0
+        for position in ap_positions:
+            if not isinstance(position, Point2D):
+                x, y = position
+                position = Point2D(float(x), float(y))
+            self.get(bounds, resolution_m, position)
+            count += 1
+        return count
+
     def clear(self) -> None:
         """Drop every entry (counters are kept; use ``stats.reset()``)."""
         with self._lock:

@@ -86,9 +86,25 @@ class ArrayTrackServer:
                  config: Optional[ServerConfig] = None,
                  latency_model: Optional[LatencyModel] = None) -> None:
         self.config = config if config is not None else ServerConfig()
+        self.bounds = tuple(float(value) for value in bounds)
         self.estimator = LocationEstimator(bounds, self.config.localizer)
         self.latency_model = latency_model if latency_model is not None else LatencyModel()
         self._last_processing_s: Optional[float] = None
+
+    def warm_geometry_caches(self,
+                             ap_positions: Sequence[Tuple[float, float]]) -> int:
+        """Precompute the bearing grids of the given AP positions.
+
+        The per-AP bearing tables normally build lazily on the first batch
+        that references an AP; a process-backend worker calls this from its
+        initializer so every worker pays the arctan2 sweeps once, before
+        the first real shard arrives.  Returns the number of grids warmed.
+        """
+        from repro.core.cache import default_bearing_cache
+
+        return default_bearing_cache().warm(
+            self.bounds, self.config.localizer.grid_resolution_m,
+            ap_positions)
 
     # ------------------------------------------------------------------
     # Spectra-level API

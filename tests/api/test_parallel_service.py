@@ -8,11 +8,13 @@ sharding only changes *where* each shard's synthesis runs.
 
 import numpy as np
 import pytest
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.api import ArrayTrackConfig, ArrayTrackService, ParallelConfig
+from repro.api._procpool import live_segments
 from repro.channel import MultipathChannel
 from repro.core import AoASpectrum, default_angle_grid
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, EstimationError
 from repro.geometry import Point2D, bearing_deg
 
 BOUNDS = (0.0, 0.0, 20.0, 10.0)
@@ -130,6 +132,32 @@ class TestShardedLocalizeMany:
         assert service._executor is None
         service.close()
 
+    def test_double_close_is_idempotent_for_process_backend(self):
+        service = _service(parallel={"backend": "process", "num_workers": 2,
+                                     "min_clients_per_worker": 2})
+        service.localize_many(_clients(6))
+        assert service._procpool is not None
+        service.close()
+        assert service._procpool is None
+        service.close()
+        assert live_segments() == frozenset()
+
+    @pytest.mark.parametrize("backend", ["none", "thread", "process"])
+    def test_use_after_close_raises_clear_error(self, backend):
+        parallel = None if backend == "none" else {
+            "backend": backend, "num_workers": 2,
+            "min_clients_per_worker": 2}
+        service = _service(parallel=parallel)
+        service.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.localize_many(_clients(6))
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.tick()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.flush()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.localize_buffered(["c0"])
+
     def test_measured_processing_time_covers_whole_pass(self):
         service = _service(parallel={"backend": "thread", "num_workers": 2,
                                      "min_clients_per_worker": 2},
@@ -209,3 +237,66 @@ class TestShardedBuffered:
         sharded = sharded_svc.localize_buffered(client_ids)
         _assert_identical(sharded, serial)
         sharded_svc.close()
+
+
+class TestProcessPoolFailureModes:
+    """Lifecycle edge cases of the process backend's worker pool."""
+
+    def _process_service(self):
+        return _service(parallel={"backend": "process", "num_workers": 2,
+                                  "min_clients_per_worker": 2})
+
+    def _poisoned_clients(self):
+        """A fan-out-sized batch whose last client fails in the worker."""
+        clients = _clients(6)
+        angles = default_angle_grid(1.0)
+        clients["poisoned"] = {"ap0": [AoASpectrum(
+            angles, np.ones_like(angles), ap_position=None,
+            client_id="poisoned", ap_id="ap0")]}
+        return clients
+
+    def test_worker_exception_surfaces_original_error(self):
+        with self._process_service() as service:
+            with pytest.raises(EstimationError) as excinfo:
+                service.localize_many(self._poisoned_clients())
+            # concurrent.futures chains the remote traceback text onto the
+            # unpickled exception, so the worker-side failure site is
+            # visible to the caller instead of a bare opaque error.
+            assert excinfo.value.__cause__ is not None
+            assert "EstimationError" in str(excinfo.value.__cause__)
+            assert live_segments() == frozenset()
+            # The pool survives a task-level exception and stays usable.
+            fixes = service.localize_many(_clients(6))
+            assert len(fixes) == 6
+        assert live_segments() == frozenset()
+
+    def test_context_manager_exit_under_inflight_exception(self):
+        service = self._process_service()
+        with pytest.raises(EstimationError):
+            with service:
+                service.localize_many(_clients(6))   # spawn the workers
+                service.localize_many(self._poisoned_clients())
+        # The with-block closed the service despite the in-flight failure:
+        # pools are gone, nothing leaked, further use raises.
+        assert service._procpool is None
+        assert live_segments() == frozenset()
+        with pytest.raises(ConfigurationError, match="closed"):
+            service.localize_many(_clients(6))
+
+    def test_worker_crash_raises_instead_of_hanging(self):
+        import os as _os
+
+        service = self._process_service()
+        service.localize_many(_clients(6))   # spawn + warm the workers
+        executor = service._procpool._ensure()
+        # Hard-kill one worker mid-task: the pool must report the breakage
+        # (with tracebacks intact on the parent side), not deadlock.
+        doomed = executor.submit(_os._exit, 3)
+        with pytest.raises(BrokenProcessPool):
+            doomed.result(timeout=120)
+        with pytest.raises(BrokenProcessPool):
+            service.localize_many(_clients(6))
+        assert live_segments() == frozenset()
+        # close() still works on a broken pool.
+        service.close()
+        assert service._procpool is None
