@@ -31,7 +31,6 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Dict
 
 import numpy as np
 
@@ -83,7 +82,7 @@ def _timed(callable_, repetitions: int = REPETITIONS):
     return result, float(np.median(samples))
 
 
-def measure_frontend(num_frames: int = NUM_FRAMES) -> Dict[str, float]:
+def measure_frontend(num_frames: int = NUM_FRAMES) -> dict[str, float]:
     """Time serial vs batched spectra over one AP's buffered frames."""
     ap = _buffered_ap(num_frames)
 
@@ -93,7 +92,7 @@ def measure_frontend(num_frames: int = NUM_FRAMES) -> Dict[str, float]:
     batched, batched_s = _timed(lambda: ap.spectra_for_client("client"))
 
     assert len(serial) == len(batched) == num_frames
-    for reference, candidate in zip(serial, batched):
+    for reference, candidate in zip(serial, batched, strict=True):
         assert np.array_equal(reference.angles_deg, candidate.angles_deg), \
             "batched frontend changed the angle grid"
         assert np.array_equal(reference.power, candidate.power), \
@@ -108,7 +107,7 @@ def measure_frontend(num_frames: int = NUM_FRAMES) -> Dict[str, float]:
     }
 
 
-def measure_end_to_end(num_clients: int = NUM_CLIENTS) -> Dict[str, float]:
+def measure_end_to_end(num_clients: int = NUM_CLIENTS) -> dict[str, float]:
     """Time frames -> spectra -> fixes over the office testbed, both paths."""
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(
@@ -150,7 +149,7 @@ def measure_end_to_end(num_clients: int = NUM_CLIENTS) -> Dict[str, float]:
     }
 
 
-def measure_all(num_frames: int, num_clients: int) -> Dict[str, Dict[str, float]]:
+def measure_all(num_frames: int, num_clients: int) -> dict[str, dict[str, float]]:
     results = {
         "frontend": measure_frontend(num_frames),
         "end_to_end": measure_end_to_end(num_clients),

@@ -39,7 +39,6 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Dict, List
 
 import numpy as np
 
@@ -68,17 +67,17 @@ RESULTS_PATH = os.path.join(os.environ.get("BENCH_OUTPUT_DIR", "."),
 
 def _synthesize_clients(testbed: OfficeTestbed, count: int,
                         rng: np.random.Generator
-                        ) -> Dict[str, Dict[str, List[AoASpectrum]]]:
+                        ) -> dict[str, dict[str, list[AoASpectrum]]]:
     """Build per-AP spectra for ``count`` clients at random positions."""
     angles = default_angle_grid(1.0)
     sites = [(site.ap_id, site.position, site.orientation_deg)
              for site in testbed.ap_sites]
     xmin, ymin, xmax, ymax = testbed.bounds
-    clients: Dict[str, Dict[str, List[AoASpectrum]]] = {}
+    clients: dict[str, dict[str, list[AoASpectrum]]] = {}
     for index in range(count):
         position = Point2D(rng.uniform(xmin + 1.0, xmax - 1.0),
                            rng.uniform(ymin + 1.0, ymax - 1.0))
-        per_ap: Dict[str, List[AoASpectrum]] = {}
+        per_ap: dict[str, list[AoASpectrum]] = {}
         for ap_id, ap_position, orientation_deg in sites:
             bearing = bearing_deg(ap_position, position)
             local = (angles - (bearing - orientation_deg) + 180.0) % 360.0 - 180.0
@@ -103,7 +102,7 @@ def _service(testbed: OfficeTestbed, vectorized: bool,
     return ArrayTrackService(config)
 
 
-def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
+def measure_parallel(num_clients: int = NUM_CLIENTS) -> dict[str, object]:
     """Time the four refinement/sharding configurations over one batch.
 
     Every configuration gets one untimed warm-up pass (cache warm-up, and
@@ -123,8 +122,8 @@ def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
         "vectorized + processes": _service(testbed, vectorized=True,
                                            backend="process"),
     }
-    estimates: Dict[str, Dict[str, object]] = {}
-    timings: Dict[str, float] = {}
+    estimates: dict[str, dict[str, object]] = {}
+    timings: dict[str, float] = {}
     for name, service in services.items():
         estimates[name] = service.localize_many(clients)   # warm the caches
         samples = []
@@ -147,7 +146,7 @@ def measure_parallel(num_clients: int = NUM_CLIENTS) -> Dict[str, object]:
             assert actual.likelihood == expected.likelihood, (
                 f"{name} likelihood for {client_id} diverged")
     serial_s = timings["serial seed"]
-    results: Dict[str, object] = {
+    results: dict[str, object] = {
         "num_clients": num_clients,
         "num_workers": NUM_WORKERS,
         "cpu_count": os.cpu_count(),
@@ -182,7 +181,7 @@ def test_parallel_localization_speedup(benchmark, bench_smoke):
     """
     num_clients = SMOKE_CLIENTS if bench_smoke else NUM_CLIENTS
     results = run_once(benchmark, measure_parallel, num_clients)
-    configs: Dict[str, Dict[str, float]] = results["configs"]
+    configs: dict[str, dict[str, float]] = results["configs"]
     count = results["num_clients"]
     rows = [[name, f"{entry['seconds'] * 1e3:.0f}",
              f"{entry['fixes_per_s']:.0f}",

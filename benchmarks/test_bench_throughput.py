@@ -27,7 +27,6 @@ the channel simulation.
 from __future__ import annotations
 
 import time
-from typing import Dict, List
 
 import numpy as np
 
@@ -56,17 +55,17 @@ def _localizer_config() -> LocalizerConfig:
 
 def _synthesize_clients(testbed: OfficeTestbed, count: int,
                         rng: np.random.Generator
-                        ) -> Dict[str, Dict[str, List[AoASpectrum]]]:
+                        ) -> dict[str, dict[str, list[AoASpectrum]]]:
     """Build per-AP spectra for ``count`` clients at random positions."""
     angles = default_angle_grid(1.0)
     sites = [(site.ap_id, site.position, site.orientation_deg)
              for site in testbed.ap_sites]
     xmin, ymin, xmax, ymax = testbed.bounds
-    clients: Dict[str, Dict[str, List[AoASpectrum]]] = {}
+    clients: dict[str, dict[str, list[AoASpectrum]]] = {}
     for index in range(count):
         position = Point2D(rng.uniform(xmin + 1.0, xmax - 1.0),
                            rng.uniform(ymin + 1.0, ymax - 1.0))
-        per_ap: Dict[str, List[AoASpectrum]] = {}
+        per_ap: dict[str, list[AoASpectrum]] = {}
         for ap_id, ap_position, orientation_deg in sites:
             bearing = bearing_deg(ap_position, position)
             local = (angles - (bearing - orientation_deg) + 180.0) % 360.0 - 180.0
@@ -79,7 +78,7 @@ def _synthesize_clients(testbed: OfficeTestbed, count: int,
     return clients
 
 
-def _naive_fix(spectra_by_ap: Dict[str, List[AoASpectrum]],
+def _naive_fix(spectra_by_ap: dict[str, list[AoASpectrum]],
                bounds) -> None:
     """One seed-style fix: fresh localizer, cold caches, tables rebuilt."""
     localizer = BatchLocalizer(bounds, _localizer_config(),
@@ -88,7 +87,7 @@ def _naive_fix(spectra_by_ap: Dict[str, List[AoASpectrum]],
     localizer.estimate_batch({"client": flat})
 
 
-def measure_throughput() -> Dict[int, Dict[str, float]]:
+def measure_throughput() -> dict[int, dict[str, float]]:
     """Return fixes/sec per client count for all three execution modes.
 
     Each mode is timed ``REPETITIONS`` times and the median kept, so one
@@ -96,7 +95,7 @@ def measure_throughput() -> Dict[int, Dict[str, float]]:
     """
     testbed = OfficeTestbed()
     rng = np.random.default_rng(2026)
-    results: Dict[int, Dict[str, float]] = {}
+    results: dict[int, dict[str, float]] = {}
     for count in CLIENT_COUNTS:
         service = ArrayTrackService(ArrayTrackConfig(
             bounds=testbed.bounds,

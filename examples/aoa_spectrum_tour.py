@@ -30,7 +30,7 @@ def ascii_spectrum(spectrum, bins: int = 72, height: int = 6) -> str:
     edges = np.linspace(0.0, 360.0, bins + 1)
     power = spectrum.power / max(spectrum.max_power, 1e-12)
     levels = []
-    for low, high in zip(edges[:-1], edges[1:]):
+    for low, high in zip(edges[:-1], edges[1:], strict=True):
         mask = (spectrum.angles_deg >= low) & (spectrum.angles_deg < high)
         levels.append(float(np.max(power[mask])) if np.any(mask) else 0.0)
     rows = []

@@ -16,7 +16,7 @@ front half of the server pipeline:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -97,8 +97,8 @@ class ArrayTrackAP:
     """
 
     def __init__(self, ap_id: str, position: Point2D, orientation_deg: float = 0.0,
-                 config: Optional[APConfig] = None,
-                 rng: Optional[np.random.Generator] = None,
+                 config: APConfig | None = None,
+                 rng: np.random.Generator | None = None,
                  wavelength_m: float = WAVELENGTH_M) -> None:
         self.ap_id = ap_id
         self.config = config if config is not None else APConfig()
@@ -129,7 +129,7 @@ class ArrayTrackAP:
         return ArrayGeometry.uniform_linear(self.config.num_antennas)
 
     @property
-    def linear_indices(self) -> List[int]:
+    def linear_indices(self) -> list[int]:
         """Snapshot rows forming the uniform linear array."""
         return list(range(self.config.num_antennas))
 
@@ -146,7 +146,7 @@ class ArrayTrackAP:
     # ------------------------------------------------------------------
     # Calibration (Section 3)
     # ------------------------------------------------------------------
-    def calibrate(self, calibrator: Optional[PhaseCalibrator] = None) -> np.ndarray:
+    def calibrate(self, calibrator: PhaseCalibrator | None = None) -> np.ndarray:
         """Run the two-run phase calibration and store the estimated offsets.
 
         Returns the estimated per-radio offsets (relative to radio 0).
@@ -175,9 +175,9 @@ class ArrayTrackAP:
     # Frame capture (Sections 2.1-2.2)
     # ------------------------------------------------------------------
     def overhear(self, channel: MultipathChannel, timestamp_s: float = 0.0,
-                 snr_db: Optional[float] = None,
-                 num_snapshots: Optional[int] = None,
-                 rng: Optional[np.random.Generator] = None) -> BufferEntry:
+                 snr_db: float | None = None,
+                 num_snapshots: int | None = None,
+                 rng: np.random.Generator | None = None) -> BufferEntry:
         """Capture one frame arriving over ``channel`` and buffer its samples.
 
         The diversity synthesis mechanism records the linear row during the
@@ -233,7 +233,7 @@ class ArrayTrackAP:
                                                self.linear_indices)
 
     def compute_spectra(self, entries: Sequence[BufferEntry]
-                        ) -> List[AoASpectrum]:
+                        ) -> list[AoASpectrum]:
         """Return the AoA spectra of many buffered frames in one batched pass.
 
         The AP-level entry point of the vectorized Section 2.3 frontend:
@@ -253,10 +253,10 @@ class ArrayTrackAP:
         if not self.config.spectrum.vectorized_frontend:
             # The serial reference path, frame by frame.
             return [self.compute_spectrum(entry) for entry in entries]
-        groups: Dict[Tuple[int, int], List[int]] = {}
+        groups: dict[tuple[int, int], list[int]] = {}
         for index, entry in enumerate(entries):
             groups.setdefault(entry.snapshots.samples.shape, []).append(index)
-        spectra: List[Optional[AoASpectrum]] = [None] * len(entries)
+        spectra: list[AoASpectrum | None] = [None] * len(entries)
         for indices in groups.values():
             stack = np.stack([entries[index].snapshots.samples
                               for index in indices])
@@ -273,11 +273,11 @@ class ArrayTrackAP:
             else:
                 outputs = self._spectrum_computer.compute_many_stacked(
                     stack, metadata, self.array, self.linear_indices)
-            for index, spectrum in zip(indices, outputs):
+            for index, spectrum in zip(indices, outputs, strict=True):
                 spectra[index] = spectrum
         return spectra  # type: ignore[return-value]
 
-    def spectra_for_client(self, client_id: str) -> List[AoASpectrum]:
+    def spectra_for_client(self, client_id: str) -> list[AoASpectrum]:
         """Return spectra for every buffered frame of ``client_id``.
 
         All of the client's buffered frames run through the batched
@@ -286,7 +286,7 @@ class ArrayTrackAP:
         return self.compute_spectra(self.buffer.entries_for_client(client_id))
 
     def spectra_for_clients(self, client_ids: Sequence[str]
-                            ) -> Dict[str, List[AoASpectrum]]:
+                            ) -> dict[str, list[AoASpectrum]]:
         """Return per-client spectra for every requested client's frames.
 
         All requested clients' buffered frames are stacked into *one*
@@ -301,7 +301,7 @@ class ArrayTrackAP:
         flat = [entry for client_id in client_ids
                 for entry in entries_by_client[client_id]]
         spectra = self.compute_spectra(flat)
-        result: Dict[str, List[AoASpectrum]] = {}
+        result: dict[str, list[AoASpectrum]] = {}
         cursor = 0
         for client_id in client_ids:
             count = len(entries_by_client[client_id])

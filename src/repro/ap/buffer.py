@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List
+from collections.abc import Iterator
 
 from repro.errors import ConfigurationError
 from repro.array.receiver import SnapshotMatrix
@@ -57,7 +57,7 @@ class CircularFrameBuffer:
         if capacity < 1:
             raise ConfigurationError(f"buffer capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._entries: Deque[BufferEntry] = deque(maxlen=capacity)
+        self._entries: deque[BufferEntry] = deque(maxlen=capacity)
         self._sequence = 0
         self._overwrites = 0
 
@@ -83,18 +83,18 @@ class CircularFrameBuffer:
         self._entries.append(entry)
         return entry
 
-    def entries_for_client(self, client_id: str) -> List[BufferEntry]:
+    def entries_for_client(self, client_id: str) -> list[BufferEntry]:
         """Return the buffered entries for one client, oldest first."""
         return [entry for entry in self._entries if entry.client_id == client_id]
 
-    def latest(self, count: int = 1) -> List[BufferEntry]:
+    def latest(self, count: int = 1) -> list[BufferEntry]:
         """Return the most recent ``count`` entries, oldest first."""
         if count < 1:
             raise ConfigurationError(f"count must be >= 1, got {count}")
         entries = list(self._entries)
         return entries[-count:]
 
-    def drain(self) -> List[BufferEntry]:
+    def drain(self) -> list[BufferEntry]:
         """Return all entries and empty the buffer (the transfer to the server)."""
         entries = list(self._entries)
         self._entries.clear()

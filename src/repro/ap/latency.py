@@ -20,7 +20,6 @@ latency), which the paper rounds to roughly 100 ms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.constants import (
     BITS_PER_SAMPLE,
@@ -67,7 +66,7 @@ class LatencyBreakdown:
                  - self.air_time_s)
         return max(added, 0.0)
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Return the breakdown as a plain dictionary (for reports)."""
         return {
             "air_time_s": self.air_time_s,

@@ -39,18 +39,8 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
-from typing import (
-    TYPE_CHECKING,
-    Dict,
-    FrozenSet,
-    Iterable,
-    Iterator,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -74,7 +64,7 @@ SEGMENT_PREFIX = "arraytrack_"
 _LIVE_SEGMENTS: set = set()
 
 
-def live_segments() -> FrozenSet[str]:
+def live_segments() -> frozenset[str]:
     """Return the names of this process's currently live shm segments.
 
     Empty whenever no sharded call is in flight; the equality suite asserts
@@ -93,7 +83,7 @@ def _new_segment_name() -> str:
 #: One spectrum, flattened to picklable metadata plus two array indices:
 #: ``(angles_index, power_index, ap_xy, orientation_deg, client_id, ap_id,
 #: timestamp_s)``.
-_SpectrumRef = Tuple[int, int, Optional[Tuple[float, float]], float,
+_SpectrumRef = tuple[int, int, tuple[float, float] | None, float,
                      str, str, float]
 
 
@@ -104,7 +94,7 @@ class _SegmentHandle:
     name: str
     #: Per-array ``(byte offset, element count)``; all arrays are 1-D
     #: float64, so the layout stays self-describing and 8-byte aligned.
-    specs: Tuple[Tuple[int, int], ...]
+    specs: tuple[tuple[int, int], ...]
 
 
 class _ArrayPacker:
@@ -116,9 +106,9 @@ class _ArrayPacker:
     """
 
     def __init__(self) -> None:
-        self._arrays: List[np.ndarray] = []
-        self._specs: List[Tuple[int, int]] = []
-        self._by_source: Dict[int, int] = {}
+        self._arrays: list[np.ndarray] = []
+        self._specs: list[tuple[int, int]] = []
+        self._by_source: dict[int, int] = {}
         self._nbytes = 0
 
     def add(self, array: np.ndarray) -> int:
@@ -134,12 +124,12 @@ class _ArrayPacker:
         self._by_source[id(array)] = index
         return index
 
-    def pack(self) -> Tuple[shared_memory.SharedMemory, _SegmentHandle]:
+    def pack(self) -> tuple[shared_memory.SharedMemory, _SegmentHandle]:
         """Create the segment, copy every array in, return it + its handle."""
-        segment = shared_memory.SharedMemory(
+        segment = shared_memory.SharedMemory(  # repro-lint: disable=RPR004 -- unlinked by _run()'s finally via _release_segment(); the zero-leak contract is asserted against live_segments() and /dev/shm by tests/api/test_process_backend.py
             create=True, size=max(self._nbytes, 8), name=_new_segment_name())
         _LIVE_SEGMENTS.add(segment.name)
-        for (offset, length), data in zip(self._specs, self._arrays):
+        for (offset, length), data in zip(self._specs, self._arrays, strict=True):
             target = np.ndarray((length,), dtype=np.float64,
                                 buffer=segment.buf, offset=offset)
             target[:] = data
@@ -186,11 +176,11 @@ class _WorkerState:
     suppressor: MultipathSuppressor
 
 
-_WORKER: Optional[_WorkerState] = None
+_WORKER: _WorkerState | None = None
 
 
 def _initialize_worker(config: "ArrayTrackConfig",
-                       warm_positions: Tuple[Tuple[float, float], ...]) -> None:
+                       warm_positions: tuple[tuple[float, float], ...]) -> None:
     """Build this worker's server once and warm its geometry caches.
 
     Runs in the spawned child before any task.  ``config`` arrives through
@@ -214,7 +204,7 @@ def _require_worker() -> _WorkerState:
 
 
 @contextmanager
-def _attached_arrays(handle: _SegmentHandle) -> Iterator[List[np.ndarray]]:
+def _attached_arrays(handle: _SegmentHandle) -> Iterator[list[np.ndarray]]:
     """Attach the segment and yield its arrays as read-only views.
 
     The views are zero-copy; callers must drop every reference derived from
@@ -225,7 +215,7 @@ def _attached_arrays(handle: _SegmentHandle) -> Iterator[List[np.ndarray]]:
     way, so nothing leaks system-wide.
     """
     segment = shared_memory.SharedMemory(name=handle.name)
-    arrays: List[np.ndarray] = []
+    arrays: list[np.ndarray] = []
     try:
         for offset, length in handle.specs:
             view = np.ndarray((length,), dtype=np.float64,
@@ -255,15 +245,15 @@ def _decode_spectrum(arrays: Sequence[np.ndarray],
 #: One shard as shipped to a worker: ordered ``(client_id, per_ap)`` pairs,
 #: where ``per_ap`` preserves the caller's AP order exactly (the order is
 #: part of the bit-equality contract).
-_LocalizeShard = Tuple[Tuple[str, Tuple[Tuple[str, Tuple[_SpectrumRef, ...]],
+_LocalizeShard = tuple[tuple[str, tuple[tuple[str, tuple[_SpectrumRef, ...]],
                                         ...]], ...]
-_TickShard = Tuple[Tuple[str, Tuple[Tuple[str, Tuple[Tuple[float,
+_TickShard = tuple[tuple[str, tuple[tuple[str, tuple[tuple[float,
                                                            _SpectrumRef],
                                                      ...]], ...]], ...]
 
 
 def _localize_shard(handle: _SegmentHandle,
-                    shard: _LocalizeShard) -> Dict[str, LocationEstimate]:
+                    shard: _LocalizeShard) -> dict[str, LocationEstimate]:
     """Worker task behind ``localize_many`` / ``localize_buffered``."""
     worker = _require_worker()
     with _attached_arrays(handle) as arrays:
@@ -277,7 +267,7 @@ def _localize_shard(handle: _SegmentHandle,
 
 
 def _tick_shard(handle: _SegmentHandle, shard: _TickShard,
-                suppress: bool) -> Dict[str, LocationEstimate]:
+                suppress: bool) -> dict[str, LocationEstimate]:
     """Worker task behind ``tick`` / ``flush``.
 
     Replicates the thread backend's shard closure exactly: with the
@@ -289,9 +279,9 @@ def _tick_shard(handle: _SegmentHandle, shard: _TickShard,
     worker = _require_worker()
     with _attached_arrays(handle) as arrays:
         if suppress:
-            flat: Dict[str, List[AoASpectrum]] = {}
+            flat: dict[str, list[AoASpectrum]] = {}
             for client_id, per_ap in shard:
-                processed: List[AoASpectrum] = []
+                processed: list[AoASpectrum] = []
                 for _ap_id, frames in per_ap:
                     spectra = [_decode_spectrum(arrays, ref)
                                for _ts, ref in frames]
@@ -331,7 +321,7 @@ class ProcessShardPool:
     """
 
     def __init__(self, config: "ArrayTrackConfig",
-                 warm_positions: Iterable[Tuple[float, float]] = ()) -> None:
+                 warm_positions: Iterable[tuple[float, float]] = ()) -> None:
         if config.bounds is None:
             raise ConfigurationError(
                 "a process shard pool needs config.bounds to build its "
@@ -339,7 +329,7 @@ class ProcessShardPool:
         self._config = config
         self._warm_positions = tuple(
             (float(x), float(y)) for x, y in warm_positions)
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: ProcessPoolExecutor | None = None
 
     @property
     def started(self) -> bool:
@@ -360,7 +350,7 @@ class ProcessShardPool:
     # ------------------------------------------------------------------
     def localize_shards(self, shards: Sequence[Sequence[str]],
                         spectra_by_client: Mapping[str, Mapping[str, Sequence[AoASpectrum]]]
-                        ) -> Dict[str, LocationEstimate]:
+                        ) -> dict[str, LocationEstimate]:
         """Run ``localize_batch`` per shard on the pool and merge in order."""
         packer = _ArrayPacker()
         encoded = {
@@ -372,8 +362,8 @@ class ProcessShardPool:
         return self._run(_localize_shard, packer, shards, encoded)
 
     def tick_shards(self, shards: Sequence[Sequence[str]],
-                    pending_by_client: Mapping[str, Mapping[str, Sequence[Tuple[float, AoASpectrum]]]],
-                    suppress: bool) -> Dict[str, LocationEstimate]:
+                    pending_by_client: Mapping[str, Mapping[str, Sequence[tuple[float, AoASpectrum]]]],
+                    suppress: bool) -> dict[str, LocationEstimate]:
         """Run the streaming drain (suppression + synthesis) per shard."""
         packer = _ArrayPacker()
         encoded = {
@@ -385,9 +375,10 @@ class ProcessShardPool:
             for shard in shards for client_id in shard}
         return self._run(_tick_shard, packer, shards, encoded, suppress)
 
-    def _run(self, task, packer: _ArrayPacker,
-             shards: Sequence[Sequence[str]], encoded: Dict[str, tuple],
-             *extra) -> Dict[str, LocationEstimate]:
+    def _run(self, task: Callable[..., dict[str, LocationEstimate]],
+             packer: _ArrayPacker,
+             shards: Sequence[Sequence[str]], encoded: dict[str, tuple],
+             *extra: object) -> dict[str, LocationEstimate]:
         executor = self._ensure()
         segment, handle = packer.pack()
         try:
@@ -398,7 +389,7 @@ class ProcessShardPool:
                           for client_id in shard),
                     *extra)
                 for shard in shards]
-            merged: Dict[str, LocationEstimate] = {}
+            merged: dict[str, LocationEstimate] = {}
             try:
                 for future in futures:
                     merged.update(future.result())

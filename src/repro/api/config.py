@@ -30,7 +30,8 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field, fields
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.ap.access_point import APConfig
 from repro.constants import DEFAULT_SPECTRUM_FLOOR
@@ -87,7 +88,7 @@ class SessionConfig:
     """
 
     emit_every_frames: int = 3
-    max_age_s: Optional[float] = None
+    max_age_s: float | None = None
     max_pending_frames: int = 64
     suppress_multipath: bool = False
 
@@ -164,7 +165,7 @@ class ParallelConfig:
 # Generic section <-> dict machinery
 # ----------------------------------------------------------------------
 #: Which fields of each section are themselves nested config dataclasses.
-_NESTED_FIELDS: Dict[type, Dict[str, type]] = {
+_NESTED_FIELDS: dict[type, dict[str, type]] = {
     ServerConfig: {"localizer": LocalizerConfig, "suppressor": SuppressorConfig},
     APConfig: {"spectrum": SpectrumConfig},
 }
@@ -173,7 +174,7 @@ _NESTED_FIELDS: Dict[type, Dict[str, type]] = {
 #: one entry keeps partial trees consistent with the facade's documented
 #: defaults: a ``{"server": {}}`` section still gets the 0.05 floor rather
 #: than silently falling back to the bare ``ServerConfig()`` default.
-_SECTION_DEFAULTS: Dict[type, Dict[str, Callable[[], Any]]] = {
+_SECTION_DEFAULTS: dict[type, dict[str, Callable[[], Any]]] = {
     ServerConfig: {
         "localizer": lambda: LocalizerConfig(
             spectrum_floor=DEFAULT_SPECTRUM_FLOOR),
@@ -186,15 +187,15 @@ _SECTION_DEFAULTS: Dict[type, Dict[str, Callable[[], Any]]] = {
 #: 0.2}}}`` on the facade's documented 0.05 floor instead of silently
 #: reverting to the bare ``LocalizerConfig`` default; an explicit value in
 #: the mapping always wins.
-_NESTED_FIELD_DEFAULTS: Dict[Tuple[type, str], Dict[str, Any]] = {
+_NESTED_FIELD_DEFAULTS: dict[tuple[type, str], dict[str, Any]] = {
     (ServerConfig, "localizer"): {"spectrum_floor": DEFAULT_SPECTRUM_FLOOR},
 }
 
 
-def _section_to_dict(section: Any) -> Dict[str, Any]:
+def _section_to_dict(section: Any) -> dict[str, Any]:
     """Serialize one config dataclass (recursing into nested sections)."""
     nested = _NESTED_FIELDS.get(type(section), {})
-    out: Dict[str, Any] = {}
+    out: dict[str, Any] = {}
     for spec in fields(section):
         value = getattr(section, spec.name)
         out[spec.name] = _section_to_dict(value) if spec.name in nested else value
@@ -213,7 +214,7 @@ def _section_from_dict(cls: type, data: Mapping[str, Any], path: str) -> Any:
             f"unknown key(s) {unknown} under {path}; "
             f"valid keys: {sorted(valid)}")
     nested = _NESTED_FIELDS.get(cls, {})
-    kwargs: Dict[str, Any] = {}
+    kwargs: dict[str, Any] = {}
     for key, value in data.items():
         if key in nested:
             if isinstance(value, nested[key]):
@@ -241,7 +242,7 @@ def _section_from_dict(cls: type, data: Mapping[str, Any], path: str) -> Any:
         raise ConfigurationError(f"invalid value under {path}: {exc}") from exc
 
 
-def _assign_path(data: Dict[str, Any], path: str, value: Any) -> None:
+def _assign_path(data: dict[str, Any], path: str, value: Any) -> None:
     """Set a dotted-path key inside a nested plain-dict tree, strictly."""
     segments = path.split(".")
     cursor: Any = data
@@ -303,7 +304,7 @@ class ArrayTrackConfig:
         serial path.
     """
 
-    bounds: Optional[Tuple[float, float, float, float]] = None
+    bounds: tuple[float, float, float, float] | None = None
     estimator: str = "music"
     ap: APConfig = field(default_factory=APConfig)
     server: ServerConfig = field(default_factory=default_server_config)
@@ -334,7 +335,7 @@ class ArrayTrackConfig:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         """Pickle as the plain-dict tree and rebuild via :meth:`from_dict`.
 
         The process-backend worker initializer ships the config across the
@@ -345,7 +346,7 @@ class ArrayTrackConfig:
         """
         return (_config_from_state, (self.to_dict(),))
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Return the full tree as plain dicts/lists/scalars (JSON-safe)."""
         return {
             "bounds": list(self.bounds) if self.bounds is not None else None,
@@ -376,7 +377,7 @@ class ArrayTrackConfig:
             raise ConfigurationError(
                 f"unknown key(s) {unknown} under config; "
                 f"valid keys: {sorted(valid)}")
-        kwargs: Dict[str, Any] = {}
+        kwargs: dict[str, Any] = {}
         sections = {"ap": APConfig, "server": ServerConfig,
                     "session": SessionConfig,
                     "suppressor": SuppressorConfig, "tracker": TrackerConfig,
@@ -394,7 +395,7 @@ class ArrayTrackConfig:
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(f"invalid config value: {exc}") from exc
 
-    def to_json(self, indent: Optional[int] = 2) -> str:
+    def to_json(self, indent: int | None = 2) -> str:
         """Return the tree serialized as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent)
 
@@ -416,7 +417,7 @@ class ArrayTrackConfig:
     def from_file(cls, path: str) -> "ArrayTrackConfig":
         """Load a config tree from a JSON file."""
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 text = handle.read()
         except OSError as exc:
             raise ConfigurationError(
@@ -442,7 +443,7 @@ class ArrayTrackConfig:
             _assign_path(data, path, value)
         return type(self).from_dict(data)
 
-    def with_env_overrides(self, environ: Optional[Mapping[str, str]] = None,
+    def with_env_overrides(self, environ: Mapping[str, str] | None = None,
                            prefix: str = "ARRAYTRACK_") -> "ArrayTrackConfig":
         """Return a copy with ``PREFIX_SECTION__KEY=value`` overrides applied.
 
@@ -464,7 +465,7 @@ class ArrayTrackConfig:
         """
         environ = os.environ if environ is None else environ
         sections = {spec.name for spec in fields(self)}
-        overrides: Dict[str, Any] = {}
+        overrides: dict[str, Any] = {}
         for key, raw in environ.items():
             if not key.startswith(prefix):
                 continue
@@ -481,6 +482,6 @@ class ArrayTrackConfig:
         return self.updated(overrides)
 
 
-def _config_from_state(data: Dict[str, Any]) -> ArrayTrackConfig:
+def _config_from_state(data: dict[str, Any]) -> ArrayTrackConfig:
     """Unpickle hook of :meth:`ArrayTrackConfig.__reduce__`."""
     return ArrayTrackConfig.from_dict(data)

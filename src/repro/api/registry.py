@@ -23,7 +23,8 @@ so named selection reproduces their results by construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.baselines.rssi import WeightedCentroidLocalizer
 from repro.core.pipeline import SpectrumConfig
@@ -74,9 +75,9 @@ class EstimatorSpec:
     name: str
     kind: str
     description: str = ""
-    spectrum_method: Optional[str] = None
-    configure: Optional[Callable[[SpectrumConfig], SpectrumConfig]] = None
-    build_baseline: Optional[Callable[..., object]] = None
+    spectrum_method: str | None = None
+    configure: Callable[[SpectrumConfig], SpectrumConfig] | None = None
+    build_baseline: Callable[..., object] | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -111,7 +112,7 @@ class EstimatorSpec:
         return replace(spectrum, method=self.spectrum_method)
 
 
-_REGISTRY: Dict[str, EstimatorSpec] = {}
+_REGISTRY: dict[str, EstimatorSpec] = {}
 
 
 def register_estimator(spec: EstimatorSpec, *,
@@ -142,13 +143,13 @@ def get_estimator(name: str) -> EstimatorSpec:
             f"{', '.join(available_estimators())}") from None
 
 
-def available_estimators() -> Tuple[str, ...]:
+def available_estimators() -> tuple[str, ...]:
     """Return the sorted names of all registered estimators."""
     return tuple(sorted(_REGISTRY))
 
 
 def create_baseline(name: str, ap_positions: Mapping[str, Point2D],
-                    **kwargs) -> object:
+                    **kwargs: Any) -> object:
     """Instantiate a registered RSS baseline from the AP-position map."""
     spec = get_estimator(name)
     if spec.kind != RSS:

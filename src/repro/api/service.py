@@ -34,18 +34,8 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -85,16 +75,16 @@ class Session:
         #: :meth:`ArrayTrackService.localize_many` directly).  The stored
         #: timestamp is the ingest-resolved one, which may legitimately
         #: differ from ``spectrum.timestamp_s``.
-        self._pending: Dict[str, List[Tuple[float, AoASpectrum]]] = {}
-        self._oldest_pending_s: Optional[float] = None
+        self._pending: dict[str, list[tuple[float, AoASpectrum]]] = {}
+        self._oldest_pending_s: float | None = None
         #: Timestamp of the most recently ingested frame (simulation time).
-        self.last_ingest_s: Optional[float] = None
+        self.last_ingest_s: float | None = None
         #: Every fix emitted for this client, as tracker points in
         #: *emission order* -- frozen snapshots of each fix as it was
         #: recorded.  The authoritative, timestamp-sorted and currently-
         #: smoothed history is :meth:`ArrayTrackService.track`; the two
         #: can differ once out-of-order fixes were inserted.
-        self.fixes: List[TrackPoint] = []
+        self.fixes: list[TrackPoint] = []
 
     # ------------------------------------------------------------------
     # State
@@ -105,17 +95,17 @@ class Session:
         return sum(len(frames) for frames in self._pending.values())
 
     @property
-    def pending_aps(self) -> List[str]:
+    def pending_aps(self) -> list[str]:
         """APs that contributed at least one pending frame."""
         return [ap_id for ap_id, frames in self._pending.items() if frames]
 
     @property
-    def oldest_pending_s(self) -> Optional[float]:
+    def oldest_pending_s(self) -> float | None:
         """Timestamp of the oldest pending frame (None when empty)."""
         return self._oldest_pending_s
 
     @property
-    def last_fix(self) -> Optional[TrackPoint]:
+    def last_fix(self) -> TrackPoint | None:
         """The most recently emitted fix, or None."""
         return self.fixes[-1] if self.fixes else None
 
@@ -141,7 +131,7 @@ class Session:
         one AP (network reordering), so every entry is inspected, not just
         the head of each AP's list.
         """
-        oldest_ap: Optional[str] = None
+        oldest_ap: str | None = None
         oldest_index = -1
         oldest_ts = float("inf")
         for ap_id, frames in self._pending.items():
@@ -162,7 +152,7 @@ class Session:
     # ------------------------------------------------------------------
     # Triggers and draining
     # ------------------------------------------------------------------
-    def ready(self, now_s: Optional[float] = None) -> bool:
+    def ready(self, now_s: float | None = None) -> bool:
         """True when a configured trigger fires for the pending frames.
 
         ``now_s`` anchors the max-age trigger; when omitted, the latest
@@ -181,12 +171,12 @@ class Session:
                 return True
         return False
 
-    def pending_spectra(self) -> Dict[str, List[AoASpectrum]]:
+    def pending_spectra(self) -> dict[str, list[AoASpectrum]]:
         """Return the pending per-AP spectra without removing them."""
         return {ap_id: [spectrum for _, spectrum in frames]
                 for ap_id, frames in self._pending.items()}
 
-    def pending_timestamped(self) -> Dict[str, List[Tuple[float, AoASpectrum]]]:
+    def pending_timestamped(self) -> dict[str, list[tuple[float, AoASpectrum]]]:
         """Return the pending per-AP ``(timestamp, spectrum)`` pairs.
 
         The timestamps are the ingest-resolved ones (which the multipath
@@ -195,7 +185,7 @@ class Session:
         return {ap_id: list(frames)
                 for ap_id, frames in self._pending.items()}
 
-    def drain(self) -> Dict[str, List[AoASpectrum]]:
+    def drain(self) -> dict[str, list[AoASpectrum]]:
         """Remove and return the pending per-AP spectra."""
         batch = self.pending_spectra()
         self._pending = {}
@@ -233,9 +223,9 @@ class ArrayTrackService:
         fixes = service.tick()          # {client_id: LocationEstimate}
     """
 
-    def __init__(self, config: Optional[ArrayTrackConfig] = None, *,
-                 bounds: Optional[Sequence[float]] = None,
-                 latency_model: Optional[LatencyModel] = None) -> None:
+    def __init__(self, config: ArrayTrackConfig | None = None, *,
+                 bounds: Sequence[float] | None = None,
+                 latency_model: LatencyModel | None = None) -> None:
         config = config if config is not None else ArrayTrackConfig()
         if bounds is not None:
             config = replace(config, bounds=tuple(bounds))
@@ -255,12 +245,12 @@ class ArrayTrackService:
         #: The streaming suppression stage (SuppressorConfig *is* the
         #: suppressor dataclass, so the config section is used directly).
         self._suppressor = config.suppressor
-        self._sessions: Dict[str, Session] = {}
-        self._aps: Dict[str, ArrayTrackAP] = {}
+        self._sessions: dict[str, Session] = {}
+        self._aps: dict[str, ArrayTrackAP] = {}
         #: Lazily created worker pools of the ``parallel`` config section
         #: (thread backend / process backend respectively).
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._procpool: Optional[ProcessShardPool] = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._procpool: ProcessShardPool | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -268,17 +258,17 @@ class ArrayTrackService:
     # ------------------------------------------------------------------
     @classmethod
     def from_dict(cls, data: Mapping[str, Any],
-                  **kwargs) -> "ArrayTrackService":
+                  **kwargs: Any) -> "ArrayTrackService":
         """Build a service from a plain config mapping."""
         return cls(ArrayTrackConfig.from_dict(data), **kwargs)
 
     @classmethod
-    def from_json(cls, text: str, **kwargs) -> "ArrayTrackService":
+    def from_json(cls, text: str, **kwargs: Any) -> "ArrayTrackService":
         """Build a service from a JSON config document."""
         return cls(ArrayTrackConfig.from_json(text), **kwargs)
 
     @classmethod
-    def from_file(cls, path: str, **kwargs) -> "ArrayTrackService":
+    def from_file(cls, path: str, **kwargs: Any) -> "ArrayTrackService":
         """Build a service from a JSON config file."""
         return cls(ArrayTrackConfig.from_file(path), **kwargs)
 
@@ -286,7 +276,7 @@ class ArrayTrackService:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def bounds(self) -> Tuple[float, float, float, float]:
+    def bounds(self) -> tuple[float, float, float, float]:
         """Search-area bounds in metres."""
         assert self.config.bounds is not None
         return self.config.bounds
@@ -306,7 +296,7 @@ class ArrayTrackService:
     # ------------------------------------------------------------------
     def build_ap(self, ap_id: str, position: Point2D,
                  orientation_deg: float = 0.0,
-                 rng: Optional[np.random.Generator] = None) -> ArrayTrackAP:
+                 rng: np.random.Generator | None = None) -> ArrayTrackAP:
         """Construct (and register) one AP from the config tree's ``ap`` section.
 
         Each AP gets its own copy of the section (nested spectrum config
@@ -326,14 +316,14 @@ class ArrayTrackService:
             self._aps[ap.ap_id] = ap
 
     @property
-    def aps(self) -> Dict[str, ArrayTrackAP]:
+    def aps(self) -> dict[str, ArrayTrackAP]:
         """The registered AP fleet, by AP id (a copy)."""
         return dict(self._aps)
 
     # ------------------------------------------------------------------
     # Sharded parallel execution (the ``parallel`` config section)
     # ------------------------------------------------------------------
-    def _shards(self, keys: Sequence[str]) -> Optional[List[List[str]]]:
+    def _shards(self, keys: Sequence[str]) -> list[list[str]] | None:
         """Split client keys into contiguous worker shards, or None.
 
         Returns None when the configured backend is ``none`` or the batch
@@ -350,7 +340,7 @@ class ArrayTrackService:
             return None
         bounds = np.linspace(0, len(keys), num_shards + 1).astype(int)
         return [list(keys[start:stop])
-                for start, stop in zip(bounds[:-1], bounds[1:])
+                for start, stop in zip(bounds[:-1], bounds[1:], strict=True)
                 if stop > start]
 
     def _ensure_open(self) -> None:
@@ -374,8 +364,8 @@ class ArrayTrackService:
                                               warm_positions=warm)
         return self._procpool
 
-    def _timed_pass(self, run: Callable[[], Dict[str, LocationEstimate]]
-                    ) -> Dict[str, LocationEstimate]:
+    def _timed_pass(self, run: Callable[[], dict[str, LocationEstimate]]
+                    ) -> dict[str, LocationEstimate]:
         """Run one parallel pass, recording its whole wall-clock duration.
 
         Each shard's own processing-time measurement only covers that
@@ -389,19 +379,19 @@ class ArrayTrackService:
             self._server.record_processing_time(time.perf_counter() - start)
         return estimates
 
-    def _run_sharded(self, shards: List[List[str]],
-                     synthesize: Callable[[List[str]],
-                                          Dict[str, LocationEstimate]]
-                     ) -> Dict[str, LocationEstimate]:
+    def _run_sharded(self, shards: list[list[str]],
+                     synthesize: Callable[[list[str]],
+                                          dict[str, LocationEstimate]]
+                     ) -> dict[str, LocationEstimate]:
         """Run ``synthesize`` per shard on the thread pool, merge in order.
 
         The NumPy reductions inside each shard's Equation 8 fold release
         the GIL, so shards genuinely overlap.
         """
-        def run() -> Dict[str, LocationEstimate]:
+        def run() -> dict[str, LocationEstimate]:
             futures = [self._pool().submit(synthesize, shard)
                        for shard in shards]
-            estimates: Dict[str, LocationEstimate] = {}
+            estimates: dict[str, LocationEstimate] = {}
             for future in futures:
                 estimates.update(future.result())
             return estimates
@@ -444,7 +434,7 @@ class ArrayTrackService:
 
     def localize_many(self,
                       spectra_by_client: Mapping[str, Mapping[str, Sequence[AoASpectrum]]]
-                      ) -> Dict[str, LocationEstimate]:
+                      ) -> dict[str, LocationEstimate]:
         """Localize many clients in one vectorized synthesis pass.
 
         With ``parallel.backend="thread"`` or ``"process"`` and a large
@@ -469,8 +459,8 @@ class ArrayTrackService:
                  for client_id in shard}))
 
     def localize_buffered(self, client_ids: Sequence[str],
-                          aps: Optional[Sequence[ArrayTrackAP]] = None
-                          ) -> Dict[str, LocationEstimate]:
+                          aps: Sequence[ArrayTrackAP] | None = None
+                          ) -> dict[str, LocationEstimate]:
         """Batch-localize clients from frames buffered at the AP fleet.
 
         Uses the registered fleet when ``aps`` is omitted.  Shards across
@@ -495,14 +485,14 @@ class ArrayTrackService:
         return existing
 
     @property
-    def sessions(self) -> Dict[str, Session]:
+    def sessions(self) -> dict[str, Session]:
         """All live sessions, by client id (a copy)."""
         return dict(self._sessions)
 
-    def ingest(self, ap: Union[str, ArrayTrackAP, None],
-               item: Union[AoASpectrum, BufferEntry],
-               client_id: Optional[str] = None,
-               timestamp_s: Optional[float] = None) -> Session:
+    def ingest(self, ap: str | ArrayTrackAP | None,
+               item: AoASpectrum | BufferEntry,
+               client_id: str | None = None,
+               timestamp_s: float | None = None) -> Session:
         """Accumulate one frame into the client's streaming session.
 
         Parameters
@@ -540,10 +530,10 @@ class ArrayTrackService:
         session.add(ap_id, spectrum, resolved_ts)
         return session
 
-    def ingest_many(self, ap: Union[str, ArrayTrackAP, None],
-                    items: Sequence[Union[AoASpectrum, BufferEntry]],
-                    client_id: Optional[str] = None,
-                    timestamp_s: Optional[float] = None) -> List[Session]:
+    def ingest_many(self, ap: str | ArrayTrackAP | None,
+                    items: Sequence[AoASpectrum | BufferEntry],
+                    client_id: str | None = None,
+                    timestamp_s: float | None = None) -> list[Session]:
         """Accumulate many frames of one AP in a single batched pass.
 
         The streaming counterpart of the batched Section 2.3 frontend:
@@ -576,7 +566,7 @@ class ArrayTrackService:
         items = list(items)
         entry_indices = [index for index, item in enumerate(items)
                          if isinstance(item, BufferEntry)]
-        spectra: List[Union[AoASpectrum, BufferEntry]] = list(items)
+        spectra: list[AoASpectrum | BufferEntry] = list(items)
         if entry_indices:
             ap_obj = self._resolve_ap(ap)
             if ap_obj is None:
@@ -586,9 +576,9 @@ class ArrayTrackService:
                     "build_ap()/adopt_aps()")
             batch = ap_obj.compute_spectra(
                 [items[index] for index in entry_indices])
-            for index, spectrum in zip(entry_indices, batch):
+            for index, spectrum in zip(entry_indices, batch, strict=True):
                 spectra[index] = spectrum
-        sessions: List[Session] = []
+        sessions: list[Session] = []
         for spectrum in spectra:
             resolved, ap_id = self._resolve_frame(ap, spectrum)
             resolved_client = client_id if client_id else resolved.client_id
@@ -603,8 +593,8 @@ class ArrayTrackService:
             sessions.append(session)
         return sessions
 
-    def _resolve_ap(self, ap: Union[str, ArrayTrackAP, None]
-                    ) -> Optional[ArrayTrackAP]:
+    def _resolve_ap(self, ap: str | ArrayTrackAP | None
+                    ) -> ArrayTrackAP | None:
         """Resolve an AP argument to a registered ArrayTrackAP, if possible."""
         if isinstance(ap, ArrayTrackAP):
             return ap
@@ -612,9 +602,9 @@ class ArrayTrackService:
             return self._aps.get(str(ap))
         return None
 
-    def _resolve_frame(self, ap: Union[str, ArrayTrackAP, None],
-                       item: Union[AoASpectrum, BufferEntry]
-                       ) -> Tuple[AoASpectrum, str]:
+    def _resolve_frame(self, ap: str | ArrayTrackAP | None,
+                       item: AoASpectrum | BufferEntry
+                       ) -> tuple[AoASpectrum, str]:
         if isinstance(item, BufferEntry):
             ap_obj = self._resolve_ap(ap)
             if ap_obj is None:
@@ -639,8 +629,8 @@ class ArrayTrackService:
             f"cannot ingest a {type(item).__name__}; expected an AoASpectrum "
             f"or a BufferEntry")
 
-    def tick(self, now_s: Optional[float] = None
-             ) -> Dict[str, LocationEstimate]:
+    def tick(self, now_s: float | None = None
+             ) -> dict[str, LocationEstimate]:
         """Drain every ready session through one batched synthesis pass.
 
         Returns one fix per ready client (empty dict when no trigger has
@@ -656,7 +646,7 @@ class ArrayTrackService:
                  if session.ready(now_s)}
         return self._emit(ready, now_s)
 
-    def flush(self) -> Dict[str, LocationEstimate]:
+    def flush(self) -> dict[str, LocationEstimate]:
         """Drain every session with pending frames, triggers or not."""
         self._ensure_open()
         pending = {client_id: session
@@ -665,7 +655,7 @@ class ArrayTrackService:
         return self._emit(pending, None)
 
     def _emit(self, sessions: Mapping[str, Session],
-              now_s: Optional[float]) -> Dict[str, LocationEstimate]:
+              now_s: float | None) -> dict[str, LocationEstimate]:
         if not sessions:
             return {}
         # Peek first, drain only after a successful synthesis: a failing
@@ -680,12 +670,12 @@ class ArrayTrackService:
             # suppressed primary enters the one-pass synthesis.  The raw
             # batch entry is skipped so the server's batch-path suppressor
             # cannot run a second time over the already-suppressed output.
-            def synthesize(shard: List[str]) -> Dict[str, LocationEstimate]:
+            def synthesize(shard: list[str]) -> dict[str, LocationEstimate]:
                 batch = {client_id: self._suppress_pending(sessions[client_id])
                          for client_id in shard}
                 return self._server.synthesize_batch(batch)
         else:
-            def synthesize(shard: List[str]) -> Dict[str, LocationEstimate]:
+            def synthesize(shard: list[str]) -> dict[str, LocationEstimate]:
                 batch = {client_id: sessions[client_id].pending_spectra()
                          for client_id in shard}
                 return self._server.localize_batch(batch)
@@ -712,7 +702,7 @@ class ArrayTrackService:
             # only read here, and the tracker commit below stays on the
             # calling thread.
             estimates = self._run_sharded(shards, synthesize)
-        timestamps: Dict[str, float] = {}
+        timestamps: dict[str, float] = {}
         for client_id in estimates:
             session = sessions[client_id]
             timestamps[client_id] = now_s if now_s is not None else \
@@ -722,7 +712,7 @@ class ArrayTrackService:
             # policy BEFORE committing anything: a rejected fix must leave
             # all sessions (frames, fix logs) and the tracker untouched.
             self.tracker.ensure_accepts(client_id, timestamps[client_id])
-        fixes: Dict[str, LocationEstimate] = {}
+        fixes: dict[str, LocationEstimate] = {}
         for client_id, estimate in estimates.items():
             session = sessions[client_id]
             point = self.tracker.update(client_id, estimate,
@@ -732,7 +722,7 @@ class ArrayTrackService:
             fixes[client_id] = estimate
         return fixes
 
-    def _suppress_pending(self, session: Session) -> List[AoASpectrum]:
+    def _suppress_pending(self, session: Session) -> list[AoASpectrum]:
         """Run the streaming multipath-suppression stage on one session.
 
         Each AP's pending frames are grouped on their ingest-resolved
@@ -742,7 +732,7 @@ class ArrayTrackService:
         so a session spanning several capture bursts contributes one
         cleaned spectrum per AP and burst to the synthesis.
         """
-        processed: List[AoASpectrum] = []
+        processed: list[AoASpectrum] = []
         for frames in session.pending_timestamped().values():
             spectra = [spectrum for _, spectrum in frames]
             timestamps = [timestamp for timestamp, _ in frames]
@@ -753,7 +743,7 @@ class ArrayTrackService:
     # ------------------------------------------------------------------
     # Client tracks
     # ------------------------------------------------------------------
-    def track(self, client_id: str) -> List[TrackPoint]:
+    def track(self, client_id: str) -> list[TrackPoint]:
         """Return the client's emitted fixes as track points (oldest first).
 
         The points carry both the raw and the EMA-smoothed positions, per
@@ -761,7 +751,7 @@ class ArrayTrackService:
         """
         return self.tracker.track(client_id)
 
-    def latest_fix(self, client_id: str) -> Optional[TrackPoint]:
+    def latest_fix(self, client_id: str) -> TrackPoint | None:
         """Return the most recently emitted fix for the client, or None."""
         return self.tracker.latest(client_id)
 
@@ -769,7 +759,7 @@ class ArrayTrackService:
     # Latency accounting passthrough (Section 4.4)
     # ------------------------------------------------------------------
     @property
-    def last_processing_s(self) -> Optional[float]:
+    def last_processing_s(self) -> float | None:
         """Wall-clock duration of the most recent synthesis, if measured."""
         return self._server.last_processing_s
 

@@ -19,7 +19,6 @@ system can be exercised both with ideal calibration and with residual error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -90,9 +89,9 @@ class PhaseCalibrator:
     """
 
     def __init__(self, num_radios: int,
-                 external_path_imbalance_rad: Optional[np.ndarray] = None,
+                 external_path_imbalance_rad: np.ndarray | None = None,
                  measurement_noise_rad: float = 0.0,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: np.random.Generator | None = None) -> None:
         if num_radios < 2:
             raise ArrayError("calibration needs at least two radios")
         self.num_radios = num_radios

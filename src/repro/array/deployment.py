@@ -11,7 +11,7 @@ calibrated out before AoA is possible).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -46,7 +46,7 @@ class DeployedArray:
     geometry: ArrayGeometry
     position: Point2D = field(default_factory=lambda: Point2D(0.0, 0.0))
     orientation_deg: float = 0.0
-    phase_offsets_rad: Optional[np.ndarray] = None
+    phase_offsets_rad: np.ndarray | None = None
     wavelength_m: float = WAVELENGTH_M
 
     def __post_init__(self) -> None:
@@ -146,7 +146,7 @@ class DeployedArray:
 
     @staticmethod
     def random_phase_offsets(num_elements: int,
-                             rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                             rng: np.random.Generator | None = None) -> np.ndarray:
         """Return uniformly random per-radio phase offsets in ``[0, 2 pi)``."""
         rng = rng if rng is not None else np.random.default_rng()
         return rng.uniform(0.0, 2.0 * np.pi, size=num_elements)

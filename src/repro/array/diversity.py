@@ -17,7 +17,7 @@ removal (Section 2.3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -100,7 +100,7 @@ class DiversitySynthesizer:
     def capture(self, channel: MultipathChannel,
                 num_snapshots: int = DEFAULT_NUM_SNAPSHOTS,
                 snr_db: float = 25.0,
-                rng: Optional[np.random.Generator] = None,
+                rng: np.random.Generator | None = None,
                 timestamp_s: float = 0.0,
                 apply_phase_offsets: bool = True) -> SnapshotMatrix:
         """Capture a synthesized snapshot matrix over both antenna sets.

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -161,7 +161,7 @@ class ArrayGeometry:
     def linear_with_symmetry_antenna(
             num_elements: int = 8,
             spacing_m: float = ANTENNA_SPACING_M,
-            offset_m: Optional[float] = None) -> "ArrayGeometry":
+            offset_m: float | None = None) -> "ArrayGeometry":
         """Return a ULA plus a ninth antenna off the array's row.
 
         Section 2.3.4: "we employ the diversity synthesis scheme ... to have
@@ -201,7 +201,7 @@ class ArrayGeometry:
                              name=f"{rows}x{columns} rectangular array")
 
     @staticmethod
-    def circular(num_elements: int, radius_m: Optional[float] = None,
+    def circular(num_elements: int, radius_m: float | None = None,
                  spacing_m: float = ANTENNA_SPACING_M) -> "ArrayGeometry":
         """Return a uniform circular array.
 

@@ -21,7 +21,6 @@ and motivates spatial smoothing (Section 2.3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -123,8 +122,8 @@ class ArrayReceiver:
     def capture(self, channel: MultipathChannel,
                 num_snapshots: int = DEFAULT_NUM_SNAPSHOTS,
                 snr_db: float = 25.0,
-                transmit_samples: Optional[np.ndarray] = None,
-                rng: Optional[np.random.Generator] = None,
+                transmit_samples: np.ndarray | None = None,
+                rng: np.random.Generator | None = None,
                 timestamp_s: float = 0.0) -> SnapshotMatrix:
         """Capture ``num_snapshots`` array snapshots of a frame.
 

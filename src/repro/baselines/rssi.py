@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Mapping, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.core.cache import grid_axes
 from repro.errors import EstimationError
 from repro.channel.propagation import log_distance_path_loss_db
 from repro.geometry.vector import Point2D
@@ -66,7 +67,7 @@ class FingerprintLocalizer:
         if k < 1:
             raise EstimationError("k must be >= 1")
         self.k = k
-        self._fingerprints: List[RssFingerprint] = []
+        self._fingerprints: list[RssFingerprint] = []
 
     @property
     def num_fingerprints(self) -> int:
@@ -83,7 +84,7 @@ class FingerprintLocalizer:
         """Return the position estimate for an online RSSI observation."""
         if not self._fingerprints:
             raise EstimationError("localizer has not been trained with a radio map")
-        distances: List[Tuple[float, RssFingerprint]] = []
+        distances: list[tuple[float, RssFingerprint]] = []
         for fingerprint in self._fingerprints:
             distance = self._signal_distance(rssi_dbm, fingerprint.rssi_dbm)
             distances.append((distance, fingerprint))
@@ -92,8 +93,8 @@ class FingerprintLocalizer:
         # Inverse-distance weighting of the k nearest neighbours.
         weights = np.array([1.0 / (d + 1e-3) for d, _ in nearest])
         weights = weights / np.sum(weights)
-        x = float(sum(w * fp.position.x for w, (_, fp) in zip(weights, nearest)))
-        y = float(sum(w * fp.position.y for w, (_, fp) in zip(weights, nearest)))
+        x = float(sum(w * fp.position.x for w, (_, fp) in zip(weights, nearest, strict=True)))
+        y = float(sum(w * fp.position.y for w, (_, fp) in zip(weights, nearest, strict=True)))
         return Point2D(x, y)
 
     @staticmethod
@@ -138,15 +139,16 @@ class ModelBasedRssLocalizer:
         return float(max(10.0 ** exponent_term, 0.1))
 
     def locate(self, rssi_dbm: Mapping[str, float],
-               bounds: Tuple[float, float, float, float]) -> Point2D:
+               bounds: tuple[float, float, float, float]) -> Point2D:
         """Return the position minimizing the squared range residuals."""
         usable = {ap: rssi for ap, rssi in rssi_dbm.items() if ap in self.ap_positions}
         if len(usable) < 3:
             raise EstimationError("model-based RSS localization needs >= 3 APs")
         ranges = {ap: self.estimate_distance_m(rssi) for ap, rssi in usable.items()}
-        xmin, ymin, xmax, ymax = bounds
-        xs = np.arange(xmin, xmax + self.grid_resolution_m / 2, self.grid_resolution_m)
-        ys = np.arange(ymin, ymax + self.grid_resolution_m / 2, self.grid_resolution_m)
+        # One grid-layout definition repo-wide (repro-lint RPR001): the
+        # exact-count axes come from the same helper the likelihood
+        # synthesis uses, so baseline and ArrayTrack grids cannot drift.
+        xs, ys = grid_axes(bounds, self.grid_resolution_m)
         grid_x, grid_y = np.meshgrid(xs, ys)
         cost = np.zeros_like(grid_x)
         for ap, estimated_range in ranges.items():

@@ -33,7 +33,6 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 
@@ -119,7 +118,7 @@ class ChannelBuilder:
     """
 
     def __init__(self, floorplan: Floorplan,
-                 config: Optional[ChannelModelConfig] = None) -> None:
+                 config: ChannelModelConfig | None = None) -> None:
         self.floorplan = floorplan
         self.config = config if config is not None else ChannelModelConfig()
         self._tracer = RayTracer(floorplan,
@@ -173,7 +172,7 @@ class ChannelBuilder:
     def _reflection_components(self, path: PropagationPath,
                                client_position: Point2D,
                                ap_position: Point2D,
-                               polarization: float) -> List[ChannelComponent]:
+                               polarization: float) -> list[ChannelComponent]:
         components = [self._specular_component(path, polarization)]
         if self.config.scatterers_per_reflection > 0:
             components.extend(self._diffuse_components(
@@ -199,14 +198,14 @@ class ChannelBuilder:
     def _diffuse_components(self, path: PropagationPath,
                             client_position: Point2D,
                             ap_position: Point2D,
-                            polarization: float) -> List[ChannelComponent]:
+                            polarization: float) -> list[ChannelComponent]:
         """Generate the diffuse scatterer cluster around a specular reflection."""
         reflection_vertex = path.vertices[-2]
         to_reflection = reflection_vertex - ap_position
         if to_reflection.norm() < 1e-9:
             return []
         rng = self._scatter_rng(path)
-        components: List[ChannelComponent] = []
+        components: list[ChannelComponent] = []
         for _ in range(self.config.scatterers_per_reflection):
             # Clutter scatterers sit in a disc around the specular point:
             # cabinets, cubicle walls and monitors near the reflecting wall.

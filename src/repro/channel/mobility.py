@@ -14,7 +14,6 @@ physically (the environment stays fixed, the client moves).
 from __future__ import annotations
 
 import math
-from typing import List, Optional
 
 import numpy as np
 
@@ -25,8 +24,8 @@ __all__ = ["perturb_position", "movement_track", "random_waypoint_track"]
 
 
 def perturb_position(position: Point2D, distance_m: float,
-                     rng: Optional[np.random.Generator] = None,
-                     direction_deg: Optional[float] = None) -> Point2D:
+                     rng: np.random.Generator | None = None,
+                     direction_deg: float | None = None) -> Point2D:
     """Return ``position`` displaced by ``distance_m`` in a (random) direction.
 
     Parameters
@@ -52,7 +51,7 @@ def perturb_position(position: Point2D, distance_m: float,
 
 def movement_track(position: Point2D, num_samples: int,
                    max_step_m: float = 0.05,
-                   rng: Optional[np.random.Generator] = None) -> List[Point2D]:
+                   rng: np.random.Generator | None = None) -> list[Point2D]:
     """Return a short random-walk track of ``num_samples`` positions.
 
     The first entry is ``position`` itself; each subsequent entry moves by a
@@ -73,7 +72,7 @@ def movement_track(position: Point2D, num_samples: int,
 
 
 def random_waypoint_track(start: Point2D, end: Point2D,
-                          num_samples: int) -> List[Point2D]:
+                          num_samples: int) -> list[Point2D]:
     """Return ``num_samples`` positions interpolated from ``start`` to ``end``.
 
     Used by the tracking example to emulate a client walking through the
@@ -83,4 +82,4 @@ def random_waypoint_track(start: Point2D, end: Point2D,
         raise ChannelError(f"num_samples must be >= 2, got {num_samples}")
     xs = np.linspace(start.x, end.x, num_samples)
     ys = np.linspace(start.y, end.y, num_samples)
-    return [Point2D(float(x), float(y)) for x, y in zip(xs, ys)]
+    return [Point2D(float(x), float(y)) for x, y in zip(xs, ys, strict=True)]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -74,7 +74,7 @@ class MultipathChannel:
         Identifier of the receiving AP.
     """
 
-    components: List[ChannelComponent] = field(default_factory=list)
+    components: list[ChannelComponent] = field(default_factory=list)
     client_id: str = ""
     ap_id: str = ""
 
@@ -97,7 +97,7 @@ class MultipathChannel:
         return float(sum(c.power for c in self.components))
 
     @property
-    def direct_component(self) -> Optional[ChannelComponent]:
+    def direct_component(self) -> ChannelComponent | None:
         """Return the strongest direct-path component, or None if absent."""
         direct = [c for c in self.components if c.is_direct]
         if not direct:
@@ -105,7 +105,7 @@ class MultipathChannel:
         return max(direct, key=lambda c: c.power)
 
     @property
-    def direct_bearing_deg(self) -> Optional[float]:
+    def direct_bearing_deg(self) -> float | None:
         """Azimuth of the direct path, or None when the direct path is absent."""
         component = self.direct_component
         return None if component is None else component.azimuth_deg
@@ -184,7 +184,7 @@ class MultipathChannel:
     @staticmethod
     def from_bearings(bearings_deg: Sequence[float],
                       amplitudes: Sequence[complex],
-                      direct_index: Optional[int] = 0,
+                      direct_index: int | None = 0,
                       client_id: str = "",
                       ap_id: str = "") -> "MultipathChannel":
         """Build a channel directly from bearing/amplitude lists.
@@ -204,6 +204,6 @@ class MultipathChannel:
                 azimuth_deg=float(bearing),
                 is_direct=(direct_index is not None and index == direct_index),
             )
-            for index, (bearing, amplitude) in enumerate(zip(bearings_deg, amplitudes))
+            for index, (bearing, amplitude) in enumerate(zip(bearings_deg, amplitudes, strict=True))
         ]
         return MultipathChannel(components, client_id, ap_id)

@@ -9,7 +9,6 @@ with shadowing, which is what RADAR/Horus-style systems assume.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 
@@ -54,9 +53,9 @@ def free_space_amplitude(distance_m: float,
 def log_distance_path_loss_db(distance_m: float,
                               reference_distance_m: float = 1.0,
                               path_loss_exponent: float = 3.0,
-                              reference_loss_db: Optional[float] = None,
+                              reference_loss_db: float | None = None,
                               shadowing_sigma_db: float = 0.0,
-                              rng: Optional[np.random.Generator] = None,
+                              rng: np.random.Generator | None = None,
                               wavelength_m: float = WAVELENGTH_M) -> float:
     """Return log-distance path loss with optional log-normal shadowing.
 

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -85,7 +85,7 @@ def count_distinct_sources(spectra: Sequence[AoASpectrum]) -> int:
     return len(named) + anonymous
 
 
-def _placement_key(spectrum: AoASpectrum) -> Tuple:
+def _placement_key(spectrum: AoASpectrum) -> tuple:
     """Key identifying one AP placement + angle grid (shared fold/refine)."""
     return (
         float(spectrum.ap_position.x),
@@ -102,9 +102,9 @@ class _PlacementGroup:
 
     ap_position: Point2D
     # Power rows to evaluate, one per job, all on the same angle grid.
-    powers: List[np.ndarray]
+    powers: list[np.ndarray]
     # (client key, slot in that client's spectrum list) per job.
-    jobs: List[Tuple[str, int]]
+    jobs: list[tuple[str, int]]
     # Representative spectrum (supplies orientation + angle grid).
     exemplar: AoASpectrum
 
@@ -119,12 +119,12 @@ class _FoldedBatch:
     """
 
     def __init__(self, order: Sequence[str],
-                 rows: Optional[Mapping[str, np.ndarray]] = None,
-                 cell_major: Optional[np.ndarray] = None) -> None:
+                 rows: Mapping[str, np.ndarray] | None = None,
+                 cell_major: np.ndarray | None = None) -> None:
         self._index = {key: index for index, key in enumerate(order)}
         self._rows = rows
         self._cell_major = cell_major
-        self._argmax: Optional[np.ndarray] = None
+        self._argmax: np.ndarray | None = None
 
     def flat_values(self, key: str) -> np.ndarray:
         """Return the client's flat likelihood plane, C-contiguous."""
@@ -133,7 +133,7 @@ class _FoldedBatch:
         assert self._cell_major is not None
         return np.ascontiguousarray(self._cell_major[:, self._index[key]])
 
-    def peak(self, key: str) -> Tuple[int, float]:
+    def peak(self, key: str) -> tuple[int, float]:
         """Return ``(flat cell index, likelihood)`` of the client's maximum."""
         if self._cell_major is not None:
             if self._argmax is None:
@@ -171,7 +171,7 @@ class _SlotEntry:
         #: ``membership[u]`` is True when unit ``u`` has a row here; None
         #: means *every* unit does (the rectangular fast path, where the
         #: evaluator skips the boolean select entirely).
-        self.membership: Optional[np.ndarray] = None
+        self.membership: np.ndarray | None = None
         self.rows: np.ndarray = np.empty(0, dtype=int)  # unit index -> row
 
 
@@ -197,14 +197,14 @@ class _StackedObjective:
     """
 
     def __init__(self, keys: Sequence[str],
-                 prepared: Mapping[str, List[AoASpectrum]],
-                 bounds: Tuple[float, float, float, float],
+                 prepared: Mapping[str, list[AoASpectrum]],
+                 bounds: tuple[float, float, float, float],
                  config: LocalizerConfig) -> None:
         self._bounds = bounds
         self._floor = config.spectrum_floor
         num_units = len(keys)
-        entries: Dict[Tuple[int, Tuple], _SlotEntry] = {}
-        jobs: Dict[Tuple[int, Tuple], List[Tuple[int, np.ndarray]]] = {}
+        entries: dict[tuple[int, tuple], _SlotEntry] = {}
+        jobs: dict[tuple[int, tuple], list[tuple[int, np.ndarray]]] = {}
         max_slots = 0
         for unit, key in enumerate(keys):
             spectra = prepared[key]
@@ -217,7 +217,7 @@ class _StackedObjective:
                 jobs[group].append((unit, spectrum.power))
         #: Entries per slot index; iterating slots in ascending order folds
         #: every client's product in its own spectrum order.
-        self._slots: List[List[_SlotEntry]] = [[] for _ in range(max_slots)]
+        self._slots: list[list[_SlotEntry]] = [[] for _ in range(max_slots)]
         for group, entry in entries.items():
             slot = group[0]
             group_jobs = jobs[group]
@@ -294,7 +294,7 @@ class _StackedObjective:
         bearings = np.array([
             normalize_angle_deg(math.degrees(math.atan2(dy_i, dx_i)))
             if (dx_i != 0.0 or dy_i != 0.0) else 0.0
-            for dx_i, dy_i in zip(dx.tolist(), dy.tolist())])
+            for dx_i, dy_i in zip(dx.tolist(), dy.tolist(), strict=True)])
         query = (bearings - entry.orientation_deg) % 360.0
         positions = query / entry.resolution_deg
         floor_positions = np.floor(positions)
@@ -329,9 +329,9 @@ class BatchLocalizer:
         when omitted.
     """
 
-    def __init__(self, bounds: Tuple[float, float, float, float],
-                 config: Optional[LocalizerConfig] = None,
-                 bearing_cache: Optional[BearingGridCache] = None) -> None:
+    def __init__(self, bounds: tuple[float, float, float, float],
+                 config: LocalizerConfig | None = None,
+                 bearing_cache: BearingGridCache | None = None) -> None:
         xmin, ymin, xmax, ymax = bounds
         if xmax <= xmin or ymax <= ymin:
             raise EstimationError(f"invalid bounds {bounds!r}")
@@ -342,14 +342,14 @@ class BatchLocalizer:
         # Sparse interpolation operators, one per (AP placement, resolution);
         # built lazily and kept for the localizer's lifetime because they
         # depend only on static deployment geometry.
-        self._plan_cache: Dict[Tuple, "_sparse.csr_matrix"] = {}
+        self._plan_cache: dict[tuple, "_sparse.csr_matrix"] = {}
 
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
     def estimate_batch(self,
                        spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
-                       ) -> Dict[str, LocationEstimate]:
+                       ) -> dict[str, LocationEstimate]:
         """Localize every client of the batch from its per-AP spectra.
 
         Parameters
@@ -377,7 +377,7 @@ class BatchLocalizer:
         folded = self._fold_batch(prepared)
         seeds, heatmaps = self._seed_batch(prepared, folded)
         refined = self._refine_batch(prepared, seeds)
-        estimates: Dict[str, LocationEstimate] = {}
+        estimates: dict[str, LocationEstimate] = {}
         for key, spectra in prepared.items():
             estimates[key] = self._estimate_client(
                 key, spectra, folded, heatmaps.get(key), refined.get(key))
@@ -387,9 +387,9 @@ class BatchLocalizer:
     # Stage 1: validation and normalization
     # ------------------------------------------------------------------
     def _prepare(self, spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
-                 ) -> Dict[str, List[AoASpectrum]]:
+                 ) -> dict[str, list[AoASpectrum]]:
         """Validate the batch; normalization happens later, in stacked form."""
-        prepared: Dict[str, List[AoASpectrum]] = {}
+        prepared: dict[str, list[AoASpectrum]] = {}
         for key, spectra in spectra_by_client.items():
             spectra = list(spectra)
             if not spectra:
@@ -419,11 +419,11 @@ class BatchLocalizer:
     # Stage 2: stacked per-AP grid evaluation
     # ------------------------------------------------------------------
     @staticmethod
-    def _placement_key(spectrum: AoASpectrum) -> Tuple:
+    def _placement_key(spectrum: AoASpectrum) -> tuple:
         return _placement_key(spectrum)
 
     def _interpolation_table(self, exemplar: AoASpectrum
-                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return the grid-to-spectrum interpolation table for one placement."""
         bearing_grid = self._bearing_cache.get(
             self.bounds, self.config.grid_resolution_m, exemplar.ap_position)
@@ -458,7 +458,7 @@ class BatchLocalizer:
     @staticmethod
     def _gather_chunk(rows: np.ndarray, lower: np.ndarray, upper: np.ndarray,
                       fraction: np.ndarray, floor: float,
-                      out: Optional[np.ndarray] = None) -> np.ndarray:
+                      out: np.ndarray | None = None) -> np.ndarray:
         """Evaluate a chunk of stacked power rows over the grid, in place.
 
         Computes ``power[lower] * (1 - fraction) + power[upper] * fraction``
@@ -481,7 +481,7 @@ class BatchLocalizer:
             np.maximum(gathered, floor * maxima[:, None], out=gathered)
         return gathered
 
-    def _fold_batch(self, prepared: Mapping[str, List[AoASpectrum]]
+    def _fold_batch(self, prepared: Mapping[str, list[AoASpectrum]]
                     ) -> _FoldedBatch:
         """Fold each client's Equation 8 product over the flat grid.
 
@@ -509,8 +509,8 @@ class BatchLocalizer:
             return self._fold_rectangular_gather(keys, prepared)
         return self._fold_ragged(keys, prepared, sequences)
 
-    def _stack_slot(self, keys: List[str],
-                    prepared: Mapping[str, List[AoASpectrum]],
+    def _stack_slot(self, keys: list[str],
+                    prepared: Mapping[str, list[AoASpectrum]],
                     slot: int) -> np.ndarray:
         """Stack (and normalize) every client's power row for one AP slot."""
         stacked = np.stack([prepared[key][slot].power for key in keys])
@@ -518,8 +518,8 @@ class BatchLocalizer:
             stacked = self._normalize_stack(stacked)
         return stacked
 
-    def _fold_rectangular_sparse(self, keys: List[str],
-                                 prepared: Mapping[str, List[AoASpectrum]]
+    def _fold_rectangular_sparse(self, keys: list[str],
+                                 prepared: Mapping[str, list[AoASpectrum]]
                                  ) -> _FoldedBatch:
         """Fold via cached sparse operators, chunked to stay cache resident.
 
@@ -542,7 +542,7 @@ class BatchLocalizer:
         accumulator = np.empty((num_cells, num_clients))
         for start in range(0, num_clients, chunk):
             stop = min(start + chunk, num_clients)
-            chunk_product: Optional[np.ndarray] = None
+            chunk_product: np.ndarray | None = None
             for plan, stacked, maxima in slots:
                 planes = plan @ stacked[start:stop].T     # (cells, chunk)
                 if floor > 0:
@@ -557,8 +557,8 @@ class BatchLocalizer:
             accumulator[:, start:stop] = chunk_product
         return _FoldedBatch(keys, cell_major=accumulator)
 
-    def _fold_rectangular_gather(self, keys: List[str],
-                                 prepared: Mapping[str, List[AoASpectrum]]
+    def _fold_rectangular_gather(self, keys: list[str],
+                                 prepared: Mapping[str, list[AoASpectrum]]
                                  ) -> _FoldedBatch:
         """SciPy-free fold: chunked in-place gathers sized for the cache."""
         floor = self.config.spectrum_floor
@@ -577,7 +577,7 @@ class BatchLocalizer:
         scratch = np.empty((min(chunk, num_clients), num_cells))
         for start in range(0, num_clients, chunk):
             stop = min(start + chunk, num_clients)
-            accumulator: Optional[np.ndarray] = None
+            accumulator: np.ndarray | None = None
             for lower, upper, fraction, stacked in tables:
                 if accumulator is None:
                     # The first plane lands straight in the output rows;
@@ -594,11 +594,11 @@ class BatchLocalizer:
         return _FoldedBatch(
             keys, rows={key: folded[index] for index, key in enumerate(keys)})
 
-    def _fold_ragged(self, keys: List[str],
-                     prepared: Mapping[str, List[AoASpectrum]],
-                     sequences: Mapping[str, List[Tuple]]
+    def _fold_ragged(self, keys: list[str],
+                     prepared: Mapping[str, list[AoASpectrum]],
+                     sequences: Mapping[str, list[tuple]]
                      ) -> _FoldedBatch:
-        groups: Dict[Tuple, _PlacementGroup] = {}
+        groups: dict[tuple, _PlacementGroup] = {}
         for key in keys:
             for slot, spectrum in enumerate(prepared[key]):
                 placement = sequences[key][slot]
@@ -611,7 +611,7 @@ class BatchLocalizer:
                 group.powers.append(spectrum.power)
                 group.jobs.append((key, slot))
         floor = self.config.spectrum_floor
-        planes: Dict[str, List[Optional[np.ndarray]]] = {
+        planes: dict[str, list[np.ndarray | None]] = {
             key: [None] * len(prepared[key]) for key in keys}
         for group in groups.values():
             lower, upper, fraction = self._interpolation_table(group.exemplar)
@@ -622,9 +622,9 @@ class BatchLocalizer:
                                           floor)          # (jobs, cells)
             for row, (key, slot) in enumerate(group.jobs):
                 planes[key][slot] = gathered[row]
-        folded: Dict[str, np.ndarray] = {}
+        folded: dict[str, np.ndarray] = {}
         for key in keys:
-            values: Optional[np.ndarray] = None
+            values: np.ndarray | None = None
             for plane in planes[key]:
                 assert plane is not None
                 values = plane if values is None else values * plane
@@ -635,10 +635,10 @@ class BatchLocalizer:
     # ------------------------------------------------------------------
     # Stage 3/4: seeding and refinement
     # ------------------------------------------------------------------
-    def _seed_batch(self, prepared: Mapping[str, List[AoASpectrum]],
+    def _seed_batch(self, prepared: Mapping[str, list[AoASpectrum]],
                     folded: _FoldedBatch
-                    ) -> Tuple[Dict[str, List[Tuple[Point2D, float]]],
-                               Dict[str, LikelihoodMap]]:
+                    ) -> tuple[dict[str, list[tuple[Point2D, float]]],
+                               dict[str, LikelihoodMap]]:
         """Extract hill-climb seeds (and optionally heatmaps) per client.
 
         Each client's folded plane is viewed as a grid map just long enough
@@ -655,8 +655,8 @@ class BatchLocalizer:
         x_coords, y_coords = grid_axes(self.bounds,
                                        self.config.grid_resolution_m)
         shape = (y_coords.shape[0], x_coords.shape[0])
-        seeds: Dict[str, List[Tuple[Point2D, float]]] = {}
-        heatmaps: Dict[str, LikelihoodMap] = {}
+        seeds: dict[str, list[tuple[Point2D, float]]] = {}
+        heatmaps: dict[str, LikelihoodMap] = {}
         for key in prepared:
             heatmap = LikelihoodMap(x_coords, y_coords,
                                     folded.flat_values(key).reshape(shape))
@@ -666,9 +666,9 @@ class BatchLocalizer:
                 heatmaps[key] = heatmap
         return seeds, heatmaps
 
-    def _refine_batch(self, prepared: Mapping[str, List[AoASpectrum]],
-                      seeds_by_key: Mapping[str, List[Tuple[Point2D, float]]]
-                      ) -> Dict[str, HillClimbResult]:
+    def _refine_batch(self, prepared: Mapping[str, list[AoASpectrum]],
+                      seeds_by_key: Mapping[str, list[tuple[Point2D, float]]]
+                      ) -> dict[str, HillClimbResult]:
         """Run the Section 2.5 hill climbing for every client of the batch.
 
         With ``vectorized_refinement`` (the default) all clients climb
@@ -690,8 +690,8 @@ class BatchLocalizer:
                                   [seeds_by_key[key] for key in keys],
                                   initial_step_m=initial_step_m,
                                   min_step_m=min_step_m)
-            return dict(zip(keys, results))
-        refined: Dict[str, HillClimbResult] = {}
+            return dict(zip(keys, results, strict=True))
+        refined: dict[str, HillClimbResult] = {}
         for key in keys:
             spectra = prepared[key]
             normalized = [s.normalized() for s in spectra] \
@@ -700,10 +700,10 @@ class BatchLocalizer:
                                         initial_step_m, min_step_m)
         return refined
 
-    def _estimate_client(self, key: str, spectra: List[AoASpectrum],
+    def _estimate_client(self, key: str, spectra: list[AoASpectrum],
                          folded: _FoldedBatch,
-                         heatmap: Optional[LikelihoodMap],
-                         refined: Optional[HillClimbResult]
+                         heatmap: LikelihoodMap | None,
+                         refined: HillClimbResult | None
                          ) -> LocationEstimate:
         if refined is not None:
             position, value = refined.position, refined.value
@@ -725,7 +725,7 @@ class BatchLocalizer:
         )
 
     def _refine(self, spectra: Sequence[AoASpectrum],
-                seeds: Sequence[Tuple[Point2D, float]],
+                seeds: Sequence[tuple[Point2D, float]],
                 initial_step_m: float,
                 min_step_m: float) -> HillClimbResult:
         """Serial reference refinement for one client (one call per point)."""

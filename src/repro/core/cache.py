@@ -29,13 +29,17 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import EstimationError
 from repro.geometry.vector import Point2D
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from repro.array.geometry import ArrayGeometry
 
 __all__ = [
     "BearingGrid",
@@ -104,7 +108,7 @@ class SteeringCache:
             raise EstimationError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         # The service's thread-sharded execution drives this cache from
         # worker threads; the lookup/move-to-end/evict sequences are not
         # atomic on their own (a concurrent eviction between get() and
@@ -117,7 +121,7 @@ class SteeringCache:
         return len(self._entries)
 
     def _key(self, element_positions: np.ndarray, angles_deg: np.ndarray,
-             wavelength_m: float, elevation_deg: float) -> Tuple:
+             wavelength_m: float, elevation_deg: float) -> tuple:
         return (
             element_positions.shape,
             element_positions.tobytes(),
@@ -127,7 +131,7 @@ class SteeringCache:
             float(elevation_deg),
         )
 
-    def get(self, geometry, angles_deg: np.ndarray,
+    def get(self, geometry: ArrayGeometry, angles_deg: np.ndarray,
             wavelength_m: float, elevation_deg: float = 0.0) -> np.ndarray:
         """Return the ``(M, K)`` steering matrix, computing it on first use.
 
@@ -196,7 +200,7 @@ class BearingGrid:
     bearings_deg: np.ndarray
 
     @property
-    def shape(self) -> Tuple[int, int]:
+    def shape(self) -> tuple[int, int]:
         """``(rows, columns)`` of the search grid."""
         return (int(self.y_coords.shape[0]), int(self.x_coords.shape[0]))
 
@@ -206,8 +210,8 @@ class BearingGrid:
         return int(self.bearings_deg.shape[0])
 
 
-def grid_axes(bounds: Tuple[float, float, float, float],
-              resolution_m: float) -> Tuple[np.ndarray, np.ndarray]:
+def grid_axes(bounds: tuple[float, float, float, float],
+              resolution_m: float) -> tuple[np.ndarray, np.ndarray]:
     """Return the ``(x_coords, y_coords)`` search-grid axes for ``bounds``.
 
     This is the single definition of the Section 2.5 grid layout; the
@@ -219,8 +223,16 @@ def grid_axes(bounds: Tuple[float, float, float, float],
         raise EstimationError(f"invalid bounds {bounds!r}")
     if resolution_m <= 0:
         raise EstimationError(f"resolution must be positive, got {resolution_m!r}")
-    x_coords = np.arange(xmin, xmax + resolution_m / 2.0, resolution_m)
-    y_coords = np.arange(ymin, ymax + resolution_m / 2.0, resolution_m)
+    # Exact-count axis build (repro-lint RPR001): the old float-step
+    # ``np.arange(xmin, xmax + res/2, res)`` let rounding drift both the
+    # point count and the endpoint for resolutions whose reciprocal is
+    # inexact.  The counts below reproduce arange's ceil((stop - start) /
+    # step) semantics exactly, and ``np.linspace`` pins every coordinate
+    # without accumulating the step.
+    num_x = int(np.ceil((xmax + resolution_m / 2.0 - xmin) / resolution_m))
+    num_y = int(np.ceil((ymax + resolution_m / 2.0 - ymin) / resolution_m))
+    x_coords = np.linspace(xmin, xmin + resolution_m * (num_x - 1), num_x)
+    y_coords = np.linspace(ymin, ymin + resolution_m * (num_y - 1), num_y)
     return x_coords, y_coords
 
 
@@ -237,7 +249,7 @@ class BearingGridCache:
             raise EstimationError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Tuple, BearingGrid]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, BearingGrid]" = OrderedDict()
         # See SteeringCache: worker threads share this cache, so entry and
         # stats mutations are locked; the arctan2 sweep runs outside.
         self._lock = threading.Lock()
@@ -245,7 +257,7 @@ class BearingGridCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, bounds: Tuple[float, float, float, float],
+    def get(self, bounds: tuple[float, float, float, float],
             resolution_m: float, ap_position: Point2D) -> BearingGrid:
         """Return the bearing grid for ``ap_position`` over ``bounds``.
 
@@ -287,8 +299,9 @@ class BearingGridCache:
                 self.stats.evictions += 1
         return entry
 
-    def warm(self, bounds: Tuple[float, float, float, float],
-             resolution_m: float, ap_positions) -> int:
+    def warm(self, bounds: tuple[float, float, float, float],
+             resolution_m: float,
+             ap_positions: Iterable[Point2D | tuple[float, float]]) -> int:
         """Populate the cache for every AP position of a deployment.
 
         Used by per-worker initializers (process-backend sharding): a fresh
@@ -333,14 +346,14 @@ class WindowCache:
             raise EstimationError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, angles_deg: np.ndarray, reliable_angle_deg: float,
-            compute) -> np.ndarray:
+            compute: Callable[[], np.ndarray]) -> np.ndarray:
         """Return the window for ``angles_deg``, computing it on first use.
 
         Parameters

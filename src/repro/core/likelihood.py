@@ -13,7 +13,7 @@ the best grid cells by hill climbing (:mod:`repro.core.optimizer`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class LikelihoodMap:
         row, column = np.unravel_index(flat_index, self.values.shape)
         return Point2D(float(self.x_coords[column]), float(self.y_coords[row]))
 
-    def top_positions(self, count: int) -> List[Tuple[Point2D, float]]:
+    def top_positions(self, count: int) -> list[tuple[Point2D, float]]:
         """Return the ``count`` best grid points and their likelihoods.
 
         The positions are chosen greedily with a minimum mutual separation of
@@ -96,7 +96,7 @@ class LikelihoodMap:
             raise EstimationError("count must be >= 1")
         order = np.argsort(self.values, axis=None)[::-1]
         min_separation = 3.0 * self.resolution_m
-        results: List[Tuple[Point2D, float]] = []
+        results: list[tuple[Point2D, float]] = []
         for flat_index in order:
             row, column = np.unravel_index(int(flat_index), self.values.shape)
             candidate = Point2D(float(self.x_coords[column]), float(self.y_coords[row]))
@@ -160,11 +160,11 @@ def spectrum_grid_powers(spectrum: AoASpectrum,
 
 
 def synthesize_likelihood(spectra: Sequence[AoASpectrum],
-                          bounds: Tuple[float, float, float, float],
+                          bounds: tuple[float, float, float, float],
                           resolution_m: float = DEFAULT_GRID_RESOLUTION_M,
                           normalize_spectra: bool = True,
                           floor: float = 0.0,
-                          bearing_cache: Optional[BearingGridCache] = None
+                          bearing_cache: BearingGridCache | None = None
                           ) -> LikelihoodMap:
     """Evaluate Equation 8 on a regular grid covering ``bounds``.
 
@@ -193,7 +193,7 @@ def synthesize_likelihood(spectra: Sequence[AoASpectrum],
     cache = bearing_cache if bearing_cache is not None else default_bearing_cache()
     x_coords, y_coords = grid_axes(bounds, resolution_m)
     shape = (y_coords.shape[0], x_coords.shape[0])
-    values: Optional[np.ndarray] = None
+    values: np.ndarray | None = None
     for spectrum in spectra:
         if spectrum.ap_position is None:
             raise EstimationError(

@@ -12,7 +12,7 @@ full ArrayTrack pipeline of Figure 15.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.constants import DEFAULT_GRID_RESOLUTION_M
 from repro.errors import EstimationError
@@ -46,7 +46,7 @@ class LocationEstimate:
     likelihood: float
     num_aps: int
     client_id: str = ""
-    heatmap: Optional[LikelihoodMap] = None
+    heatmap: LikelihoodMap | None = None
 
     def error_to(self, ground_truth: Point2D) -> float:
         """Return the Euclidean localization error against ``ground_truth``."""
@@ -122,8 +122,8 @@ class LocationEstimator:
         Estimator configuration; defaults follow the paper.
     """
 
-    def __init__(self, bounds: Tuple[float, float, float, float],
-                 config: Optional[LocalizerConfig] = None) -> None:
+    def __init__(self, bounds: tuple[float, float, float, float],
+                 config: LocalizerConfig | None = None) -> None:
         # Imported here because batch.py needs LocationEstimate from this
         # module at import time.
         from repro.core.batch import BatchLocalizer
@@ -131,7 +131,7 @@ class LocationEstimator:
         self._batch = BatchLocalizer(bounds, config)
 
     @property
-    def bounds(self) -> Tuple[float, float, float, float]:
+    def bounds(self) -> tuple[float, float, float, float]:
         """Search-area bounds in metres."""
         return self._batch.bounds
 
@@ -159,7 +159,7 @@ class LocationEstimator:
 
     def estimate_batch(self,
                        spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
-                       ) -> Dict[str, LocationEstimate]:
+                       ) -> dict[str, LocationEstimate]:
         """Localize many clients in one vectorized pass.
 
         See :meth:`repro.core.batch.BatchLocalizer.estimate_batch`; results

@@ -20,7 +20,7 @@ to the corresponding single-frame call.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -143,7 +143,7 @@ def spectrum_from_noise_subspace_many(noise_subspaces: np.ndarray,
 
 def music_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
                    angles_deg: np.ndarray,
-                   num_sources: Optional[int] = None,
+                   num_sources: int | None = None,
                    wavelength_m: float = WAVELENGTH_M,
                    elevation_deg: float = 0.0) -> np.ndarray:
     """Return the MUSIC pseudospectrum over ``angles_deg``.
@@ -176,7 +176,7 @@ def music_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
 
 def music_spectrum_many(covariances: np.ndarray, geometry: ArrayGeometry,
                         angles_deg: np.ndarray,
-                        num_sources: Optional[Union[int, Sequence[int]]] = None,
+                        num_sources: int | Sequence[int] | None = None,
                         wavelength_m: float = WAVELENGTH_M,
                         elevation_deg: float = 0.0) -> np.ndarray:
     """Return MUSIC pseudospectra for an ``(F, M, M)`` covariance stack.

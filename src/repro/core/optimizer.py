@@ -16,7 +16,7 @@ plateaus that a coarse angle grid can create.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -43,7 +43,7 @@ BatchLikelihoodFunction = Callable[
 #: Compass-neighbour probe order of the pattern search.  The serial climber
 #: and the vectorized :func:`refine_many` share this single definition, so
 #: their first-improvement tie-breaking can never drift apart.
-_NEIGHBOUR_DIRECTIONS: Tuple[Tuple[float, float], ...] = (
+_NEIGHBOUR_DIRECTIONS: tuple[tuple[float, float], ...] = (
     (1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0))
 
 
@@ -114,7 +114,7 @@ def hill_climb(likelihood: LikelihoodFunction, start: Point2D,
 
 
 def refine_from_seeds(likelihood: LikelihoodFunction,
-                      seeds: Sequence[Tuple[Point2D, float]],
+                      seeds: Sequence[tuple[Point2D, float]],
                       initial_step_m: float = 0.05,
                       min_step_m: float = 0.005) -> HillClimbResult:
     """Hill climb from each seed and return the best overall result.
@@ -124,7 +124,7 @@ def refine_from_seeds(likelihood: LikelihoodFunction,
     """
     if not seeds:
         raise EstimationError("need at least one seed position")
-    results: List[HillClimbResult] = []
+    results: list[HillClimbResult] = []
     for position, _ in seeds:
         results.append(hill_climb(likelihood, position, initial_step_m, min_step_m))
     return max(results, key=lambda r: r.value)
@@ -153,10 +153,10 @@ class _Climber:
 
 
 def refine_many(evaluate: BatchLikelihoodFunction,
-                seeds_by_unit: Sequence[Sequence[Tuple[Point2D, float]]],
+                seeds_by_unit: Sequence[Sequence[tuple[Point2D, float]]],
                 initial_step_m: float = 0.05,
                 min_step_m: float = 0.005,
-                max_evaluations: int = 400) -> List[HillClimbResult]:
+                max_evaluations: int = 400) -> list[HillClimbResult]:
     """Hill climb every seed of every unit, batching the evaluations.
 
     Functionally this is :func:`refine_from_seeds` applied independently to
@@ -202,13 +202,13 @@ def refine_many(evaluate: BatchLikelihoodFunction,
         raise EstimationError("min_step_m must not exceed initial_step_m")
     if max_evaluations < 1:
         raise EstimationError("max_evaluations must be >= 1")
-    climbers: List[_Climber] = []
-    owners: List[List[_Climber]] = []
+    climbers: list[_Climber] = []
+    owners: list[list[_Climber]] = []
     for unit, seeds in enumerate(seeds_by_unit):
         seeds = list(seeds)
         if not seeds:
             raise EstimationError("need at least one seed position")
-        mine: List[_Climber] = []
+        mine: list[_Climber] = []
         for position, _ in seeds:
             climber = _Climber(unit, float(position.x), float(position.y),
                                initial_step_m)
@@ -216,7 +216,7 @@ def refine_many(evaluate: BatchLikelihoodFunction,
             mine.append(climber)
         owners.append(mine)
 
-    def _evaluate(points: List[Tuple[int, float, float]]) -> np.ndarray:
+    def _evaluate(points: list[tuple[int, float, float]]) -> np.ndarray:
         units = np.array([unit for unit, _, _ in points], dtype=int)
         xs = np.array([x for _, x, _ in points], dtype=float)
         ys = np.array([y for _, _, y in points], dtype=float)
@@ -229,7 +229,7 @@ def refine_many(evaluate: BatchLikelihoodFunction,
 
     # Round zero: every climber's seed, in one stacked evaluation.
     seed_values = _evaluate([(c.unit, c.x, c.y) for c in climbers])
-    for climber, value in zip(climbers, seed_values):
+    for climber, value in zip(climbers, seed_values, strict=True):
         climber.value = float(value)
         climber.evaluations = 1
 
@@ -241,7 +241,7 @@ def refine_many(evaluate: BatchLikelihoodFunction,
         # unused -- the replay below charges the budget only for the
         # evaluations the serial climber would actually have made, which
         # keeps ``iterations`` (and every downstream decision) identical.
-        candidates: List[Tuple[int, float, float]] = []
+        candidates: list[tuple[int, float, float]] = []
         for climber in active:
             step = climber.step
             for unit_dx, unit_dy in _NEIGHBOUR_DIRECTIONS:
@@ -268,9 +268,9 @@ def refine_many(evaluate: BatchLikelihoodFunction,
         active = [c for c in active
                   if c.active(min_step_m, max_evaluations)]
 
-    results: List[HillClimbResult] = []
+    results: list[HillClimbResult] = []
     for mine in owners:
-        best: Optional[_Climber] = None
+        best: _Climber | None = None
         for climber in mine:
             if best is None or climber.value > best.value:
                 best = climber

@@ -13,7 +13,7 @@ Two parts of ArrayTrack need peak handling:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -50,7 +50,7 @@ class SpectrumPeak:
 def find_peaks(spectrum: AoASpectrum,
                min_relative_height: float = 0.05,
                min_relative_prominence: float = 0.02,
-               max_peaks: Optional[int] = None) -> List[SpectrumPeak]:
+               max_peaks: int | None = None) -> list[SpectrumPeak]:
     """Return the local maxima of ``spectrum``, strongest first.
 
     Parameters
@@ -74,7 +74,7 @@ def find_peaks(spectrum: AoASpectrum,
         return []
     height_floor = min_relative_height * peak_value
     prominence_floor = min_relative_prominence * peak_value
-    peaks: List[SpectrumPeak] = []
+    peaks: list[SpectrumPeak] = []
     for i in range(n):
         left = power[(i - 1) % n]
         right = power[(i + 1) % n]
@@ -120,7 +120,7 @@ def _circular_prominence(power: np.ndarray, peak_index: int) -> float:
 
 
 def match_peak(peak: SpectrumPeak, candidates: Sequence[SpectrumPeak],
-               tolerance_deg: float = PEAK_MATCH_TOLERANCE_DEG) -> Optional[SpectrumPeak]:
+               tolerance_deg: float = PEAK_MATCH_TOLERANCE_DEG) -> SpectrumPeak | None:
     """Return the closest candidate within ``tolerance_deg`` of ``peak``.
 
     Section 2.4 considers a bearing "unchanged" if the corresponding peaks of
@@ -128,7 +128,7 @@ def match_peak(peak: SpectrumPeak, candidates: Sequence[SpectrumPeak],
     """
     if tolerance_deg < 0:
         raise EstimationError("tolerance must be non-negative")
-    best: Optional[SpectrumPeak] = None
+    best: SpectrumPeak | None = None
     best_distance = float("inf")
     for candidate in candidates:
         distance = angle_difference_deg(peak.angle_deg, candidate.angle_deg)

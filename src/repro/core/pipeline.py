@@ -27,7 +27,7 @@ the same frames.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -99,7 +99,7 @@ class SpectrumConfig:
     smoothing_groups: int = DEFAULT_SMOOTHING_GROUPS
     angle_resolution_deg: float = DEFAULT_ANGLE_RESOLUTION_DEG
     apply_weighting: bool = True
-    num_sources: Optional[int] = None
+    num_sources: int | None = None
     method: str = "music"
     forward_backward: bool = False
     elevation_deg: float = 0.0
@@ -128,14 +128,14 @@ class SpectrumComputer:
         used when omitted.
     """
 
-    def __init__(self, config: Optional[SpectrumConfig] = None) -> None:
+    def __init__(self, config: SpectrumConfig | None = None) -> None:
         self.config = config if config is not None else SpectrumConfig()
 
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
     def compute(self, snapshots: SnapshotMatrix, array: DeployedArray,
-                linear_indices: Optional[Sequence[int]] = None) -> AoASpectrum:
+                linear_indices: Sequence[int] | None = None) -> AoASpectrum:
         """Return the AoA spectrum for one frame captured by ``array``.
 
         Parameters
@@ -186,8 +186,8 @@ class SpectrumComputer:
 
     def compute_many(self, snapshots_list: Sequence[SnapshotMatrix],
                      array: DeployedArray,
-                     linear_indices: Optional[Sequence[int]] = None
-                     ) -> List[AoASpectrum]:
+                     linear_indices: Sequence[int] | None = None
+                     ) -> list[AoASpectrum]:
         """Return the AoA spectra of many frames in stacked NumPy passes.
 
         The batched counterpart of :meth:`compute` and the entry point of
@@ -224,8 +224,8 @@ class SpectrumComputer:
     def compute_many_stacked(self, stack: np.ndarray,
                              frames: Sequence[SnapshotMatrix],
                              array: DeployedArray,
-                             linear_indices: Optional[Sequence[int]] = None
-                             ) -> List[AoASpectrum]:
+                             linear_indices: Sequence[int] | None = None
+                             ) -> list[AoASpectrum]:
         """Raw-stack variant of :meth:`compute_many` (always vectorized).
 
         Callers that already hold the calibrated ``(F, M, N)`` sample stack
@@ -245,8 +245,8 @@ class SpectrumComputer:
     def compute_many_with_symmetry(self, snapshots_list: Sequence[SnapshotMatrix],
                                    array: DeployedArray,
                                    linear_indices: Sequence[int],
-                                   full_indices: Optional[Sequence[int]] = None
-                                   ) -> List[AoASpectrum]:
+                                   full_indices: Sequence[int] | None = None
+                                   ) -> list[AoASpectrum]:
         """Batched :meth:`compute_with_symmetry` over many frames.
 
         Computes the mirrored spectra through :meth:`compute_many`, then
@@ -269,8 +269,8 @@ class SpectrumComputer:
     def compute_many_with_symmetry_stacked(
             self, stack: np.ndarray, frames: Sequence[SnapshotMatrix],
             array: DeployedArray, linear_indices: Sequence[int],
-            full_indices: Optional[Sequence[int]] = None
-            ) -> List[AoASpectrum]:
+            full_indices: Sequence[int] | None = None
+            ) -> list[AoASpectrum]:
         """Raw-stack variant of :meth:`compute_many_with_symmetry`.
 
         See :meth:`compute_many_stacked` for the contract; the Section
@@ -312,7 +312,7 @@ class SpectrumComputer:
     def compute_with_symmetry(self, snapshots: SnapshotMatrix,
                               array: DeployedArray,
                               linear_indices: Sequence[int],
-                              full_indices: Optional[Sequence[int]] = None
+                              full_indices: Sequence[int] | None = None
                               ) -> AoASpectrum:
         """Compute a spectrum and resolve its mirror ambiguity (Section 2.3.4).
 
@@ -335,8 +335,8 @@ class SpectrumComputer:
     # Cache warm-up
     # ------------------------------------------------------------------
     def warm_caches(self, array: DeployedArray,
-                    linear_indices: Optional[Sequence[int]] = None,
-                    full_indices: Optional[Sequence[int]] = None) -> None:
+                    linear_indices: Sequence[int] | None = None,
+                    full_indices: Sequence[int] | None = None) -> None:
         """Precompute the steering matrices this pipeline will look up.
 
         Populates the shared :class:`~repro.core.cache.SteeringCache` with
@@ -406,7 +406,7 @@ class SpectrumComputer:
         return np.stack([snapshots.samples for snapshots in snapshots_list])
 
     def _full_power_stack(self, stack: np.ndarray, array: DeployedArray,
-                          linear_indices: Optional[Sequence[int]]
+                          linear_indices: Sequence[int] | None
                           ) -> tuple:
         """Run the stacked Section 2.3 stages up to the weighted full circle.
 
@@ -445,7 +445,7 @@ class SpectrumComputer:
 
     def _build_spectra(self, snapshots_list: Sequence[SnapshotMatrix],
                        array: DeployedArray, full_angles: np.ndarray,
-                       full_power: np.ndarray) -> List[AoASpectrum]:
+                       full_power: np.ndarray) -> list[AoASpectrum]:
         """Wrap the finished power stack into per-frame spectrum objects."""
         return [AoASpectrum(
                     full_angles, full_power[index],

@@ -15,9 +15,10 @@ location expressed in building coordinates (Section 2.5).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.constants import DEFAULT_ANGLE_RESOLUTION_DEG
 from repro.errors import EstimationError
@@ -57,7 +58,7 @@ def default_angle_grid(resolution_deg: float = DEFAULT_ANGLE_RESOLUTION_DEG,
 
 
 def circular_interpolation_table(grid_angles_deg: np.ndarray,
-                                 query_angles_deg
+                                 query_angles_deg: ArrayLike
                                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Return circular-interpolation indices of query angles on a uniform grid.
 
@@ -106,7 +107,7 @@ class AoASpectrum:
 
     angles_deg: np.ndarray
     power: np.ndarray
-    ap_position: Optional[Point2D] = None
+    ap_position: Point2D | None = None
     ap_orientation_deg: float = 0.0
     client_id: str = ""
     ap_id: str = ""
@@ -153,7 +154,7 @@ class AoASpectrum:
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
-    def interpolation_table(self, local_angles_deg
+    def interpolation_table(self, local_angles_deg: ArrayLike
                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return circular-interpolation indices for local-frame angles.
 
@@ -166,7 +167,7 @@ class AoASpectrum:
         """
         return circular_interpolation_table(self.angles_deg, local_angles_deg)
 
-    def power_at_local(self, local_angles_deg) -> np.ndarray:
+    def power_at_local(self, local_angles_deg: ArrayLike) -> np.ndarray:
         """Return interpolated power at local-frame angles (degrees).
 
         Linear interpolation on the circular grid, vectorized over the
@@ -175,7 +176,7 @@ class AoASpectrum:
         lower, upper, fraction = self.interpolation_table(local_angles_deg)
         return (1.0 - fraction) * self.power[lower] + fraction * self.power[upper]
 
-    def power_at_global(self, global_bearings_deg) -> np.ndarray:
+    def power_at_global(self, global_bearings_deg: ArrayLike) -> np.ndarray:
         """Return interpolated power at building-frame bearings (degrees)."""
         bearings = np.atleast_1d(np.asarray(global_bearings_deg, dtype=float))
         return self.power_at_local(bearings - self.ap_orientation_deg)
@@ -245,7 +246,7 @@ class AoASpectrum:
     # ------------------------------------------------------------------
     @staticmethod
     def from_half_spectrum(angles_deg: np.ndarray, power: np.ndarray,
-                           **metadata) -> "AoASpectrum":
+                           **metadata: Any) -> "AoASpectrum":
         """Mirror a ``[0, 180]`` linear-array spectrum onto the full circle.
 
         A linear array cannot tell which side of the array a signal arrives

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -75,9 +75,9 @@ class SubspaceDecomposition:
 
 
 def decompose(covariance: np.ndarray,
-              num_sources: Optional[int] = None,
+              num_sources: int | None = None,
               threshold_fraction: float = DEFAULT_EIGENVALUE_THRESHOLD_FRACTION,
-              max_sources: Optional[int] = None) -> SubspaceDecomposition:
+              max_sources: int | None = None) -> SubspaceDecomposition:
     """Eigendecompose ``covariance`` and split signal from noise subspace.
 
     Parameters
@@ -173,9 +173,9 @@ class SubspaceDecompositionBatch:
 
 
 def decompose_many(covariances: np.ndarray,
-                   num_sources: Optional[Union[int, Sequence[int]]] = None,
+                   num_sources: int | Sequence[int] | None = None,
                    threshold_fraction: float = DEFAULT_EIGENVALUE_THRESHOLD_FRACTION,
-                   max_sources: Optional[int] = None
+                   max_sources: int | None = None
                    ) -> SubspaceDecompositionBatch:
     """Eigendecompose an ``(F, M, M)`` covariance stack in one LAPACK sweep.
 

@@ -19,7 +19,7 @@ The algorithm (Figure 8):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -38,9 +38,9 @@ __all__ = ["MultipathSuppressor", "SuppressorConfig", "suppress_multipath",
 def group_spectra_by_time(spectra: Sequence[AoASpectrum],
                           window_s: float = MULTIPATH_SUPPRESSION_WINDOW_S,
                           max_group_size: int = 3,
-                          max_span_s: Optional[float] = None,
-                          timestamps: Optional[Sequence[float]] = None
-                          ) -> List[List[AoASpectrum]]:
+                          max_span_s: float | None = None,
+                          timestamps: Sequence[float] | None = None
+                          ) -> list[list[AoASpectrum]]:
     """Group spectra whose frames were captured closely together in time.
 
     Spectra are sorted by timestamp and greedily packed into groups of up to
@@ -84,7 +84,7 @@ def group_spectra_by_time(spectra: Sequence[AoASpectrum],
             raise EstimationError(
                 f"got {len(times)} timestamps for {len(spectra)} spectra")
     order = sorted(range(len(spectra)), key=lambda i: times[i])
-    groups: List[List[AoASpectrum]] = []
+    groups: list[list[AoASpectrum]] = []
     group_first_ts = 0.0
     group_last_ts = 0.0
     for i in order:
@@ -133,7 +133,7 @@ class MultipathSuppressor:
     residual_fraction: float = 0.05
     window_s: float = MULTIPATH_SUPPRESSION_WINDOW_S
     max_group_size: int = 3
-    max_span_s: Optional[float] = None
+    max_span_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.tolerance_deg < 0:
@@ -206,9 +206,9 @@ class MultipathSuppressor:
     # Batch interface
     # ------------------------------------------------------------------
     def process(self, spectra: Sequence[AoASpectrum],
-                window_s: Optional[float] = None,
-                timestamps: Optional[Sequence[float]] = None
-                ) -> List[AoASpectrum]:
+                window_s: float | None = None,
+                timestamps: Sequence[float] | None = None
+                ) -> list[AoASpectrum]:
         """Group ``spectra`` by time and suppress each group.
 
         Returns one output spectrum per group (the processed primary), which

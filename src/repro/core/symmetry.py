@@ -17,7 +17,7 @@ integrating its response over each half plane reveals the true side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class SymmetryResolver:
                 "off-row antenna (Section 2.3.4)")
 
     def side_powers(self, snapshots: np.ndarray,
-                    spectrum: Optional[AoASpectrum] = None) -> Tuple[float, float]:
+                    spectrum: AoASpectrum | None = None) -> tuple[float, float]:
         """Return total Bartlett power in the upper/lower half planes.
 
         Parameters
@@ -93,8 +93,8 @@ class SymmetryResolver:
         return upper, lower
 
     def side_powers_many(self, snapshots: np.ndarray,
-                         spectra: Optional[Sequence[AoASpectrum]] = None
-                         ) -> Tuple[np.ndarray, np.ndarray]:
+                         spectra: Sequence[AoASpectrum] | None = None
+                         ) -> tuple[np.ndarray, np.ndarray]:
         """Return per-frame upper/lower half-plane Bartlett powers of a stack.
 
         The batched counterpart of :meth:`side_powers` for the vectorized
@@ -130,9 +130,9 @@ class SymmetryResolver:
                                       spectra[0].angles_deg)
 
     def side_powers_stack(self, snapshots: np.ndarray,
-                          spectrum_power: Optional[np.ndarray],
-                          spectrum_angles: Optional[np.ndarray]
-                          ) -> Tuple[np.ndarray, np.ndarray]:
+                          spectrum_power: np.ndarray | None,
+                          spectrum_angles: np.ndarray | None
+                          ) -> tuple[np.ndarray, np.ndarray]:
         """Raw-array core of :meth:`side_powers_many`.
 
         The batched frontend calls this directly with its mirrored power
@@ -204,7 +204,7 @@ class SymmetryResolver:
 
     def resolve_many(self, spectra: Sequence[AoASpectrum],
                      snapshots: np.ndarray,
-                     attenuation: float = 0.0) -> List[AoASpectrum]:
+                     attenuation: float = 0.0) -> list[AoASpectrum]:
         """Batched :meth:`resolve`: suppress each frame's weaker half plane.
 
         Parameters
@@ -229,7 +229,7 @@ class SymmetryResolver:
         upper, lower = self.side_powers_many(snapshots, spectra)
         suppress_lower = upper >= lower
         return [spectrum.suppress_half_plane(bool(suppress), attenuation)
-                for spectrum, suppress in zip(spectra, suppress_lower)]
+                for spectrum, suppress in zip(spectra, suppress_lower, strict=True)]
 
 
 def resolve_symmetry(spectrum: AoASpectrum, snapshots: np.ndarray,

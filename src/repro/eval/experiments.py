@@ -16,7 +16,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -95,9 +95,9 @@ class LocalizationSweepResult:
         Raw error samples per AP count (for downstream analysis).
     """
 
-    statistics: Dict[int, ErrorStatistics]
-    cdfs: Dict[int, Tuple[np.ndarray, np.ndarray]]
-    errors_cm: Dict[int, List[float]]
+    statistics: dict[int, ErrorStatistics]
+    cdfs: dict[int, tuple[np.ndarray, np.ndarray]]
+    errors_cm: dict[int, list[float]]
 
 
 def _default_scenario(**overrides) -> ScenarioConfig:
@@ -118,7 +118,7 @@ def _localizer_config(grid_resolution_m: float) -> LocalizerConfig:
                            spectrum_floor=DEFAULT_SPECTRUM_FLOOR)
 
 
-def _service(bounds: Tuple[float, float, float, float],
+def _service(bounds: tuple[float, float, float, float],
              grid_resolution_m: float, **server_overrides) -> ArrayTrackService:
     """The facade every end-to-end experiment localizes through.
 
@@ -132,7 +132,7 @@ def _service(bounds: Tuple[float, float, float, float],
 
 
 def _ap_subsets(ap_ids: Sequence[str], subset_size: int,
-                max_subsets: Optional[int]) -> List[Tuple[str, ...]]:
+                max_subsets: int | None) -> list[tuple[str, ...]]:
     """Return AP-id subsets of the given size (optionally capped, spread evenly)."""
     subsets = list(itertools.combinations(ap_ids, subset_size))
     if max_subsets is not None and len(subsets) > max_subsets:
@@ -141,11 +141,11 @@ def _ap_subsets(ap_ids: Sequence[str], subset_size: int,
     return subsets
 
 
-def run_localization_sweep(testbed: Optional[OfficeTestbed] = None,
-                           scenario: Optional[ScenarioConfig] = None,
+def run_localization_sweep(testbed: OfficeTestbed | None = None,
+                           scenario: ScenarioConfig | None = None,
                            ap_counts: Sequence[int] = (3, 4, 5, 6),
-                           num_clients: Optional[int] = None,
-                           max_subsets_per_count: Optional[int] = 4,
+                           num_clients: int | None = None,
+                           max_subsets_per_count: int | None = 4,
                            grid_resolution_m: float = 0.25,
                            enable_multipath_suppression: bool = True,
                            ) -> LocalizationSweepResult:
@@ -182,7 +182,7 @@ def run_localization_sweep(testbed: Optional[OfficeTestbed] = None,
     clients = testbed.client_ids()
     if num_clients is not None:
         clients = clients[:num_clients]
-    errors: Dict[int, List[float]] = {count: [] for count in ap_counts}
+    errors: dict[int, list[float]] = {count: [] for count in ap_counts}
     for client_id in clients:
         deployment.clear()
         spectra = deployment.collect_client_spectra(client_id)
@@ -208,12 +208,12 @@ def run_localization_sweep(testbed: Optional[OfficeTestbed] = None,
 class SpectrumExperimentResult:
     """A collection of labelled spectra with the relevant summary numbers."""
 
-    spectra: Dict[str, AoASpectrum]
-    summary: Dict[str, float]
+    spectra: dict[str, AoASpectrum]
+    summary: dict[str, float]
 
 
-def _single_link_deployment(scenario: Optional[ScenarioConfig] = None
-                            ) -> Tuple[OfficeTestbed, SimulatedDeployment]:
+def _single_link_deployment(scenario: ScenarioConfig | None = None
+                            ) -> tuple[OfficeTestbed, SimulatedDeployment]:
     testbed = build_office_testbed()
     scenario = scenario if scenario is not None else _default_scenario(frames_per_client=1)
     return testbed, SimulatedDeployment(testbed, scenario)
@@ -254,8 +254,8 @@ def fig7_spatial_smoothing(group_counts: Sequence[int] = (1, 2, 3, 4),
     channel = deployment.channel_builder.build(position, ap.position,
                                                client_id=client_id, ap_id=ap_id)
     entry = ap.overhear(channel)
-    spectra: Dict[str, AoASpectrum] = {}
-    summary: Dict[str, float] = {}
+    spectra: dict[str, AoASpectrum] = {}
+    summary: dict[str, float] = {}
     from repro.core.pipeline import SpectrumComputer  # local import to avoid cycle
 
     for groups in group_counts:
@@ -280,7 +280,7 @@ class PeakStabilityResult:
     fraction_direct_changed_reflection_changed: float
     fraction_direct_changed_reflection_same: float
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         return {
             "direct same / reflections changed":
                 self.fraction_direct_same_reflection_changed,
@@ -402,8 +402,8 @@ def fig17_pillar_blocking() -> SpectrumExperimentResult:
         "blocked by 1 pillar": Point2D(13.0, 9.0),
         "blocked by 2 pillars": Point2D(23.0, 9.0),
     }
-    spectra: Dict[str, AoASpectrum] = {}
-    summary: Dict[str, float] = {}
+    spectra: dict[str, AoASpectrum] = {}
+    summary: dict[str, float] = {}
     for label, position in clients.items():
         channel = deployment.channel_builder.build(position, ap.position,
                                                    client_id=label, ap_id=ap.ap_id)
@@ -432,8 +432,8 @@ def _peak_rank_near(peaks: Sequence, angle_deg: float, tolerance_deg: float) -> 
 # ----------------------------------------------------------------------
 # Localization experiments (Figures 13-16, 18)
 # ----------------------------------------------------------------------
-def fig13_static_localization(num_clients: Optional[int] = 20,
-                              max_subsets_per_count: Optional[int] = 3,
+def fig13_static_localization(num_clients: int | None = 20,
+                              max_subsets_per_count: int | None = 3,
                               grid_resolution_m: float = 0.25
                               ) -> LocalizationSweepResult:
     """E-FIG13: raw (unoptimized) localization error CDFs for 3-6 APs.
@@ -454,10 +454,10 @@ def fig13_static_localization(num_clients: Optional[int] = 20,
         enable_multipath_suppression=False)
 
 
-def fig15_arraytrack_localization(num_clients: Optional[int] = 20,
-                                  max_subsets_per_count: Optional[int] = 3,
+def fig15_arraytrack_localization(num_clients: int | None = 20,
+                                  max_subsets_per_count: int | None = 3,
                                   grid_resolution_m: float = 0.25
-                                  ) -> Dict[str, LocalizationSweepResult]:
+                                  ) -> dict[str, LocalizationSweepResult]:
     """E-FIG15: full-ArrayTrack vs unoptimized CDFs for 3-6 APs."""
     arraytrack = run_localization_sweep(
         num_clients=num_clients, max_subsets_per_count=max_subsets_per_count,
@@ -469,7 +469,7 @@ def fig15_arraytrack_localization(num_clients: Optional[int] = 20,
 
 
 def fig14_heatmaps(client_id: str = "client-19",
-                   grid_resolution_m: float = 0.25) -> Dict[int, float]:
+                   grid_resolution_m: float = 0.25) -> dict[int, float]:
     """E-FIG14: heatmap peak error as APs are added one at a time.
 
     Returns the localization error (cm) of the heatmap maximum when the
@@ -485,7 +485,7 @@ def fig14_heatmaps(client_id: str = "client-19",
     suppressor = MultipathSuppressor()
     processed = {ap: suppressor.process(ap_spectra)[0]
                  for ap, ap_spectra in spectra.items()}
-    errors: Dict[int, float] = {}
+    errors: dict[int, float] = {}
     ap_order = testbed.ap_ids()
     for count in range(1, len(ap_order) + 1):
         subset = [processed[ap] for ap in ap_order[:count] if ap in processed]
@@ -495,11 +495,11 @@ def fig14_heatmaps(client_id: str = "client-19",
 
 
 def fig16_antenna_count(antenna_counts: Sequence[int] = (4, 6, 8),
-                        num_clients: Optional[int] = 20,
+                        num_clients: int | None = 20,
                         grid_resolution_m: float = 0.25
-                        ) -> Dict[int, ErrorStatistics]:
+                        ) -> dict[int, ErrorStatistics]:
     """E-FIG16: localization accuracy with 4-, 6- and 8-antenna APs."""
-    results: Dict[int, ErrorStatistics] = {}
+    results: dict[int, ErrorStatistics] = {}
     for antennas in antenna_counts:
         scenario = _default_scenario(num_antennas=antennas)
         sweep = run_localization_sweep(
@@ -509,13 +509,13 @@ def fig16_antenna_count(antenna_counts: Sequence[int] = (4, 6, 8),
     return results
 
 
-def fig18_height_orientation(num_clients: Optional[int] = 20,
+def fig18_height_orientation(num_clients: int | None = 20,
                              height_offset_m: float = 1.5,
                              orientation_mismatch_deg: float = 90.0,
                              grid_resolution_m: float = 0.25
-                             ) -> Dict[str, ErrorStatistics]:
+                             ) -> dict[str, ErrorStatistics]:
     """E-FIG18: robustness to client height and antenna orientation changes."""
-    results: Dict[str, ErrorStatistics] = {}
+    results: dict[str, ErrorStatistics] = {}
     variants = {
         "original": {},
         "different antenna heights": {"height_offset_m": height_offset_m},
@@ -542,7 +542,7 @@ def fig19_sample_count(sample_counts: Sequence[int] = (1, 5, 10, 100),
                        client_id: str = "client-11",
                        ap_id: str = "2",
                        snr_db: float = 12.0,
-                       seed: int = 19) -> Dict[int, Dict[str, float]]:
+                       seed: int = 19) -> dict[int, dict[str, float]]:
     """E-FIG19: AoA spectrum stability versus the number of preamble samples.
 
     For each sample count, ``num_packets`` packets from the same client are
@@ -559,9 +559,9 @@ def fig19_sample_count(sample_counts: Sequence[int] = (1, 5, 10, 100),
                                                client_id=client_id, ap_id=ap_id)
     local_true = (bearing_deg(site.position, position) - site.orientation_deg) % 360.0
     rng = np.random.default_rng(seed)
-    results: Dict[int, Dict[str, float]] = {}
+    results: dict[int, dict[str, float]] = {}
     for count in sample_counts:
-        bearings: List[float] = []
+        bearings: list[float] = []
         entries = [ap.overhear(channel, num_snapshots=count, snr_db=snr_db,
                                rng=rng)
                    for _ in range(num_packets)]
@@ -589,7 +589,7 @@ def fig19_sample_count(sample_counts: Sequence[int] = (1, 5, 10, 100),
 def fig20_snr_sweep(snrs_db: Sequence[float] = (15.0, 8.0, 2.0, -5.0),
                     client_id: str = "client-11",
                     ap_id: str = "2",
-                    seed: int = 20) -> Dict[float, Dict[str, float]]:
+                    seed: int = 20) -> dict[float, dict[str, float]]:
     """E-FIG20: AoA spectrum quality versus SNR.
 
     Reports, per SNR, the fraction of the spectrum's power concentrated
@@ -606,7 +606,7 @@ def fig20_snr_sweep(snrs_db: Sequence[float] = (15.0, 8.0, 2.0, -5.0),
                                                client_id=client_id, ap_id=ap_id)
     local_true = (bearing_deg(site.position, position) - site.orientation_deg) % 360.0
     rng = np.random.default_rng(seed)
-    results: Dict[float, Dict[str, float]] = {}
+    results: dict[float, dict[str, float]] = {}
     for snr_db in snrs_db:
         concentration_samples = []
         error_samples = []
@@ -633,7 +633,7 @@ def fig20_snr_sweep(snrs_db: Sequence[float] = (15.0, 8.0, 2.0, -5.0),
 
 def sec434_detection_snr(snrs_db: Sequence[float] = (10.0, 0.0, -5.0, -10.0, -15.0),
                          num_trials: int = 20,
-                         seed: int = 434) -> Dict[float, Dict[str, float]]:
+                         seed: int = 434) -> dict[float, dict[str, float]]:
     """E-SEC434: packet detection rate versus SNR for both detectors.
 
     The matched-filter detector that correlates against all the known
@@ -645,7 +645,7 @@ def sec434_detection_snr(snrs_db: Sequence[float] = (10.0, 0.0, -5.0, -10.0, -15
     silence_samples = len(preamble) // 2
     matched = MatchedFilterDetector()
     schmidl_cox = SchmidlCoxDetector()
-    results: Dict[float, Dict[str, float]] = {}
+    results: dict[float, dict[str, float]] = {}
     for snr_db in snrs_db:
         matched_hits = 0
         schmidl_hits = 0
@@ -664,7 +664,7 @@ def sec434_detection_snr(snrs_db: Sequence[float] = (10.0, 0.0, -5.0, -10.0, -15
     return results
 
 
-def sec435_collisions(num_trials: int = 10, seed: int = 435) -> Dict[str, float]:
+def sec435_collisions(num_trials: int = 10, seed: int = 435) -> dict[str, float]:
     """E-SEC435: AoA recovery for two colliding packets via cancellation.
 
     The first client's preamble arrives alone; by the time the second
@@ -679,13 +679,13 @@ def sec435_collisions(num_trials: int = 10, seed: int = 435) -> Dict[str, float]
     rng = np.random.default_rng(seed)
     resolver = CollisionResolver()
     successes = 0
-    bearing_errors: List[float] = []
+    bearing_errors: list[float] = []
     # Collisions between clients the AP can barely hear are uninteresting
     # (the AP would not decode either of them anyway); pick colliding
     # clients within normal coverage range of the probe AP.
     client_ids = [cid for cid in testbed.client_ids()
                   if testbed.client_position(cid).distance_to(ap.position) < 16.0]
-    for trial in range(num_trials):
+    for _trial in range(num_trials):
         first_id, second_id = rng.choice(client_ids, size=2, replace=False)
         first_pos = testbed.client_position(str(first_id))
         second_pos = testbed.client_position(str(second_id))
@@ -732,7 +732,7 @@ def sec435_collisions(num_trials: int = 10, seed: int = 435) -> Dict[str, float]
 
 def appendix_a_height_error(height_m: float = 1.5,
                             distances_m: Sequence[float] = (5.0, 10.0)
-                            ) -> Dict[float, float]:
+                            ) -> dict[float, float]:
     """Appendix A: analytic percentage error from an AP/client height offset.
 
     ``error = 1 / cos(phi) - 1`` with ``cos(phi) = d / sqrt(d^2 + h^2)``;
@@ -753,7 +753,7 @@ def appendix_a_height_error(height_m: float = 1.5,
 def fig21_latency(payload_bytes: int = 1500,
                   bitrates_mbps: Sequence[float] = (54.0, 1.0),
                   measure_python_processing: bool = True,
-                  grid_resolution_m: float = 0.25) -> Dict[str, Dict[str, float]]:
+                  grid_resolution_m: float = 0.25) -> dict[str, dict[str, float]]:
     """E-FIG21: the end-to-end latency breakdown for slow and fast frames."""
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(testbed, _default_scenario())
@@ -762,7 +762,7 @@ def fig21_latency(payload_bytes: int = 1500,
     client_id = testbed.client_ids()[0]
     spectra = deployment.collect_client_spectra(client_id)
     service.localize(spectra, client_id)
-    results: Dict[str, Dict[str, float]] = {}
+    results: dict[str, dict[str, float]] = {}
     for bitrate in bitrates_mbps:
         breakdown = service.latency_breakdown(
             payload_bytes, bitrate,
@@ -772,10 +772,22 @@ def fig21_latency(payload_bytes: int = 1500,
     return results
 
 
-def baseline_comparison(num_clients: Optional[int] = 15,
+def _survey_axis(start: float, stop: float, step: float) -> np.ndarray:
+    """Survey positions in ``[start, stop)`` on their exact point count.
+
+    The float-step ``np.arange(start, stop, step)`` form drifts both count
+    and endpoint with rounding (repro-lint RPR001); this keeps arange's
+    ``ceil((stop - start) / step)`` count but pins the values with
+    ``np.linspace`` so the survey grid is reproducible.
+    """
+    num = max(int(np.ceil((stop - start) / step)), 0)
+    return np.linspace(start, start + step * (num - 1), num)
+
+
+def baseline_comparison(num_clients: int | None = 15,
                         survey_grid_m: float = 2.0,
                         grid_resolution_m: float = 0.25,
-                        seed: int = 99) -> Dict[str, ErrorStatistics]:
+                        seed: int = 99) -> dict[str, ErrorStatistics]:
     """E-BASE: ArrayTrack versus RSSI fingerprinting / model / centroid.
 
     All systems run against the same clients and the same channel model; the
@@ -789,7 +801,7 @@ def baseline_comparison(num_clients: Optional[int] = 15,
     transmit_power_dbm = 15.0
     rng = np.random.default_rng(seed)
 
-    def observe_rssi(position: Point2D) -> Dict[str, float]:
+    def observe_rssi(position: Point2D) -> dict[str, float]:
         observation = {}
         for ap_id, ap_position in ap_positions.items():
             try:
@@ -807,8 +819,8 @@ def baseline_comparison(num_clients: Optional[int] = 15,
     # Offline survey for the fingerprinting baseline.
     xmin, ymin, xmax, ymax = testbed.bounds
     fingerprints = []
-    for x in np.arange(xmin + 1.0, xmax - 0.5, survey_grid_m):
-        for y in np.arange(ymin + 1.0, ymax - 0.5, survey_grid_m):
+    for x in _survey_axis(xmin + 1.0, xmax - 0.5, survey_grid_m):
+        for y in _survey_axis(ymin + 1.0, ymax - 0.5, survey_grid_m):
             point = Point2D(float(x), float(y))
             fingerprints.append(RssFingerprint(point, observe_rssi(point)))
     fingerprint_localizer = FingerprintLocalizer(k=3)
@@ -821,7 +833,7 @@ def baseline_comparison(num_clients: Optional[int] = 15,
     clients = testbed.client_ids()
     if num_clients is not None:
         clients = clients[:num_clients]
-    errors: Dict[str, List[float]] = {
+    errors: dict[str, list[float]] = {
         "arraytrack": [], "rss fingerprinting": [],
         "rss model": [], "weighted centroid": [],
     }
@@ -868,11 +880,11 @@ class RoamingTrackingResult:
 
     num_clients: int
     num_fixes: int
-    errors_cm: List[float]
+    errors_cm: list[float]
     median_error_cm: float
     mean_error_cm: float
     fixes_per_s: float
-    path_length_m: Dict[str, float]
+    path_length_m: dict[str, float]
 
 
 def roaming_tracking(num_clients: int = 3,
@@ -933,7 +945,7 @@ def roaming_tracking(num_clients: int = 3,
             num_samples=num_steps)
         for index in range(num_clients)
     }
-    errors_cm: List[float] = []
+    errors_cm: list[float] = []
     num_fixes = 0
     service_time_s = 0.0
     for step in range(num_steps):
@@ -962,19 +974,22 @@ def roaming_tracking(num_clients: int = 3,
             errors_cm.append(
                 estimate.position.distance_to(tracks[client_id][step]) * 100.0)
             num_fixes += 1
+    # summarize_errors validates the sample (rejects NaN/inf) before any
+    # quantile runs -- the repro-lint RPR007 contract.
+    stats = summarize_errors(errors_cm) if errors_cm else None
     return RoamingTrackingResult(
         num_clients=num_clients,
         num_fixes=num_fixes,
         errors_cm=errors_cm,
-        median_error_cm=float(np.median(errors_cm)) if errors_cm else float("nan"),
-        mean_error_cm=float(np.mean(errors_cm)) if errors_cm else float("nan"),
+        median_error_cm=stats.median_cm if stats is not None else float("nan"),
+        mean_error_cm=stats.mean_cm if stats is not None else float("nan"),
         fixes_per_s=num_fixes / service_time_s if service_time_s > 0 else 0.0,
         path_length_m={client_id: service.tracker.path_length_m(client_id)
                        for client_id in tracks},
     )
 
 
-def roaming_tracking_comparison(**kwargs) -> Dict[str, RoamingTrackingResult]:
+def roaming_tracking_comparison(**kwargs) -> dict[str, RoamingTrackingResult]:
     """E-ROAM: the roaming scenario with and without multipath suppression.
 
     Both variants run the identical captures (same seed, same walks), so

@@ -8,7 +8,7 @@ module provides those summaries in a plotting-free, assertable form.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -38,7 +38,7 @@ class ErrorStatistics:
     p98_cm: float
     max_cm: float
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> dict[str, float]:
         """Return the statistics as a plain dictionary (for report tables)."""
         return {
             "count": self.count,
@@ -86,7 +86,7 @@ def summarize_errors(errors_cm: Sequence[float] | np.ndarray) -> ErrorStatistics
 
 def empirical_cdf(errors_cm: Sequence[float] | np.ndarray,
                   grid_cm: Sequence[float] | np.ndarray | None = None
-                  ) -> Tuple[np.ndarray, np.ndarray]:
+                  ) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(grid, fraction_below)`` pairs describing the error CDF.
 
     Parameters

@@ -8,7 +8,7 @@ rendering separate from the experiments keeps the experiment functions pure
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -32,10 +32,10 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
     if title:
         lines.append(title)
     separator = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths, strict=True)))
     lines.append(separator)
     for row in cells[1:]:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 
@@ -61,7 +61,7 @@ def format_error_statistics(statistics: Mapping[object, ErrorStatistics],
     return format_table(headers, rows, title=title)
 
 
-def format_cdf_series(cdfs: Mapping[object, Tuple[np.ndarray, np.ndarray]],
+def format_cdf_series(cdfs: Mapping[object, tuple[np.ndarray, np.ndarray]],
                       percentiles: Sequence[float] = (0.5, 0.9, 0.95),
                       title: str = "") -> str:
     """Render CDF curves as the error value reached at chosen percentiles."""

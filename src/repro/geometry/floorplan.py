@@ -9,7 +9,6 @@ localization grid (bounding box, point-inside tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.materials import Material, get_material
@@ -33,8 +32,8 @@ class Floorplan:
         Human-readable identifier used in reports.
     """
 
-    walls: List[Wall] = field(default_factory=list)
-    pillars: List[Pillar] = field(default_factory=list)
+    walls: list[Wall] = field(default_factory=list)
+    pillars: list[Pillar] = field(default_factory=list)
     name: str = "floorplan"
 
     def add_wall(self, wall: Wall) -> None:
@@ -46,11 +45,11 @@ class Floorplan:
         self.pillars.append(pillar)
 
     @property
-    def reflective_walls(self) -> List[Wall]:
+    def reflective_walls(self) -> list[Wall]:
         """Walls that produce a non-negligible specular reflection."""
         return [w for w in self.walls if w.material.reflection_coefficient > 0.05]
 
-    def bounding_box(self, margin: float = 0.0) -> Tuple[float, float, float, float]:
+    def bounding_box(self, margin: float = 0.0) -> tuple[float, float, float, float]:
         """Return ``(xmin, ymin, xmax, ymax)`` covering all walls and pillars.
 
         Parameters
@@ -60,8 +59,8 @@ class Floorplan:
         """
         if not self.walls and not self.pillars:
             raise GeometryError("cannot compute the bounding box of an empty floorplan")
-        xs: List[float] = []
-        ys: List[float] = []
+        xs: list[float] = []
+        ys: list[float] = []
         for wall in self.walls:
             xs.extend([wall.start.x, wall.end.x])
             ys.extend([wall.start.y, wall.end.y])
@@ -76,7 +75,7 @@ class Floorplan:
         return xmin <= point.x <= xmax and ymin <= point.y <= ymax
 
     def walls_crossed(self, a: Point2D, b: Point2D,
-                      exclude: Optional[Wall] = None) -> List[Wall]:
+                      exclude: Wall | None = None) -> list[Wall]:
         """Return the walls crossed by the straight segment from ``a`` to ``b``.
 
         Parameters
@@ -93,12 +92,12 @@ class Floorplan:
                 crossed.append(wall)
         return crossed
 
-    def pillars_crossed(self, a: Point2D, b: Point2D) -> List[Pillar]:
+    def pillars_crossed(self, a: Point2D, b: Point2D) -> list[Pillar]:
         """Return the pillars whose footprint the segment from ``a`` to ``b`` crosses."""
         return [p for p in self.pillars if p.blocks(a, b)]
 
     def penetration_loss_db(self, a: Point2D, b: Point2D,
-                            exclude: Optional[Wall] = None) -> float:
+                            exclude: Wall | None = None) -> float:
         """Return the total through-material attenuation (dB) along ``a``-``b``."""
         loss = sum(w.material.transmission_loss_db
                    for w in self.walls_crossed(a, b, exclude=exclude))

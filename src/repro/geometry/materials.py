@@ -19,7 +19,6 @@ glass/plasterboard are comparatively transparent).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 __all__ = ["Material", "MATERIALS", "get_material"]
 
@@ -59,7 +58,7 @@ class Material:
 
 
 #: Registry of the materials appearing in the testbed floorplan.
-MATERIALS: Dict[str, Material] = {
+MATERIALS: dict[str, Material] = {
     "drywall": Material("drywall", reflection_coefficient=0.45,
                         transmission_loss_db=3.0),
     "concrete": Material("concrete", reflection_coefficient=0.75,
@@ -94,6 +93,7 @@ def get_material(name: str) -> Material:
     """
     try:
         return MATERIALS[name]
-    except KeyError:
+    except KeyError as exc:
         known = ", ".join(sorted(MATERIALS))
-        raise KeyError(f"unknown material {name!r}; known materials: {known}")
+        raise KeyError(
+            f"unknown material {name!r}; known materials: {known}") from exc

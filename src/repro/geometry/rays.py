@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.floorplan import Floorplan
@@ -55,14 +54,14 @@ class PropagationPath:
         Names of the walls the path reflects off, in order.
     """
 
-    vertices: Tuple[Point2D, ...]
+    vertices: tuple[Point2D, ...]
     length: float
     arrival_bearing_deg: float
     num_reflections: int
     attenuation_db: float
     is_direct: bool
     blocked: bool = False
-    reflecting_walls: Tuple[str, ...] = ()
+    reflecting_walls: tuple[str, ...] = ()
 
     @property
     def attenuation_amplitude(self) -> float:
@@ -96,7 +95,7 @@ class RayTracer:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def trace(self, source: Point2D, destination: Point2D) -> List[PropagationPath]:
+    def trace(self, source: Point2D, destination: Point2D) -> list[PropagationPath]:
         """Return all propagation paths from ``source`` to ``destination``.
 
         The direct path is always returned first (even when obstructed, it
@@ -106,7 +105,7 @@ class RayTracer:
         """
         if source.distance_to(destination) < 1e-9:
             raise GeometryError("source and destination coincide; no paths exist")
-        paths: List[PropagationPath] = []
+        paths: list[PropagationPath] = []
         direct = self._direct_path(source, destination)
         if direct is not None:
             paths.append(direct)
@@ -120,7 +119,7 @@ class RayTracer:
     # Direct path
     # ------------------------------------------------------------------
     def _direct_path(self, source: Point2D,
-                     destination: Point2D) -> Optional[PropagationPath]:
+                     destination: Point2D) -> PropagationPath | None:
         penetration = self.floorplan.penetration_loss_db(source, destination)
         blocked = penetration > 0
         if penetration > self.max_penetration_db:
@@ -140,7 +139,7 @@ class RayTracer:
     # First-order reflections
     # ------------------------------------------------------------------
     def _first_order_paths(self, source: Point2D,
-                           destination: Point2D) -> List[PropagationPath]:
+                           destination: Point2D) -> list[PropagationPath]:
         paths = []
         for wall in self.floorplan.reflective_walls:
             path = self._reflect_once(source, destination, wall)
@@ -149,7 +148,7 @@ class RayTracer:
         return paths
 
     def _reflect_once(self, source: Point2D, destination: Point2D,
-                      wall: Wall) -> Optional[PropagationPath]:
+                      wall: Wall) -> PropagationPath | None:
         point = reflection_point(wall, source, destination)
         if point is None:
             return None
@@ -178,7 +177,7 @@ class RayTracer:
     # Second-order reflections
     # ------------------------------------------------------------------
     def _second_order_paths(self, source: Point2D,
-                            destination: Point2D) -> List[PropagationPath]:
+                            destination: Point2D) -> list[PropagationPath]:
         paths = []
         walls = self.floorplan.reflective_walls
         for first in walls:
@@ -196,7 +195,7 @@ class RayTracer:
 
     def _reflect_twice(self, source: Point2D, destination: Point2D,
                        first: Wall, second: Wall,
-                       image1: Point2D) -> Optional[PropagationPath]:
+                       image1: Point2D) -> PropagationPath | None:
         image2 = second.mirror_point(image1)
         # Specular point on the second wall, seen from the destination.
         point2 = second.intersection_with_segment(image2, destination)
@@ -235,7 +234,7 @@ class RayTracer:
 
 
 def trace_paths(floorplan: Floorplan, source: Point2D, destination: Point2D,
-                max_reflections: int = 2) -> List[PropagationPath]:
+                max_reflections: int = 2) -> list[PropagationPath]:
     """Convenience wrapper: trace paths with a throw-away :class:`RayTracer`."""
     return RayTracer(floorplan, max_reflections=max_reflections).trace(
         source, destination)

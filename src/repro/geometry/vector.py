@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Tuple
+from collections.abc import Iterable, Iterator
 
 from repro.errors import GeometryError
 
@@ -92,7 +92,7 @@ class Point2D:
         """
         return bearing_deg(self, other)
 
-    def as_tuple(self) -> Tuple[float, float]:
+    def as_tuple(self) -> tuple[float, float]:
         """Return the point as a plain ``(x, y)`` tuple."""
         return (self.x, self.y)
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
 
 from repro.errors import GeometryError
 from repro.geometry.materials import Material, get_material
@@ -92,7 +91,7 @@ class Wall:
         return -margin <= t <= self.length + margin
 
     def intersection_with_segment(
-            self, a: Point2D, b: Point2D) -> Optional[Point2D]:
+            self, a: Point2D, b: Point2D) -> Point2D | None:
         """Return the intersection point of segment ``a``-``b`` with this wall.
 
         Returns ``None`` when the segments do not intersect or are parallel.
@@ -146,7 +145,7 @@ class Pillar:
 
 
 def _segment_intersection(p1: Point2D, p2: Point2D,
-                          q1: Point2D, q2: Point2D) -> Optional[Point2D]:
+                          q1: Point2D, q2: Point2D) -> Point2D | None:
     """Return the intersection point of segments ``p1p2`` and ``q1q2``."""
     r = p2 - p1
     s = q2 - q1
@@ -196,7 +195,7 @@ def point_segment_distance(point: Point2D, a: Point2D, b: Point2D) -> float:
 
 
 def reflection_point(wall: Wall, source: Point2D,
-                     destination: Point2D) -> Optional[Point2D]:
+                     destination: Point2D) -> Point2D | None:
     """Return the specular reflection point on ``wall`` for a source/destination pair.
 
     Uses the image-source construction: mirror the source across the wall and
@@ -216,7 +215,7 @@ def reflection_point(wall: Wall, source: Point2D,
     return hit
 
 
-def _solve_quadratic(a: float, b: float, c: float) -> Tuple[float, float]:
+def _solve_quadratic(a: float, b: float, c: float) -> tuple[float, float]:
     """Return the two real roots of ``a x^2 + b x + c`` (may be NaN if none)."""
     disc = b * b - 4 * a * c
     if disc < 0 or abs(a) < _EPS:

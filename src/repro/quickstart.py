@@ -13,7 +13,6 @@ See ``docs/api.md`` and ``examples/quickstart.py``.
 from __future__ import annotations
 
 import warnings
-from typing import Dict, Tuple
 
 from repro.api import ArrayTrackConfig, ArrayTrackService
 from repro.core import LocationEstimate
@@ -30,7 +29,7 @@ def _warn_deprecated(name: str) -> None:
         DeprecationWarning, stacklevel=3)
 
 
-def _service(bounds: Tuple[float, float, float, float],
+def _service(bounds: tuple[float, float, float, float],
              grid_resolution_m: float) -> ArrayTrackService:
     """The facade configuration these helpers always used.
 
@@ -45,7 +44,7 @@ def _service(bounds: Tuple[float, float, float, float],
 def localize_one_client(client_id: str = "client-17",
                         num_aps: int = 6,
                         grid_resolution_m: float = 0.25,
-                        seed: int = 7) -> Tuple[LocationEstimate, Point2D]:
+                        seed: int = 7) -> tuple[LocationEstimate, Point2D]:
     """Deprecated: localize one client of the default office testbed.
 
     Returns the location estimate and the ground-truth position, so the
@@ -63,13 +62,13 @@ def localize_one_client(client_id: str = "client-17",
 
 def localize_all_clients(num_clients: int = 10,
                          grid_resolution_m: float = 0.25,
-                         seed: int = 7) -> Dict[str, float]:
+                         seed: int = 7) -> dict[str, float]:
     """Deprecated: localize the first ``num_clients`` clients (errors in cm)."""
     _warn_deprecated("localize_all_clients")
     testbed = build_office_testbed()
     deployment = SimulatedDeployment(testbed, ScenarioConfig(seed=seed))
     service = _service(testbed.bounds, grid_resolution_m)
-    errors: Dict[str, float] = {}
+    errors: dict[str, float] = {}
     for client_id in testbed.client_ids()[:num_clients]:
         deployment.clear()
         spectra = deployment.collect_client_spectra(client_id)

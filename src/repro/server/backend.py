@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 from repro.errors import ConfigurationError, EstimationError
 from repro.ap.access_point import ArrayTrackAP
@@ -82,17 +82,17 @@ class ArrayTrackServer:
         model is used when omitted.
     """
 
-    def __init__(self, bounds: Tuple[float, float, float, float],
-                 config: Optional[ServerConfig] = None,
-                 latency_model: Optional[LatencyModel] = None) -> None:
+    def __init__(self, bounds: tuple[float, float, float, float],
+                 config: ServerConfig | None = None,
+                 latency_model: LatencyModel | None = None) -> None:
         self.config = config if config is not None else ServerConfig()
         self.bounds = tuple(float(value) for value in bounds)
         self.estimator = LocationEstimator(bounds, self.config.localizer)
         self.latency_model = latency_model if latency_model is not None else LatencyModel()
-        self._last_processing_s: Optional[float] = None
+        self._last_processing_s: float | None = None
 
     def warm_geometry_caches(self,
-                             ap_positions: Sequence[Tuple[float, float]]) -> int:
+                             ap_positions: Sequence[tuple[float, float]]) -> int:
         """Precompute the bearing grids of the given AP positions.
 
         The per-AP bearing tables normally build lazily on the first batch
@@ -144,7 +144,7 @@ class ArrayTrackServer:
 
     def localize_batch(self,
                        spectra_by_client: Mapping[str, Mapping[str, Sequence[AoASpectrum]]]
-                       ) -> Dict[str, LocationEstimate]:
+                       ) -> dict[str, LocationEstimate]:
         """Localize many clients in one vectorized synthesis pass.
 
         Parameters
@@ -175,7 +175,7 @@ class ArrayTrackServer:
 
     def synthesize_batch(self,
                          spectra_by_client: Mapping[str, Sequence[AoASpectrum]]
-                         ) -> Dict[str, LocationEstimate]:
+                         ) -> dict[str, LocationEstimate]:
         """Synthesize already-processed spectra into one fix per client.
 
         This is the raw synthesis entry below :meth:`localize_batch`: the
@@ -198,7 +198,7 @@ class ArrayTrackServer:
         """
         if not spectra_by_client:
             raise EstimationError("no clients supplied for batch localization")
-        processed_by_client: Dict[str, List[AoASpectrum]] = {}
+        processed_by_client: dict[str, list[AoASpectrum]] = {}
         for client_id, spectra in spectra_by_client.items():
             processed = list(spectra)
             if not processed:
@@ -212,8 +212,8 @@ class ArrayTrackServer:
         return estimates
 
     def _process_per_ap(self, spectra_by_ap: Mapping[str, Sequence[AoASpectrum]]
-                        ) -> List[AoASpectrum]:
-        processed: List[AoASpectrum] = []
+                        ) -> list[AoASpectrum]:
+        processed: list[AoASpectrum] = []
         for ap_id, spectra in spectra_by_ap.items():
             spectra = list(spectra)
             if not spectra:
@@ -235,7 +235,7 @@ class ArrayTrackServer:
         """Localize ``client_id`` from the frames currently buffered at ``aps``."""
         if not aps:
             raise ConfigurationError("need at least one AP to localize")
-        spectra_by_ap: Dict[str, List[AoASpectrum]] = {}
+        spectra_by_ap: dict[str, list[AoASpectrum]] = {}
         for ap in aps:
             spectra = ap.spectra_for_client(client_id)
             if spectra:
@@ -244,7 +244,7 @@ class ArrayTrackServer:
 
     def collect_buffered(self, aps: Sequence[ArrayTrackAP],
                          client_ids: Sequence[str]
-                         ) -> Dict[str, Dict[str, List[AoASpectrum]]]:
+                         ) -> dict[str, dict[str, list[AoASpectrum]]]:
         """Gather the buffered per-AP spectra of every requested client.
 
         This is the collection half of :meth:`localize_clients`, exposed
@@ -268,10 +268,10 @@ class ArrayTrackServer:
             raise ConfigurationError("need at least one AP to localize")
         client_ids = list(client_ids)
         per_ap_spectra = [ap.spectra_for_clients(client_ids) for ap in aps]
-        spectra_by_client: Dict[str, Dict[str, List[AoASpectrum]]] = {}
+        spectra_by_client: dict[str, dict[str, list[AoASpectrum]]] = {}
         for client_id in client_ids:
-            per_ap: Dict[str, List[AoASpectrum]] = {}
-            for ap, ap_spectra in zip(aps, per_ap_spectra):
+            per_ap: dict[str, list[AoASpectrum]] = {}
+            for ap, ap_spectra in zip(aps, per_ap_spectra, strict=True):
                 spectra = ap_spectra.get(client_id)
                 if spectra:
                     per_ap[ap.ap_id] = spectra
@@ -283,7 +283,7 @@ class ArrayTrackServer:
         return spectra_by_client
 
     def localize_clients(self, aps: Sequence[ArrayTrackAP],
-                         client_ids: Sequence[str]) -> Dict[str, LocationEstimate]:
+                         client_ids: Sequence[str]) -> dict[str, LocationEstimate]:
         """Batch-localize every client in ``client_ids`` from buffered frames.
 
         Clients no AP currently holds frames for (never transmitted, or
@@ -304,7 +304,7 @@ class ArrayTrackServer:
     # Latency accounting (Section 4.4)
     # ------------------------------------------------------------------
     @property
-    def last_processing_s(self) -> Optional[float]:
+    def last_processing_s(self) -> float | None:
         """Wall-clock duration of the most recent synthesis step, if measured."""
         return self._last_processing_s
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError, EstimationError
 from repro.core.localizer import LocationEstimate
@@ -73,7 +72,7 @@ class TrackerConfig:
     """
 
     smoothing_factor: float = 0.6
-    max_history: Optional[int] = None
+    max_history: int | None = None
     on_out_of_order: str = "insert"
 
     def __post_init__(self) -> None:
@@ -109,7 +108,7 @@ class ClientTracker:
     """
 
     def __init__(self, smoothing_factor: float = 0.6,
-                 max_history: Optional[int] = None,
+                 max_history: int | None = None,
                  on_out_of_order: str = "insert") -> None:
         # Reuse the config dataclass's validation so the constructor and the
         # service config tree can never drift apart.
@@ -119,7 +118,7 @@ class ClientTracker:
         self.smoothing_factor = config.smoothing_factor
         self.max_history = config.max_history
         self.on_out_of_order = config.on_out_of_order
-        self._tracks: Dict[str, List[TrackPoint]] = defaultdict(list)
+        self._tracks: dict[str, list[TrackPoint]] = defaultdict(list)
 
     # ------------------------------------------------------------------
     # Updates
@@ -173,7 +172,7 @@ class ClientTracker:
                 f"{float(timestamp_s)} does not advance the track (latest "
                 f"is {history[-1].timestamp_s})")
 
-    def _resmooth(self, history: List[TrackPoint], start: int) -> None:
+    def _resmooth(self, history: list[TrackPoint], start: int) -> None:
         """Recompute the EMA chain from ``start`` to the end of the track."""
         alpha = self.smoothing_factor
         for index in range(start, len(history)):
@@ -192,15 +191,15 @@ class ClientTracker:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def clients(self) -> List[str]:
+    def clients(self) -> list[str]:
         """Return the identifiers of all tracked clients."""
         return sorted(self._tracks)
 
-    def track(self, client_id: str) -> List[TrackPoint]:
+    def track(self, client_id: str) -> list[TrackPoint]:
         """Return the full track of ``client_id`` (oldest first)."""
         return list(self._tracks.get(client_id, []))
 
-    def latest(self, client_id: str) -> Optional[TrackPoint]:
+    def latest(self, client_id: str) -> TrackPoint | None:
         """Return the most recent fix for ``client_id``, or None."""
         history = self._tracks.get(client_id)
         return history[-1] if history else None
@@ -211,7 +210,7 @@ class ClientTracker:
         if len(history) < 2:
             return 0.0
         total = 0.0
-        for previous, current in zip(history, history[1:]):
+        for previous, current in zip(history, history[1:], strict=False):
             a = previous.smoothed_position if smoothed else previous.position
             b = current.smoothed_position if smoothed else current.position
             total += a.distance_to(b)

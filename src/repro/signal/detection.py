@@ -18,7 +18,6 @@ Two detectors are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 
@@ -125,7 +124,7 @@ class MatchedFilterDetector:
 
     def __init__(self, sample_rate_hz: float = SAMPLE_RATE_HZ,
                  threshold: float = 5.0,
-                 min_separation_samples: Optional[int] = None) -> None:
+                 min_separation_samples: int | None = None) -> None:
         if threshold <= 0:
             raise DetectionError(f"threshold must be positive, got {threshold!r}")
         self.sample_rate_hz = sample_rate_hz
@@ -162,10 +161,10 @@ class MatchedFilterDetector:
         peak = float(np.max(correlation[starts]))
         return DetectionResult(True, starts[0], peak, tuple(starts))
 
-    def _find_peaks(self, correlation: np.ndarray) -> List[int]:
+    def _find_peaks(self, correlation: np.ndarray) -> list[int]:
         """Return indices of local maxima above threshold, separated in time."""
         above = np.flatnonzero(correlation >= self.threshold)
-        peaks: List[int] = []
+        peaks: list[int] = []
         if above.size == 0:
             return peaks
         # Group contiguous above-threshold runs and take the max of each run,

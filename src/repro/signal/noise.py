@@ -9,7 +9,6 @@ variance, expressed in dB.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -52,7 +51,7 @@ def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
 
 
 def complex_awgn(shape, noise_power: float,
-                 rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                 rng: np.random.Generator | None = None) -> np.ndarray:
     """Return circularly-symmetric complex Gaussian noise with total power ``noise_power``.
 
     Each complex sample has variance ``noise_power`` split equally between
@@ -67,8 +66,8 @@ def complex_awgn(shape, noise_power: float,
 
 
 def add_awgn(waveform: Waveform, snr_db: float,
-             rng: Optional[np.random.Generator] = None,
-             reference_power: Optional[float] = None) -> Waveform:
+             rng: np.random.Generator | None = None,
+             reference_power: float | None = None) -> Waveform:
     """Return a copy of ``waveform`` with AWGN added at ``snr_db``.
 
     Parameters

@@ -85,9 +85,9 @@ def _sts_time_domain() -> np.ndarray:
 def _lts_time_domain() -> np.ndarray:
     """Return one 64-sample (3.2 us at 20 MHz) long training symbol."""
     values: dict[int, complex] = {}
-    for offset, value in zip(range(-26, 0), _LTS_FREQ_LEFT):
+    for offset, value in zip(range(-26, 0), _LTS_FREQ_LEFT, strict=True):
         values[offset] = value
-    for offset, value in zip(range(1, 27), _LTS_FREQ_RIGHT):
+    for offset, value in zip(range(1, 27), _LTS_FREQ_RIGHT, strict=True):
         values[offset] = value
     spectrum = _subcarrier_spectrum(values)
     time_signal = np.fft.ifft(spectrum) * FFT_SIZE / math.sqrt(FFT_SIZE)

@@ -11,7 +11,6 @@ QPSK-like samples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -93,7 +92,7 @@ class Frame:
     def baseband_waveform(self, sample_rate_hz: float = SAMPLE_RATE_HZ,
                           include_payload: bool = False,
                           payload_samples: int = 256,
-                          rng: Optional[np.random.Generator] = None) -> Waveform:
+                          rng: np.random.Generator | None = None) -> Waveform:
         """Return the transmitted complex-baseband waveform of this frame.
 
         Parameters

@@ -10,7 +10,7 @@ by time, concatenation, power measurement, resampling by integer factors).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ the per-AP AoA spectra the server needs.  Every evaluation experiment
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -107,13 +107,13 @@ class SimulatedDeployment:
     """
 
     def __init__(self, testbed: OfficeTestbed,
-                 config: Optional[ScenarioConfig] = None) -> None:
+                 config: ScenarioConfig | None = None) -> None:
         self.testbed = testbed
         self.config = config if config is not None else ScenarioConfig()
         self._rng = np.random.default_rng(self.config.seed)
         self.channel_builder = ChannelBuilder(testbed.floorplan,
                                               self.config.channel_config())
-        self.aps: Dict[str, ArrayTrackAP] = {}
+        self.aps: dict[str, ArrayTrackAP] = {}
         ap_config = APConfig(
             num_antennas=self.config.num_antennas,
             use_symmetry_antenna=self.config.use_symmetry_antenna,
@@ -133,7 +133,7 @@ class SimulatedDeployment:
     # Frame capture
     # ------------------------------------------------------------------
     def client_track(self, client_id: str,
-                     num_frames: Optional[int] = None) -> List[Point2D]:
+                     num_frames: int | None = None) -> list[Point2D]:
         """Return the (possibly perturbed) positions a client transmits from.
 
         The first position is the ground truth; subsequent positions are a
@@ -149,10 +149,10 @@ class SimulatedDeployment:
                               rng=self._rng)
 
     def capture_client(self, client_id: str,
-                       ap_ids: Optional[Sequence[str]] = None,
-                       positions: Optional[Sequence[Point2D]] = None,
+                       ap_ids: Sequence[str] | None = None,
+                       positions: Sequence[Point2D] | None = None,
                        start_time_s: float = 0.0,
-                       snr_db: Optional[float] = None) -> None:
+                       snr_db: float | None = None) -> None:
         """Simulate the client transmitting frames overheard by the given APs.
 
         Parameters
@@ -191,11 +191,11 @@ class SimulatedDeployment:
     # Spectra collection
     # ------------------------------------------------------------------
     def spectra_for_client(self, client_id: str,
-                           ap_ids: Optional[Sequence[str]] = None
-                           ) -> Dict[str, List[AoASpectrum]]:
+                           ap_ids: Sequence[str] | None = None
+                           ) -> dict[str, list[AoASpectrum]]:
         """Return the per-AP spectra computed from the buffered frames."""
         ap_ids = list(ap_ids) if ap_ids is not None else self.testbed.ap_ids()
-        spectra: Dict[str, List[AoASpectrum]] = {}
+        spectra: dict[str, list[AoASpectrum]] = {}
         for ap_id in ap_ids:
             ap_spectra = self.aps[ap_id].spectra_for_client(client_id)
             if ap_spectra:
@@ -203,9 +203,9 @@ class SimulatedDeployment:
         return spectra
 
     def collect_client_spectra(self, client_id: str,
-                               ap_ids: Optional[Sequence[str]] = None,
-                               snr_db: Optional[float] = None
-                               ) -> Dict[str, List[AoASpectrum]]:
+                               ap_ids: Sequence[str] | None = None,
+                               snr_db: float | None = None
+                               ) -> dict[str, list[AoASpectrum]]:
         """Capture the scenario's frames for one client and return its spectra."""
         self.capture_client(client_id, ap_ids, snr_db=snr_db)
         return self.spectra_for_client(client_id, ap_ids)

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -117,7 +116,7 @@ def build_office_floorplan() -> Floorplan:
     return plan
 
 
-def default_ap_sites() -> List[APSite]:
+def default_ap_sites() -> list[APSite]:
     """Return the six AP sites, numbered like Figure 12.
 
     Each AP's antenna row is oriented so its broadside faces the centre of
@@ -146,7 +145,7 @@ def default_ap_sites() -> List[APSite]:
 
 
 def default_client_positions(num_clients: int = NUM_CLIENTS,
-                             seed: int = CLIENT_LAYOUT_SEED) -> Dict[str, Point2D]:
+                             seed: int = CLIENT_LAYOUT_SEED) -> dict[str, Point2D]:
     """Return the deterministic client layout ("client-01" .. "client-41").
 
     Clients are spread roughly uniformly over a jittered grid covering the
@@ -158,7 +157,7 @@ def default_client_positions(num_clients: int = NUM_CLIENTS,
     if num_clients < 1:
         raise ConfigurationError("need at least one client")
     rng = np.random.default_rng(seed)
-    positions: Dict[str, Point2D] = {}
+    positions: dict[str, Point2D] = {}
     # Reserve a handful of deliberately shadowed positions.
     shadowed = [
         Point2D(11.2, 9.1),   # immediately east of pillar-1
@@ -205,11 +204,11 @@ class OfficeTestbed:
     """
 
     floorplan: Floorplan = field(default_factory=build_office_floorplan)
-    ap_sites: List[APSite] = field(default_factory=default_ap_sites)
-    clients: Dict[str, Point2D] = field(default_factory=default_client_positions)
+    ap_sites: list[APSite] = field(default_factory=default_ap_sites)
+    clients: dict[str, Point2D] = field(default_factory=default_client_positions)
 
     @property
-    def bounds(self) -> Tuple[float, float, float, float]:
+    def bounds(self) -> tuple[float, float, float, float]:
         """Search-area bounds used by the location estimator."""
         return self.floorplan.bounding_box(margin=0.5)
 
@@ -224,14 +223,15 @@ class OfficeTestbed:
         """Return the ground-truth position of ``client_id``."""
         try:
             return self.clients[client_id]
-        except KeyError:
-            raise ConfigurationError(f"unknown client id {client_id!r}")
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown client id {client_id!r}") from exc
 
-    def client_ids(self) -> List[str]:
+    def client_ids(self) -> list[str]:
         """Return all client identifiers in a stable order."""
         return sorted(self.clients)
 
-    def ap_ids(self) -> List[str]:
+    def ap_ids(self) -> list[str]:
         """Return all AP identifiers in a stable order."""
         return [site.ap_id for site in self.ap_sites]
 

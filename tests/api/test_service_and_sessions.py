@@ -98,13 +98,13 @@ class TestDeprecatedShims:
             BOUNDS, ServerConfig(localizer=LocalizerConfig(
                 grid_resolution_m=0.2, spectrum_floor=0.05)))
         with pytest.deprecated_call():
-            legacy = server.localize_spectra(spectra, "c")
+            legacy = server.localize_spectra(spectra, "c")  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
         assert legacy.position == facade.position
         assert legacy.likelihood == facade.likelihood
         assert legacy.num_aps == facade.num_aps
 
     def test_quickstart_shim_warns_and_matches_facade(self):
-        from repro import quickstart
+        from repro import quickstart  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
         from repro.testbed import (ScenarioConfig, SimulatedDeployment,
                                    build_office_testbed)
 
@@ -564,8 +564,10 @@ class TestIngestMany:
         candidate = batched.session("c1").pending_spectra()
         assert list(reference) == list(candidate)
         for reference_list, candidate_list in zip(reference.values(),
-                                                  candidate.values()):
-            for expected, actual in zip(reference_list, candidate_list):
+                                                  candidate.values(),
+                                                  strict=True):
+            for expected, actual in zip(reference_list, candidate_list,
+                                        strict=True):
                 assert np.array_equal(expected.power, actual.power)
 
     def test_mixed_spectra_and_entries_keep_input_order(self):

@@ -40,8 +40,12 @@ def _model_rssi(position, noise_sigma=0.0, rng=None):
 class TestFingerprintLocalizer:
     def _radio_map(self, spacing=2.0):
         fingerprints = []
-        for x in np.arange(1.0, 20.0, spacing):
-            for y in np.arange(1.0, 10.0, spacing):
+        # Exact-count survey axes (repro-lint RPR001): same points the old
+        # float-step arange produced, without the rounding-driven count.
+        xs = np.linspace(1.0, 19.0, int(round(18.0 / spacing)) + 1)
+        ys = np.linspace(1.0, 9.0, int(round(8.0 / spacing)) + 1)
+        for x in xs:
+            for y in ys:
                 point = Point2D(float(x), float(y))
                 fingerprints.append(RssFingerprint(point, _model_rssi(point)))
         return fingerprints

@@ -150,7 +150,7 @@ class TestMobility:
         track = movement_track(Point2D(0, 0), num_samples, max_step_m=max_step,
                                rng=np.random.default_rng(0))
         assert len(track) == num_samples
-        for a, b in zip(track, track[1:]):
+        for a, b in zip(track, track[1:], strict=False):
             assert a.distance_to(b) <= max_step + 1e-12
 
     def test_random_waypoint_track_endpoints(self):

@@ -48,7 +48,7 @@ def _capture_frames(ap, num_frames, rng, client_id="client", snr_db=18.0,
 
 def _assert_spectra_equal(serial, batched):
     assert len(serial) == len(batched)
-    for reference, candidate in zip(serial, batched):
+    for reference, candidate in zip(serial, batched, strict=True):
         assert np.array_equal(reference.angles_deg, candidate.angles_deg)
         assert np.array_equal(reference.power, candidate.power)
         assert reference.client_id == candidate.client_id

@@ -95,7 +95,7 @@ class TestEstimators:
         num_antennas = covariance.shape[0]
         loading = 1e-3 * float(np.real(np.trace(covariance))) / num_antennas
         regularized = covariance + loading * np.eye(num_antennas)
-        inverse = np.linalg.inv(regularized)
+        inverse = np.linalg.inv(regularized)  # repro-lint: disable=RPR002 -- reference cross-check that the production solve() path matches explicit inversion
         steering = geometry.steering_matrix(angles)
         quadratic = np.real(np.einsum("mk,mn,nk->k", steering.conj(),
                                       inverse, steering))
@@ -273,7 +273,7 @@ class TestPeaks:
     def _gaussian_spectrum(self, centers, widths, heights):
         angles = default_angle_grid(1.0)
         power = np.zeros_like(angles)
-        for center, width, height in zip(centers, widths, heights):
+        for center, width, height in zip(centers, widths, heights, strict=True):
             distance = np.minimum(np.abs(angles - center), 360 - np.abs(angles - center))
             power += height * np.exp(-0.5 * (distance / width) ** 2)
         return AoASpectrum(angles, power)

@@ -25,7 +25,7 @@ def _batch_adapter(functions):
 
     def evaluate(units, xs, ys):
         return np.array([functions[unit](Point2D(x, y))
-                         for unit, x, y in zip(units, xs, ys)])
+                         for unit, x, y in zip(units, xs, ys, strict=True)])
 
     return evaluate
 
@@ -147,7 +147,7 @@ class TestRandomizedEquality:
         vectorized = refine_many(_batch_adapter(functions), seeds_by_unit,
                                  initial_step_m=0.25, min_step_m=0.01)
         for function, seeds, result in zip(functions, seeds_by_unit,
-                                           vectorized):
+                                           vectorized, strict=True):
             serial = refine_from_seeds(function, seeds,
                                        initial_step_m=0.25, min_step_m=0.01)
             _assert_same(result, serial)

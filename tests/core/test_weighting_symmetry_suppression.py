@@ -25,7 +25,7 @@ from repro.errors import EstimationError
 def _gaussian(centers, heights, width=4.0, **metadata):
     angles = default_angle_grid(1.0)
     power = np.zeros_like(angles)
-    for center, height in zip(centers, heights):
+    for center, height in zip(centers, heights, strict=True):
         distance = np.minimum(np.abs(angles - center), 360 - np.abs(angles - center))
         power += height * np.exp(-0.5 * (distance / width) ** 2)
     return AoASpectrum(angles, power, **metadata)
@@ -173,7 +173,7 @@ class TestSymmetryResolver:
                    for azimuth in azimuths]
         stack = np.stack([snapshots.samples for _, snapshots in captures])
         batched = resolver.resolve_many(spectra, stack, attenuation=0.1)
-        for spectrum, (_, snapshots), resolved in zip(spectra, captures, batched):
+        for spectrum, (_, snapshots), resolved in zip(spectra, captures, batched, strict=True):
             serial = resolver.resolve(spectrum, snapshots.samples,
                                       attenuation=0.1)
             assert np.array_equal(serial.power, resolved.power)

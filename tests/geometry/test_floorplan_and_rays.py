@@ -139,5 +139,5 @@ class TestRayTracer:
             return
         for path in trace_paths(room, source, destination, max_reflections=2):
             polyline = sum(a.distance_to(b)
-                           for a, b in zip(path.vertices, path.vertices[1:]))
+                           for a, b in zip(path.vertices, path.vertices[1:], strict=False))
             assert polyline == pytest.approx(path.length, rel=1e-9)

@@ -39,7 +39,7 @@ class TestArrayTrackServer:
         server = self._server()
         spectra = {f"ap{i}": [_spectrum_towards(p, TARGET)]
                    for i, p in enumerate(AP_POSITIONS)}
-        estimate = server.localize_spectra(spectra, client_id="c")
+        estimate = server.localize_spectra(spectra, client_id="c")  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
         assert isinstance(estimate, LocationEstimate)
         assert estimate.position.distance_to(TARGET) < 0.3
         assert estimate.client_id == "c"
@@ -57,12 +57,12 @@ class TestArrayTrackServer:
             "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET, timestamp_s=0.0)],
         }
         with_suppression = self._server(enable_multipath_suppression=True)
-        estimate = with_suppression.localize_spectra(spectra)
+        estimate = with_suppression.localize_spectra(spectra)  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
         assert estimate.position.distance_to(TARGET) < 0.3
 
     def test_no_spectra_raises(self):
         with pytest.raises(EstimationError):
-            self._server().localize_spectra({})
+            self._server().localize_spectra({})  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
 
     def test_localize_client_requires_aps(self):
         with pytest.raises(ConfigurationError):
@@ -72,7 +72,7 @@ class TestArrayTrackServer:
         server = self._server(measure_processing_time=True)
         spectra = {f"ap{i}": [_spectrum_towards(p, TARGET)]
                    for i, p in enumerate(AP_POSITIONS)}
-        server.localize_spectra(spectra)
+        server.localize_spectra(spectra)  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
         assert server.last_processing_s is not None
         breakdown = server.latency_breakdown(use_measured_processing=True)
         assert breakdown.processing_s == pytest.approx(server.last_processing_s)
@@ -93,7 +93,7 @@ class TestArrayTrackServer:
     def test_localize_batch_matches_sequential_loop(self):
         server = self._server()
         clients = self._batch_of_clients(5)
-        sequential = {client_id: server.localize_spectra(spectra, client_id)
+        sequential = {client_id: server.localize_spectra(spectra, client_id)  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
                       for client_id, spectra in clients.items()}
         batched = server.localize_batch(clients)
         assert set(batched) == set(clients)
@@ -115,7 +115,7 @@ class TestArrayTrackServer:
             "ap2": [_spectrum_towards(AP_POSITIONS[2], TARGET, timestamp_s=0.0)],
         }
         server = self._server(enable_multipath_suppression=True)
-        single = server.localize_spectra(spectra, "c0")
+        single = server.localize_spectra(spectra, "c0")  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
         batched = server.localize_batch({"c0": spectra})
         assert batched["c0"].position.distance_to(single.position) <= 1e-9
         assert batched["c0"].position.distance_to(TARGET) < 0.3
@@ -176,7 +176,7 @@ class TestArrayTrackServer:
             spectra = {f"ap{i}": [_spectrum_towards(AP_POSITIONS[i], target)]
                        for i in subset}
             clients[f"c{index}"] = spectra
-        sequential = {cid: server.localize_spectra(s, cid)
+        sequential = {cid: server.localize_spectra(s, cid)  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
                       for cid, s in clients.items()}
         batched = server.localize_batch(clients)
         for cid in clients:

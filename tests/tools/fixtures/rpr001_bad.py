@@ -1,0 +1,16 @@
+"""RPR001 bad fixture: float-step arange grids (all three spellings)."""
+
+import numpy as np
+from numpy import arange
+
+
+def endpoint_grid(xmin, xmax, res):
+    return np.arange(xmin, xmax + res / 2.0, res)
+
+
+def literal_step_grid():
+    return np.arange(0.0, 180.0, 0.3)
+
+
+def aliased_import_grid(start, stop, step_m):
+    return arange(start, stop, step_m / 2)

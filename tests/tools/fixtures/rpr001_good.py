@@ -1,0 +1,17 @@
+"""RPR001 good fixture: exact-count linspace grids; integer aranges allowed."""
+
+import numpy as np
+
+
+def exact_count_grid(xmin, res, num):
+    return np.linspace(xmin, xmin + res * (num - 1), num)
+
+
+def integer_arange(num_elements):
+    # Integer (and single-stop) aranges are exact: no accumulated step.
+    indices = np.arange(num_elements, dtype=float)
+    return np.arange(4.0), indices / 7.0
+
+
+def integer_range_pair(rows):
+    return np.arange(rows.shape[0], dtype=np.intp)

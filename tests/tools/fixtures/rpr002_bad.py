@@ -1,0 +1,13 @@
+"""RPR002 bad fixture: explicit matrix inversion."""
+
+import numpy as np
+from numpy.linalg import inv
+
+
+def quadratic_form(covariance, steering):
+    inverse = np.linalg.inv(covariance)
+    return steering.conj().T @ inverse @ steering
+
+
+def aliased_inverse(matrix):
+    return inv(matrix)

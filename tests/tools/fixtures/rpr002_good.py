@@ -1,0 +1,8 @@
+"""RPR002 good fixture: solve the system instead of inverting."""
+
+import numpy as np
+
+
+def quadratic_form(covariance, steering):
+    solved = np.linalg.solve(covariance, steering)
+    return np.real(np.einsum("mk,mk->k", steering.conj(), solved))

@@ -1,0 +1,21 @@
+"""RPR003 bad fixture: OrderedDict cache mutated outside the lock."""
+
+import threading
+from collections import OrderedDict
+
+
+class RacyCache:
+    def __init__(self):
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, compute):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        value = compute()
+        self._entries[key] = value
+        if len(self._entries) > 8:
+            self._entries.popitem(last=False)
+        return value

@@ -1,0 +1,27 @@
+"""RPR003 good fixture: every cache mutation holds the lock."""
+
+import threading
+from collections import OrderedDict
+
+
+class LockedCache:
+    def __init__(self):
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key, compute):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return entry
+        value = compute()
+        with self._lock:
+            self._entries[key] = value
+            if len(self._entries) > 8:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()

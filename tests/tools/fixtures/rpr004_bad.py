@@ -1,0 +1,9 @@
+"""RPR004 bad fixture: shared-memory segment with no finally-unlink."""
+
+from multiprocessing import shared_memory
+
+
+def leaky_pack(payload):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment.name

@@ -1,0 +1,18 @@
+"""RPR004 good fixture: unlink reachable in a finally on every path."""
+
+from multiprocessing import shared_memory
+
+
+def safe_pack(payload, consume):
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+        return consume(segment.name)
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def attach_only(name):
+    # Attaching (create not passed / False) is not a creation site.
+    return shared_memory.SharedMemory(name=name)

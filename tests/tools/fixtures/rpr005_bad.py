@@ -1,0 +1,19 @@
+"""RPR005 bad fixture: lambdas and local callables handed to executors."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_sharded(shards):
+    results = []
+    with ProcessPoolExecutor() as executor:
+        for shard in shards:
+            future = executor.submit(lambda: sum(shard))
+            results.append(future.result())
+    return results
+
+
+def run_closure(shards, executor):
+    def task(shard):
+        return sum(shard)
+
+    return [executor.submit(task, shard) for shard in shards]

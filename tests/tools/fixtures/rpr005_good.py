@@ -1,0 +1,18 @@
+"""RPR005 good fixture: module-level tasks pickle under spawn."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def shard_task(shard):
+    return sum(shard)
+
+
+def run_sharded(shards):
+    with ProcessPoolExecutor() as executor:
+        futures = [executor.submit(shard_task, shard) for shard in shards]
+        return [future.result() for future in futures]
+
+
+def unrelated_map(values):
+    # .map() on a non-executor object is not a pool submission.
+    return values.map(lambda value: value + 1)

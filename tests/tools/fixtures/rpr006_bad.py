@@ -1,0 +1,15 @@
+"""RPR006 bad fixture: bare excepts and swallowed broad handlers."""
+
+
+def swallow_everything(task):
+    try:
+        return task()
+    except:  # noqa: E722 -- the fixture demonstrates exactly this
+        return None
+
+
+def swallow_broad(task):
+    try:
+        return task()
+    except Exception:
+        pass

@@ -1,0 +1,22 @@
+"""RPR006 good fixture: narrow handlers, and broad ones that handle."""
+
+import logging
+
+
+def tolerate_missing(path):
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        # Narrow pass-only handlers are an explicit, visible policy.
+        pass
+    return b""
+
+
+def surface_worker_failure(task, exceptions):
+    try:
+        return task()
+    except Exception as exc:
+        logging.getLogger(__name__).exception("shard failed")
+        exceptions.append(exc)
+        raise

@@ -1,0 +1,9 @@
+"""RPR008 bad fixture: new code on the deprecated entry points."""
+
+from repro import quickstart
+
+
+def localize_everything(server, spectra_by_client):
+    quickstart.run_demo()
+    return {client_id: server.localize_spectra(spectra, client_id)
+            for client_id, spectra in spectra_by_client.items()}

@@ -1,0 +1,15 @@
+"""RPR008 good fixture: the facade, plus a shim file that may self-reference."""
+
+import warnings
+
+
+def localize_everything(service, spectra_by_client):
+    return service.localize_many(spectra_by_client)
+
+
+def legacy_shim(server, spectra, client_id):
+    # A module that itself issues DeprecationWarning is a shim; the rule
+    # skips it so the deprecated implementation can exist somewhere.
+    warnings.warn("legacy_shim() is deprecated; use localize_everything()",
+                  DeprecationWarning, stacklevel=2)
+    return server.localize_spectra(spectra, client_id)

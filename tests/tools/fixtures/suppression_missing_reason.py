@@ -1,0 +1,7 @@
+"""Suppression fixture: a waiver without a reason is not honored."""
+
+import numpy as np
+
+
+def intentional_drifty_grid(start, stop, step):
+    return np.arange(start, stop, step / 2)  # repro-lint: disable=RPR001

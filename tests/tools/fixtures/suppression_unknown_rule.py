@@ -1,0 +1,3 @@
+"""Suppression fixture: naming an unknown rule id is itself reported."""
+
+VALUE = 1  # repro-lint: disable=RPR999 -- no such rule exists

@@ -1,0 +1,5 @@
+"""Developer tooling that ships with the repo (not part of ``repro``).
+
+``tools.repro_lint`` is the repo-specific static-analysis pass; run it as
+``python -m tools.repro_lint src tests benchmarks``.
+"""

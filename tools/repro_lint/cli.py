@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m tools.repro_lint [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/IO error (the same
+convention ruff uses, so CI treats the two linters identically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from tools.repro_lint.engine import run_paths
+from tools.repro_lint.reporting import render_json, render_text
+from tools.repro_lint.rules import RULES
+
+__all__ = ["main"]
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description=("repo-specific static analysis: concurrency, "
+                     "determinism and numeric contracts the test suite "
+                     "cannot see (see docs/static_analysis.md)"))
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is schema-stable; default: text)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines: list[str] = []
+    for rule in RULES:
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"    {rule.summary}")
+        lines.append(f"    motivation: {rule.motivation}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        result = run_paths(arguments.paths)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if arguments.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

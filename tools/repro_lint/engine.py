@@ -1,0 +1,313 @@
+"""Core of repro-lint: per-file analysis context, suppressions, file walking.
+
+The engine is deliberately small: it parses each file once with the stdlib
+``ast`` module, wraps the tree in a :class:`ModuleContext` (parent links plus
+an import-alias map so rules can resolve ``np.arange`` and friends to dotted
+names), runs every registered rule, and then filters the findings through the
+file's inline suppression comments.
+
+Suppression syntax (same line as the finding)::
+
+    some_call()  # repro-lint: disable=RPR001 -- reason why this is safe
+
+The reason after ``--`` is mandatory: a suppression without one is itself
+reported as ``RPR000`` and does **not** silence anything, so every waiver in
+the tree documents why the contract does not apply.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = [
+    "DEFAULT_EXCLUDED_DIRS",
+    "LintResult",
+    "ModuleContext",
+    "Violation",
+    "check_source",
+    "iter_python_files",
+    "run_paths",
+]
+
+#: Directory names skipped while walking a directory argument.  ``fixtures``
+#: is excluded because the linter's own test fixtures intentionally contain
+#: violations; explicitly named files are always checked regardless.
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".hg", ".venv", "build", "dist", "fixtures"})
+
+#: Rule id of engine-level findings (syntax errors, malformed suppressions).
+ENGINE_RULE_ID = "RPR000"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+?)\s*(?:--\s*(.*))?$")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where it is, which rule fired, and what to do instead."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+
+
+@dataclass
+class LintResult:
+    """Aggregated outcome of one linter run."""
+
+    violations: list[Violation]
+    files_checked: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class ModuleContext:
+    """Everything a rule needs about one parsed file.
+
+    Attributes
+    ----------
+    path:
+        Path of the file as given on the command line (posix separators).
+    tree:
+        The parsed module.
+    parents:
+        Child-to-parent node map over the whole tree.
+    imports:
+        Local name -> dotted origin, e.g. ``{"np": "numpy",
+        "inv": "numpy.linalg.inv"}``; used by :meth:`resolve_call`.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.imports = _import_map(tree)
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Flatten a ``Name``/``Attribute`` chain and resolve import aliases.
+
+        ``np.linalg.inv`` becomes ``numpy.linalg.inv`` when ``np`` aliases
+        ``numpy``; returns None for expressions that are not plain chains
+        (calls, subscripts, ...).
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        origin = self.imports.get(parts[0])
+        if origin is not None:
+            parts[0] = origin
+        return ".".join(parts)
+
+    def resolve_call(self, call: ast.Call) -> str | None:
+        """Dotted name of a call's target, alias-resolved (or None)."""
+        return self.dotted_name(call.func)
+
+    # ------------------------------------------------------------------
+    # Ancestry helpers
+    # ------------------------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing(self, node: ast.AST,
+                  kinds: tuple[type[ast.AST], ...]) -> ast.AST | None:
+        """Nearest ancestor of one of ``kinds`` (None if there is none)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, kinds):
+                return ancestor
+        return None
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        return self.enclosing(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                # ``import a.b`` binds ``a``; ``import a.b as c`` binds the
+                # full dotted path to ``c``.
+                imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def _parse_suppressions(source: str) -> tuple[list[_Suppression], list[tuple[int, str]]]:
+    """Extract suppression comments; returns (suppressions, parse_errors)."""
+    suppressions: list[_Suppression] = []
+    errors: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(token.start[0], token.string)
+                    for token in tokens if token.type == tokenize.COMMENT]
+    except tokenize.TokenError:  # unterminated string etc.; ast will report
+        comments = []
+    for line, text in comments:
+        # Only ``repro-lint:`` (with the colon) is directive syntax; prose
+        # comments may freely mention rule ids ("... (repro-lint RPR001)").
+        if re.search(r"repro-lint\s*:", text) is None:
+            continue
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            errors.append((line, f"malformed repro-lint comment: {text.strip()!r}"))
+            continue
+        rules = tuple(rule.strip().upper()
+                      for rule in match.group(1).split(",") if rule.strip())
+        reason = (match.group(2) or "").strip() or None
+        suppressions.append(_Suppression(line=line, rules=rules, reason=reason))
+    return suppressions, errors
+
+
+def _apply_suppressions(path: str, violations: list[Violation],
+                        suppressions: list[_Suppression],
+                        known_rules: set[str]) -> list[Violation]:
+    kept: list[Violation] = []
+    suppressed_by_line: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        if suppression.reason is None:
+            kept.append(Violation(
+                path=path, line=suppression.line, col=0, rule=ENGINE_RULE_ID,
+                message=("suppression is missing its reason; write "
+                         "'# repro-lint: disable=<RULE> -- <why this is "
+                         "safe>' (an unexplained waiver is not honored)")))
+            continue
+        unknown = [rule for rule in suppression.rules
+                   if rule not in known_rules]
+        if unknown:
+            kept.append(Violation(
+                path=path, line=suppression.line, col=0, rule=ENGINE_RULE_ID,
+                message=(f"suppression names unknown rule(s) "
+                         f"{', '.join(unknown)}; known rules are "
+                         f"{', '.join(sorted(known_rules))}")))
+        valid = {rule for rule in suppression.rules if rule in known_rules}
+        if valid:
+            suppressed_by_line.setdefault(
+                suppression.line, set()).update(valid)
+    for violation in violations:
+        if violation.rule in suppressed_by_line.get(violation.line, ()):
+            continue
+        kept.append(violation)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Per-file / per-tree entry points
+# ----------------------------------------------------------------------
+def check_source(path: str, source: str) -> list[Violation]:
+    """Lint one file's source text; returns the surviving violations."""
+    from tools.repro_lint.rules import RULES
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path=path, line=exc.lineno or 1,
+                          col=(exc.offset or 1) - 1, rule=ENGINE_RULE_ID,
+                          message=f"syntax error: {exc.msg}")]
+    context = ModuleContext(path, source, tree)
+    violations: list[Violation] = []
+    for rule in RULES:
+        for line, col, message in rule.check(context):
+            violations.append(Violation(path=path, line=line, col=col,
+                                        rule=rule.id, message=message))
+    suppressions, parse_errors = _parse_suppressions(source)
+    for line, message in parse_errors:
+        violations.append(Violation(path=path, line=line, col=0,
+                                    rule=ENGINE_RULE_ID, message=message))
+    known = {rule.id for rule in RULES}
+    violations = _apply_suppressions(path, violations, suppressions, known)
+    violations.sort(key=Violation.sort_key)
+    return violations
+
+
+def iter_python_files(paths: Sequence[str],
+                      excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS
+                      ) -> list[Path]:
+    """Expand path arguments into the sorted list of ``.py`` files to lint.
+
+    Directories are walked recursively, skipping ``excluded_dirs`` by name;
+    files named explicitly are always included (that is how the test suite
+    lints the intentionally-bad fixtures).
+    """
+    excluded = set(excluded_dirs)
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if excluded.intersection(candidate.parts):
+                    continue
+                files.append(candidate)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    unique: list[Path] = []
+    seen: set[Path] = set()
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def run_paths(paths: Sequence[str],
+              excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS
+              ) -> LintResult:
+    """Lint every python file under ``paths``; the CLI's workhorse."""
+    violations: list[Violation] = []
+    files = iter_python_files(paths, excluded_dirs)
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        violations.extend(check_source(path.as_posix(), source))
+    violations.sort(key=Violation.sort_key)
+    return LintResult(violations=violations, files_checked=len(files))
