@@ -22,10 +22,15 @@ looped single-client fixes (the batch path is bit-for-bit the single path).
 Spectra are synthesized directly (a Gaussian lobe towards each client's true
 bearing plus noise) so the benchmark times the server synthesis stage, not
 the channel simulation.
+
+Results are also written to ``BENCH_throughput.json`` (fixes/sec per mode
+and client count) so the perf trajectory is machine-readable across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import numpy as np
@@ -45,6 +50,9 @@ from conftest import run_once
 GRID_RESOLUTION_M = 0.25
 CLIENT_COUNTS = (1, 16, 256)
 REPETITIONS = 3
+#: Machine-readable results for cross-PR perf tracking.
+RESULTS_PATH = os.path.join(os.environ.get("BENCH_OUTPUT_DIR", "."),
+                            "BENCH_throughput.json")
 
 
 def _localizer_config() -> LocalizerConfig:
@@ -127,6 +135,14 @@ def measure_throughput() -> dict[int, dict[str, float]]:
             "cached": count / float(np.median(cached_s)),
             "batched": count / float(np.median(batched_s)),
         }
+    payload = {
+        str(count): dict(rates, speedup_vs_naive=rates["batched"]
+                         / rates["naive"])
+        for count, rates in results.items()
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
     return results
 
 
@@ -156,6 +172,7 @@ def test_throughput_batched_vs_looped(benchmark):
         ["Clients", "Naive loop (fix/s)", "Cached loop (fix/s)",
          "Batched (fix/s)", "vs naive", "vs cached"],
         rows, title="Localization throughput, office testbed, 25 cm grid"))
+    print(f"results written to {RESULTS_PATH}")
     at_capacity = results[CLIENT_COUNTS[-1]]
     assert at_capacity["batched"] >= 5.0 * at_capacity["naive"], (
         "batched localization must be at least 5x the naive per-client loop")

@@ -17,12 +17,17 @@ the suppression stage improves the median error on this multipath/noise-
 limited scenario (at high SNR with dense AP coverage the synthesis is
 already robust and suppression is deliberately left off by default).
 
-Run with ``--bench-smoke`` for an untimed single-repetition pipeline canary
-at a reduced problem size (the accuracy margin is only asserted at the full
-size).
+Results are also written to ``BENCH_tracking.json`` (per-variant error and
+throughput scalars) so the accuracy trajectory is machine-readable across
+PRs.  Run with ``--bench-smoke`` for an untimed single-repetition pipeline
+canary at a reduced problem size (the accuracy margin is only asserted at
+the full size).
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 from repro.eval import format_table, roaming_tracking_comparison
 
@@ -30,11 +35,34 @@ from conftest import run_once
 
 #: Reduced problem size for the --bench-smoke CI canary.
 SMOKE_SIZES = {"num_clients": 2, "num_steps": 4}
+#: Machine-readable results for cross-PR perf tracking.
+RESULTS_PATH = os.path.join(os.environ.get("BENCH_OUTPUT_DIR", "."),
+                            "BENCH_tracking.json")
+
+
+def _write_results(results, bench_smoke: bool) -> None:
+    payload = {
+        "smoke": bench_smoke,
+        "variants": {
+            name: {
+                "num_clients": result.num_clients,
+                "num_fixes": result.num_fixes,
+                "median_error_cm": result.median_error_cm,
+                "mean_error_cm": result.mean_error_cm,
+                "fixes_per_s": result.fixes_per_s,
+            }
+            for name, result in results.items()
+        },
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
 
 
 def test_roaming_tracking_with_and_without_suppression(benchmark, bench_smoke):
     sizes = SMOKE_SIZES if bench_smoke else {}
     results = run_once(benchmark, roaming_tracking_comparison, **sizes)
+    _write_results(results, bench_smoke)
     suppressed = results["suppressed"]
     unsuppressed = results["unsuppressed"]
 
@@ -47,6 +75,7 @@ def test_roaming_tracking_with_and_without_suppression(benchmark, bench_smoke):
          for name, result in results.items()],
         title="Roaming tracking: multipath suppression on/off "
               "(identical captures)"))
+    print(f"results written to {RESULTS_PATH}")
 
     # The streaming pipeline emitted one fix per client and step...
     expected = suppressed.num_clients * (4 if bench_smoke else 8)

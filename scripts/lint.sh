@@ -2,7 +2,8 @@
 # Run the repo's three static-analysis gates in the same order CI does:
 #
 #   1. ruff        (generic defects: F/E4/E7/E9 + bugbear + pyupgrade)
-#   2. repro-lint  (repo-specific AST rules; pure stdlib, always runs)
+#   2. repro-lint  (repo-specific per-file rules + whole-program flow
+#                   pass + suppression budget; pure stdlib, always runs)
 #   3. mypy        (strict-ish typing on repro.api + repro.core)
 #
 # ruff and mypy are optional locally (the dev container may not ship
@@ -33,7 +34,9 @@ else
     echo
 fi
 
-run_gate "repro-lint" python -m tools.repro_lint src tests benchmarks
+run_gate "repro-lint" python -m tools.repro_lint --flow --jobs 0 \
+    --suppression-budget tools/repro_lint/suppression_budget.json \
+    src tests benchmarks
 
 if python -c "import mypy" >/dev/null 2>&1; then
     run_gate "mypy" python -m mypy --config-file mypy.ini

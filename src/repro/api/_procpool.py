@@ -125,8 +125,16 @@ class _ArrayPacker:
         return index
 
     def pack(self) -> tuple[shared_memory.SharedMemory, _SegmentHandle]:
-        """Create the segment, copy every array in, return it + its handle."""
-        segment = shared_memory.SharedMemory(  # repro-lint: disable=RPR004 -- unlinked by _run()'s finally via _release_segment(); the zero-leak contract is asserted against live_segments() and /dev/shm by tests/api/test_process_backend.py
+        """Create the segment, copy every array in, return it + its handle.
+
+        The segment's lifetime is split across functions: every caller
+        must release it (``_run()`` does, in its ``finally``, via
+        ``_release_segment``).  repro-lint's RPR012 flow analysis proves
+        that contract on each run; the zero-leak behavior is additionally
+        asserted against ``live_segments()`` and ``/dev/shm`` by
+        ``tests/api/test_process_backend.py``.
+        """
+        segment = shared_memory.SharedMemory(
             create=True, size=max(self._nbytes, 8), name=_new_segment_name())
         _LIVE_SEGMENTS.add(segment.name)
         for (offset, length), data in zip(self._specs, self._arrays, strict=True):

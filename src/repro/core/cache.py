@@ -107,8 +107,8 @@ class SteeringCache:
         if max_entries < 1:
             raise EstimationError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self.stats = CacheStats()
-        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.stats = CacheStats()  # guarded-by: _lock
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()  # guarded-by: _lock
         # The service's thread-sharded execution drives this cache from
         # worker threads; the lookup/move-to-end/evict sequences are not
         # atomic on their own (a concurrent eviction between get() and
@@ -118,7 +118,8 @@ class SteeringCache:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _key(self, element_positions: np.ndarray, angles_deg: np.ndarray,
              wavelength_m: float, elevation_deg: float) -> tuple:
@@ -248,14 +249,15 @@ class BearingGridCache:
         if max_entries < 1:
             raise EstimationError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self.stats = CacheStats()
-        self._entries: "OrderedDict[tuple, BearingGrid]" = OrderedDict()
+        self.stats = CacheStats()  # guarded-by: _lock
+        self._entries: "OrderedDict[tuple, BearingGrid]" = OrderedDict()  # guarded-by: _lock
         # See SteeringCache: worker threads share this cache, so entry and
         # stats mutations are locked; the arctan2 sweep runs outside.
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, bounds: tuple[float, float, float, float],
             resolution_m: float, ap_position: Point2D) -> BearingGrid:
@@ -345,12 +347,13 @@ class WindowCache:
         if max_entries < 1:
             raise EstimationError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self.stats = CacheStats()
-        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.stats = CacheStats()  # guarded-by: _lock
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, angles_deg: np.ndarray, reliable_angle_deg: float,
             compute: Callable[[], np.ndarray]) -> np.ndarray:

@@ -1,0 +1,44 @@
+"""RPR009 must fire: guarded attributes accessed without their lock.
+
+``FrameRing`` is the seeded "unguarded ring-buffer write" bug: ``push``
+establishes that ``_frames``/``_dropped`` are guarded by ``_lock``, then
+``drain`` reads and clears the ring without it -- a reader racing ``push``
+sees a half-updated ring and the clear loses concurrent pushes.
+``StatsCache`` shows the container-default inference: the class owns one
+lock, so its dict attribute is guarded even on the store path that never
+mentions the lock.  Expected: 3 violations (lines flagged below).
+"""
+
+import threading
+from collections import deque
+
+
+class FrameRing:
+    def __init__(self, capacity: int) -> None:
+        self._lock = threading.Lock()
+        self._frames = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def push(self, frame: object) -> None:
+        with self._lock:
+            self._frames.append(frame)
+            if len(self._frames) == self._frames.maxlen:
+                self._dropped += 1
+
+    def drain(self) -> list[object]:
+        drained = list(self._frames)  # RPR009: read without the lock
+        self._frames.clear()  # RPR009: write without the lock
+        return drained
+
+
+class StatsCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, float] = {}
+
+    def get(self, key: str) -> float | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: str, value: float) -> None:
+        self._entries[key] = value  # RPR009: store without the lock

@@ -1,0 +1,59 @@
+"""RPR009 must stay quiet: every guarded access holds the lock or uses a
+sanctioned escape hatch (``_locked`` suffix, interprocedural proof via a
+locked caller, ``# guarded-by:`` def annotation, ``# guarded-by: none``
+attribute opt-out)."""
+
+import threading
+from collections import OrderedDict, deque
+
+
+class FrameRing:
+    def __init__(self, capacity: int) -> None:
+        self._lock = threading.Lock()
+        self._frames = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def push(self, frame: object) -> None:
+        with self._lock:
+            if len(self._frames) == self._frames.maxlen:
+                self._drop_oldest_locked()
+            self._frames.append(frame)
+
+    def _drop_oldest_locked(self) -> None:
+        # ``_locked`` suffix: callers hold the lock (push() does).
+        self._frames.popleft()
+        self._dropped += 1
+
+    def drain(self) -> list[object]:
+        with self._lock:
+            drained = list(self._frames)
+            self._frames.clear()
+            return drained
+
+
+class TrimmingCache:
+    def __init__(self, max_entries: int) -> None:
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, float] = OrderedDict()
+        self.max_entries = max_entries
+        # Diagnostics only, rebuilt wholesale by reset_stats: not guarded.
+        self.last_eviction_key = None  # guarded-by: none
+
+    def put(self, key: str, value: float) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._trim()
+
+    def _trim(self) -> None:  # guarded-by: _lock
+        while len(self._entries) > self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self.last_eviction_key = evicted
+
+    def _evict_all(self) -> None:
+        # No annotation needed: the only caller (clear) holds the lock,
+        # which the interprocedural pass proves.
+        self._entries.clear()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._evict_all()

@@ -1,0 +1,47 @@
+"""RPR010 must fire: the seeded "two-cache lock inversion".
+
+``warm_forward`` nests steering -> bearing; ``warm_reverse`` holds the
+bearing lock and calls ``_copy_back``, which takes the steering lock --
+so the order graph has steering -> bearing -> steering, a cycle only the
+interprocedural edge reveals.  ``double_acquire`` nests one non-reentrant
+Lock inside itself.  Expected: 2 violations (one cycle, one self-nest).
+"""
+
+import threading
+
+
+class SteeringTable:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: dict[str, list[float]] = {}
+
+
+class BearingTable:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: dict[str, list[float]] = {}
+
+
+def warm_forward(steering: SteeringTable, bearing: BearingTable) -> None:
+    with steering._lock:
+        with bearing._lock:
+            bearing._rows.update(steering._rows)
+
+
+def _copy_back(steering: SteeringTable, rows: dict) -> None:
+    with steering._lock:
+        steering._rows.update(rows)
+
+
+def warm_reverse(steering: SteeringTable, bearing: BearingTable) -> None:
+    with bearing._lock:
+        _copy_back(steering, bearing._rows)
+
+
+_REGISTRY_LOCK = threading.Lock()
+
+
+def double_acquire() -> None:
+    with _REGISTRY_LOCK:
+        with _REGISTRY_LOCK:  # RPR010: non-reentrant self-nest
+            pass

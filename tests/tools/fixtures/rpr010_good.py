@@ -1,0 +1,45 @@
+"""RPR010 must stay quiet: consistent acquisition order everywhere, and
+re-entrant self-nesting through an RLock (which is legal)."""
+
+import threading
+
+
+class SteeringTable:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: dict[str, list[float]] = {}
+
+
+class BearingTable:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: dict[str, list[float]] = {}
+
+
+def warm_forward(steering: SteeringTable, bearing: BearingTable) -> None:
+    with steering._lock:
+        with bearing._lock:
+            bearing._rows.update(steering._rows)
+
+
+def _copy_back(bearing: BearingTable, rows: dict) -> None:
+    with bearing._lock:
+        bearing._rows.update(rows)
+
+
+def warm_reverse(steering: SteeringTable, bearing: BearingTable) -> None:
+    # Same steering -> bearing order as warm_forward: no inversion.
+    with steering._lock:
+        _copy_back(bearing, steering._rows)
+
+
+class Recursive:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._depth = 0
+
+    def outer(self) -> None:
+        with self._lock:
+            self._depth += 1
+            with self._lock:  # RLock: re-entrant, fine
+                self._depth += 1

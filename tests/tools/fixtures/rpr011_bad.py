@@ -1,0 +1,42 @@
+"""RPR011 must fire: the seeded "post-submit mutation" bugs.
+
+``racing_batch`` mutates a submitted list after submit(); ``rolling_submit``
+submits and mutates the same window inside one loop (iteration N's append
+races iteration N-1's worker); ``submit_unpicklable`` ships an instance of
+a function-local class to a process pool, which the spawn backend cannot
+pickle.  Expected: 3 violations.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def process(batch: list) -> int:
+    return len(batch)
+
+
+def racing_batch(executor: ThreadPoolExecutor, items: list) -> None:
+    pending = []
+    pending.extend(items)
+    future = executor.submit(process, pending)  # RPR011: mutated below
+    pending.append("sentinel")
+    future.result()
+
+
+def rolling_submit(executor: ThreadPoolExecutor, frames: list) -> list:
+    window: list = []
+    futures = []
+    for frame in frames:
+        futures.append(executor.submit(process, window))  # RPR011: loop race
+        window.append(frame)
+    return [future.result() for future in futures]
+
+
+def submit_unpicklable(values: list) -> int:
+    class ShardJob:
+        def __init__(self, payload: list) -> None:
+            self.payload = payload
+
+    job = ShardJob(values)
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(process, job)  # RPR011: nested class, no pickle
+    return future.result()

@@ -1,0 +1,38 @@
+"""RPR011 must stay quiet: snapshots before submit, rebinding (not
+mutation) after submit, and module-level classes for process pools."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+class ShardJob:
+    def __init__(self, payload: tuple) -> None:
+        self.payload = payload
+
+
+def process(batch: tuple) -> int:
+    return len(batch)
+
+
+def snapshot_batch(executor: ThreadPoolExecutor, items: list) -> int:
+    pending = []
+    pending.extend(items)
+    # The tuple() snapshot decouples the worker from later mutations.
+    future = executor.submit(process, tuple(pending))
+    pending.append("sentinel")
+    return future.result()
+
+
+def rebinding_loop(executor: ThreadPoolExecutor, frames: list) -> list:
+    futures = []
+    for frame in frames:
+        window = (frame,)
+        futures.append(executor.submit(process, window))
+        window = ()  # rebinding, not in-place mutation: safe
+    return [future.result() for future in futures]
+
+
+def submit_module_level(values: tuple) -> int:
+    job = ShardJob(values)
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(process, job)
+    return future.result()

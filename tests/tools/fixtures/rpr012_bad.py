@@ -1,0 +1,35 @@
+"""RPR012 must fire: the seeded "leaked shm handle" bugs.
+
+``allocate`` returns a live segment and its only caller, ``fill``, never
+unlinks it -- the per-file RPR004 sees a clean-looking return and a clean
+looking caller, only the cross-function proof fails.  ``local_leak`` has a
+finally that closes but never unlinks: the mapping is released but the
+segment stays in /dev/shm until reboot.  Expected: 2 violations.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def allocate(nbytes: int) -> shared_memory.SharedMemory:
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    return segment
+
+
+def fill(values: np.ndarray) -> str:
+    segment = allocate(values.nbytes)  # RPR012: never unlinked
+    target = np.ndarray(values.shape, dtype=values.dtype, buffer=segment.buf)
+    target[:] = values
+    return segment.name
+
+
+def local_leak(values: np.ndarray) -> list:
+    segment = shared_memory.SharedMemory(create=True, size=values.nbytes)
+    try:
+        target = np.ndarray(values.shape, dtype=values.dtype,
+                            buffer=segment.buf)
+        target[:] = values
+        return list(target)
+    finally:
+        segment.close()  # RPR012: close() without unlink() leaks /dev/shm

@@ -1,0 +1,48 @@
+"""RPR012 must stay quiet: the split-lifetime pack/run/release contract.
+
+``pack`` creates the segment and returns it (plus a name handle) to its
+caller; ``run`` releases it in a ``finally`` through the shared releaser
+helper.  This is the _procpool-style pattern the per-file RPR004 needed a
+suppression for -- the cross-function proof accepts it as written.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def _release_segment(segment: shared_memory.SharedMemory) -> None:
+    try:
+        segment.close()
+    finally:
+        segment.unlink()
+
+
+def pack(values: np.ndarray) -> tuple[shared_memory.SharedMemory, str]:
+    segment = shared_memory.SharedMemory(create=True, size=values.nbytes)
+    target = np.ndarray(values.shape, dtype=values.dtype, buffer=segment.buf)
+    target[:] = values
+    return segment, segment.name
+
+
+def run(values: np.ndarray) -> list:
+    segment, name = pack(values)
+    try:
+        view = shared_memory.SharedMemory(name=name)
+        data = list(np.ndarray(values.shape, dtype=values.dtype,
+                               buffer=view.buf))
+        view.close()
+        return data
+    finally:
+        _release_segment(segment)
+
+
+def local_lifetime(values: np.ndarray) -> list:
+    segment = shared_memory.SharedMemory(create=True, size=values.nbytes)
+    try:
+        target = np.ndarray(values.shape, dtype=values.dtype,
+                            buffer=segment.buf)
+        target[:] = values
+        return list(target)
+    finally:
+        segment.unlink()

@@ -29,7 +29,7 @@ RULE_IDS = [rule.id for rule in RULES]
 FIXTURE_PAIRS = {
     "RPR001": ("rpr001_bad.py", "rpr001_good.py", 3),
     "RPR002": ("rpr002_bad.py", "rpr002_good.py", 2),
-    "RPR003": ("rpr003_bad.py", "rpr003_good.py", 3),
+    # RPR003 is retired: RPR009 (tests/tools/test_flow_rules.py) subsumes it.
     "RPR004": ("rpr004_bad.py", "rpr004_good.py", 1),
     "RPR005": ("rpr005_bad.py", "rpr005_good.py", 2),
     "RPR006": ("rpr006_bad.py", "rpr006_good.py", 2),
@@ -131,8 +131,9 @@ class TestReporters:
         # Machine interface: keys are asserted exactly.  Add keys when
         # extending; renaming/removal requires a schema_version bump.
         assert sorted(payload) == ["counts_by_rule", "exit_code",
-                                   "files_checked", "schema_version", "tool",
-                                   "violations"]
+                                   "files_checked", "flow", "parse_failures",
+                                   "schema_version", "suppression_counts",
+                                   "tool", "violations"]
         assert payload["schema_version"] == SCHEMA_VERSION == 1
         assert payload["tool"] == "repro-lint"
         assert payload["files_checked"] == 2
@@ -180,7 +181,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in RULE_IDS:
+        for rule_id in [*RULE_IDS, "RPR009", "RPR010", "RPR011", "RPR012"]:
             assert rule_id in out
 
     def test_module_entry_point(self):

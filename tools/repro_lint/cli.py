@@ -1,16 +1,19 @@
 """Command-line entry point: ``python -m tools.repro_lint [paths...]``.
 
-Exit codes: 0 clean, 1 violations found, 2 usage/IO error (the same
-convention ruff uses, so CI treats the two linters identically).
+Exit codes: 0 clean, 1 violations found (or suppression budget exceeded),
+2 usage/IO/parse error (the same convention ruff uses, so CI treats the
+two linters identically).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
-from tools.repro_lint.engine import run_paths
+from tools.repro_lint.engine import LintResult, run_paths
+from tools.repro_lint.flow import FLOW_RULES
 from tools.repro_lint.reporting import render_json, render_text
 from tools.repro_lint.rules import RULES
 
@@ -32,18 +35,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json"), default="text",
         help="report format (json is schema-stable; default: text)")
     parser.add_argument(
+        "--flow", action=argparse.BooleanOptionalAction, default=True,
+        help=("run the whole-program flow pass (RPR009-012) over the "
+              "scanned set; --no-flow restores the per-file rules alone "
+              "(RPR004 included)"))
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=("worker processes for the per-file pass "
+              "(0 = one per CPU; default: 1)"))
+    parser.add_argument(
+        "--suppression-budget", metavar="FILE",
+        help=("JSON file mapping path prefixes to the allowed number of "
+              "'# repro-lint: disable=' waivers beneath them; exceeding a "
+              "budget fails the run (update the file in the same PR to "
+              "raise it deliberately)"))
+    parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue and exit")
+        help="print the rule catalogue (per-file and flow) and exit")
     return parser
 
 
 def _list_rules() -> str:
     lines: list[str] = []
-    for rule in RULES:
+    for rule in [*RULES, *FLOW_RULES]:
         lines.append(f"{rule.id}  {rule.name}")
         lines.append(f"    {rule.summary}")
         lines.append(f"    motivation: {rule.motivation}")
     return "\n".join(lines)
+
+
+def _budget_overruns(result: LintResult, budget_path: str) -> list[str]:
+    """Human-readable overrun messages (empty if within budget)."""
+    with open(budget_path, encoding="utf-8") as handle:
+        budget = json.load(handle)
+    overruns: list[str] = []
+    for prefix in sorted(budget):
+        allowed = int(budget[prefix])
+        normalized = prefix.rstrip("/")
+        actual = sum(
+            count for path, count in result.waivers_by_path.items()
+            if path == normalized or path.startswith(normalized + "/"))
+        if actual > allowed:
+            overruns.append(
+                f"suppression budget exceeded under {normalized!r}: "
+                f"{actual} waiver(s), budget allows {allowed}; remove the "
+                f"new '# repro-lint: disable=' comments or update "
+                f"{budget_path} in the same PR with the rationale")
+    return overruns
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -51,16 +89,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.list_rules:
         print(_list_rules())
         return 0
+    if arguments.jobs < 0:
+        print("repro-lint: error: --jobs must be >= 0", file=sys.stderr)
+        return 2
     try:
-        result = run_paths(arguments.paths)
+        result = run_paths(arguments.paths, flow=arguments.flow,
+                           jobs=arguments.jobs)
     except FileNotFoundError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
+    exit_code = result.exit_code
     if arguments.format == "json":
         print(render_json(result))
     else:
         print(render_text(result))
-    return result.exit_code
+    if arguments.suppression_budget:
+        try:
+            overruns = _budget_overruns(result, arguments.suppression_budget)
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: error: cannot read suppression budget: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        for message in overruns:
+            print(f"repro-lint: {message}", file=sys.stderr)
+        if overruns:
+            exit_code = max(exit_code, 1)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

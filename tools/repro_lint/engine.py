@@ -1,10 +1,13 @@
-"""Core of repro-lint: per-file analysis context, suppressions, file walking.
+"""Core of repro-lint: per-file analysis, suppressions, file walking.
 
-The engine is deliberately small: it parses each file once with the stdlib
-``ast`` module, wraps the tree in a :class:`ModuleContext` (parent links plus
-an import-alias map so rules can resolve ``np.arange`` and friends to dotted
-names), runs every registered rule, and then filters the findings through the
-file's inline suppression comments.
+The engine parses each file once with the stdlib ``ast`` module, wraps the
+tree in a :class:`ModuleContext` (parent links plus an import-alias map so
+rules can resolve ``np.arange`` and friends to dotted names), runs every
+per-file rule, and then filters the findings through the file's inline
+suppression comments.  With ``flow`` enabled (the default) a second,
+whole-program pass (``tools.repro_lint.flow``) runs the RPR009-012 rules
+over the same file set; the per-file pass can fan out over worker
+processes (``jobs``) while the flow pass always runs in the parent.
 
 Suppression syntax (same line as the finding)::
 
@@ -18,10 +21,13 @@ the tree documents why the contract does not apply.
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import io
+import multiprocessing
+import os
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Iterator, Sequence
 
@@ -70,14 +76,37 @@ class _Suppression:
 
 
 @dataclass
+class _FileOutcome:
+    """Everything the per-file pass learned about one file (picklable, so
+    ``--jobs`` workers can ship it back whole)."""
+
+    path: str
+    source: str | None
+    violations: list[Violation]
+    suppressions: list[_Suppression]
+    parse_failed: bool = False
+
+    @property
+    def waiver_count(self) -> int:
+        return len(self.suppressions)
+
+
+@dataclass
 class LintResult:
     """Aggregated outcome of one linter run."""
 
     violations: list[Violation]
     files_checked: int
+    parse_failures: int = 0
+    flow: bool = False
+    #: Files with at least one ``# repro-lint: disable=`` waiver -> count
+    #: (the CLI's suppression budget sums these per top-level directory).
+    waivers_by_path: dict[str, int] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
+        if self.parse_failures:
+            return 2  # usage/IO/parse error, same convention as ruff
         return 1 if self.violations else 0
 
     def counts_by_rule(self) -> dict[str, int]:
@@ -179,6 +208,18 @@ def _import_map(tree: ast.Module) -> dict[str, str]:
     return imports
 
 
+def _known_rule_ids() -> set[str]:
+    """Every valid suppression target: per-file rules plus flow rules.
+
+    Flow ids are always valid (even under ``--no-flow``), so a file does
+    not oscillate between "unknown rule" and "suppressed" across modes.
+    """
+    from tools.repro_lint.flow import FLOW_RULE_IDS
+    from tools.repro_lint.rules import RULES
+
+    return {rule.id for rule in RULES} | set(FLOW_RULE_IDS)
+
+
 # ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
@@ -208,11 +249,22 @@ def _parse_suppressions(source: str) -> tuple[list[_Suppression], list[tuple[int
     return suppressions, errors
 
 
+def _honored_by_line(suppressions: list[_Suppression],
+                     known_rules: set[str]) -> dict[int, set[str]]:
+    honored: dict[int, set[str]] = {}
+    for suppression in suppressions:
+        if suppression.reason is None:
+            continue
+        valid = {rule for rule in suppression.rules if rule in known_rules}
+        if valid:
+            honored.setdefault(suppression.line, set()).update(valid)
+    return honored
+
+
 def _apply_suppressions(path: str, violations: list[Violation],
                         suppressions: list[_Suppression],
                         known_rules: set[str]) -> list[Violation]:
     kept: list[Violation] = []
-    suppressed_by_line: dict[int, set[str]] = {}
     for suppression in suppressions:
         if suppression.reason is None:
             kept.append(Violation(
@@ -229,30 +281,43 @@ def _apply_suppressions(path: str, violations: list[Violation],
                 message=(f"suppression names unknown rule(s) "
                          f"{', '.join(unknown)}; known rules are "
                          f"{', '.join(sorted(known_rules))}")))
-        valid = {rule for rule in suppression.rules if rule in known_rules}
-        if valid:
-            suppressed_by_line.setdefault(
-                suppression.line, set()).update(valid)
+    honored = _honored_by_line(suppressions, known_rules)
     for violation in violations:
-        if violation.rule in suppressed_by_line.get(violation.line, ()):
+        if violation.rule in honored.get(violation.line, ()):
             continue
         kept.append(violation)
     return kept
 
 
+def _silence(violations: Iterable[Violation],
+             suppressions: list[_Suppression],
+             known_rules: set[str]) -> list[Violation]:
+    """Filter flow findings through a file's suppressions (no RPR000 here:
+    the per-file pass already reported malformed/unknown waivers once)."""
+    honored = _honored_by_line(suppressions, known_rules)
+    return [violation for violation in violations
+            if violation.rule not in honored.get(violation.line, ())]
+
+
 # ----------------------------------------------------------------------
 # Per-file / per-tree entry points
 # ----------------------------------------------------------------------
-def check_source(path: str, source: str) -> list[Violation]:
-    """Lint one file's source text; returns the surviving violations."""
+def _analyze_source(path: str, source: str) -> _FileOutcome:
+    """Run the per-file pass over one file's text."""
     from tools.repro_lint.rules import RULES
 
     try:
         tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Violation(path=path, line=exc.lineno or 1,
-                          col=(exc.offset or 1) - 1, rule=ENGINE_RULE_ID,
-                          message=f"syntax error: {exc.msg}")]
+    except (SyntaxError, ValueError) as exc:
+        # ValueError covers null bytes and other unparseable input.
+        line = getattr(exc, "lineno", None) or 1
+        offset = getattr(exc, "offset", None) or 1
+        message = getattr(exc, "msg", None) or str(exc)
+        return _FileOutcome(
+            path=path, source=source, parse_failed=True, suppressions=[],
+            violations=[Violation(path=path, line=line, col=offset - 1,
+                                  rule=ENGINE_RULE_ID,
+                                  message=f"syntax error: {message}")])
     context = ModuleContext(path, source, tree)
     violations: list[Violation] = []
     for rule in RULES:
@@ -263,10 +328,29 @@ def check_source(path: str, source: str) -> list[Violation]:
     for line, message in parse_errors:
         violations.append(Violation(path=path, line=line, col=0,
                                     rule=ENGINE_RULE_ID, message=message))
-    known = {rule.id for rule in RULES}
-    violations = _apply_suppressions(path, violations, suppressions, known)
+    violations = _apply_suppressions(path, violations, suppressions,
+                                     _known_rule_ids())
     violations.sort(key=Violation.sort_key)
-    return violations
+    return _FileOutcome(path=path, source=source, violations=violations,
+                        suppressions=suppressions)
+
+
+def check_source(path: str, source: str) -> list[Violation]:
+    """Lint one file's source text; returns the surviving violations."""
+    return _analyze_source(path, source).violations
+
+
+def _lint_file(path: str) -> _FileOutcome:
+    """Read and analyze one file; IO failures become reported findings."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return _FileOutcome(
+            path=path, source=None, parse_failed=True, suppressions=[],
+            violations=[Violation(path=path, line=1, col=0,
+                                  rule=ENGINE_RULE_ID,
+                                  message=f"cannot read file: {exc}")])
+    return _analyze_source(path, source)
 
 
 def iter_python_files(paths: Sequence[str],
@@ -300,14 +384,63 @@ def iter_python_files(paths: Sequence[str],
     return unique
 
 
+def _lint_files_parallel(paths: list[str], jobs: int) -> list[_FileOutcome]:
+    """Fan the per-file pass out over worker processes, order-preserving."""
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: spawn works, just slower
+        mp_context = multiprocessing.get_context()
+    chunksize = max(1, len(paths) // (jobs * 4))
+    with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=mp_context) as pool:
+        return list(pool.map(_lint_file, paths, chunksize=chunksize))
+
+
 def run_paths(paths: Sequence[str],
-              excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS
-              ) -> LintResult:
-    """Lint every python file under ``paths``; the CLI's workhorse."""
+              excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+              *, flow: bool = True, jobs: int = 1) -> LintResult:
+    """Lint every python file under ``paths``; the CLI's workhorse.
+
+    ``flow`` adds the whole-program RPR009-012 pass (and drops per-file
+    RPR004 findings, which RPR012's cross-function proof subsumes).
+    ``jobs`` > 1 runs the per-file pass in that many worker processes
+    (0 = one per CPU); the flow pass always runs in the parent.
+    """
+    files = [path.as_posix() for path in
+             iter_python_files(paths, excluded_dirs)]
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs > 1 and len(files) > 1:
+        outcomes = _lint_files_parallel(files, min(jobs, len(files)))
+    else:
+        outcomes = [_lint_file(path) for path in files]
+
     violations: list[Violation] = []
-    files = iter_python_files(paths, excluded_dirs)
-    for path in files:
-        source = path.read_text(encoding="utf-8")
-        violations.extend(check_source(path.as_posix(), source))
+    for outcome in outcomes:
+        violations.extend(outcome.violations)
+    if flow:
+        # RPR012 proves (or refutes) the shm lifetime across functions;
+        # the per-file RPR004 heuristic would double-report every site.
+        violations = [violation for violation in violations
+                      if violation.rule != "RPR004"]
+        from tools.repro_lint.flow import run_flow
+
+        known = _known_rule_ids()
+        suppressions_by_path = {outcome.path: outcome.suppressions
+                                for outcome in outcomes}
+        flow_violations = run_flow(
+            [(outcome.path, outcome.source) for outcome in outcomes
+             if outcome.source is not None and not outcome.parse_failed])
+        for violation in flow_violations:
+            kept = _silence(
+                [violation],
+                suppressions_by_path.get(violation.path, []), known)
+            violations.extend(kept)
     violations.sort(key=Violation.sort_key)
-    return LintResult(violations=violations, files_checked=len(files))
+    return LintResult(
+        violations=violations,
+        files_checked=len(files),
+        parse_failures=sum(1 for outcome in outcomes if outcome.parse_failed),
+        flow=flow,
+        waivers_by_path={outcome.path: outcome.waiver_count
+                         for outcome in outcomes if outcome.waiver_count})

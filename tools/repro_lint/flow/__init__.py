@@ -1,0 +1,88 @@
+"""Whole-program flow analysis for repro-lint (``--flow``, on by default).
+
+Two passes over the scanned file set: pass 1 (``symbols`` + ``callgraph``)
+builds the cross-file symbol table, the per-class attribute model and an
+approximate call graph; pass 2 (``locks`` + ``escape``) runs the RPR009-012
+rules on it.  Per-file rules see one file at a time; these see the program,
+so they can follow a lock across methods, an ordering across classes, or a
+shared-memory handle across function boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Iterator
+
+from tools.repro_lint.engine import Violation
+from tools.repro_lint.flow.callgraph import CallGraph, build_call_graph
+from tools.repro_lint.flow.escape import (check_executor_escape,
+                                          check_shm_lifetime)
+from tools.repro_lint.flow.locks import (FunctionSummary, build_summaries,
+                                         check_guarded_by, check_lock_order)
+from tools.repro_lint.flow.symbols import Program, build_program
+
+__all__ = ["FLOW_RULES", "FLOW_RULE_IDS", "FlowRule", "run_flow"]
+
+FlowCheck = Callable[
+    [Program, CallGraph, dict[str, FunctionSummary]], Iterator[Violation]]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One whole-program check: stable id, docs metadata, check callable."""
+
+    id: str
+    name: str
+    summary: str
+    motivation: str
+    check: FlowCheck
+
+
+FLOW_RULES: list[FlowRule] = [
+    FlowRule(
+        "RPR009", "guarded-by-violation",
+        "attribute guarded by a lock (inferred or annotated) accessed "
+        "without holding it, checked inter-procedurally",
+        "PR 4: SteeringCache's get/move_to_end/evict sequence raced into "
+        "KeyErrors; the per-file RPR003 only saw literal 'with self._lock' "
+        "in the same function and missed every cross-method access",
+        check_guarded_by),
+    FlowRule(
+        "RPR010", "lock-order-cycle",
+        "cycle in the lock acquisition-order graph (nested 'with' blocks "
+        "and calls made while holding a lock): potential deadlock",
+        "ROADMAP item 1 adds per-AP ring buffers and a scheduler beside "
+        "the existing cache locks; an A->B / B->A inversion between any "
+        "two of them deadlocks only under load, never in tests",
+        check_lock_order),
+    FlowRule(
+        "RPR011", "executor-capture-escape",
+        "argument submitted to an executor then mutated, or (process "
+        "backend) an unpicklable nested-class instance",
+        "PR 6: the process backend pickles arguments at submit time; a "
+        "post-submit mutation races the thread backend and ships a moving "
+        "target to the spawn backend",
+        check_executor_escape),
+    FlowRule(
+        "RPR012", "shm-lifetime-leak",
+        "SharedMemory(create=True) handle not proven to reach unlink() "
+        "on every path, followed across function boundaries",
+        "PR 6/7: pack() creates the segment, _run()'s finally releases "
+        "it; the per-file RPR004 cannot see that split lifetime and "
+        "needed a reasoned suppression this analysis replaces",
+        check_shm_lifetime),
+]
+
+FLOW_RULE_IDS = frozenset(rule.id for rule in FLOW_RULES)
+
+
+def run_flow(files: Iterable[tuple[str, str]]) -> list[Violation]:
+    """Run every flow rule over ``(path, source)`` pairs; sorted findings."""
+    program = build_program(list(files))
+    graph = build_call_graph(program)
+    summaries = build_summaries(program, graph)
+    violations: list[Violation] = []
+    for rule in FLOW_RULES:
+        violations.extend(rule.check(program, graph, summaries))
+    violations.sort(key=Violation.sort_key)
+    return violations

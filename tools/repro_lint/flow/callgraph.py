@@ -1,0 +1,206 @@
+"""Pass 1, step 2: local type inference and the approximate call graph.
+
+Types are inferred per function from three cheap, high-precision sources:
+
+* parameter annotations that name a class in the scanned program (string
+  annotations are accepted verbatim);
+* ``v = SomeClass(...)`` constructor assignments;
+* ``v = f(...)`` where ``f``'s return annotation names a program class.
+
+Calls resolve to program functions through ``self.m()`` (own class),
+``v.m()`` (inferred type), bare names (same module, then imports) and
+dotted chains (import-alias resolved, suffix matched).  Anything else is
+left unresolved: the flow rules treat unresolved calls conservatively and
+the model's blind spots are documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.repro_lint.flow.symbols import (ClassModel, FunctionModel,
+                                           ModuleModel, Program)
+
+__all__ = ["CallGraph", "CallSite", "LocalTypes", "build_call_graph",
+           "infer_local_types"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: who calls whom, and the call expression."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+    path: str
+
+
+@dataclass
+class LocalTypes:
+    """Per-function variable typing: program classes plus external names."""
+
+    #: Variable name -> class defined in the scanned program.
+    classes: dict[str, ClassModel] = field(default_factory=dict)
+    #: Variable name -> dotted type name we could not resolve to a program
+    #: class (e.g. ``concurrent.futures.ProcessPoolExecutor``).
+    extern: dict[str, str] = field(default_factory=dict)
+
+    def type_name(self, name: str) -> str | None:
+        cls = self.classes.get(name)
+        if cls is not None:
+            return cls.qualname
+        return self.extern.get(name)
+
+
+def _annotation_dotted(annotation: ast.AST | None,
+                       module: ModuleModel) -> str | None:
+    """Dotted name of a simple annotation (Name/Attribute/"string")."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        return annotation.value
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        return module.context.dotted_name(annotation)
+    # ``Executor | None`` style optionals: take the non-None side.
+    if isinstance(annotation, ast.BinOp) \
+            and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            if isinstance(side, ast.Constant) and side.value is None:
+                continue
+            return _annotation_dotted(side, module)
+    return None
+
+
+def _bind(types: LocalTypes, name: str, dotted: str | None,
+          program: Program, module: ModuleModel) -> None:
+    if not dotted:
+        return
+    cls = program.resolve_class(dotted, module)
+    if cls is not None:
+        types.classes[name] = cls
+    else:
+        types.extern[name] = dotted
+
+
+def _all_args(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+    arguments = node.args
+    collected = list(arguments.posonlyargs) + list(arguments.args)
+    collected += list(arguments.kwonlyargs)
+    for extra in (arguments.vararg, arguments.kwarg):
+        if extra is not None:
+            collected.append(extra)
+    return collected
+
+
+def infer_local_types(function: FunctionModel, module: ModuleModel,
+                      program: Program) -> LocalTypes:
+    """Infer variable types visible inside ``function`` (own nodes only)."""
+    types = LocalTypes()
+    if function.class_qualname:
+        own = program.classes.get(function.class_qualname)
+        if own is not None:
+            types.classes["self"] = own
+    for arg in _all_args(function.node):
+        _bind(types, arg.arg, _annotation_dotted(arg.annotation, module),
+              program, module)
+    bindings: list[tuple[str, ast.Call]] = []
+    for node in ast.walk(function.node):
+        if module.owner.get(node) is not function:
+            continue
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Call):
+            bindings.append((node.targets[0].id, node.value))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name) \
+                        and isinstance(item.context_expr, ast.Call):
+                    bindings.append((item.optional_vars.id,
+                                     item.context_expr))
+    for name, call in bindings:
+        callee = resolve_call_target(call, function, module, program, types)
+        if isinstance(callee, ClassModel):
+            types.classes[name] = callee
+        elif isinstance(callee, FunctionModel):
+            returns = _annotation_dotted(
+                callee.node.returns,
+                program.modules.get(callee.module, module))
+            _bind(types, name, returns, program, module)
+        else:
+            # Not a program symbol: remember the dotted constructor name so
+            # receivers like ``ProcessPoolExecutor()`` stay recognizable.
+            dotted = module.context.dotted_name(call.func)
+            if dotted and dotted.rsplit(".", 1)[-1][:1].isupper():
+                types.extern.setdefault(name, dotted)
+    return types
+
+
+def resolve_call_target(call: ast.Call, function: FunctionModel | None,
+                        module: ModuleModel, program: Program,
+                        types: LocalTypes | None = None
+                        ) -> ClassModel | FunctionModel | None:
+    """Resolve a call to the program class or function it targets."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        # Module-local definitions shadow imports.
+        target = (module.classes.get(name) if name in module.classes
+                  else module.functions.get(name))
+        if target is not None:
+            return target
+        dotted = module.context.dotted_name(func)
+        return (program.resolve_class(dotted, module)
+                or program.resolve_function(dotted, module))
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            receiver_cls: ClassModel | None = None
+            if types is not None:
+                receiver_cls = types.classes.get(base.id)
+            if base.id == "self" and receiver_cls is None \
+                    and function is not None and function.class_qualname:
+                receiver_cls = program.classes.get(function.class_qualname)
+            if receiver_cls is not None:
+                return receiver_cls.methods.get(func.attr)
+        dotted = module.context.dotted_name(func)
+        if dotted:
+            return (program.resolve_function(dotted, module)
+                    or program.resolve_class(dotted, module))
+    return None
+
+
+@dataclass
+class CallGraph:
+    """Resolved call sites, indexed both ways."""
+
+    calls_by_caller: dict[str, list[CallSite]] = field(default_factory=dict)
+    callers_of: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: Cached per-function local types (shared by the flow rules).
+    types: dict[str, LocalTypes] = field(default_factory=dict)
+
+    def add(self, site: CallSite) -> None:
+        self.calls_by_caller.setdefault(site.caller, []).append(site)
+        self.callers_of.setdefault(site.callee, []).append(site)
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Resolve every call in every function of the program."""
+    graph = CallGraph()
+    for module in program.modules.values():
+        for function in module.all_functions.values():
+            types = infer_local_types(function, module, program)
+            graph.types[function.qualname] = types
+            for node in ast.walk(function.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if module.owner.get(node) is not function:
+                    continue
+                target = resolve_call_target(node, function, module, program,
+                                             types)
+                if isinstance(target, FunctionModel):
+                    graph.add(CallSite(caller=function.qualname,
+                                       callee=target.qualname,
+                                       node=node, path=module.path))
+    return graph

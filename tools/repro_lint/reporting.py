@@ -34,6 +34,9 @@ def render_text(result: LintResult) -> str:
     else:
         lines.append(f"repro-lint: clean "
                      f"({result.files_checked} file(s) checked)")
+    if result.parse_failures:
+        lines.append(f"repro-lint: {result.parse_failures} file(s) could "
+                     f"not be parsed (exit 2)")
     return "\n".join(lines)
 
 
@@ -44,6 +47,9 @@ def to_json_payload(result: LintResult) -> dict[str, Any]:
         "tool": "repro-lint",
         "files_checked": result.files_checked,
         "exit_code": result.exit_code,
+        "flow": result.flow,
+        "parse_failures": result.parse_failures,
+        "suppression_counts": dict(sorted(result.waivers_by_path.items())),
         "counts_by_rule": result.counts_by_rule(),
         "violations": [
             {

@@ -111,86 +111,15 @@ def _check_matrix_inverse(context: ModuleContext) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
-# RPR003 -- LRU cache mutated outside its lock
+# RPR003 (retired) -- LRU cache mutated outside its lock
+#
+# The per-file check matched the literal ``with self._lock:`` pattern on
+# OrderedDict attributes in the same function and nothing else.  It is
+# superseded by RPR009 (tools/repro_lint/flow/locks.py): guarded-by
+# inference over *any* lock-owning class, checked inter-procedurally, so a
+# guarded read from a different method -- invisible here -- is now caught.
+# The id stays reserved and is not reused.
 # ----------------------------------------------------------------------
-_MUTATING_METHODS = frozenset(
-    {"move_to_end", "popitem", "pop", "clear", "setdefault", "update"})
-
-
-def _self_attribute(node: ast.AST, names: set[str]) -> bool:
-    return (isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == "self"
-            and node.attr in names)
-
-
-def _under_lock(context: ModuleContext, node: ast.AST) -> bool:
-    """True if ``node`` sits inside ``with <something>.lock-ish:``."""
-    def is_lockish(child: ast.AST) -> bool:
-        if isinstance(child, ast.Attribute):
-            return "lock" in child.attr.lower()
-        if isinstance(child, ast.Name):
-            return "lock" in child.id.lower()
-        return False
-
-    for ancestor in context.ancestors(node):
-        if isinstance(ancestor, (ast.With, ast.AsyncWith)):
-            for item in ancestor.items:
-                if _contains(item.context_expr, is_lockish):
-                    return True
-    return False
-
-
-def _check_unlocked_cache_mutation(context: ModuleContext) -> Iterator[Finding]:
-    for class_node in ast.walk(context.tree):
-        if not isinstance(class_node, ast.ClassDef):
-            continue
-        cache_attrs: set[str] = set()
-        for node in ast.walk(class_node):
-            targets: list[ast.AST] = []
-            value: ast.AST | None = None
-            if isinstance(node, ast.Assign):
-                targets, value = list(node.targets), node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                targets, value = [node.target], node.value
-            if not isinstance(value, ast.Call):
-                continue
-            dotted = context.resolve_call(value)
-            if dotted is None or not dotted.endswith("OrderedDict"):
-                continue
-            for target in targets:
-                if (isinstance(target, ast.Attribute)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"):
-                    cache_attrs.add(target.attr)
-        if not cache_attrs:
-            continue
-        for node in ast.walk(class_node):
-            flagged: ast.AST | None = None
-            what = ""
-            if (isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in _MUTATING_METHODS
-                    and _self_attribute(node.func.value, cache_attrs)):
-                flagged, what = node, f".{node.func.attr}()"
-            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
-                targets = (list(node.targets)
-                           if isinstance(node, (ast.Assign, ast.Delete))
-                           else [node.target])
-                for target in targets:
-                    if (isinstance(target, ast.Subscript)
-                            and _self_attribute(target.value, cache_attrs)):
-                        flagged, what = node, "[...] assignment"
-                        break
-            if flagged is None or _under_lock(context, flagged):
-                continue
-            line, col = _location(flagged)
-            yield (line, col,
-                   f"OrderedDict cache mutation ({what}) outside a 'with "
-                   f"self._lock:' block; worker threads race the "
-                   f"lookup/move_to_end/evict sequence (a concurrent "
-                   f"eviction between get() and move_to_end() raises "
-                   f"KeyError) -- hold the lock as repro.core.cache does")
 
 
 # ----------------------------------------------------------------------
@@ -463,13 +392,10 @@ RULES: list[Rule] = [
          "PR 5: the Capon quadratic form via inv() was worse conditioned "
          "and one GEMM slower than solve()",
          _check_matrix_inverse),
-    Rule("RPR003", "unlocked-cache-mutation",
-         "OrderedDict cache attribute mutated outside 'with self._lock:'",
-         "PR 4: thread-sharded workers raced SteeringCache's "
-         "get/move_to_end/evict sequence into KeyErrors",
-         _check_unlocked_cache_mutation),
     Rule("RPR004", "shared-memory-leak",
-         "SharedMemory(create=True) without unlink() in a finally",
+         "SharedMemory(create=True) without unlink() in a finally "
+         "(per-file heuristic; RPR012's cross-function proof replaces "
+         "it when --flow is on)",
          "PR 6: a segment not unlinked on the error path outlives the "
          "process and leaks /dev/shm until reboot",
          _check_shared_memory_leak),
