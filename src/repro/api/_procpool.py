@@ -116,6 +116,7 @@ class _ArrayPacker:
         index = self._by_source.get(id(array))
         if index is not None:
             return index
+        # dtype-pinned: float64 -- the shared-memory segment's wire format is fixed float64
         data = np.ascontiguousarray(np.asarray(array, dtype=np.float64))
         index = len(self._arrays)
         self._arrays.append(data)
@@ -138,6 +139,7 @@ class _ArrayPacker:
             create=True, size=max(self._nbytes, 8), name=_new_segment_name())
         _LIVE_SEGMENTS.add(segment.name)
         for (offset, length), data in zip(self._specs, self._arrays, strict=True):
+            # dtype-pinned: float64 -- views into the fixed float64 wire format
             target = np.ndarray((length,), dtype=np.float64,
                                 buffer=segment.buf, offset=offset)
             target[:] = data

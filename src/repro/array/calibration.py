@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dtypes import as_float_array
 from repro.errors import ArrayError
 from repro.array.deployment import DeployedArray
 
@@ -30,7 +31,7 @@ __all__ = ["CalibrationMeasurement", "CalibrationResult", "PhaseCalibrator"]
 
 def _wrap_phase(phase_rad: np.ndarray | float) -> np.ndarray | float:
     """Wrap phases to the interval ``(-pi, pi]``."""
-    return np.angle(np.exp(1j * np.asarray(phase_rad, dtype=float)))
+    return np.angle(np.exp(1j * as_float_array(phase_rad)))
 
 
 @dataclass(frozen=True)
@@ -68,7 +69,7 @@ class CalibrationResult:
         comparison, because a common phase across all radios is irrelevant
         for AoA.
         """
-        truth = np.asarray(true_offsets_rad, dtype=float)
+        truth = as_float_array(true_offsets_rad)
         truth_rel = truth - truth[0]
         estimate_rel = self.internal_offsets_rad - self.internal_offsets_rad[0]
         return np.asarray(_wrap_phase(estimate_rel - truth_rel))
@@ -127,7 +128,7 @@ class PhaseCalibrator:
             modelled as negating the relative external imbalance (the paper
             swaps the two cables feeding each pair of radios).
         """
-        internal = np.asarray(array.phase_offsets_rad, dtype=float)
+        internal = as_float_array(array.phase_offsets_rad)
         if internal.shape != (self.num_radios,):
             raise ArrayError(
                 f"array has {internal.shape[0]} radios, calibrator expects "
@@ -163,8 +164,8 @@ class PhaseCalibrator:
         The averaging is done on the complex unit circle so that phase
         wrapping cannot corrupt the result.
         """
-        a = np.asarray(first.measured_offsets_rad, dtype=float)
-        b = np.asarray(second.measured_offsets_rad, dtype=float)
+        a = as_float_array(first.measured_offsets_rad)
+        b = as_float_array(second.measured_offsets_rad)
         if a.shape != b.shape:
             raise ArrayError("the two calibration runs measured different array sizes")
         internal = np.angle(np.exp(1j * a) * np.exp(1j * b)) / 2.0

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.constants import WAVELENGTH_M
+from repro.dtypes import as_float_array
 from repro.errors import ArrayError
 from repro.array.geometry import ArrayGeometry
 from repro.geometry.vector import Point2D, bearing_deg, normalize_angle_deg
@@ -125,7 +126,7 @@ class DeployedArray:
             geometry=self.geometry,
             position=self.position,
             orientation_deg=self.orientation_deg,
-            phase_offsets_rad=np.asarray(offsets_rad, dtype=float).copy(),
+            phase_offsets_rad=as_float_array(offsets_rad).copy(),
             wavelength_m=self.wavelength_m,
         )
 
@@ -136,7 +137,7 @@ class DeployedArray:
         estimate leaves small residuals, which is how calibration error can
         be injected in robustness experiments.
         """
-        estimated = np.asarray(estimated_offsets_rad, dtype=float)
+        estimated = as_float_array(estimated_offsets_rad)
         if estimated.shape != (self.num_elements,):
             raise ArrayError(
                 "estimated offsets must have one entry per element, got "

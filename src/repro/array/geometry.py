@@ -29,6 +29,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.constants import ANTENNA_SPACING_M, WAVELENGTH_M
+from repro.dtypes import as_float_array
 from repro.errors import ArrayError
 
 __all__ = ["ArrayGeometry"]
@@ -94,7 +95,7 @@ class ArrayGeometry:
     def steering_vector(self, azimuth_deg: float, elevation_deg: float = 0.0,
                         wavelength_m: float = WAVELENGTH_M) -> np.ndarray:
         """Return the ``(M,)`` complex array response for one arrival direction."""
-        return self.steering_matrix(np.array([azimuth_deg], dtype=float),
+        return self.steering_matrix(as_float_array([azimuth_deg]),
                                     elevation_deg, wavelength_m)[:, 0]
 
     def steering_matrix(self, azimuths_deg: Sequence[float] | np.ndarray,
@@ -115,7 +116,7 @@ class ArrayGeometry:
         """
         if wavelength_m <= 0:
             raise ArrayError(f"wavelength must be positive, got {wavelength_m!r}")
-        azimuths = np.atleast_1d(np.asarray(azimuths_deg, dtype=float))
+        azimuths = np.atleast_1d(as_float_array(azimuths_deg))
         azimuth_rad = np.radians(azimuths)
         direction = np.stack([np.cos(azimuth_rad), np.sin(azimuth_rad)], axis=0)
         projections = self.element_positions @ direction  # (M, K)
@@ -153,7 +154,7 @@ class ArrayGeometry:
             raise ArrayError("a linear array needs at least two elements")
         if spacing_m <= 0:
             raise ArrayError(f"spacing must be positive, got {spacing_m!r}")
-        xs = np.arange(num_elements, dtype=float) * spacing_m
+        xs = np.arange(num_elements) * spacing_m
         positions = np.stack([xs, np.zeros_like(xs)], axis=1)
         return ArrayGeometry(positions, name=f"{num_elements}-element ULA")
 
@@ -197,7 +198,7 @@ class ArrayGeometry:
             (column * spacing_m, -row * spacing_m)
             for row in range(rows) for column in range(columns)
         ]
-        return ArrayGeometry(np.array(positions, dtype=float),
+        return ArrayGeometry(np.array(positions),
                              name=f"{rows}x{columns} rectangular array")
 
     @staticmethod

@@ -28,6 +28,7 @@ from repro.constants import DEFAULT_NUM_SNAPSHOTS
 from repro.errors import ArrayError, ChannelError
 from repro.array.deployment import DeployedArray
 from repro.channel.paths import MultipathChannel
+from repro.dtypes import as_complex_array
 from repro.signal.noise import complex_awgn, noise_power_for_snr
 
 __all__ = ["SnapshotMatrix", "ArrayReceiver"]
@@ -107,6 +108,7 @@ class ArrayReceiver:
         """Return the ``(M,)`` complex array response to a unit transmit sample."""
         if len(channel) == 0:
             raise ChannelError("cannot receive over an empty channel")
+        # dtype-pinned: complex128 -- simulated RF responses are synthesized at full precision
         response = np.zeros(self.array.num_elements, dtype=np.complex128)
         for component in channel:
             steering = self.array.steering_vector_global(
@@ -151,7 +153,7 @@ class ArrayReceiver:
         if transmit_samples is None:
             transmit_samples = self._random_unit_power_samples(num_snapshots, rng)
         else:
-            transmit_samples = np.asarray(transmit_samples, dtype=np.complex128)
+            transmit_samples = as_complex_array(transmit_samples)
             if transmit_samples.ndim != 1:
                 raise ArrayError("transmit_samples must be one-dimensional")
             if len(transmit_samples) < num_snapshots:
@@ -175,5 +177,6 @@ class ArrayReceiver:
                                    rng: np.random.Generator) -> np.ndarray:
         """Return unit-power random QPSK samples standing in for frame content."""
         constellation = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j]) / np.sqrt(2.0)
+        # dtype-pinned: complex128 -- simulated QPSK frame content is synthesized at full precision
         return np.asarray(rng.choice(constellation, size=num_samples),
                           dtype=np.complex128)

@@ -151,10 +151,11 @@ class MultipathChannel:
 
     def bearings(self) -> np.ndarray:
         """Return the component azimuths as a numpy array (degrees)."""
-        return np.array([c.azimuth_deg for c in self.components], dtype=float)
+        return np.array([float(c.azimuth_deg) for c in self.components])
 
     def amplitudes(self) -> np.ndarray:
         """Return the complex component amplitudes as a numpy array."""
+        # dtype-pinned: complex128 -- amplitudes are Python scalars; an empty channel must still yield a complex array
         return np.array([c.amplitude for c in self.components], dtype=np.complex128)
 
     def scaled(self, factor: complex) -> "MultipathChannel":

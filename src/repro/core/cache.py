@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.dtypes import as_float_array
 from repro.errors import EstimationError
 from repro.geometry.vector import Point2D
 
@@ -151,7 +152,7 @@ class SteeringCache:
         numpy.ndarray
             Read-only complex steering matrix; do not mutate.
         """
-        angles = np.ascontiguousarray(np.asarray(angles_deg, dtype=float))
+        angles = np.ascontiguousarray(as_float_array(angles_deg))
         positions = np.ascontiguousarray(geometry.element_positions)
         key = self._key(positions, angles, wavelength_m, elevation_deg)
         with self._lock:
@@ -373,7 +374,7 @@ class WindowCache:
         numpy.ndarray
             Read-only float window; do not mutate.
         """
-        angles = np.ascontiguousarray(np.asarray(angles_deg, dtype=float))
+        angles = np.ascontiguousarray(as_float_array(angles_deg))
         key = (angles.shape, angles.tobytes(), float(reliable_angle_deg))
         with self._lock:
             entry = self._entries.get(key)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import as_complex_array
 from repro.errors import EstimationError
 
 __all__ = [
@@ -41,7 +42,7 @@ def sample_covariance(snapshots: np.ndarray,
     numpy.ndarray
         ``(M, M)`` Hermitian positive semi-definite matrix.
     """
-    snapshots = np.asarray(snapshots, dtype=np.complex128)
+    snapshots = as_complex_array(snapshots)
     if snapshots.ndim != 2:
         raise EstimationError(
             f"snapshot matrix must be two-dimensional, got shape {snapshots.shape}")
@@ -84,7 +85,7 @@ def sample_covariance_many(snapshots: np.ndarray,
     numpy.ndarray
         ``(F, M, M)`` stack of Hermitian positive semi-definite matrices.
     """
-    snapshots = np.asarray(snapshots, dtype=np.complex128)
+    snapshots = as_complex_array(snapshots)
     if snapshots.ndim != 3:
         raise EstimationError(
             f"snapshot stack must be three-dimensional (F, M, N), "

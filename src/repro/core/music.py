@@ -25,6 +25,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.constants import WAVELENGTH_M
+from repro.dtypes import as_complex_array, as_float_array
 from repro.errors import EstimationError
 from repro.array.geometry import ArrayGeometry
 from repro.core.cache import default_steering_cache
@@ -57,7 +58,7 @@ def _steering_matrix(geometry: ArrayGeometry, angles_deg: np.ndarray,
     layout computes it once per (grid, wavelength, elevation) and reuses it
     for every subsequent frame.  The returned matrix is read-only.
     """
-    angles = np.asarray(angles_deg, dtype=float)
+    angles = as_float_array(angles_deg)
     if angles.ndim != 1 or angles.shape[0] < 2:
         raise EstimationError("angle grid must be a 1-D array with >= 2 entries")
     return default_steering_cache().get(geometry, angles, wavelength_m,
@@ -67,7 +68,7 @@ def _steering_matrix(geometry: ArrayGeometry, angles_deg: np.ndarray,
 def _check_covariance_stack(covariances: np.ndarray,
                             geometry: ArrayGeometry) -> np.ndarray:
     """Validate an ``(F, M, M)`` stack against the geometry's element count."""
-    covariances = np.asarray(covariances, dtype=np.complex128)
+    covariances = as_complex_array(covariances)
     if covariances.ndim != 3 or covariances.shape[1] != covariances.shape[2]:
         raise EstimationError(
             f"covariance stack must have shape (F, M, M), "
@@ -95,8 +96,8 @@ def spectrum_from_noise_subspace(noise_subspace: np.ndarray,
     numpy.ndarray
         ``(K,)`` non-negative spectrum values.
     """
-    noise_subspace = np.asarray(noise_subspace, dtype=np.complex128)
-    steering = np.asarray(steering, dtype=np.complex128)
+    noise_subspace = as_complex_array(noise_subspace)
+    steering = as_complex_array(steering)
     if noise_subspace.shape[0] != steering.shape[0]:
         raise EstimationError(
             "noise subspace and steering matrix disagree on the antenna count: "
@@ -126,8 +127,8 @@ def spectrum_from_noise_subspace_many(noise_subspaces: np.ndarray,
     numpy.ndarray
         ``(G, K)`` non-negative spectrum values, one row per frame.
     """
-    noise_subspaces = np.asarray(noise_subspaces, dtype=np.complex128)
-    steering = np.asarray(steering, dtype=np.complex128)
+    noise_subspaces = as_complex_array(noise_subspaces)
+    steering = as_complex_array(steering)
     if noise_subspaces.ndim != 3:
         raise EstimationError(
             f"noise subspace stack must have shape (G, M, M - D), "
@@ -164,7 +165,7 @@ def music_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
     elevation_deg:
         Common elevation of the arrivals (Appendix A height analysis).
     """
-    covariance = np.asarray(covariance, dtype=np.complex128)
+    covariance = as_complex_array(covariance)
     if covariance.shape[0] != geometry.num_elements:
         raise EstimationError(
             f"covariance is {covariance.shape[0]}x{covariance.shape[0]} but the "
@@ -214,7 +215,7 @@ def bartlett_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
     :func:`bartlett_spectrum_many` runs per frame, keeping the two paths
     bit-for-bit identical.
     """
-    covariance = np.asarray(covariance, dtype=np.complex128)
+    covariance = as_complex_array(covariance)
     if covariance.shape[0] != geometry.num_elements:
         raise EstimationError(
             f"covariance is {covariance.shape[0]}x{covariance.shape[0]} but the "
@@ -257,7 +258,7 @@ def capon_spectrum(covariance: np.ndarray, geometry: ArrayGeometry,
     ``np.linalg.solve(regularized, steering)`` rather than an explicit
     ``np.linalg.inv``: better conditioned and one fewer GEMM.
     """
-    covariance = np.asarray(covariance, dtype=np.complex128)
+    covariance = as_complex_array(covariance)
     if covariance.shape[0] != geometry.num_elements:
         raise EstimationError(
             f"covariance is {covariance.shape[0]}x{covariance.shape[0]} but the "

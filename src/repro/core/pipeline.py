@@ -35,6 +35,7 @@ from repro.constants import (
     DEFAULT_ANGLE_RESOLUTION_DEG,
     DEFAULT_SMOOTHING_GROUPS,
 )
+from repro.dtypes import as_complex_array
 from repro.errors import EstimationError
 from repro.array.deployment import DeployedArray
 from repro.array.geometry import ArrayGeometry
@@ -383,7 +384,7 @@ class SpectrumComputer:
     def _check_stack(stack: np.ndarray, frames: Sequence[SnapshotMatrix]
                      ) -> tuple:
         """Validate a raw sample stack against its frame descriptors."""
-        stack = np.asarray(stack, dtype=np.complex128)
+        stack = as_complex_array(stack)
         if stack.ndim != 3:
             raise EstimationError(
                 f"sample stack must have shape (F, M, N), got {stack.shape}")

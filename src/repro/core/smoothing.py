@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import as_complex_array
 from repro.errors import EstimationError
 from repro.core.covariance import sample_covariance, sample_covariance_many
 
@@ -71,13 +72,13 @@ def smoothed_covariance(snapshots: np.ndarray, num_groups: int,
     numpy.ndarray
         ``(Ms, Ms)`` smoothed covariance with ``Ms = M - NG + 1``.
     """
-    snapshots = np.asarray(snapshots, dtype=np.complex128)
+    snapshots = as_complex_array(snapshots)
     if snapshots.ndim != 2:
         raise EstimationError(
             f"snapshot matrix must be two-dimensional, got shape {snapshots.shape}")
     num_antennas = snapshots.shape[0]
     sub_size = effective_antennas(num_antennas, num_groups)
-    accumulated = np.zeros((sub_size, sub_size), dtype=np.complex128)
+    accumulated = np.zeros((sub_size, sub_size), dtype=snapshots.dtype)
     for group in range(num_groups):
         sub = snapshots[group:group + sub_size, :]
         covariance = sample_covariance(sub, diagonal_loading)
@@ -100,14 +101,15 @@ def smoothed_covariance_many(snapshots: np.ndarray, num_groups: int,
     groups matches the serial loop exactly, so frame ``f`` of the result is
     bit-for-bit identical to ``smoothed_covariance(snapshots[f], ...)``.
     """
-    snapshots = np.asarray(snapshots, dtype=np.complex128)
+    snapshots = as_complex_array(snapshots)
     if snapshots.ndim != 3:
         raise EstimationError(
             f"snapshot stack must be three-dimensional (F, M, N), "
             f"got shape {snapshots.shape}")
     num_frames, num_antennas = snapshots.shape[0], snapshots.shape[1]
     sub_size = effective_antennas(num_antennas, num_groups)
-    accumulated = np.zeros((num_frames, sub_size, sub_size), dtype=np.complex128)
+    accumulated = np.zeros((num_frames, sub_size, sub_size),
+                           dtype=snapshots.dtype)
     for group in range(num_groups):
         sub = snapshots[:, group:group + sub_size, :]
         covariance = sample_covariance_many(sub, diagonal_loading)
@@ -130,13 +132,13 @@ def smooth_snapshots(snapshots: np.ndarray, num_groups: int) -> np.ndarray:
     for tests that verify the two formulations agree on where the spectrum
     peaks are.
     """
-    snapshots = np.asarray(snapshots, dtype=np.complex128)
+    snapshots = as_complex_array(snapshots)
     if snapshots.ndim != 2:
         raise EstimationError(
             f"snapshot matrix must be two-dimensional, got shape {snapshots.shape}")
     num_antennas = snapshots.shape[0]
     sub_size = effective_antennas(num_antennas, num_groups)
-    output = np.zeros((sub_size, snapshots.shape[1]), dtype=np.complex128)
+    output = np.zeros((sub_size, snapshots.shape[1]), dtype=snapshots.dtype)
     for i in range(sub_size):
         output[i] = np.mean(snapshots[i:i + num_groups, :], axis=0)
     return output

@@ -21,6 +21,7 @@ import numpy as np
 from numpy.typing import ArrayLike
 
 from repro.constants import DEFAULT_ANGLE_RESOLUTION_DEG
+from repro.dtypes import as_float_array
 from repro.errors import EstimationError
 from repro.geometry.vector import Point2D, bearing_deg
 
@@ -71,8 +72,8 @@ def circular_interpolation_table(grid_angles_deg: np.ndarray,
     each query angle is ``(1 - fraction) * values[lower] + fraction *
     values[upper]``.
     """
-    grid_angles_deg = np.asarray(grid_angles_deg, dtype=float)
-    query = np.atleast_1d(np.asarray(query_angles_deg, dtype=float)) % 360.0
+    grid_angles_deg = as_float_array(grid_angles_deg)
+    query = np.atleast_1d(as_float_array(query_angles_deg)) % 360.0
     resolution = float(grid_angles_deg[1] - grid_angles_deg[0])
     positions = query / resolution
     floor_positions = np.floor(positions)
@@ -149,7 +150,7 @@ class AoASpectrum:
 
     def copy_with_power(self, power: np.ndarray) -> "AoASpectrum":
         """Return a copy of this spectrum carrying different power values."""
-        return replace(self, power=np.asarray(power, dtype=float))
+        return replace(self, power=as_float_array(power))
 
     # ------------------------------------------------------------------
     # Lookups
@@ -178,7 +179,7 @@ class AoASpectrum:
 
     def power_at_global(self, global_bearings_deg: ArrayLike) -> np.ndarray:
         """Return interpolated power at building-frame bearings (degrees)."""
-        bearings = np.atleast_1d(np.asarray(global_bearings_deg, dtype=float))
+        bearings = np.atleast_1d(as_float_array(global_bearings_deg))
         return self.power_at_local(bearings - self.ap_orientation_deg)
 
     def power_towards(self, position: Point2D) -> float:
@@ -208,7 +209,7 @@ class AoASpectrum:
 
     def apply_window(self, window: np.ndarray) -> "AoASpectrum":
         """Return a copy multiplied pointwise by ``window`` (same grid)."""
-        window = np.asarray(window, dtype=float)
+        window = as_float_array(window)
         if window.shape != self.power.shape:
             raise EstimationError(
                 f"window shape {window.shape} does not match spectrum "
@@ -253,8 +254,8 @@ class AoASpectrum:
         from (Section 2.3.4), so its spectrum on ``[0, 180]`` is mirrored to
         ``(180, 360)``: ``P(360 - theta) = P(theta)``.
         """
-        angles_deg = np.asarray(angles_deg, dtype=float)
-        power = np.asarray(power, dtype=float)
+        angles_deg = as_float_array(angles_deg)
+        power = as_float_array(power)
         if angles_deg.ndim != 1 or angles_deg.shape != power.shape:
             raise EstimationError("angles and power must be 1-D arrays of equal length")
         if angles_deg.shape[0] < 3:

@@ -16,6 +16,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.dtypes import as_complex_array
 from repro.errors import EstimationError
 
 __all__ = [
@@ -94,7 +95,7 @@ def decompose(covariance: np.ndarray,
         Upper bound on ``D``; defaults to ``M - 1`` so at least one noise
         eigenvector always remains (MUSIC needs a non-empty noise subspace).
     """
-    covariance = np.asarray(covariance, dtype=np.complex128)
+    covariance = as_complex_array(covariance)
     if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
         raise EstimationError(
             f"covariance must be a square matrix, got shape {covariance.shape}")
@@ -198,7 +199,7 @@ def decompose_many(covariances: np.ndarray,
     threshold_fraction, max_sources:
         As in :func:`decompose`.
     """
-    covariances = np.asarray(covariances, dtype=np.complex128)
+    covariances = as_complex_array(covariances)
     if covariances.ndim != 3 or covariances.shape[1] != covariances.shape[2]:
         raise EstimationError(
             f"covariance stack must have shape (F, M, M), "
@@ -217,7 +218,7 @@ def decompose_many(covariances: np.ndarray,
         return SubspaceDecompositionBatch(
             eigenvalues=np.empty((0, num_antennas)),
             eigenvectors=np.empty((0, num_antennas, num_antennas),
-                                  dtype=np.complex128),
+                                  dtype=covariances.dtype),
             num_sources=np.empty((0,), dtype=int))
     eigenvalues, eigenvectors = np.linalg.eigh(covariances)
     # eigh returns ascending order per frame; we want non-increasing.  The

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.dtypes import as_complex_array, as_float_array
 from repro.errors import EstimationError
 from repro.array.geometry import ArrayGeometry
 from repro.core.covariance import sample_covariance, sample_covariance_many
@@ -75,7 +76,7 @@ class SymmetryResolver:
             the bearings where MUSIC actually sees arrivals instead of being
             diluted by side-lobe energy.
         """
-        snapshots = np.asarray(snapshots, dtype=np.complex128)
+        snapshots = as_complex_array(snapshots)
         if snapshots.shape[0] != self.geometry.num_elements:
             raise EstimationError(
                 f"snapshots have {snapshots.shape[0]} rows but the geometry has "
@@ -117,7 +118,7 @@ class SymmetryResolver:
         spectra = list(spectra) if spectra is not None else None
         if not spectra:
             return self.side_powers_stack(snapshots, None, None)
-        snapshots = np.asarray(snapshots, dtype=np.complex128)
+        snapshots = as_complex_array(snapshots)
         if snapshots.ndim == 3 and len(spectra) != snapshots.shape[0]:
             raise EstimationError(
                 f"got {len(spectra)} spectra for {snapshots.shape[0]} frames")
@@ -149,7 +150,7 @@ class SymmetryResolver:
         spectrum_angles:
             The shared angle grid of ``spectrum_power``.
         """
-        snapshots = np.asarray(snapshots, dtype=np.complex128)
+        snapshots = as_complex_array(snapshots)
         if snapshots.ndim != 3:
             raise EstimationError(
                 f"snapshot stack must have shape (F, M, N), "
@@ -163,7 +164,7 @@ class SymmetryResolver:
         power = bartlett_spectrum_many(covariances, self.geometry, angles,
                                        self.wavelength_m)
         if spectrum_power is not None:
-            spectrum_power = np.asarray(spectrum_power, dtype=float)
+            spectrum_power = as_float_array(spectrum_power)
             if spectrum_power.shape[0] != snapshots.shape[0]:
                 raise EstimationError(
                     f"got {spectrum_power.shape[0]} spectra for "

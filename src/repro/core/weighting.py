@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import as_float_array
 from repro.errors import EstimationError
 from repro.core.cache import default_window_cache
 from repro.core.spectrum import AoASpectrum
@@ -40,7 +41,7 @@ def geometry_window(angles_deg: np.ndarray,
     if not 0.0 < reliable_angle_deg < 90.0:
         raise EstimationError(
             f"reliable_angle_deg must be in (0, 90), got {reliable_angle_deg!r}")
-    angles = np.asarray(angles_deg, dtype=float) % 360.0
+    angles = as_float_array(angles_deg) % 360.0
     # Fold onto [0, 180]: the distance from the array axis is symmetric.
     folded = np.where(angles > 180.0, 360.0 - angles, angles)
     window = np.ones_like(folded)

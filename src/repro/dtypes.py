@@ -1,0 +1,64 @@
+"""The audited dtype-promotion boundary of the library.
+
+Every public entry point that used to write ``np.asarray(x, dtype=float)``
+or ``np.asarray(x, dtype=np.complex128)`` now funnels through these two
+helpers, which preserve the caller's *precision* instead of silently
+forcing full width:
+
+* floating input keeps its dtype (``float32`` stays ``float32``,
+  ``complex64`` stays ``complex64``);
+* everything else (ints, bools, Python lists) promotes to the full-width
+  default exactly as the old coercions did, so existing callers see
+  bit-identical behavior.
+
+This is the precondition for ROADMAP item 2's opt-in float32 fast path:
+once inputs can carry a narrow dtype end to end, the covariance/eigh/GEMM
+stack runs at half the memory bandwidth without any per-call flag.  The
+repro-lint numerics pass (RPR013, ``dtype_surface``) models calls to these
+helpers as dtype-preserving and treats the pins *inside* them as the one
+audited promotion decision of the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_complex_array", "as_float_array", "complex_dtype_for"]
+
+
+def complex_dtype_for(dtype: np.dtype) -> np.dtype:
+    """Complex dtype matching the precision of ``dtype``.
+
+    ``float32``/``complex64`` map to ``complex64``; everything else maps to
+    ``complex128`` (the historical default).
+    """
+    if dtype == np.complex64 or dtype == np.float32:
+        return np.dtype(np.complex64)
+    return np.dtype(np.complex128)
+
+
+def as_float_array(values: object) -> np.ndarray:
+    """``np.asarray`` preserving floating precision.
+
+    Floating input (``float16``/``float32``/``float64``) is passed through
+    unchanged; anything else is converted to ``float64``, matching the old
+    ``np.asarray(values, dtype=float)`` coercion bit for bit.
+    """
+    array = np.asarray(values)
+    if array.dtype.kind == "f":
+        return array
+    return np.asarray(array, dtype=np.float64)
+
+
+def as_complex_array(values: object) -> np.ndarray:
+    """``np.asarray`` preserving complex precision.
+
+    Complex input keeps its dtype; real floating input is widened to the
+    complex dtype of the *same* precision (``float32`` -> ``complex64``);
+    anything else becomes ``complex128``, matching the old
+    ``np.asarray(values, dtype=np.complex128)`` coercion bit for bit.
+    """
+    array = np.asarray(values)
+    if array.dtype.kind == "c":
+        return array
+    return np.asarray(array, dtype=complex_dtype_for(array.dtype))

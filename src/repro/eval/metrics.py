@@ -12,6 +12,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.dtypes import as_float_array
 from repro.errors import EstimationError
 
 __all__ = ["ErrorStatistics", "empirical_cdf", "summarize_errors"]
@@ -62,7 +63,7 @@ def summarize_errors(errors_cm: Sequence[float] | np.ndarray) -> ErrorStatistics
         silently admitted NaN and poisoned every quantile; +inf slips the
         same guard and poisons the mean/max), or contains negative values.
     """
-    errors = np.asarray(list(errors_cm), dtype=float)
+    errors = as_float_array(list(errors_cm))
     if errors.size == 0:
         raise EstimationError("cannot summarize an empty error sample")
     bad_count = int(np.count_nonzero(~np.isfinite(errors)))
@@ -97,7 +98,7 @@ def empirical_cdf(errors_cm: Sequence[float] | np.ndarray,
         Evaluation grid; a logarithmic grid from 1 cm to the sample maximum
         (matching the paper's log-scaled CDF plots) is used when omitted.
     """
-    errors = np.sort(np.asarray(list(errors_cm), dtype=float))
+    errors = np.sort(as_float_array(list(errors_cm)))
     if errors.size == 0:
         raise EstimationError("cannot compute the CDF of an empty sample")
     bad_count = int(np.count_nonzero(~np.isfinite(errors)))
@@ -112,6 +113,6 @@ def empirical_cdf(errors_cm: Sequence[float] | np.ndarray,
         upper = max(float(errors[-1]), 1.0) * 1.001
         grid = np.logspace(0.0, np.log10(upper), 64)
     else:
-        grid = np.asarray(list(grid_cm), dtype=float)
+        grid = as_float_array(list(grid_cm))
     fractions = np.searchsorted(errors, grid, side="right") / errors.size
     return grid, fractions

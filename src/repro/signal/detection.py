@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.constants import SAMPLE_RATE_HZ
+from repro.dtypes import as_complex_array
 from repro.errors import DetectionError
 from repro.signal.ofdm import generate_short_training_field, short_training_symbol
 from repro.signal.waveform import Waveform
@@ -86,7 +87,7 @@ class SchmidlCoxDetector:
 
     def metric(self, samples: np.ndarray) -> np.ndarray:
         """Return the Schmidl-Cox timing metric ``M(d)`` for every offset d."""
-        samples = np.asarray(samples, dtype=np.complex128)
+        samples = as_complex_array(samples)
         L = self.symbol_length
         n = len(samples)
         if n < 2 * L + self.window:
@@ -142,7 +143,7 @@ class MatchedFilterDetector:
         simple constant-false-alarm-rate normalization that makes a fixed
         threshold meaningful across input power levels.
         """
-        samples = np.asarray(samples, dtype=np.complex128)
+        samples = as_complex_array(samples)
         if len(samples) < len(self._template):
             return np.zeros(max(len(samples), 1))
         matched = np.abs(np.correlate(samples, self._template, mode="valid"))

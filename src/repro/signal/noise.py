@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dtypes import as_complex_array
 from repro.errors import SignalError
 from repro.signal.waveform import Waveform
 
@@ -94,8 +95,8 @@ def add_awgn(waveform: Waveform, snr_db: float,
 
 def measure_snr_db(noisy: np.ndarray, clean: np.ndarray) -> float:
     """Estimate the SNR in dB of ``noisy`` given the known ``clean`` signal."""
-    noisy = np.asarray(noisy, dtype=np.complex128)
-    clean = np.asarray(clean, dtype=np.complex128)
+    noisy = as_complex_array(noisy)
+    clean = as_complex_array(clean)
     if noisy.shape != clean.shape:
         raise SignalError(
             f"shape mismatch: noisy {noisy.shape} vs clean {clean.shape}")

@@ -64,6 +64,7 @@ _LTS_FREQ_RIGHT = [
 
 def _subcarrier_spectrum(values: dict[int, complex]) -> np.ndarray:
     """Place subcarrier values into an FFT-shifted length-64 spectrum."""
+    # dtype-pinned: complex128 -- IEEE 802.11 reference spectra are synthesized at full precision
     spectrum = np.zeros(FFT_SIZE, dtype=np.complex128)
     for subcarrier, value in values.items():
         spectrum[subcarrier % FFT_SIZE] = value

@@ -15,6 +15,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.constants import SAMPLE_RATE_HZ
+from repro.dtypes import as_complex_array
 from repro.errors import SignalError
 
 __all__ = ["Waveform"]
@@ -86,7 +87,7 @@ class Waveform:
         """Return a copy delayed by ``num_samples`` (zero padded at the front)."""
         if num_samples < 0:
             raise SignalError(f"delay must be non-negative, got {num_samples}")
-        padded = np.concatenate([np.zeros(num_samples, dtype=np.complex128),
+        padded = np.concatenate([np.zeros(num_samples, dtype=self.samples.dtype),
                                  self.samples])
         return Waveform(padded, self.sample_rate_hz)
 
@@ -146,13 +147,14 @@ class Waveform:
         """Return an all-zero waveform of ``num_samples`` samples."""
         if num_samples < 0:
             raise SignalError(f"num_samples must be non-negative, got {num_samples}")
+        # dtype-pinned: complex128 -- synthesized reference waveforms are full precision
         return Waveform(np.zeros(num_samples, dtype=np.complex128), sample_rate_hz)
 
     @staticmethod
     def from_samples(samples: Sequence[complex] | Iterable[complex],
                      sample_rate_hz: float = SAMPLE_RATE_HZ) -> "Waveform":
         """Return a waveform wrapping ``samples``."""
-        return Waveform(np.asarray(list(samples), dtype=np.complex128), sample_rate_hz)
+        return Waveform(as_complex_array(list(samples)), sample_rate_hz)
 
     @staticmethod
     def continuous_wave(frequency_hz: float, duration_s: float,

@@ -1,0 +1,30 @@
+"""Bad fixture: scalarized hot loops in core/ (RPR015).
+
+Seeds the scalarized-loop bug class: per-element NumPy calls and
+quadratic array growth inside the per-frame processing loop.
+"""
+
+import numpy as np
+
+
+def scalarized_norms(rows):
+    total = 0.0
+    for i in range(len(rows)):
+        total += float(np.abs(rows[i]).sum())
+    return total
+
+
+def grown_spectrum(values):
+    spectrum = np.zeros(1)
+    for value in values:
+        spectrum = np.append(spectrum, value)
+    return spectrum
+
+
+def reconverted(values):
+    stacked = np.zeros(0)
+    collected = []
+    for value in values:
+        collected.append(value)
+        stacked = np.array(collected)
+    return stacked

@@ -1,0 +1,21 @@
+"""Good fixture: vectorized/preallocated counterparts of rpr015_bad."""
+
+import numpy as np
+
+
+def vectorized_norms(rows):
+    return float(np.abs(rows).sum())
+
+
+def collected_spectrum(values):
+    collected = []
+    for value in values:
+        collected.append(value * 2.0)
+    return np.array(collected)
+
+
+def preallocated(values):
+    out = np.zeros(len(values))
+    for i, value in enumerate(values):
+        out[i] = 2.0 * value
+    return out

@@ -1,0 +1,27 @@
+"""Bad fixture: hard dtype pins on the public data path (RPR013).
+
+Seeds the silent-upcast half of the historical arange-seam bug: the angle
+grid and every coercion below force full width, so a float32 caller is
+upcast without any test noticing.
+"""
+
+import numpy as np
+
+
+def _coerce(values):
+    return np.asarray(values, dtype=np.float64)
+
+
+def spectrum_power(values):
+    """Public root; makes the private ``_coerce`` pin reachable."""
+    return _coerce(values) ** 2
+
+
+def covariance(snapshots):
+    snapshots = np.asarray(snapshots, dtype=np.complex128)
+    return snapshots @ snapshots.conj().T
+
+
+def angle_grid(num_points):
+    # dtype-pinned: float64
+    return np.linspace(0.0, 360.0, num_points, dtype=np.float64)

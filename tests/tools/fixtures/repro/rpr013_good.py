@@ -1,0 +1,22 @@
+"""Good fixture: the polymorphic/annotated counterparts of rpr013_bad."""
+
+import numpy as np
+
+
+def accumulate(values):
+    values = np.asarray(values)
+    return np.zeros(values.shape, dtype=values.dtype) + values
+
+
+def reference_tone(num_samples):
+    # dtype-pinned: complex128 -- synthesized reference is full precision by contract
+    return np.zeros(num_samples, dtype=np.complex128)
+
+
+def histogram_counts(values):
+    del values
+    return np.zeros(8, dtype=np.int64)
+
+
+def _unreachable_debug_dump(values):
+    return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,15 @@
+"""Bad fixture: float32 silently meets float64 (RPR014).
+
+Seeds the silent-upcast bug class: one wide operand and the whole
+expression runs -- and allocates -- in float64, erasing the narrow
+path's bandwidth win without any test failing.
+"""
+
+import numpy as np
+
+
+def mixed_product(n):
+    narrow = np.zeros(n, dtype=np.float32)
+    wide = np.ones(n, dtype=np.float64)
+    scaled = narrow * wide
+    return np.dot(narrow, wide) + scaled

@@ -1,0 +1,11 @@
+"""Good fixture: precision-matched arithmetic (RPR014 stays quiet)."""
+
+import numpy as np
+
+
+def matched_product(n):
+    narrow = np.zeros(n, dtype=np.float32)
+    other = np.ones(n, dtype=np.float32)
+    scaled = narrow * other
+    shifted = narrow + 1.0  # weak Python scalar adopts float32 (NEP 50)
+    return np.dot(narrow, other) + scaled + shifted

@@ -1,0 +1,17 @@
+"""Bad fixture: nondeterministic numerics (RPR016).
+
+Seeds the unseeded-rng bug class: legacy global-state np.random calls
+whose stream any import can reorder, plus an unseeded generator in
+test scope feeding a bit-exact comparison.
+"""
+
+import numpy as np
+
+
+def legacy_noise(n):
+    np.random.seed(1234)
+    return np.random.normal(size=n)
+
+
+def unseeded_stream():
+    return np.random.default_rng()

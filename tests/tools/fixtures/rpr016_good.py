@@ -1,0 +1,12 @@
+"""Good fixture: explicitly seeded modern generators (RPR016 quiet)."""
+
+import numpy as np
+
+
+def seeded_stream(seed=0):
+    return np.random.default_rng(seed)
+
+
+def seeded_noise(n, seed=0):
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return rng.normal(size=n)

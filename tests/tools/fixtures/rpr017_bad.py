@@ -1,0 +1,18 @@
+"""Bad fixture: uninitialized reads and axis-less reductions (RPR017).
+
+Seeds the empty-read bug class: an np.empty buffer flows into results
+before any element is written, and an axis-less mean collapses the
+batch axis together with the feature axis.
+"""
+
+import numpy as np
+
+
+def uninitialized_readout():
+    buffer = np.empty(4)
+    return buffer * 2.0
+
+
+def collapsed_average():
+    grid = np.zeros((8, 360))
+    return np.mean(grid)

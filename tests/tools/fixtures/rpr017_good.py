@@ -1,0 +1,26 @@
+"""Good fixture: initialized buffers and explicit axes (RPR017 quiet)."""
+
+import numpy as np
+
+
+def filled_readout():
+    buffer = np.empty(4)
+    buffer[:] = 0.0
+    return buffer * 2.0
+
+
+def out_parameter():
+    buffer = np.empty(4)
+    np.multiply(np.zeros(4), 2.0, out=buffer)
+    return buffer
+
+
+def per_axis_average():
+    grid = np.zeros((8, 360))
+    deliberate = np.mean(grid, axis=None)  # spelled out => deliberate
+    return np.mean(grid, axis=0) + deliberate
+
+
+def empty_placeholder():
+    placeholder = np.empty((0, 4))
+    return placeholder

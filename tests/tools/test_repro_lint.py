@@ -130,9 +130,11 @@ class TestReporters:
         payload = to_json_payload(self._result())
         # Machine interface: keys are asserted exactly.  Add keys when
         # extending; renaming/removal requires a schema_version bump.
-        assert sorted(payload) == ["counts_by_rule", "exit_code",
-                                   "files_checked", "flow", "parse_failures",
-                                   "schema_version", "suppression_counts",
+        assert sorted(payload) == ["counts_by_rule", "dtype_surface",
+                                   "exit_code", "files_checked", "flow",
+                                   "parse_failures", "schema_version",
+                                   "suppression_counts",
+                                   "suppression_counts_by_rule",
                                    "tool", "violations"]
         assert payload["schema_version"] == SCHEMA_VERSION == 1
         assert payload["tool"] == "repro-lint"

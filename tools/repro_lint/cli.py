@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from collections.abc import Sequence
 
@@ -36,7 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report format (json is schema-stable; default: text)")
     parser.add_argument(
         "--flow", action=argparse.BooleanOptionalAction, default=True,
-        help=("run the whole-program flow pass (RPR009-012) over the "
+        help=("run the whole-program flow pass (RPR009-017) over the "
               "scanned set; --no-flow restores the per-file rules alone "
               "(RPR004 included)"))
     parser.add_argument(
@@ -50,9 +51,37 @@ def _build_parser() -> argparse.ArgumentParser:
               "budget fails the run (update the file in the same PR to "
               "raise it deliberately)"))
     parser.add_argument(
+        "--changed-only", action="store_true",
+        help=("lint only files that differ from "
+              "'git merge-base HEAD origin/main' (falls back to 'main', "
+              "then HEAD); the flow pass still analyzes the whole scanned "
+              "set so interprocedural findings stay sound, but only "
+              "changed files are reported -- the fast pre-push mode"))
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue (per-file and flow) and exit")
     return parser
+
+
+def _git_lines(*args: str) -> list[str]:
+    completed = subprocess.run(
+        ["git", *args], capture_output=True, text=True, check=True)
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def _changed_files() -> set[str]:
+    """Paths changed vs the merge base with the main branch (plus any
+    uncommitted changes), for ``--changed-only``."""
+    base = "HEAD"
+    for upstream in ("origin/main", "main"):
+        try:
+            base = _git_lines("merge-base", "HEAD", upstream)[0]
+            break
+        except (subprocess.CalledProcessError, IndexError, OSError):
+            continue
+    changed = _git_lines("diff", "--name-only", base)
+    changed += _git_lines("ls-files", "--others", "--exclude-standard")
+    return set(changed)
 
 
 def _list_rules() -> str:
@@ -65,19 +94,31 @@ def _list_rules() -> str:
 
 
 def _budget_overruns(result: LintResult, budget_path: str) -> list[str]:
-    """Human-readable overrun messages (empty if within budget)."""
+    """Human-readable overrun messages (empty if within budget).
+
+    Keys are path prefixes (``"src"``) or rule-id prefixes (``"RPR013"``,
+    ``"RPR01"``); a rule key caps the honored waivers naming any matching
+    rule, anywhere in the tree.
+    """
     with open(budget_path, encoding="utf-8") as handle:
         budget = json.load(handle)
     overruns: list[str] = []
     for prefix in sorted(budget):
         allowed = int(budget[prefix])
-        normalized = prefix.rstrip("/")
-        actual = sum(
-            count for path, count in result.waivers_by_path.items()
-            if path == normalized or path.startswith(normalized + "/"))
+        if prefix.startswith("RPR"):
+            actual = sum(
+                count for rule, count in result.waivers_by_rule.items()
+                if rule.startswith(prefix))
+            subject = f"for rule prefix {prefix!r}"
+        else:
+            normalized = prefix.rstrip("/")
+            actual = sum(
+                count for path, count in result.waivers_by_path.items()
+                if path == normalized or path.startswith(normalized + "/"))
+            subject = f"under {normalized!r}"
         if actual > allowed:
             overruns.append(
-                f"suppression budget exceeded under {normalized!r}: "
+                f"suppression budget exceeded {subject}: "
                 f"{actual} waiver(s), budget allows {allowed}; remove the "
                 f"new '# repro-lint: disable=' comments or update "
                 f"{budget_path} in the same PR with the rationale")
@@ -92,9 +133,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if arguments.jobs < 0:
         print("repro-lint: error: --jobs must be >= 0", file=sys.stderr)
         return 2
+    restrict = None
+    if arguments.changed_only:
+        try:
+            restrict = _changed_files()
+        except (subprocess.CalledProcessError, OSError) as exc:
+            print(f"repro-lint: error: --changed-only needs a git "
+                  f"checkout: {exc}", file=sys.stderr)
+            return 2
     try:
         result = run_paths(arguments.paths, flow=arguments.flow,
-                           jobs=arguments.jobs)
+                           jobs=arguments.jobs, restrict=restrict)
     except FileNotFoundError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2

@@ -5,7 +5,7 @@ tree in a :class:`ModuleContext` (parent links plus an import-alias map so
 rules can resolve ``np.arange`` and friends to dotted names), runs every
 per-file rule, and then filters the findings through the file's inline
 suppression comments.  With ``flow`` enabled (the default) a second,
-whole-program pass (``tools.repro_lint.flow``) runs the RPR009-012 rules
+whole-program pass (``tools.repro_lint.flow``) runs the RPR009-017 rules
 over the same file set; the per-file pass can fan out over worker
 processes (``jobs``) while the flow pass always runs in the parent.
 
@@ -28,7 +28,7 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from pathlib import Path
+from pathlib import Path, PurePath
 from collections.abc import Iterable, Iterator, Sequence
 
 __all__ = [
@@ -102,6 +102,12 @@ class LintResult:
     #: Files with at least one ``# repro-lint: disable=`` waiver -> count
     #: (the CLI's suppression budget sums these per top-level directory).
     waivers_by_path: dict[str, int] = field(default_factory=dict)
+    #: Honored-waiver counts per rule id (``RPR...`` suppression-budget
+    #: keys compare against these).
+    waivers_by_rule: dict[str, int] = field(default_factory=dict)
+    #: The numerics pass's float32-readiness inventory (empty without
+    #: ``flow``); see ``tools.repro_lint.numerics.surface``.
+    dtype_surface: dict[str, object] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -396,28 +402,47 @@ def _lint_files_parallel(paths: list[str], jobs: int) -> list[_FileOutcome]:
         return list(pool.map(_lint_file, paths, chunksize=chunksize))
 
 
+def _read_for_flow(path: str) -> tuple[str, str] | None:
+    """Source of a file the per-file pass skipped (``restrict``); the flow
+    pass still needs the whole program for its symbol table."""
+    try:
+        return path, Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
 def run_paths(paths: Sequence[str],
               excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
-              *, flow: bool = True, jobs: int = 1) -> LintResult:
+              *, flow: bool = True, jobs: int = 1,
+              restrict: Iterable[str] | None = None) -> LintResult:
     """Lint every python file under ``paths``; the CLI's workhorse.
 
-    ``flow`` adds the whole-program RPR009-012 pass (and drops per-file
+    ``flow`` adds the whole-program RPR009-017 pass (and drops per-file
     RPR004 findings, which RPR012's cross-function proof subsumes).
     ``jobs`` > 1 runs the per-file pass in that many worker processes
     (0 = one per CPU); the flow pass always runs in the parent.
+    ``restrict`` (``--changed-only``) limits the per-file pass and the
+    *reported* findings to the given posix paths; the flow pass still
+    analyzes the whole scanned set, so interprocedural proofs stay sound.
     """
     files = [path.as_posix() for path in
              iter_python_files(paths, excluded_dirs)]
+    restricted = None if restrict is None \
+        else {PurePath(path).as_posix() for path in restrict}
+    lint_files = files if restricted is None \
+        else [path for path in files if path in restricted]
     if jobs == 0:
         jobs = os.cpu_count() or 1
-    if jobs > 1 and len(files) > 1:
-        outcomes = _lint_files_parallel(files, min(jobs, len(files)))
+    if jobs > 1 and len(lint_files) > 1:
+        outcomes = _lint_files_parallel(lint_files,
+                                        min(jobs, len(lint_files)))
     else:
-        outcomes = [_lint_file(path) for path in files]
+        outcomes = [_lint_file(path) for path in lint_files]
 
     violations: list[Violation] = []
     for outcome in outcomes:
         violations.extend(outcome.violations)
+    dtype_surface: dict[str, object] = {}
     if flow:
         # RPR012 proves (or refutes) the shm lifetime across functions;
         # the per-file RPR004 heuristic would double-report every site.
@@ -428,19 +453,40 @@ def run_paths(paths: Sequence[str],
         known = _known_rule_ids()
         suppressions_by_path = {outcome.path: outcome.suppressions
                                 for outcome in outcomes}
-        flow_violations = run_flow(
-            [(outcome.path, outcome.source) for outcome in outcomes
-             if outcome.source is not None and not outcome.parse_failed])
-        for violation in flow_violations:
+        flow_inputs = [(outcome.path, outcome.source)
+                       for outcome in outcomes
+                       if outcome.source is not None
+                       and not outcome.parse_failed]
+        outcome_paths = {outcome.path for outcome in outcomes}
+        for path in files:
+            if path not in outcome_paths:
+                extra = _read_for_flow(path)
+                if extra is not None:
+                    flow_inputs.append(extra)
+        report = run_flow(flow_inputs)
+        dtype_surface = report.dtype_surface
+        for violation in report.violations:
+            if restricted is not None \
+                    and violation.path not in restricted:
+                continue
             kept = _silence(
                 [violation],
                 suppressions_by_path.get(violation.path, []), known)
             violations.extend(kept)
     violations.sort(key=Violation.sort_key)
+    waivers_by_rule: dict[str, int] = {}
+    for outcome in outcomes:
+        for suppression in outcome.suppressions:
+            if suppression.reason is None:
+                continue
+            for rule in suppression.rules:
+                waivers_by_rule[rule] = waivers_by_rule.get(rule, 0) + 1
     return LintResult(
         violations=violations,
-        files_checked=len(files),
+        files_checked=len(lint_files),
         parse_failures=sum(1 for outcome in outcomes if outcome.parse_failed),
         flow=flow,
         waivers_by_path={outcome.path: outcome.waiver_count
-                         for outcome in outcomes if outcome.waiver_count})
+                        for outcome in outcomes if outcome.waiver_count},
+        waivers_by_rule=dict(sorted(waivers_by_rule.items())),
+        dtype_surface=dtype_surface)

@@ -1,0 +1,145 @@
+"""The abstract dtype domain of the numerics pass.
+
+Dtypes are abstracted to a small lattice of named elements (``"bool"``,
+``"int"``, ``"float32"``, ``"float64"``, ``"complex64"``, ``"complex128"``,
+plus ``None`` for *unknown*).  Promotion follows NumPy's value-independent
+rules for array/array operations: category (bool < int < float < complex)
+and width both take the maximum.  Python scalar literals are deliberately
+*not* modeled as ``float64`` -- under NEP 50 a Python float is a weak
+scalar that adopts the array's precision, so ``f32 * 2.0`` stays float32
+and must not be reported as a mixed-precision meeting point.
+
+The module also owns the ``# dtype-pinned:`` annotation syntax shared by
+RPR013 and the ``dtype_surface`` report::
+
+    samples = np.asarray(samples, dtype=np.complex128)  # dtype-pinned: complex128 -- synthesized waveforms are full-precision by contract
+
+As with lint suppressions, the reason after ``--`` is mandatory: an
+annotation without one does not count as an audit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.repro_lint.engine import ModuleContext
+
+__all__ = [
+    "DTYPE_PINNED_RE",
+    "FLOAT_DTYPES",
+    "NARROW_DTYPES",
+    "WIDE_DTYPES",
+    "is_complex",
+    "is_float",
+    "is_pinnable",
+    "promote",
+    "resolve_dtype_expr",
+]
+
+#: ``# dtype-pinned: <dtype> -- reason`` (reason optional in the regex so a
+#: missing one can be reported specifically rather than silently ignored).
+DTYPE_PINNED_RE = re.compile(
+    r"#\s*dtype-pinned:\s*([A-Za-z0-9_]+)\s*(?:--\s*(.*\S))?")
+
+FLOAT_DTYPES = frozenset({"float16", "float32", "float64"})
+COMPLEX_DTYPES = frozenset({"complex64", "complex128"})
+
+#: The reduced-precision side of a mixed-precision meeting point (RPR014).
+NARROW_DTYPES = frozenset({"float16", "float32", "complex64"})
+#: The full-precision side; meeting NARROW silently upcasts the result.
+WIDE_DTYPES = frozenset({"float64", "complex128"})
+
+#: Dotted-name suffix (after alias resolution) -> abstract dtype.  Builtins
+#: ``float``/``complex`` are how the historical pins in this repo were
+#: written (``np.asarray(x, dtype=float)``).
+_DTYPE_NAMES = {
+    "float": "float64",
+    "numpy.float64": "float64",
+    "numpy.double": "float64",
+    "numpy.float_": "float64",
+    "numpy.float32": "float32",
+    "numpy.single": "float32",
+    "numpy.float16": "float16",
+    "numpy.half": "float16",
+    "complex": "complex128",
+    "numpy.complex128": "complex128",
+    "numpy.cdouble": "complex128",
+    "numpy.complex_": "complex128",
+    "numpy.complex64": "complex64",
+    "numpy.csingle": "complex64",
+    "int": "int",
+    "bool": "bool",
+    "numpy.bool_": "bool",
+}
+_INT_PREFIXES = ("numpy.int", "numpy.uint")
+
+_CATEGORY = {"bool": 0, "int": 1, "float16": 2, "float32": 2, "float64": 2,
+             "complex64": 3, "complex128": 3}
+_WIDTH = {"bool": 8, "int": 64, "float16": 16, "float32": 32, "float64": 64,
+          "complex64": 32, "complex128": 64}
+
+
+def is_float(dtype: str | None) -> bool:
+    return dtype in FLOAT_DTYPES
+
+
+def is_complex(dtype: str | None) -> bool:
+    return dtype in COMPLEX_DTYPES
+
+
+def is_pinnable(dtype: str | None) -> bool:
+    """True for dtypes whose explicit forcing RPR013 audits.
+
+    Integer and boolean buffers (index maps, masks, source counts) are not
+    data-path precision decisions: pinning them is fine and unreported.
+    """
+    return dtype in FLOAT_DTYPES or dtype in COMPLEX_DTYPES
+
+
+def promote(left: str | None, right: str | None) -> str | None:
+    """NumPy array/array promotion over the abstract lattice.
+
+    Unknown absorbs: if either side is unknown the result is unknown (the
+    rules never guess).
+    """
+    if left is None or right is None:
+        return None
+    category = max(_CATEGORY[left], _CATEGORY[right])
+    width = max(_WIDTH[left], _WIDTH[right])
+    if category <= 1:
+        return "int" if category == 1 else "bool"
+    if category == 2:
+        return {16: "float16", 32: "float32", 64: "float64"}[max(width, 16)]
+    return "complex64" if width <= 32 else "complex128"
+
+
+def resolve_dtype_expr(node: ast.AST | None,
+                       context: ModuleContext) -> str | None:
+    """Abstract dtype of a ``dtype=...`` argument expression.
+
+    Returns None for *dynamic* dtype expressions (``dtype=x.dtype``,
+    ``dtype=np.result_type(a, b)``, a variable): those preserve or derive
+    the dtype from data and are exactly what the pinning rule wants to see
+    instead of a hard-coded name.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.lower()
+        resolved = _DTYPE_NAMES.get("numpy." + name, _DTYPE_NAMES.get(name))
+        if resolved is not None:
+            return resolved
+        if name.startswith(("int", "uint")):
+            return "int"
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = context.dotted_name(node)
+        if dotted is None:
+            return None
+        resolved = _DTYPE_NAMES.get(dotted)
+        if resolved is not None:
+            return resolved
+        if dotted.startswith(_INT_PREFIXES):
+            return "int"
+    return None

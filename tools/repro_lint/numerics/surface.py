@@ -1,0 +1,90 @@
+"""The ``dtype_surface`` report: the float32-readiness inventory.
+
+For every public ``repro.api`` / ``repro.core`` function the report says
+whether the float32 fast path (ROADMAP item 2) can flow a narrow dtype
+through it today:
+
+``proven-polymorphic``
+    No hard-coded float/complex dtype is reachable from the function
+    (through the approximate call graph): input precision is preserved.
+``pinned-annotated``
+    Every reachable pin carries a reasoned ``# dtype-pinned:`` annotation:
+    the precision is forced *on purpose* and the reason is on the line.
+``unproven``
+    At least one reachable pin has no annotation.  RPR013 reports each such
+    pin, so a clean lint run implies zero ``unproven`` entries.
+
+The section is add-only in the JSON report (new key, existing keys
+untouched) and is uploaded by CI with the rest of the payload, so the PR
+implementing the float32 mode starts from a machine-checked worklist.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from tools.repro_lint.numerics.rules import (_DTYPE_BOUNDARY_MODULE,
+                                             public_functions)
+from tools.repro_lint.numerics.transfer import Pin, collect_pins
+
+if TYPE_CHECKING:  # flow imports numerics; keep the cycle annotation-only
+    from tools.repro_lint.flow.callgraph import CallGraph
+    from tools.repro_lint.flow.symbols import Program
+
+__all__ = ["SURFACE_PREFIXES", "build_dtype_surface"]
+
+#: Modules whose public functions the report inventories.
+SURFACE_PREFIXES = ("repro.api", "repro.core")
+
+
+def _pin_index(program: Program) -> dict[str, list[tuple[str, Pin]]]:
+    """``qualname -> [(path, pin), ...]`` over the whole program, minus the
+    audited promotion boundary (``repro.dtypes``)."""
+    index: dict[str, list[tuple[str, Pin]]] = {}
+    for module in program.modules_by_path.values():
+        if module.name == _DTYPE_BOUNDARY_MODULE:
+            continue
+        for qualname, pins in collect_pins(module).items():
+            index.setdefault(qualname, []).extend(
+                (module.path, pin) for pin in pins)
+    return index
+
+
+def build_dtype_surface(program: Program, graph: CallGraph
+                        ) -> dict[str, object]:
+    """Classify every public ``repro.api``/``repro.core`` function."""
+    pins = _pin_index(program)
+    functions: dict[str, dict[str, object]] = {}
+    counts = {"proven-polymorphic": 0, "pinned-annotated": 0, "unproven": 0}
+    for function in public_functions(program, SURFACE_PREFIXES):
+        frontier = [function.qualname]
+        reachable = {function.qualname}
+        while frontier:
+            current = frontier.pop()
+            for site in graph.calls_by_caller.get(current, ()):
+                if site.callee not in reachable:
+                    reachable.add(site.callee)
+                    frontier.append(site.callee)
+        annotated: list[dict[str, object]] = []
+        unannotated: list[dict[str, object]] = []
+        for qualname in sorted(reachable):
+            for path, pin in pins.get(qualname, ()):
+                entry = {"path": path, "line": pin.node.lineno,
+                         "function": qualname, "dtype": pin.dtype}
+                (annotated if pin.annotated else unannotated).append(entry)
+        if unannotated:
+            status = "unproven"
+        elif annotated:
+            status = "pinned-annotated"
+        else:
+            status = "proven-polymorphic"
+        counts[status] += 1
+        record: dict[str, object] = {"module": function.module,
+                                     "status": status}
+        if annotated:
+            record["pinned"] = annotated
+        if unannotated:
+            record["unproven_pins"] = unannotated
+        functions[function.qualname] = record
+    return {"counts": counts,
+            "functions": dict(sorted(functions.items()))}

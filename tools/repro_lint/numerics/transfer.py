@@ -1,0 +1,300 @@
+"""Transfer functions over the NumPy surface this repo actually uses.
+
+Three per-function analyses feed the RPR013-017 rules and the
+``dtype_surface`` report:
+
+* :func:`collect_pins` -- every constructor call that hard-codes a float or
+  complex dtype (``np.asarray(x, dtype=float)``,
+  ``np.zeros(..., dtype=np.complex128)``), together with whether the site
+  or its enclosing ``def`` carries a ``# dtype-pinned:`` annotation;
+* :func:`infer_env` -- a one-pass, source-order abstract interpretation of
+  a function body binding local names to abstract dtypes and (where a
+  literal shape tuple makes it certain) array ranks;
+* :func:`infer_expr_dtype` / :func:`infer_expr_rank` -- the expression
+  evaluators behind it, shared with the mixed-precision and reduction-axis
+  rules.
+
+Everything here under-approximates: an expression that cannot be resolved
+evaluates to *unknown*, and unknown never fires a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from tools.repro_lint.engine import ModuleContext
+from tools.repro_lint.numerics.domain import (DTYPE_PINNED_RE, is_pinnable,
+                                              promote, resolve_dtype_expr)
+
+if TYPE_CHECKING:  # flow imports numerics; keep the cycle annotation-only
+    from tools.repro_lint.flow.symbols import FunctionModel, ModuleModel
+
+__all__ = [
+    "DTYPE_PRESERVING_HELPERS",
+    "LocalEnv",
+    "Pin",
+    "collect_pins",
+    "def_line_annotation",
+    "infer_env",
+    "infer_expr_dtype",
+    "infer_expr_rank",
+    "pin_of_call",
+]
+
+#: numpy constructor -> positional index of its ``dtype`` argument.
+_DTYPE_POSITION = {
+    "asarray": 1, "array": 1, "ascontiguousarray": 1, "asfortranarray": 1,
+    "zeros": 1, "ones": 1, "empty": 1, "fromiter": 1, "full": 2,
+    "zeros_like": 1, "ones_like": 1, "empty_like": 1, "full_like": 2,
+    # dtype is keyword-only in spirit for these; position None = kw only.
+    "arange": None, "linspace": None, "eye": None, "identity": None,
+    "frombuffer": None, "fromstring": None, "geomspace": None,
+    "logspace": None, "ndarray": None,
+}
+
+#: Constructors whose result, absent an explicit dtype, is float64.
+_FLOAT64_DEFAULT = frozenset({"zeros", "ones", "empty", "linspace", "eye",
+                              "identity", "geomspace", "logspace", "rand",
+                              "randn", "random"})
+
+#: Constructors that preserve their first argument's dtype when no dtype
+#: is given.
+_PRESERVING = frozenset({"asarray", "array", "ascontiguousarray",
+                         "asfortranarray", "atleast_1d", "atleast_2d",
+                         "copy", "abs", "conj", "conjugate", "sort",
+                         "ravel", "reshape", "transpose", "squeeze",
+                         "zeros_like", "ones_like", "empty_like"})
+
+#: Program helpers the analyzer models as dtype-preserving intrinsics: the
+#: audited promotion boundary of the repo (``repro/dtypes.py``).  Pins
+#: inside them are by contract and excluded from RPR013 / the surface;
+#: calls to them behave like ``np.asarray(x)`` (input dtype preserved).
+DTYPE_PRESERVING_HELPERS = ("as_float_array", "as_complex_array")
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One hard-coded float/complex dtype at a constructor call site."""
+
+    node: ast.Call
+    dtype: str
+    #: Honored ``# dtype-pinned: <dtype> -- reason`` on the call line or
+    #: the enclosing ``def`` line.
+    annotated: bool
+    #: A ``# dtype-pinned:`` comment exists but its reason is missing.
+    missing_reason: bool
+
+
+@dataclass
+class LocalEnv:
+    """Abstract state of one function's locals."""
+
+    dtypes: dict[str, str] = field(default_factory=dict)
+    ranks: dict[str, int] = field(default_factory=dict)
+
+
+def _numpy_tail(dotted: str | None) -> str | None:
+    """``"zeros"`` for ``numpy.zeros`` / ``numpy.ma.zeros``; else None."""
+    if dotted is None or not dotted.startswith("numpy."):
+        return None
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _call_argument(call: ast.Call, name: str, position: int | None
+                   ) -> ast.AST | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    if position is not None and len(call.args) > position:
+        return call.args[position]
+    return None
+
+
+def pin_of_call(call: ast.Call, context: ModuleContext
+                ) -> tuple[str, ast.AST] | None:
+    """``(dtype, dtype_node)`` when ``call`` pins a float/complex dtype."""
+    tail = _numpy_tail(context.resolve_call(call))
+    if tail not in _DTYPE_POSITION:
+        return None
+    dtype_node = _call_argument(call, "dtype", _DTYPE_POSITION[tail])
+    if dtype_node is None:
+        return None
+    dtype = resolve_dtype_expr(dtype_node, context)
+    if not is_pinnable(dtype):
+        return None
+    assert dtype is not None
+    return dtype, dtype_node
+
+
+def _annotation_state(comments: dict[int, str],
+                      lines: tuple[int, ...]) -> tuple[bool, bool]:
+    """``(annotated, missing_reason)`` over the candidate comment lines."""
+    missing = False
+    for line in lines:
+        match = DTYPE_PINNED_RE.search(comments.get(line, ""))
+        if match is None:
+            continue
+        if match.group(2):
+            return True, False
+        missing = True
+    return False, missing
+
+
+def def_line_annotation(function: FunctionModel,
+                        module: ModuleModel) -> bool:
+    """True when the ``def`` line carries a reasoned ``# dtype-pinned:``."""
+    annotated, _ = _annotation_state(module.comments,
+                                     (function.node.lineno,))
+    return annotated
+
+
+def collect_pins(module: ModuleModel) -> dict[str, list[Pin]]:
+    """Pin sites of every function in ``module``, keyed by qualname.
+
+    A pin is *annotated* when its own line, the line directly above it
+    (the standalone-comment style), or the enclosing ``def`` line carries
+    a reasoned ``# dtype-pinned:`` comment.  Module-level
+    constructor calls (constants) have no enclosing function and are not
+    collected -- a documented approximation: constants are built once at
+    import, not per data batch.
+    """
+    pins: dict[str, list[Pin]] = {}
+    context = module.context
+    for function in module.all_functions.values():
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.owner.get(node) is not function:
+                continue
+            pinned = pin_of_call(node, context)
+            if pinned is None:
+                continue
+            dtype, _ = pinned
+            annotated, missing = _annotation_state(
+                module.comments,
+                (node.lineno, node.lineno - 1, function.node.lineno))
+            pins.setdefault(function.qualname, []).append(
+                Pin(node=node, dtype=dtype, annotated=annotated,
+                    missing_reason=missing and not annotated))
+    return pins
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation
+# ----------------------------------------------------------------------
+def infer_expr_dtype(expr: ast.AST, context: ModuleContext,
+                     env: LocalEnv) -> str | None:
+    """Abstract dtype of an expression (None = unknown)."""
+    if isinstance(expr, ast.Name):
+        return env.dtypes.get(expr.id)
+    if isinstance(expr, ast.Call):
+        return _infer_call_dtype(expr, context, env)
+    if isinstance(expr, ast.BinOp):
+        left = infer_expr_dtype(expr.left, context, env)
+        right = infer_expr_dtype(expr.right, context, env)
+        if left is not None and right is not None:
+            return promote(left, right)
+        # NEP 50: a Python scalar literal is weak -- it adopts the array
+        # operand's precision instead of upcasting it.
+        if isinstance(expr.left, ast.Constant):
+            return right
+        if isinstance(expr.right, ast.Constant):
+            return left
+        return None
+    if isinstance(expr, ast.UnaryOp):
+        return infer_expr_dtype(expr.operand, context, env)
+    if isinstance(expr, ast.Subscript):
+        return infer_expr_dtype(expr.value, context, env)
+    return None
+
+
+def _infer_call_dtype(call: ast.Call, context: ModuleContext,
+                      env: LocalEnv) -> str | None:
+    dotted = context.resolve_call(call)
+    if dotted is not None and dotted.rsplit(".", 1)[-1] \
+            in DTYPE_PRESERVING_HELPERS:
+        if call.args:
+            return infer_expr_dtype(call.args[0], context, env)
+        return None
+    tail = _numpy_tail(dotted)
+    if tail is None:
+        # numpy scalar constructors double as dtype names (np.float32(x)).
+        if dotted is not None:
+            scalar = resolve_dtype_expr(call.func, context)
+            if scalar is not None:
+                return scalar
+        return None
+    dtype_node = _call_argument(call, "dtype",
+                                _DTYPE_POSITION.get(tail))
+    if dtype_node is not None:
+        return resolve_dtype_expr(dtype_node, context)
+    if tail in _PRESERVING and call.args:
+        return infer_expr_dtype(call.args[0], context, env)
+    if tail in _FLOAT64_DEFAULT:
+        return "float64"
+    if tail in ("dot", "matmul", "einsum"):
+        operands = [argument for argument in call.args
+                    if not (isinstance(argument, ast.Constant)
+                            and isinstance(argument.value, str))]
+        dtype: str | None = None
+        for argument in operands:
+            inferred = infer_expr_dtype(argument, context, env)
+            if inferred is None:
+                return None
+            dtype = inferred if dtype is None else promote(dtype, inferred)
+        return dtype
+    return None
+
+
+def infer_expr_rank(expr: ast.AST, context: ModuleContext,
+                    env: LocalEnv) -> int | None:
+    """Array rank of an expression, only when provable (literal shapes)."""
+    if isinstance(expr, ast.Name):
+        return env.ranks.get(expr.id)
+    if not isinstance(expr, ast.Call):
+        return None
+    tail = _numpy_tail(context.resolve_call(expr))
+    if tail in ("zeros", "ones", "empty", "full") and expr.args:
+        shape = expr.args[0]
+        if isinstance(shape, ast.Tuple):
+            return len(shape.elts)
+        if isinstance(shape, (ast.Constant, ast.Name, ast.BinOp)):
+            return 1
+    return None
+
+
+def infer_env(function: FunctionModel, module: ModuleModel) -> LocalEnv:
+    """Source-order abstract interpretation of one function's bindings.
+
+    Only single-target ``name = expr`` assignments bind state; a rebinding
+    with an unknown dtype/rank *clears* the previous binding rather than
+    keeping a stale one.
+    """
+    env = LocalEnv()
+    context = module.context
+    assignments: list[tuple[str, ast.AST]] = []
+    for node in ast.walk(function.node):
+        if module.owner.get(node) is not function:
+            continue
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            assignments.append((node.targets[0].id, node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name):
+            assignments.append((node.target.id, node.value))
+    assignments.sort(key=lambda entry: (entry[1].lineno,
+                                        entry[1].col_offset))
+    for name, value in assignments:
+        dtype = infer_expr_dtype(value, context, env)
+        if dtype is not None:
+            env.dtypes[name] = dtype
+        else:
+            env.dtypes.pop(name, None)
+        rank = infer_expr_rank(value, context, env)
+        if rank is not None:
+            env.ranks[name] = rank
+        else:
+            env.ranks.pop(name, None)
+    return env
