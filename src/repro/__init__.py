@@ -51,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time types for tooling only
         ArrayTrackService,
         EstimatorSpec,
         ParallelConfig,
+        ResilienceConfig,
         Session,
         SessionConfig,
         SuppressorConfig,
@@ -71,6 +72,7 @@ _LAZY_EXPORTS = {
     "ArrayTrackService": "repro.api",
     "EstimatorSpec": "repro.api",
     "ParallelConfig": "repro.api",
+    "ResilienceConfig": "repro.api",
     "Session": "repro.api",
     "SessionConfig": "repro.api",
     "SuppressorConfig": "repro.api",
@@ -87,6 +89,7 @@ __all__ = [
     "ArrayTrackService",
     "EstimatorSpec",
     "ParallelConfig",
+    "ResilienceConfig",
     "Session",
     "SessionConfig",
     "SuppressorConfig",

@@ -17,6 +17,7 @@ See ``docs/api.md`` for the full guide.
 from repro.api.config import (
     ArrayTrackConfig,
     ParallelConfig,
+    ResilienceConfig,
     SessionConfig,
     default_server_config,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "ArrayTrackService",
     "EstimatorSpec",
     "ParallelConfig",
+    "ResilienceConfig",
     "Session",
     "SessionConfig",
     "SuppressorConfig",

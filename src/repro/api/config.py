@@ -42,8 +42,8 @@ from repro.errors import ArrayTrackError, ConfigurationError
 from repro.server.backend import ServerConfig
 from repro.server.tracker import TrackerConfig
 
-__all__ = ["ParallelConfig", "SessionConfig", "ArrayTrackConfig",
-           "default_server_config"]
+__all__ = ["ParallelConfig", "ResilienceConfig", "SessionConfig",
+           "ArrayTrackConfig", "default_server_config"]
 
 
 def default_server_config() -> ServerConfig:
@@ -159,6 +159,149 @@ class ParallelConfig:
         if isinstance(value, bool) or not isinstance(value, int) or value < 1:
             raise ConfigurationError(
                 f"{name} must be a positive integer, got {value!r}")
+
+
+@dataclass
+class ResilienceConfig:
+    """Configuration of the service's fault-tolerance layer.
+
+    Three concerns live here (see ``docs/robustness.md`` for the failure-
+    mode catalogue): **pool supervision** (retry crashed/stalled process
+    shards with exponential backoff and rebuild the pool), **graceful
+    degradation** (a circuit breaker that falls down the backend ladder
+    process -> thread -> serial after repeated failures and half-open-
+    probes its way back), and **admission control** (a service-wide
+    pending-frame budget with a shed policy, plus poison-frame rejection
+    at ingest).  Every knob round-trips through dict/JSON/env exactly like
+    the rest of :class:`ArrayTrackConfig`.
+
+    Attributes
+    ----------
+    supervise_pool:
+        Retry process-pool shards that die (``BrokenProcessPool``) or miss
+        the per-shard deadline, rebuilding the spawn pool between attempts.
+        Off restores the raw PR-6 semantics: the first pool failure
+        propagates to the caller.
+    max_retries:
+        Retry rounds per batched call after the initial attempt; once
+        exhausted the call raises
+        :class:`~repro.errors.PoolSupervisionError` (which the breaker may
+        then absorb by degrading).
+    backoff_base_s:
+        First retry delay; round ``n`` sleeps ``backoff_base_s * 2**(n-1)``
+        before resubmitting the failed shards.
+    backoff_max_s:
+        Upper bound on any single backoff sleep.
+    backoff_jitter:
+        Jitter fraction: each sleep is scaled by a factor drawn uniformly
+        from ``[1 - jitter, 1 + jitter]`` (decorrelates retry storms).
+    retry_seed:
+        Seed of the jitter RNG, so retry schedules are reproducible.
+    shard_timeout_s:
+        Per-shard deadline per attempt (None disables): a shard still
+        running after this long is treated like a crashed one -- the pool
+        is torn down (workers terminated) and the shard retried.  Only
+        honored while ``supervise_pool`` is on.
+    breaker_enabled:
+        Enable the degradation ladder.  When a rung fails with a
+        :class:`~repro.errors.TransientError`, the batch immediately falls
+        to the next rung (a batch serial could serve never fails), and
+        after ``breaker_threshold`` consecutive failures the rung is
+        skipped entirely until a half-open probe succeeds.  Off means
+        transient failures propagate to the caller.
+    breaker_threshold:
+        Consecutive transient failures of one rung before the breaker
+        opens and the service enters that rung's degraded mode.
+    breaker_recovery_s:
+        Time an open breaker waits before half-open-probing the faster
+        rung again (measured on the service's monotonic clock).
+    max_total_pending_frames:
+        Service-wide budget on pending frames summed across all sessions
+        (None = unbounded).  Admission control on top of the per-session
+        ``session.max_pending_frames`` cap.
+    shed_policy:
+        What happens to an arriving frame once the budget is full:
+        ``"shed-oldest"`` drops the ingesting client's oldest pending
+        frame (falling back to the globally oldest when that client has
+        none), ``"reject"`` raises
+        :class:`~repro.errors.BackpressureError`.
+    reject_poison_frames:
+        Reject frames carrying NaN/inf values or a grid shape that
+        contradicts the client's pending frames at the same AP with
+        :class:`~repro.errors.PoisonFrameError`, before they can poison a
+        stacked frontend or synthesis pass.
+    fault_plan:
+        Optional JSON fault-injection plan (see
+        :mod:`repro.testing.faults`) activated when the service is built;
+        testing/benchmarking only.
+    """
+
+    supervise_pool: bool = True
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    backoff_jitter: float = 0.25
+    retry_seed: int = 0
+    shard_timeout_s: float | None = None
+    breaker_enabled: bool = True
+    breaker_threshold: int = 3
+    breaker_recovery_s: float = 30.0
+    max_total_pending_frames: int | None = None
+    shed_policy: str = "shed-oldest"
+    reject_poison_frames: bool = True
+    fault_plan: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("supervise_pool", "breaker_enabled",
+                     "reject_poison_frames"):
+            if not isinstance(getattr(self, name), bool):
+                raise ConfigurationError(
+                    f"{name} must be a boolean, got {getattr(self, name)!r}")
+        if isinstance(self.max_retries, bool) \
+                or not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be a non-negative integer, "
+                f"got {self.max_retries!r}")
+        for name in ("backoff_base_s", "backoff_max_s", "backoff_jitter",
+                     "breaker_recovery_s"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                raise ConfigurationError(
+                    f"{name} must be a non-negative number, got {value!r}")
+        if isinstance(self.retry_seed, bool) \
+                or not isinstance(self.retry_seed, int):
+            raise ConfigurationError(
+                f"retry_seed must be an integer, got {self.retry_seed!r}")
+        if self.shard_timeout_s is not None and (
+                not isinstance(self.shard_timeout_s, (int, float))
+                or isinstance(self.shard_timeout_s, bool)
+                or self.shard_timeout_s <= 0):
+            raise ConfigurationError(
+                f"shard_timeout_s must be a positive number or None, "
+                f"got {self.shard_timeout_s!r}")
+        if isinstance(self.breaker_threshold, bool) \
+                or not isinstance(self.breaker_threshold, int) \
+                or self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be a positive integer, "
+                f"got {self.breaker_threshold!r}")
+        if self.max_total_pending_frames is not None and (
+                isinstance(self.max_total_pending_frames, bool)
+                or not isinstance(self.max_total_pending_frames, int)
+                or self.max_total_pending_frames < 1):
+            raise ConfigurationError(
+                f"max_total_pending_frames must be a positive integer or "
+                f"None, got {self.max_total_pending_frames!r}")
+        if self.shed_policy not in ("shed-oldest", "reject"):
+            raise ConfigurationError(
+                f"shed_policy must be 'shed-oldest' or 'reject', "
+                f"got {self.shed_policy!r}")
+        if self.fault_plan is not None \
+                and not isinstance(self.fault_plan, str):
+            raise ConfigurationError(
+                f"fault_plan must be a JSON string or None, "
+                f"got {self.fault_plan!r}")
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +445,11 @@ class ArrayTrackConfig:
         backend, pool size and the minimum shard size.  Off by default;
         when enabled, batched calls are bit-for-bit identical to the
         serial path.
+    resilience:
+        Fault tolerance (:class:`ResilienceConfig`): pool supervision
+        (retry/backoff/deadline), the circuit-breaker degradation ladder,
+        the service-wide pending-frame budget with its shed policy, and
+        poison-frame rejection.  See ``docs/robustness.md``.
     """
 
     bounds: tuple[float, float, float, float] | None = None
@@ -312,6 +460,7 @@ class ArrayTrackConfig:
     suppressor: SuppressorConfig = field(default_factory=SuppressorConfig)
     tracker: TrackerConfig = field(default_factory=TrackerConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.bounds is not None:
@@ -357,6 +506,7 @@ class ArrayTrackConfig:
             "suppressor": _section_to_dict(self.suppressor),
             "tracker": _section_to_dict(self.tracker),
             "parallel": _section_to_dict(self.parallel),
+            "resilience": _section_to_dict(self.resilience),
         }
 
     @classmethod
@@ -371,7 +521,7 @@ class ArrayTrackConfig:
             raise ConfigurationError(
                 f"config must be a mapping, got {type(data).__name__}")
         valid = {"bounds", "estimator", "ap", "server", "session",
-                 "suppressor", "tracker", "parallel"}
+                 "suppressor", "tracker", "parallel", "resilience"}
         unknown = sorted(set(data) - valid)
         if unknown:
             raise ConfigurationError(
@@ -381,7 +531,8 @@ class ArrayTrackConfig:
         sections = {"ap": APConfig, "server": ServerConfig,
                     "session": SessionConfig,
                     "suppressor": SuppressorConfig, "tracker": TrackerConfig,
-                    "parallel": ParallelConfig}
+                    "parallel": ParallelConfig,
+                    "resilience": ResilienceConfig}
         for key, value in data.items():
             if key in sections and not isinstance(value, sections[key]):
                 kwargs[key] = _section_from_dict(sections[key], value,
@@ -456,7 +607,7 @@ class ArrayTrackConfig:
 
         Only variables whose first segment names a config section
         (``bounds``, ``estimator``, ``ap``, ``server``, ``session``,
-        ``suppressor``, ``tracker``, ``parallel``) are
+        ``suppressor``, ``tracker``, ``parallel``, ``resilience``) are
         consumed; other ``ARRAYTRACK_*`` variables (``ARRAYTRACK_HOME``,
         ``ARRAYTRACK_LOG_LEVEL``, ...) are ignored so unrelated deployment
         environment does not crash service startup.  *Within* a recognized

@@ -42,16 +42,21 @@ import numpy as np
 from repro.ap.access_point import ArrayTrackAP
 from repro.ap.buffer import BufferEntry
 from repro.ap.latency import LatencyBreakdown, LatencyModel
-from repro.api._procpool import ProcessShardPool
+from repro.api._procpool import (PoolStats, ProcessShardPool, live_segments,
+                                 shm_leak_events)
+from repro.api._resilience import (CircuitBreaker, ResilienceStats,
+                                   backend_ladder)
 from repro.api.config import ArrayTrackConfig, SessionConfig
 from repro.api.registry import EstimatorSpec, get_estimator
 from repro.core.localizer import LocationEstimate
 from repro.core.pipeline import SpectrumConfig
 from repro.core.spectrum import AoASpectrum
-from repro.errors import ConfigurationError
+from repro.errors import (BackpressureError, ConfigurationError,
+                          PoisonFrameError, TransientError)
 from repro.geometry.vector import Point2D
 from repro.server.backend import ArrayTrackServer
 from repro.server.tracker import ClientTracker, TrackPoint
+from repro.testing import faults
 
 __all__ = ["Session", "ArrayTrackService"]
 
@@ -66,9 +71,15 @@ class Session:
     through the batched synthesis engine and records the fix.
     """
 
-    def __init__(self, client_id: str, config: SessionConfig) -> None:
+    def __init__(self, client_id: str, config: SessionConfig,
+                 on_delta: Callable[[int], None] | None = None) -> None:
         self.client_id = client_id
         self.config = config
+        #: Owning service's pending-frame accounting callback: called with
+        #: +1 per buffered frame and -1 per dropped/drained frame, keeping
+        #: the service-wide backpressure budget exact without rescanning
+        #: every session on each ingest.
+        self._on_delta = on_delta
         #: Pending ``(timestamp, spectrum)`` pairs per AP, in first-ingest
         #: AP order (this order is what makes a drained session
         #: bit-identical to the same frames passed to
@@ -116,20 +127,25 @@ class Session:
             timestamp_s: float) -> None:
         """Append one frame's spectrum to the pending buffer."""
         self._pending.setdefault(ap_id, []).append((timestamp_s, spectrum))
+        if self._on_delta is not None:
+            self._on_delta(1)
         if self._oldest_pending_s is None or timestamp_s < self._oldest_pending_s:
             self._oldest_pending_s = timestamp_s
         if self.last_ingest_s is None or timestamp_s > self.last_ingest_s:
             self.last_ingest_s = timestamp_s
         while self.pending_frames > self.config.max_pending_frames:
-            self._drop_oldest()
+            self.shed_oldest()
 
-    def _drop_oldest(self) -> None:
-        """Drop the globally oldest pending frame (cap enforcement).
+    def shed_oldest(self) -> bool:
+        """Drop the oldest pending frame; True if one was dropped.
 
-        "Oldest" means the smallest ingest-resolved timestamp across *all*
-        pending frames -- frames may arrive out of timestamp order within
-        one AP (network reordering), so every entry is inspected, not just
-        the head of each AP's list.
+        Backs both the per-session ``max_pending_frames`` cap and the
+        service-level ``resilience.max_total_pending_frames`` budget's
+        ``shed-oldest`` policy.  "Oldest" means the smallest
+        ingest-resolved timestamp across *all* pending frames -- frames
+        may arrive out of timestamp order within one AP (network
+        reordering), so every entry is inspected, not just the head of
+        each AP's list.
         """
         oldest_ap: str | None = None
         oldest_index = -1
@@ -141,13 +157,16 @@ class Session:
                     oldest_ap = ap_id
                     oldest_index = index
         if oldest_ap is None:
-            return
+            return False
         self._pending[oldest_ap].pop(oldest_index)
         if not self._pending[oldest_ap]:
             del self._pending[oldest_ap]
+        if self._on_delta is not None:
+            self._on_delta(-1)
         remaining = [timestamp for frames in self._pending.values()
                      for timestamp, _ in frames]
         self._oldest_pending_s = min(remaining) if remaining else None
+        return True
 
     # ------------------------------------------------------------------
     # Triggers and draining
@@ -185,11 +204,27 @@ class Session:
         return {ap_id: list(frames)
                 for ap_id, frames in self._pending.items()}
 
+    def pending_grid_shape(self, ap_id: str) -> tuple[int, ...] | None:
+        """Angle-grid shape of this AP's pending frames (None when empty).
+
+        The poison-frame gate compares arriving frames against this: all
+        of one AP's frames in a drain are stacked into one matrix, so a
+        mismatched grid would fail deep inside the synthesis pass instead
+        of at the door.
+        """
+        frames = self._pending.get(ap_id)
+        if not frames:
+            return None
+        return tuple(frames[0][1].angles_deg.shape)
+
     def drain(self) -> dict[str, list[AoASpectrum]]:
         """Remove and return the pending per-AP spectra."""
         batch = self.pending_spectra()
+        dropped = self.pending_frames
         self._pending = {}
         self._oldest_pending_s = None
+        if dropped and self._on_delta is not None:
+            self._on_delta(-dropped)
         return batch
 
 
@@ -252,6 +287,19 @@ class ArrayTrackService:
         self._executor: ThreadPoolExecutor | None = None
         self._procpool: ProcessShardPool | None = None
         self._closed = False
+        #: The resilience layer: degradation ladder + breaker, service
+        #: counters, and the exact count of frames pending across all
+        #: sessions (kept incrementally via each session's delta callback).
+        self._ladder = backend_ladder(config.parallel.backend)
+        self._breaker = CircuitBreaker(
+            self._ladder,
+            threshold=config.resilience.breaker_threshold,
+            recovery_s=config.resilience.breaker_recovery_s,
+            enabled=config.resilience.breaker_enabled)
+        self._resilience_stats = ResilienceStats()
+        self._pending_total = 0
+        if config.resilience.fault_plan is not None:
+            faults.activate_json(config.resilience.fault_plan)
 
     # ------------------------------------------------------------------
     # Alternative constructors
@@ -389,6 +437,7 @@ class ArrayTrackService:
         the GIL, so shards genuinely overlap.
         """
         def run() -> dict[str, LocationEstimate]:
+            faults.thread_shard()
             futures = [self._pool().submit(synthesize, shard)
                        for shard in shards]
             estimates: dict[str, LocationEstimate] = {}
@@ -397,6 +446,48 @@ class ArrayTrackService:
             return estimates
 
         return self._timed_pass(run)
+
+    def _fanout(self, shards: list[list[str]],
+                process_run: Callable[[], dict[str, LocationEstimate]],
+                synthesize: Callable[[list[str]],
+                                     dict[str, LocationEstimate]],
+                serial_run: Callable[[], dict[str, LocationEstimate]]
+                ) -> dict[str, LocationEstimate]:
+        """Serve one sharded batch, walking the degradation ladder.
+
+        The circuit breaker picks the entry rung (the configured backend
+        while closed; a degraded rung while open; one rung back up on a
+        half-open probe).  A rung that fails with a
+        :class:`~repro.errors.TransientError` trips the breaker and the
+        batch *immediately* falls to the next rung -- a batch that serial
+        execution could serve is never failed.  Non-transient errors
+        (deterministic data problems) propagate from whichever rung hit
+        them: retrying or degrading those would re-fail identically.
+        Every rung runs the identical suppression + synthesis stages, so
+        the result is bit-for-bit the same wherever the batch lands.
+        """
+        entry = self._breaker.entry_index()
+        for index in range(entry, len(self._ladder)):
+            rung = self._ladder[index]
+            try:
+                if rung == "process":
+                    estimates = self._timed_pass(process_run)
+                elif rung == "thread":
+                    estimates = self._run_sharded(shards, synthesize)
+                else:
+                    estimates = self._timed_pass(serial_run)
+            except TransientError as exc:
+                self._breaker.record_failure(index)
+                if index + 1 >= len(self._ladder) \
+                        or not self.config.resilience.breaker_enabled:
+                    raise
+                self._resilience_stats.record_fallback(
+                    self._ladder[index + 1], exc)
+                continue
+            self._breaker.record_success(index)
+            return estimates
+        raise AssertionError("unreachable: the serial rung cannot "
+                             "fail transiently")  # pragma: no cover
 
     def close(self) -> None:
         """Shut down the worker pools and mark the service closed.
@@ -448,15 +539,14 @@ class ArrayTrackService:
         shards = self._shards(keys)
         if shards is None:
             return self._server.localize_batch(spectra_by_client)
-        if self.config.parallel.backend == "process":
-            return self._timed_pass(
-                lambda: self._process_pool().localize_shards(
-                    shards, spectra_by_client))
-        return self._run_sharded(
+        return self._fanout(
             shards,
+            lambda: self._process_pool().localize_shards(
+                shards, spectra_by_client),
             lambda shard: self._server.localize_batch(
                 {client_id: spectra_by_client[client_id]
-                 for client_id in shard}))
+                 for client_id in shard}),
+            lambda: self._server.localize_batch(spectra_by_client))
 
     def localize_buffered(self, client_ids: Sequence[str],
                           aps: Sequence[ArrayTrackAP] | None = None
@@ -480,9 +570,14 @@ class ArrayTrackService:
             raise ConfigurationError("a session needs a non-empty client id")
         existing = self._sessions.get(client_id)
         if existing is None:
-            existing = Session(client_id, self.config.session)
+            existing = Session(client_id, self.config.session,
+                               on_delta=self._note_pending_delta)
             self._sessions[client_id] = existing
         return existing
+
+    def _note_pending_delta(self, delta: int) -> None:
+        """Session callback keeping the service-wide pending count exact."""
+        self._pending_total += delta
 
     @property
     def sessions(self) -> dict[str, Session]:
@@ -519,6 +614,7 @@ class ArrayTrackService:
             next :meth:`tick` will emit a fix for it).
         """
         spectrum, ap_id = self._resolve_frame(ap, item)
+        spectrum = faults.poison(spectrum)
         resolved_client = client_id if client_id else spectrum.client_id
         if not resolved_client:
             raise ConfigurationError(
@@ -526,8 +622,10 @@ class ArrayTrackService:
                 "or use spectra that carry one)")
         resolved_ts = timestamp_s if timestamp_s is not None \
             else spectrum.timestamp_s
+        if self.config.resilience.reject_poison_frames:
+            self._reject_if_poison(resolved_client, ap_id, spectrum, {})
         session = self.session(resolved_client)
-        session.add(ap_id, spectrum, resolved_ts)
+        self._admit(session, ap_id, spectrum, resolved_ts)
         return session
 
     def ingest_many(self, ap: str | ArrayTrackAP | None,
@@ -566,21 +664,28 @@ class ArrayTrackService:
         items = list(items)
         entry_indices = [index for index, item in enumerate(items)
                          if isinstance(item, BufferEntry)]
+        entries = [item for item in items if isinstance(item, BufferEntry)]
         spectra: list[AoASpectrum | BufferEntry] = list(items)
-        if entry_indices:
+        if entries:
             ap_obj = self._resolve_ap(ap)
             if ap_obj is None:
                 raise ConfigurationError(
                     "ingesting raw BufferEntries needs their capturing AP: "
                     "pass the ArrayTrackAP object, or register it first via "
                     "build_ap()/adopt_aps()")
-            batch = ap_obj.compute_spectra(
-                [items[index] for index in entry_indices])
+            if self.config.resilience.reject_poison_frames:
+                # Raw entries are screened BEFORE the stacked frontend
+                # pass: one NaN snapshot matrix would otherwise blow up
+                # the whole batch's eigendecomposition.
+                for entry in entries:
+                    self._reject_poison_entry(entry, ap_obj.ap_id)
+            batch = ap_obj.compute_spectra(entries)
             for index, spectrum in zip(entry_indices, batch, strict=True):
                 spectra[index] = spectrum
-        sessions: list[Session] = []
-        for spectrum in spectra:
-            resolved, ap_id = self._resolve_frame(ap, spectrum)
+        resolved_frames: list[tuple[str, str, AoASpectrum, float]] = []
+        for item_spectrum in spectra:
+            resolved, ap_id = self._resolve_frame(ap, item_spectrum)
+            resolved = faults.poison(resolved)
             resolved_client = client_id if client_id else resolved.client_id
             if not resolved_client:
                 raise ConfigurationError(
@@ -588,8 +693,21 @@ class ArrayTrackService:
                     "client_id= or use spectra that carry one)")
             resolved_ts = timestamp_s if timestamp_s is not None \
                 else resolved.timestamp_s
+            resolved_frames.append(
+                (resolved_client, ap_id, resolved, resolved_ts))
+        if self.config.resilience.reject_poison_frames:
+            # Validate the whole batch before touching any session, so one
+            # poison frame rejects the call atomically -- no session ends
+            # up holding half a burst.  Intra-batch grid consistency per
+            # (client, AP) is enforced through the shared shape map.
+            batch_shapes: dict[tuple[str, str], tuple[int, ...]] = {}
+            for resolved_client, ap_id, resolved, _ts in resolved_frames:
+                self._reject_if_poison(resolved_client, ap_id, resolved,
+                                       batch_shapes)
+        sessions: list[Session] = []
+        for resolved_client, ap_id, resolved, resolved_ts in resolved_frames:
             session = self.session(resolved_client)
-            session.add(ap_id, resolved, resolved_ts)
+            self._admit(session, ap_id, resolved, resolved_ts)
             sessions.append(session)
         return sessions
 
@@ -612,6 +730,8 @@ class ArrayTrackService:
                     "ingesting a raw BufferEntry needs its capturing AP: "
                     "pass the ArrayTrackAP object, or register it first via "
                     "build_ap()/adopt_aps()")
+            if self.config.resilience.reject_poison_frames:
+                self._reject_poison_entry(item, ap_obj.ap_id)
             return ap_obj.compute_spectrum(item), ap_obj.ap_id
         if isinstance(item, AoASpectrum):
             if isinstance(ap, ArrayTrackAP):
@@ -628,6 +748,135 @@ class ArrayTrackService:
         raise ConfigurationError(
             f"cannot ingest a {type(item).__name__}; expected an AoASpectrum "
             f"or a BufferEntry")
+
+    # ------------------------------------------------------------------
+    # Admission control (the ``resilience`` config section)
+    # ------------------------------------------------------------------
+    def _reject_poison_entry(self, entry: BufferEntry, ap_id: str) -> None:
+        """Reject a raw buffer entry with non-finite snapshot samples."""
+        if not np.all(np.isfinite(entry.snapshots.samples)):
+            self._resilience_stats.poison_rejected += 1
+            raise PoisonFrameError(
+                f"rejecting raw frame from client {entry.client_id!r} at AP "
+                f"{ap_id!r}: non-finite snapshot samples")
+
+    def _reject_if_poison(self, client_id: str, ap_id: str,
+                          spectrum: AoASpectrum,
+                          batch_shapes: dict[tuple[str, str],
+                                             tuple[int, ...]]) -> None:
+        """Reject one frame that would poison a stacked pipeline pass.
+
+        Two gates: non-finite values (NaN/inf power or angles -- legal by
+        :class:`~repro.core.spectrum.AoASpectrum` construction, since its
+        non-negativity check is False for NaN), and an angle-grid shape
+        that contradicts the client's pending frames at the same AP or an
+        earlier frame of the same batch (``batch_shapes`` accumulates
+        per-``(client, ap)`` shapes across one ``ingest_many`` call).
+        """
+        reason: str | None = None
+        if not np.all(np.isfinite(spectrum.power)):
+            reason = "non-finite power values"
+        elif not np.all(np.isfinite(spectrum.angles_deg)):
+            reason = "non-finite angle-grid values"
+        else:
+            shape = tuple(spectrum.angles_deg.shape)
+            key = (client_id, ap_id)
+            expected = batch_shapes.get(key)
+            if expected is None:
+                session = self._sessions.get(client_id)
+                expected = None if session is None \
+                    else session.pending_grid_shape(ap_id)
+            if expected is not None and shape != expected:
+                reason = (f"angle-grid shape {shape} contradicts the "
+                          f"client's other frames at this AP {expected}")
+            else:
+                batch_shapes[key] = shape
+        if reason is not None:
+            self._resilience_stats.poison_rejected += 1
+            raise PoisonFrameError(
+                f"rejecting frame from client {client_id!r} at AP "
+                f"{ap_id!r}: {reason}")
+
+    def _admit(self, session: Session, ap_id: str, spectrum: AoASpectrum,
+               timestamp_s: float) -> None:
+        """Buffer one validated frame, enforcing the service-wide budget."""
+        budget = self.config.resilience.max_total_pending_frames
+        if budget is not None and self._pending_total >= budget:
+            if self.config.resilience.shed_policy == "reject":
+                self._resilience_stats.backpressure_rejected += 1
+                raise BackpressureError(
+                    f"service pending-frame budget is full "
+                    f"({self._pending_total}/{budget} frames); rejecting "
+                    f"frame from client {session.client_id!r} "
+                    f"(shed_policy='reject')")
+            self._shed_for(session, budget)
+        session.add(ap_id, spectrum, timestamp_s)
+
+    def _shed_for(self, session: Session, budget: int) -> None:
+        """Make room under the budget: ingesting client's own oldest
+        pending frame goes first (per-client fairness), falling back to
+        the session holding the globally oldest frame."""
+        while self._pending_total >= budget:
+            victim: Session | None = \
+                session if session.pending_frames else None
+            if victim is None:
+                candidates = [other for other in self._sessions.values()
+                              if other.pending_frames]
+                if not candidates:
+                    break
+                victim = min(
+                    candidates,
+                    key=lambda other: other.oldest_pending_s
+                    if other.oldest_pending_s is not None else float("inf"))
+            if not victim.shed_oldest():
+                break
+            self._resilience_stats.shed_frames += 1
+
+    def health(self) -> dict[str, Any]:
+        """A JSON-safe snapshot of the service's resilience state.
+
+        Schema (see ``docs/robustness.md``): ``closed`` (bool);
+        ``backend`` (``configured`` backend and the ladder rung batches
+        currently enter at); ``breaker`` (the
+        :meth:`~repro.api._resilience.CircuitBreaker.snapshot` dict);
+        ``pool`` (``started`` plus the supervision counters and the
+        module-wide shm accounting); ``ingest`` (pending frames vs budget
+        and the shed/reject counters); ``fallbacks`` (batches served per
+        degraded rung and the last transient error); ``sessions`` (live
+        session count).
+        """
+        stats = self._resilience_stats
+        pool = self._procpool
+        pool_health: dict[str, Any] = {
+            "started": pool.started if pool is not None else False}
+        pool_health.update(pool.stats.snapshot() if pool is not None
+                           else PoolStats().snapshot())
+        return {
+            "closed": self._closed,
+            "backend": {
+                "configured": self.config.parallel.backend,
+                "active": self._ladder[self._breaker.entry_index()],
+            },
+            "breaker": self._breaker.snapshot(),
+            "pool": {
+                **pool_health,
+                "shm_leak_events": shm_leak_events(),
+                "live_segments": sorted(live_segments()),
+            },
+            "ingest": {
+                "pending_frames": self._pending_total,
+                "pending_budget":
+                    self.config.resilience.max_total_pending_frames,
+                "shed_frames": stats.shed_frames,
+                "backpressure_rejected": stats.backpressure_rejected,
+                "poison_rejected": stats.poison_rejected,
+            },
+            "fallbacks": {
+                "served_by": dict(stats.fallbacks),
+                "last_error": stats.last_fallback_error,
+            },
+            "sessions": len(self._sessions),
+        }
 
     def tick(self, now_s: float | None = None
              ) -> dict[str, LocationEstimate]:
@@ -684,24 +933,23 @@ class ArrayTrackService:
         shards = self._shards(keys)
         if shards is None:
             estimates = synthesize(keys)
-        elif self.config.parallel.backend == "process":
-            # Ship every ready session's pending (timestamp, spectrum)
-            # pairs to the worker processes through shared memory; each
-            # worker runs the identical suppression + synthesis stages on
-            # its shard.  Sessions are only read here, and the tracker
-            # commit below stays on the calling thread.
-            pending = {client_id: sessions[client_id].pending_timestamped()
-                       for client_id in keys}
-            estimates = self._timed_pass(
-                lambda: self._process_pool().tick_shards(
-                    shards, pending,
-                    self.config.session.suppress_multipath))
         else:
-            # Each worker shard runs the identical suppression + synthesis
-            # stages over its slice of the ready sessions; sessions are
-            # only read here, and the tracker commit below stays on the
-            # calling thread.
-            estimates = self._run_sharded(shards, synthesize)
+            # Every rung of the ladder runs the identical suppression +
+            # synthesis stages over the ready sessions: the process rung
+            # ships each session's pending (timestamp, spectrum) pairs to
+            # the worker processes through shared memory, the thread rung
+            # fans the synthesize closure out on the thread pool, serial
+            # runs it inline.  Sessions are only read here, and the
+            # tracker commit below stays on the calling thread.
+            estimates = self._fanout(
+                shards,
+                lambda: self._process_pool().tick_shards(
+                    shards,
+                    {client_id: sessions[client_id].pending_timestamped()
+                     for client_id in keys},
+                    self.config.session.suppress_multipath),
+                synthesize,
+                lambda: synthesize(keys))
         timestamps: dict[str, float] = {}
         for client_id in estimates:
             session = sessions[client_id]

@@ -33,3 +33,40 @@ class EstimationError(ArrayTrackError):
 
 class ConfigurationError(ArrayTrackError):
     """Raised for invalid system-level (AP/server/testbed) configuration."""
+
+
+class TransientError(ArrayTrackError):
+    """Infrastructure failure that a retry or a degraded backend may absorb.
+
+    The resilience layer treats this family -- and only this family -- as
+    recoverable: the process pool retries shards on it, and the service's
+    circuit breaker falls down the backend ladder (process -> thread ->
+    serial) instead of failing the batch.  Deterministic data errors
+    (:class:`EstimationError`, :class:`ConfigurationError`, ...) stay
+    outside it on purpose: retrying them would re-fail identically.
+    """
+
+
+class PoolSupervisionError(TransientError):
+    """A supervised worker pool exhausted its retry budget for a batch."""
+
+
+class FaultInjectedError(TransientError):
+    """Raised by :mod:`repro.testing.faults` when an injected fault fires."""
+
+
+class BackpressureError(ArrayTrackError):
+    """Raised when ingest exceeds the service's pending-frame budget.
+
+    Only raised under ``resilience.shed_policy = "reject"``; the default
+    ``"shed-oldest"`` policy drops the oldest pending frame instead.
+    """
+
+
+class PoisonFrameError(ArrayTrackError):
+    """Raised when a rejected frame (NaN/inf values, mismatched grid) is ingested.
+
+    Rejecting the single frame at the door -- with the client and AP named
+    -- keeps one poisoned spectrum from corrupting a whole stacked
+    frontend or synthesis pass.
+    """

@@ -1,0 +1,13 @@
+"""Test-support utilities shipped with the library.
+
+The one public module here is :mod:`repro.testing.faults`, the
+deterministic fault-injection harness behind the resilience test suite and
+``benchmarks/test_bench_resilience.py``.  It lives in the installed package
+(not under ``tests/``) because the injection points are compiled into the
+production service/pool code and the spawned worker processes must be able
+to import it.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.api import (ArrayTrackConfig, SessionConfig, TrackerConfig,
-                       default_server_config)
+from repro.api import (ArrayTrackConfig, ResilienceConfig, SessionConfig,
+                       TrackerConfig, default_server_config)
 from repro.constants import DEFAULT_SPECTRUM_FLOOR
 from repro.core import LocalizerConfig, SpectrumConfig, SuppressorConfig
 from repro.errors import ConfigurationError
@@ -247,6 +247,72 @@ class TestTrackerSection:
         assert updated.tracker.smoothing_factor == 0.25
         assert updated.session.suppress_multipath is True
         assert updated.suppressor.tolerance_deg == 7.5
+
+
+class TestResilienceSection:
+    def test_defaults(self):
+        config = ArrayTrackConfig()
+        assert config.resilience == ResilienceConfig()
+        assert config.resilience.supervise_pool is True
+        assert config.resilience.breaker_enabled is True
+        assert config.resilience.max_total_pending_frames is None
+        assert config.resilience.shed_policy == "shed-oldest"
+        assert config.resilience.reject_poison_frames is True
+
+    def test_round_trips_with_non_default_values(self):
+        config = ArrayTrackConfig(
+            bounds=(0.0, 0.0, 5.0, 5.0),
+            resilience=ResilienceConfig(
+                max_retries=5, backoff_base_s=0.01, shard_timeout_s=3.0,
+                breaker_threshold=1, max_total_pending_frames=128,
+                shed_policy="reject",
+                fault_plan='[{"kind": "poison-frame"}]'))
+        restored = ArrayTrackConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.resilience.shard_timeout_s == 3.0
+        assert ArrayTrackConfig.from_json(config.to_json()) == config
+
+    @pytest.mark.parametrize("kwargs", [
+        {"supervise_pool": 1},
+        {"max_retries": -1},
+        {"max_retries": True},
+        {"backoff_base_s": -0.1},
+        {"backoff_jitter": -0.5},
+        {"retry_seed": 1.5},
+        {"shard_timeout_s": 0.0},
+        {"breaker_threshold": 0},
+        {"breaker_recovery_s": -1.0},
+        {"max_total_pending_frames": 0},
+        {"shed_policy": "drop-newest"},
+        {"reject_poison_frames": "yes"},
+        {"fault_plan": 42},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(**kwargs)
+
+    def test_invalid_value_names_path_from_dict(self):
+        with pytest.raises(ConfigurationError, match="resilience"):
+            ArrayTrackConfig.from_dict(
+                {"resilience": {"shed_policy": "panic"}})
+
+    def test_env_override_reaches_resilience_section(self):
+        config = ArrayTrackConfig(bounds=(0.0, 0.0, 5.0, 5.0))
+        updated = config.with_env_overrides({
+            "ARRAYTRACK_RESILIENCE__MAX_RETRIES": "4",
+            "ARRAYTRACK_RESILIENCE__SHARD_TIMEOUT_S": "2.5",
+            "ARRAYTRACK_RESILIENCE__SHED_POLICY": "reject",
+            "ARRAYTRACK_RESILIENCE__BREAKER_ENABLED": "false",
+        })
+        assert updated.resilience.max_retries == 4
+        assert updated.resilience.shard_timeout_s == 2.5
+        assert updated.resilience.shed_policy == "reject"
+        assert updated.resilience.breaker_enabled is False
+
+    def test_dotted_override_reaches_resilience_section(self):
+        config = ArrayTrackConfig(bounds=(0.0, 0.0, 5.0, 5.0)).updated(
+            {"resilience.max_total_pending_frames": 64})
+        assert config.resilience.max_total_pending_frames == 64
 
 
 class TestSuppressorAlias:

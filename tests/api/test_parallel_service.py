@@ -283,17 +283,41 @@ class TestProcessPoolFailureModes:
         with pytest.raises(ConfigurationError, match="closed"):
             service.localize_many(_clients(6))
 
-    def test_worker_crash_raises_instead_of_hanging(self):
+    def test_worker_crash_recovers_under_supervision(self):
         import os as _os
 
         service = self._process_service()
-        service.localize_many(_clients(6))   # spawn + warm the workers
+        baseline = service.localize_many(_clients(6))   # spawn + warm
         executor = service._procpool._ensure()
-        # Hard-kill one worker mid-task: the pool must report the breakage
-        # (with tracebacks intact on the parent side), not deadlock.
+        # Hard-kill one worker: the pool breaks (reported, not a deadlock)
+        # ...
         doomed = executor.submit(_os._exit, 3)
         with pytest.raises(BrokenProcessPool):
             doomed.result(timeout=120)
+        # ... and the default supervision rebuilds it on the next batched
+        # call, which succeeds bit-identically instead of propagating the
+        # breakage.
+        _assert_identical(service.localize_many(_clients(6)), baseline)
+        assert service._procpool.stats.rebuilds >= 1
+        assert live_segments() == frozenset()
+        # close() still works on a supervised (rebuilt) pool.
+        service.close()
+        assert service._procpool is None
+
+    def test_worker_crash_raises_without_supervision(self):
+        import os as _os
+
+        service = _service(
+            parallel={"backend": "process", "num_workers": 2,
+                      "min_clients_per_worker": 2},
+            **{"resilience.supervise_pool": False,
+               "resilience.breaker_enabled": False})
+        service.localize_many(_clients(6))   # spawn + warm the workers
+        executor = service._procpool._ensure()
+        doomed = executor.submit(_os._exit, 3)
+        with pytest.raises(BrokenProcessPool):
+            doomed.result(timeout=120)
+        # PR-6 semantics restored: the breakage propagates to the caller.
         with pytest.raises(BrokenProcessPool):
             service.localize_many(_clients(6))
         assert live_segments() == frozenset()

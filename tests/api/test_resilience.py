@@ -1,0 +1,576 @@
+"""Tests for the resilience layer: supervision, breaker, admission control.
+
+The contract under test is ISSUE 10's acceptance criterion: an injected
+worker crash mid-batch recovers via retry with bit-identical results and
+zero leaked shm segments, the circuit breaker degrades process -> thread ->
+serial and recovers half-open, and ingest sheds/rejects under pressure --
+all deterministically, via :mod:`repro.testing.faults`.
+"""
+
+import glob
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ArrayTrackConfig, ArrayTrackService
+from repro.api import _procpool
+from repro.api._procpool import (SEGMENT_PREFIX, ProcessShardPool,
+                                 live_segments, shm_leak_events)
+from repro.api._resilience import CircuitBreaker, backend_ladder
+from repro.ap.buffer import BufferEntry
+from repro.array.receiver import SnapshotMatrix
+from repro.core import AoASpectrum, default_angle_grid
+from repro.errors import (BackpressureError, ConfigurationError,
+                          PoisonFrameError, PoolSupervisionError)
+from repro.geometry import Point2D, bearing_deg
+from repro.testing import faults
+
+BOUNDS = (0.0, 0.0, 20.0, 10.0)
+AP_POSITIONS = [Point2D(1.0, 1.0), Point2D(19.0, 1.0), Point2D(10.0, 9.5)]
+
+
+@pytest.fixture(autouse=True)
+def clean_faults_and_segments():
+    """Every test starts fault-free and must leak no shm segments."""
+    faults.deactivate()
+    yield
+    faults.deactivate()
+    assert live_segments() == frozenset()
+    assert glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*") == []
+
+
+def _spectrum_towards(ap_position, target, timestamp_s=0.0, client_id=""):
+    angles = default_angle_grid(1.0)
+    bearing = bearing_deg(ap_position, target)
+    distance = np.minimum(np.abs(angles - bearing),
+                          360 - np.abs(angles - bearing))
+    power = np.exp(-0.5 * (distance / 3.0) ** 2) + 1e-4
+    return AoASpectrum(angles, power, ap_position=ap_position,
+                       ap_id=f"ap@{ap_position.x:.0f},{ap_position.y:.0f}",
+                       client_id=client_id, timestamp_s=timestamp_s)
+
+
+def _clients(count, seed=3):
+    rng = np.random.default_rng(seed)
+    clients = {}
+    for index in range(count):
+        target = Point2D(rng.uniform(2, 18), rng.uniform(2, 8))
+        clients[f"c{index}"] = {
+            f"ap{i}": [_spectrum_towards(p, target)]
+            for i, p in enumerate(AP_POSITIONS)}
+    return clients
+
+
+def _service(parallel=None, **overrides):
+    config = ArrayTrackConfig(bounds=BOUNDS).updated(
+        {"server.localizer.grid_resolution_m": 0.25, **overrides})
+    if parallel is not None:
+        config = config.updated({
+            f"parallel.{key}": value for key, value in parallel.items()})
+    return ArrayTrackService(config)
+
+
+def _process_service(**overrides):
+    return _service(parallel={"backend": "process", "num_workers": 2,
+                              "min_clients_per_worker": 2}, **overrides)
+
+
+def _assert_identical(recovered, serial):
+    assert list(recovered) == list(serial)
+    for key in serial:
+        assert recovered[key].position.x == serial[key].position.x
+        assert recovered[key].position.y == serial[key].position.y
+        assert recovered[key].likelihood == serial[key].likelihood
+
+
+@pytest.fixture(scope="module")
+def serial_fixes():
+    """The serial ground truth every recovered batch must equal exactly."""
+    with _service() as service:
+        return service.localize_many(_clients(6))
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: crash at every stage of the worker's shm lifecycle
+# ----------------------------------------------------------------------
+class TestWorkerCrashRecovery:
+    @pytest.mark.parametrize("stage", list(faults.STAGES))
+    def test_crash_at_stage_recovers_bit_identically(self, stage, tmp_path,
+                                                     serial_fixes):
+        faults.activate(faults.FaultSpec(
+            kind="kill-worker-mid-shard", stage=stage, times=1,
+            token_dir=str(tmp_path)))
+        with _process_service() as service:
+            recovered = service.localize_many(_clients(6))
+            _assert_identical(recovered, serial_fixes)
+            stats = service._procpool.stats
+            assert stats.broken_pools >= 1
+            assert stats.rebuilds >= 1
+            assert stats.shard_retries >= 1
+            health = service.health()
+            assert health["breaker"]["state"] == "closed"
+            assert health["backend"]["active"] == "process"
+            # Exactly one worker died, and it died by injection.
+            assert len(list(tmp_path.iterdir())) == 1
+        assert live_segments() == frozenset()
+        assert glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*") == []
+
+    def test_shard_timeout_recovers_bit_identically(self, tmp_path,
+                                                    serial_fixes):
+        faults.activate(faults.FaultSpec(
+            kind="slow-worker", stage="after-attach", times=1, delay_s=30.0,
+            token_dir=str(tmp_path)))
+        with _process_service(
+                **{"resilience.shard_timeout_s": 5.0}) as service:
+            start = time.monotonic()
+            recovered = service.localize_many(_clients(6))
+            # The wedged shard was deadlined and retried, far faster than
+            # the injected 30 s sleep.
+            assert time.monotonic() - start < 25.0
+            _assert_identical(recovered, serial_fixes)
+            assert service._procpool.stats.shard_timeouts >= 1
+            assert service._procpool.stats.rebuilds >= 1
+
+
+# ----------------------------------------------------------------------
+# The degradation ladder: process -> thread -> serial and back (half-open)
+# ----------------------------------------------------------------------
+class TestDegradationLadder:
+    def test_exhausted_retries_degrade_to_thread_then_probe_back(
+            self, serial_fixes):
+        # Kill every worker task, leave no retry budget, and trip the
+        # breaker on the first failure; recovery window held open wide.
+        faults.activate(faults.FaultSpec(kind="kill-worker-mid-shard"))
+        service = _process_service(
+            **{"resilience.max_retries": 0,
+               "resilience.breaker_threshold": 1,
+               "resilience.breaker_recovery_s": 1000.0})
+        with service:
+            # The batch is served anyway -- by the thread rung -- and is
+            # still bit-identical.
+            _assert_identical(service.localize_many(_clients(6)),
+                              serial_fixes)
+            health = service.health()
+            assert health["backend"]["active"] == "thread"
+            assert health["breaker"]["state"] == "open"
+            assert health["fallbacks"]["served_by"] == {"thread": 1}
+            assert "PoolSupervisionError" in health["fallbacks"]["last_error"]
+            assert service._procpool.stats.supervision_failures == 1
+            # While the breaker is open, batches enter at thread directly:
+            # no doomed process attempt, no further supervision failures.
+            _assert_identical(service.localize_many(_clients(6)),
+                              serial_fixes)
+            assert service._procpool.stats.supervision_failures == 1
+            # Entering at thread is not a fallback (nothing fell mid-call).
+            assert service.health()["fallbacks"]["served_by"] == {"thread": 1}
+            # Heal the pool, force the recovery window open: the next
+            # batch half-open-probes the process rung and re-closes.
+            faults.deactivate()
+            service._breaker._clock = lambda: time.monotonic() + 2000.0
+            assert service.health()["breaker"]["state"] == "half-open"
+            _assert_identical(service.localize_many(_clients(6)),
+                              serial_fixes)
+            health = service.health()
+            assert health["breaker"]["state"] == "closed"
+            assert health["backend"]["active"] == "process"
+
+    def test_thread_fault_degrades_to_serial(self, serial_fixes):
+        faults.activate(faults.FaultSpec(kind="thread-shard-failure",
+                                         times=1))
+        service = _service(parallel={"backend": "thread", "num_workers": 2,
+                                     "min_clients_per_worker": 2})
+        with service:
+            _assert_identical(service.localize_many(_clients(6)),
+                              serial_fixes)
+            health = service.health()
+            assert health["fallbacks"]["served_by"] == {"serial": 1}
+            # One failure is below the default threshold: still closed.
+            assert health["breaker"]["state"] == "closed"
+            # Budget spent: the thread rung serves the next batch itself.
+            _assert_identical(service.localize_many(_clients(6)),
+                              serial_fixes)
+            assert service.health()["fallbacks"]["served_by"] == {"serial": 1}
+
+    def test_shm_allocation_failure_degrades_to_thread(self, serial_fixes):
+        faults.activate(faults.FaultSpec(kind="shm-allocation-failure",
+                                         times=1))
+        with _process_service() as service:
+            _assert_identical(service.localize_many(_clients(6)),
+                              serial_fixes)
+            assert service.health()["fallbacks"]["served_by"] == {"thread": 1}
+
+    def test_breaker_disabled_propagates_the_transient_error(self):
+        faults.activate(faults.FaultSpec(kind="kill-worker-mid-shard"))
+        service = _process_service(
+            **{"resilience.max_retries": 0,
+               "resilience.breaker_enabled": False})
+        with service:
+            with pytest.raises(PoolSupervisionError):
+                service.localize_many(_clients(6))
+
+
+class TestCircuitBreakerUnit:
+    def _breaker(self, threshold=2, recovery_s=10.0, enabled=True):
+        state = {"now": 0.0}
+        breaker = CircuitBreaker(backend_ladder("process"),
+                                 threshold=threshold, recovery_s=recovery_s,
+                                 enabled=enabled,
+                                 clock=lambda: state["now"])
+        return breaker, state
+
+    def test_ladders(self):
+        assert backend_ladder("process") == ("process", "thread", "serial")
+        assert backend_ladder("thread") == ("thread", "serial")
+        assert backend_ladder("none") == ("serial",)
+
+    def test_opens_after_threshold_and_probes_after_recovery(self):
+        breaker, clock = self._breaker()
+        assert breaker.state == "closed" and breaker.entry_index() == 0
+        breaker.record_failure(0)
+        assert breaker.entry_index() == 0    # below threshold
+        breaker.record_failure(0)
+        assert breaker.state == "open" and breaker.entry_index() == 1
+        clock["now"] = 9.9
+        assert breaker.entry_index() == 1    # window still open
+        clock["now"] = 10.0
+        assert breaker.state == "half-open"
+        assert breaker.entry_index() == 0    # the probe
+        breaker.record_success(0)
+        assert breaker.state == "closed" and breaker.entry_index() == 0
+
+    def test_failed_probe_reopens_the_window(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        clock["now"] = 10.0
+        assert breaker.entry_index() == 0
+        breaker.record_failure(0)            # the probe failed
+        assert breaker.state == "open" and breaker.entry_index() == 1
+        clock["now"] = 19.9
+        assert breaker.entry_index() == 1    # a fresh full window
+        clock["now"] = 20.0
+        assert breaker.entry_index() == 0
+
+    def test_degradation_cascades_to_serial_and_recovers_stepwise(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure(0)
+        breaker.record_failure(0)            # -> thread
+        breaker.record_failure(1)
+        breaker.record_failure(1)            # -> serial
+        assert breaker.level == 2 and breaker.entry_index() == 2
+        clock["now"] = 10.0
+        assert breaker.entry_index() == 1    # probe thread first
+        breaker.record_success(1)
+        assert breaker.level == 1            # thread restored, still open
+        clock["now"] = 20.0
+        assert breaker.entry_index() == 0    # then probe process
+        breaker.record_success(0)
+        assert breaker.level == 0 and breaker.state == "closed"
+
+    def test_successes_on_the_degraded_rung_do_not_close(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        breaker.record_success(1)
+        breaker.record_success(1)
+        assert breaker.state == "open" and breaker.entry_index() == 1
+
+    def test_disabled_breaker_never_degrades(self):
+        breaker, _ = self._breaker(enabled=False)
+        for _ in range(5):
+            breaker.record_failure(0)
+        assert breaker.entry_index() == 0 and breaker.state == "closed"
+
+    def test_snapshot_is_json_safe(self):
+        import json
+        breaker, _ = self._breaker()
+        breaker.record_failure(0)
+        snapshot = json.loads(json.dumps(breaker.snapshot()))
+        assert snapshot["state"] == "closed"
+        assert snapshot["ladder"] == ["process", "thread", "serial"]
+        assert snapshot["failures"] == [1, 0, 0]
+
+
+# ----------------------------------------------------------------------
+# Backpressure and shedding (service-wide pending budget)
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def _spectrum(self, client_id, timestamp_s):
+        return _spectrum_towards(AP_POSITIONS[0], Point2D(10.0, 5.0),
+                                 timestamp_s=timestamp_s,
+                                 client_id=client_id)
+
+    def test_shed_oldest_prefers_the_ingesting_client(self):
+        service = _service(
+            **{"resilience.max_total_pending_frames": 3,
+               "session.max_pending_frames": 100})
+        for index in range(3):
+            service.ingest("ap0", self._spectrum("a", float(index)))
+        assert service._pending_total == 3
+        service.ingest("ap0", self._spectrum("a", 3.0))
+        # Client a's own oldest frame (t=0) was shed to make room.
+        assert service._pending_total == 3
+        pending = service.session("a").pending_timestamped()["ap0"]
+        assert [timestamp for timestamp, _ in pending] == [1.0, 2.0, 3.0]
+        assert service.health()["ingest"]["shed_frames"] == 1
+
+    def test_shed_oldest_falls_back_to_globally_oldest_session(self):
+        service = _service(
+            **{"resilience.max_total_pending_frames": 2,
+               "session.max_pending_frames": 100})
+        service.ingest("ap0", self._spectrum("a", 0.0))
+        service.ingest("ap0", self._spectrum("b", 1.0))
+        service.ingest("ap0", self._spectrum("newcomer", 2.0))
+        # The newcomer had nothing to shed, so the globally oldest pending
+        # frame (client a's) went instead.
+        assert service.session("a").pending_frames == 0
+        assert service.session("b").pending_frames == 1
+        assert service.session("newcomer").pending_frames == 1
+        assert service._pending_total == 2
+
+    def test_reject_policy_raises_named_error_and_counts(self):
+        service = _service(
+            **{"resilience.max_total_pending_frames": 1,
+               "resilience.shed_policy": "reject"})
+        service.ingest("ap0", self._spectrum("a", 0.0))
+        with pytest.raises(BackpressureError, match="budget is full"):
+            service.ingest("ap0", self._spectrum("b", 1.0))
+        # The rejected frame left no trace; the first client is intact.
+        assert service._pending_total == 1
+        assert service.health()["ingest"]["backpressure_rejected"] == 1
+
+    def test_pending_total_tracks_session_drains(self):
+        service = _service(**{"session.emit_every_frames": 100})
+        for index in range(4):
+            service.ingest("ap0", self._spectrum("a", float(index)))
+        assert service._pending_total == 4
+        assert service.health()["ingest"]["pending_frames"] == 4
+        service.flush()
+        assert service._pending_total == 0
+
+    def test_per_session_cap_keeps_service_accounting_exact(self):
+        service = _service(**{"session.max_pending_frames": 2})
+        for index in range(5):
+            service.ingest("ap0", self._spectrum("a", float(index)))
+        assert service.session("a").pending_frames == 2
+        assert service._pending_total == 2
+
+
+# ----------------------------------------------------------------------
+# Poison-frame rejection at the door
+# ----------------------------------------------------------------------
+class TestPoisonFrames:
+    def _nan_spectrum(self, client_id="c0"):
+        angles = default_angle_grid(1.0)
+        power = np.ones_like(angles)
+        power[3] = np.nan
+        return AoASpectrum(angles, power, ap_position=AP_POSITIONS[0],
+                           client_id=client_id, ap_id="ap0")
+
+    def test_nan_power_rejected_with_named_error(self):
+        service = _service()
+        with pytest.raises(PoisonFrameError, match="'c0'.*'ap0'.*non-finite"):
+            service.ingest("ap0", self._nan_spectrum())
+        assert service._pending_total == 0
+        assert service.health()["ingest"]["poison_rejected"] == 1
+
+    def test_grid_mismatch_against_pending_frames_rejected(self):
+        service = _service()
+        good = _spectrum_towards(AP_POSITIONS[0], Point2D(10.0, 5.0),
+                                 client_id="c0")
+        service.ingest("ap0", good)
+        angles = default_angle_grid(2.0)     # a different grid shape
+        mismatched = AoASpectrum(angles, np.ones_like(angles),
+                                 ap_position=AP_POSITIONS[0],
+                                 client_id="c0", ap_id="ap0")
+        with pytest.raises(PoisonFrameError, match="contradicts"):
+            service.ingest("ap0", mismatched)
+        assert service.session("c0").pending_frames == 1
+
+    def test_ingest_many_rejects_atomically(self):
+        service = _service()
+        good = _spectrum_towards(AP_POSITIONS[0], Point2D(10.0, 5.0),
+                                 client_id="c0")
+        with pytest.raises(PoisonFrameError):
+            service.ingest_many("ap0", [good, self._nan_spectrum("c1")])
+        # Nothing was admitted: no session holds half the burst.
+        assert service._pending_total == 0
+        assert all(s.pending_frames == 0
+                   for s in service.sessions.values())
+
+    def test_raw_entry_with_nan_snapshots_rejected_before_the_frontend(self):
+        service = _service()
+        ap = service.build_ap("ap0", AP_POSITIONS[0])
+        samples = np.full((8, 10), np.nan + 0.0j)
+        entry = BufferEntry(
+            snapshots=SnapshotMatrix(samples, client_id="c0"),
+            client_id="c0", timestamp_s=0.0, sequence=0)
+        with pytest.raises(PoisonFrameError, match="snapshot samples"):
+            service.ingest(ap, entry)
+        with pytest.raises(PoisonFrameError, match="snapshot samples"):
+            service.ingest_many(ap, [entry])
+        assert service.health()["ingest"]["poison_rejected"] == 2
+
+    def test_rejection_can_be_disabled(self):
+        service = _service(**{"resilience.reject_poison_frames": False})
+        service.ingest("ap0", self._nan_spectrum())
+        assert service._pending_total == 1
+
+    def test_injected_poison_fault_is_caught_by_the_gate(self):
+        # The fault plan arrives via the config knob, proving the
+        # config-activation path end to end.
+        plan = '[{"kind": "poison-frame", "times": 1}]'
+        service = _service(**{"resilience.fault_plan": plan})
+        good = _spectrum_towards(AP_POSITIONS[0], Point2D(10.0, 5.0),
+                                 client_id="c0")
+        with pytest.raises(PoisonFrameError, match="non-finite"):
+            service.ingest("ap0", good)
+        service.ingest("ap0", good)          # budget spent: admitted
+        assert service._pending_total == 1
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: the close()/_ensure() lifecycle race
+# ----------------------------------------------------------------------
+class _StubExecutor:
+    """Stands in for ProcessPoolExecutor: records lifecycle transitions."""
+
+    instances = []
+
+    def __init__(self, *args, **kwargs):
+        self.shutdowns = 0
+        _StubExecutor.instances.append(self)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdowns += 1
+
+
+class TestPoolLifecycleRace:
+    def _pool(self, monkeypatch):
+        monkeypatch.setattr(_procpool, "ProcessPoolExecutor", _StubExecutor)
+        _StubExecutor.instances = []
+        config = ArrayTrackConfig(bounds=BOUNDS)
+        return ProcessShardPool(config)
+
+    def test_closed_pool_refuses_to_rebuild(self, monkeypatch):
+        pool = self._pool(monkeypatch)
+        pool._ensure()
+        assert pool.started
+        pool.close()
+        assert not pool.started and pool.closed
+        with pytest.raises(ConfigurationError, match="closed"):
+            pool._ensure()
+        pool.close()                         # idempotent
+        assert [e.shutdowns for e in _StubExecutor.instances] == [1]
+
+    def test_concurrent_close_and_ensure_never_leak_an_executor(
+            self, monkeypatch):
+        pool = self._pool(monkeypatch)
+        pool._ensure()                       # at least one executor exists
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def ensure_loop():
+            barrier.wait()
+            for _ in range(200):
+                try:
+                    pool._ensure()
+                except ConfigurationError:
+                    return               # pool closed under us: expected
+                except BaseException as exc:  # noqa: BLE001 - fail the test
+                    errors.append(exc)
+                    return
+
+        def close_loop():
+            barrier.wait()
+            for _ in range(50):
+                pool.close()
+
+        threads = [threading.Thread(target=ensure_loop) for _ in range(6)] \
+            + [threading.Thread(target=close_loop) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        pool.close()                         # settle any last _ensure win
+        assert not pool.started and pool.closed
+        assert not errors
+        # Every executor ever created was shut down -- none resurrected
+        # after close, none double-shutdown beyond idempotent calls, none
+        # leaked without a shutdown.
+        assert _StubExecutor.instances
+        assert all(e.shutdowns >= 1 for e in _StubExecutor.instances)
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: shm leak accounting
+# ----------------------------------------------------------------------
+class TestShmLeakAccounting:
+    def test_buffer_error_on_close_is_counted_and_still_unlinked(self):
+        from multiprocessing import shared_memory
+
+        before = shm_leak_events()
+        segment = shared_memory.SharedMemory(
+            create=True, size=64, name=_procpool._new_segment_name())
+        try:
+            _procpool._LIVE_SEGMENTS.add(segment.name)
+            held = segment.buf[0:8]          # an escaped exported buffer
+        finally:
+            _procpool._release_segment(segment)
+        # The escaped buffer made close() fail: counted, not swallowed ...
+        assert shm_leak_events() == before + 1
+        # ... but the segment name is gone system-wide regardless.
+        assert segment.name not in live_segments()
+        assert glob.glob(f"/dev/shm/{segment.name}") == []
+        held.release()
+        segment.close()
+
+    def test_already_unlinked_segment_is_tolerated_and_not_a_leak(self):
+        from multiprocessing import shared_memory
+
+        before = shm_leak_events()
+        segment = shared_memory.SharedMemory(
+            create=True, size=64, name=_procpool._new_segment_name())
+        try:
+            _procpool._LIVE_SEGMENTS.add(segment.name)
+            segment.unlink()                 # someone else already unlinked
+        finally:
+            _procpool._release_segment(segment)
+        assert shm_leak_events() == before
+        assert segment.name not in live_segments()
+
+    def test_leak_counter_reaches_health(self):
+        with _service() as service:
+            assert service.health()["pool"]["shm_leak_events"] \
+                == shm_leak_events()
+
+
+# ----------------------------------------------------------------------
+# The health snapshot
+# ----------------------------------------------------------------------
+class TestHealth:
+    def test_schema_and_json_safety(self):
+        import json
+
+        with _process_service() as service:
+            health = json.loads(json.dumps(service.health()))
+        assert set(health) == {"closed", "backend", "breaker", "pool",
+                               "ingest", "fallbacks", "sessions"}
+        assert health["backend"] == {"configured": "process",
+                                     "active": "process"}
+        assert set(health["pool"]) == {
+            "started", "rebuilds", "broken_pools", "shard_timeouts",
+            "shard_retries", "supervision_failures", "backoff_slept_s",
+            "shm_leak_events", "live_segments"}
+        assert set(health["ingest"]) == {
+            "pending_frames", "pending_budget", "shed_frames",
+            "backpressure_rejected", "poison_rejected"}
+        assert health["pool"]["started"] is False
+        assert health["sessions"] == 0
+
+    def test_health_still_works_on_a_closed_service(self):
+        service = _service()
+        service.close()
+        assert service.health()["closed"] is True

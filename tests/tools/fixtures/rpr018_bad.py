@@ -1,0 +1,22 @@
+"""RPR018 bad fixture: retry loops missing a bound or a backoff."""
+
+import time
+
+
+def fetch_without_attempt_bound(connect):
+    while True:  # retries forever: no attempt budget anywhere
+        try:
+            return connect()
+        except OSError:
+            time.sleep(0.1)
+
+
+def fetch_without_backoff(connect, max_retries):
+    attempt = 0
+    while True:  # bounded, but hammers the endpoint with no backoff
+        try:
+            return connect()
+        except ConnectionError:
+            attempt += 1
+            if attempt >= max_retries:
+                raise

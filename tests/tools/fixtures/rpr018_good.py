@@ -1,0 +1,32 @@
+"""RPR018 good fixture: bounded, backed-off, or not a retry loop at all."""
+
+import time
+
+
+def fetch_with_bound_and_backoff(connect, max_retries):
+    attempt = 0
+    while True:
+        try:
+            return connect()
+        except OSError:
+            attempt += 1
+            if attempt >= max_retries:
+                raise
+            time.sleep(min(0.05 * 2 ** attempt, 2.0))
+
+
+def drain_first_failure_exits(queue):
+    # Not a retry loop: the handler always leaves the loop.
+    while queue:
+        try:
+            queue.pop()
+        except IndexError:
+            raise RuntimeError("queue drained concurrently") from None
+
+
+def countdown_without_try(step):
+    # A plain bounded loop with no exception handling is out of scope.
+    remaining = 10
+    while remaining:
+        step()
+        remaining -= 1

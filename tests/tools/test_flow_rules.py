@@ -370,7 +370,7 @@ class TestSuppressionBudget:
         rule_keys = set(budget) - path_keys
         assert path_keys == {"src", "tests", "benchmarks"}
         assert rule_keys == {"RPR013", "RPR014", "RPR015", "RPR016",
-                             "RPR017"}
+                             "RPR017", "RPR018"}
         result = run_paths([str(REPO_ROOT / prefix)
                             for prefix in sorted(path_keys)])
         for prefix in sorted(path_keys):

@@ -379,6 +379,106 @@ def _check_deprecated_entry_points(context: ModuleContext) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# RPR018 -- retry loops without bounded attempts and backoff
+# ----------------------------------------------------------------------
+_RETRY_BROAD_NAMES = frozenset({"Exception", "BaseException", "OSError"})
+_COUNTER_HINTS = ("attempt", "retr", "tries")
+_BACKOFF_HINTS = ("sleep", "backoff", "delay")
+
+
+def _catches_retryable(node: ast.AST | None) -> bool:
+    """True for handlers broad enough to absorb infrastructure failures."""
+    if node is None:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_catches_retryable(element) for element in node.elts)
+    parts = _chain_parts(node)
+    if not parts:
+        return False
+    return parts[-1] in _RETRY_BROAD_NAMES or parts[-1].endswith("Error")
+
+
+def _always_exits(body: Sequence[ast.stmt]) -> bool:
+    """True when every path through ``body`` leaves the loop iteration
+    (raise/return/break) -- such a handler cannot drive a retry."""
+    for statement in body:
+        if isinstance(statement, (ast.Raise, ast.Return, ast.Break)):
+            return True
+        if isinstance(statement, ast.If) and statement.orelse \
+                and _always_exits(statement.body) \
+                and _always_exits(statement.orelse):
+            return True
+    return False
+
+
+def _retry_handlers(loop: ast.While) -> list[ast.ExceptHandler]:
+    """Handlers inside the loop that catch broadly and loop again."""
+    handlers = []
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            if _catches_retryable(handler.type) \
+                    and not _always_exits(handler.body):
+                handlers.append(handler)
+    return handlers
+
+
+def _names_mention(node: ast.AST, hints: Sequence[str]) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            text = child.id.lower()
+        elif isinstance(child, ast.Attribute):
+            text = child.attr.lower()
+        else:
+            continue
+        if any(hint in text for hint in hints):
+            return True
+    return False
+
+
+def _has_attempt_bound(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Compare) \
+                and _names_mention(node, _COUNTER_HINTS):
+            return True
+    return False
+
+
+def _has_backoff(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _chain_parts(node.func)
+        if parts and any(hint in parts[-1].lower()
+                         for hint in _BACKOFF_HINTS):
+            return True
+    return False
+
+
+def _check_unbounded_retry_loop(context: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.While):
+            continue
+        if not _retry_handlers(node):
+            continue
+        missing = []
+        if not _has_attempt_bound(node):
+            missing.append("a bounded attempt count (compare against "
+                           "max_retries/attempts)")
+        if not _has_backoff(node):
+            missing.append("a backoff sleep between attempts")
+        if missing:
+            line, col = _location(node)
+            yield (line, col,
+                   "retry loop catches a broad exception and loops again "
+                   f"without {' or '.join(missing)}; a persistent failure "
+                   "must exhaust a bounded budget with exponential backoff "
+                   "(see ResilienceConfig.max_retries/backoff_base_s), not "
+                   "spin or hammer forever")
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 RULES: list[Rule] = [
@@ -419,4 +519,10 @@ RULES: list[Rule] = [
          "PR 2: the facade replaced these; new call sites re-grow the "
          "legacy surface the deprecation is trying to retire",
          _check_deprecated_entry_points),
+    Rule("RPR018", "unbounded-retry-loop",
+         "retry loop without a bounded attempt count and backoff",
+         "PR 7: pool supervision retries broken/stalled shards; a retry "
+         "loop without a budget and backoff turns one persistent "
+         "infrastructure failure into a spin or a thundering herd",
+         _check_unbounded_retry_loop),
 ]
